@@ -1,0 +1,43 @@
+//! E6 benches: design-choice ablations called out in DESIGN.md —
+//! prime-size impact on Figure-1 clock arithmetic, and horizon impact on
+//! waiting-language extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tvg_bench::experiments::staggered_automaton;
+use tvg_expressivity::anbn::{anbn_word, AnbnAutomaton};
+use tvg_journeys::{SearchLimits, WaitingPolicy};
+
+fn bench_prime_choice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_prime_choice_accept_n16");
+    group.sample_size(10);
+    let w = anbn_word(16);
+    for (p, q) in [(2u64, 3u64), (13, 17), (101, 103)] {
+        let aut = AnbnAutomaton::new(p, q).expect("distinct primes");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{p}_q{q}")),
+            &w,
+            |b, w| {
+                b.iter(|| assert!(aut.accepts_nowait(std::hint::black_box(w))));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_horizon(c: &mut Criterion) {
+    let aut = staggered_automaton();
+    let mut group = c.benchmark_group("e6_horizon_language_extraction");
+    group.sample_size(10);
+    for horizon in [8u64, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(horizon), &horizon, |b, &h| {
+            b.iter(|| {
+                let limits = SearchLimits::new(h, 7);
+                aut.language_upto(&WaitingPolicy::Unbounded, &limits, 6)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prime_choice, bench_horizon);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E1 bench: Figure-1 acceptance cost vs word length (bigint clock
+//! arithmetic dominates; growth should track the quadratic cost of
+//! multiplying pⁿqⁿ-sized numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tvg_expressivity::anbn::{anbn_word, AnbnAutomaton};
+
+fn bench_accept(c: &mut Criterion) {
+    let aut = AnbnAutomaton::smallest();
+    let mut group = c.benchmark_group("e1_figure1_accept");
+    group.sample_size(10);
+    for n in [4usize, 8, 16, 32] {
+        let w = anbn_word(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| {
+                assert!(aut.accepts_nowait(std::hint::black_box(w)));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reject(c: &mut Criterion) {
+    let aut = AnbnAutomaton::smallest();
+    let mut group = c.benchmark_group("e1_figure1_reject_near_miss");
+    group.sample_size(10);
+    for n in [4usize, 16] {
+        let w: tvg_langs::Word = format!("{}{}", "a".repeat(n), "b".repeat(n - 1))
+            .parse()
+            .expect("ascii");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| {
+                assert!(!aut.accepts_nowait(std::hint::black_box(w)));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accept, bench_reject);
+criterion_main!(benches);

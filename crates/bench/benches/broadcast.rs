@@ -1,0 +1,60 @@
+//! E5 bench: broadcast simulation cost, store-carry-forward vs no-wait,
+//! vs network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tvg_dynnet::broadcast::{run_broadcast, BroadcastConfig, ForwardingMode};
+use tvg_dynnet::markovian::{edge_markovian_trace, EdgeMarkovianParams};
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_broadcast");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let params = EdgeMarkovianParams {
+            num_nodes: n,
+            p_birth: 0.01,
+            p_death: 0.4,
+            steps: 100,
+        };
+        let trace = edge_markovian_trace(&mut StdRng::seed_from_u64(1), &params);
+        for (label, mode) in [
+            ("scf", ForwardingMode::StoreCarryForward),
+            ("nowait", ForwardingMode::NoWaitRelay),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &trace,
+                |b, trace| {
+                    b.iter(|| {
+                        run_broadcast(
+                            trace,
+                            &BroadcastConfig { source: 0, mode, source_beacons: true },
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_trace_generation");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let params = EdgeMarkovianParams {
+            num_nodes: n,
+            p_birth: 0.02,
+            p_death: 0.4,
+            steps: 100,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &params, |b, params| {
+            b.iter(|| edge_markovian_trace(&mut StdRng::seed_from_u64(1), params));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E4 bench: Theorem-2.3 harness cost — full language comparison between
+//! the dilated/bounded and original/nowait automata, vs dilation bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tvg_bench::experiments::staggered_automaton;
+use tvg_expressivity::dilation::dilation_disagreements;
+use tvg_journeys::SearchLimits;
+use tvg_langs::Alphabet;
+
+fn bench_dilation_check(c: &mut Criterion) {
+    let aut = staggered_automaton();
+    let alphabet = Alphabet::ab();
+    let mut group = c.benchmark_group("e4_dilation_disagreements");
+    group.sample_size(10);
+    for d in [1u64, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| {
+                let limits = SearchLimits::new(40, 5);
+                let witnesses = dilation_disagreements(&aut, d, &alphabet, 4, &limits);
+                assert!(witnesses.is_empty());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dilate_transform(c: &mut Criterion) {
+    let aut = staggered_automaton();
+    let mut group = c.benchmark_group("e4_dilate_transform");
+    for d in [1u64, 64, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| std::hint::black_box(aut.dilate(d)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dilation_check, bench_dilate_transform);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Journey-search bench: foremost-journey cost vs ring size and policy
+//! (the `(node, time)` configuration space grows with both).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tvg_journeys::{foremost_journey, SearchLimits, WaitingPolicy};
+use tvg_model::generators::ring_bus_tvg;
+use tvg_model::NodeId;
+
+fn bench_foremost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journeys_foremost_ring");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let g = ring_bus_tvg(n, n as u64, 'r');
+        let limits = SearchLimits::new(4 * n as u64, n + 2);
+        for (label, policy) in [
+            ("nowait", WaitingPolicy::NoWait),
+            ("bounded2", WaitingPolicy::Bounded(2)),
+            ("unbounded", WaitingPolicy::Unbounded),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &g, |b, g| {
+                b.iter(|| {
+                    foremost_journey(
+                        g,
+                        NodeId::from_index(0),
+                        NodeId::from_index(n - 1),
+                        &0,
+                        &policy,
+                        &limits,
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_foremost);
+criterion_main!(benches);

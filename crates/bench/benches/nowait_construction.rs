@@ -1,0 +1,46 @@
+//! E2 bench: Theorem-2.1 acceptance cost when the schedule runs a real
+//! decider (grammar vs Turing machine), vs word length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tvg_expressivity::nowait_power::DeciderAutomaton;
+use tvg_langs::{machines, Alphabet, Grammar, Word};
+
+fn anbncn_word(n: usize) -> Word {
+    format!("{}{}{}", "a".repeat(n), "b".repeat(n), "c".repeat(n))
+        .parse()
+        .expect("ascii")
+}
+
+fn bench_grammar_schedule(c: &mut Criterion) {
+    let g = Grammar::anbn();
+    let aut = DeciderAutomaton::new(Alphabet::ab(), Arc::new(move |w| g.recognizes(w)));
+    let mut group = c.benchmark_group("e2_grammar_schedule_accept");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let w: Word = format!("{}{}", "a".repeat(n), "b".repeat(n))
+            .parse()
+            .expect("ascii");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| assert!(aut.accepts_nowait(std::hint::black_box(w))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tm_schedule(c: &mut Criterion) {
+    let aut =
+        DeciderAutomaton::from_turing_machine(Alphabet::abc(), machines::anbncn(), 1_000_000);
+    let mut group = c.benchmark_group("e2_turing_machine_schedule_accept");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        let w = anbncn_word(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| assert!(aut.accepts_nowait(std::hint::black_box(w))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grammar_schedule, bench_tm_schedule);
+criterion_main!(benches);

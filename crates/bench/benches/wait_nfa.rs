@@ -1,0 +1,66 @@
+//! E3 bench: Theorem-2.2 compiler cost — periodic TVG → NFA → minimal
+//! DFA, vs period length (state space is nodes × period).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tvg_bench::experiments::random_periodic_automaton;
+use tvg_expressivity::wait_regular::{eventually_periodic_to_nfa, periodic_to_nfa};
+use tvg_journeys::WaitingPolicy;
+use tvg_langs::Alphabet;
+
+fn bench_compile(c: &mut Criterion) {
+    let alphabet = Alphabet::ab();
+    let mut group = c.benchmark_group("e3_periodic_to_nfa");
+    group.sample_size(10);
+    for period in [2u64, 4, 8, 16] {
+        let aut = random_periodic_automaton(7, period);
+        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
+            b.iter(|| {
+                periodic_to_nfa(&aut, p, &WaitingPolicy::Unbounded, &alphabet)
+                    .expect("periodic")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile_and_minimize(c: &mut Criterion) {
+    let alphabet = Alphabet::ab();
+    let mut group = c.benchmark_group("e3_compile_determinize_minimize");
+    group.sample_size(10);
+    for period in [2u64, 4, 8] {
+        let aut = random_periodic_automaton(7, period);
+        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
+            b.iter(|| {
+                periodic_to_nfa(&aut, p, &WaitingPolicy::Unbounded, &alphabet)
+                    .expect("periodic")
+                    .to_dfa()
+                    .minimize()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eventually_periodic(c: &mut Criterion) {
+    let alphabet = Alphabet::ab();
+    let mut group = c.benchmark_group("e3_eventually_periodic_to_nfa");
+    group.sample_size(10);
+    for period in [2u64, 4, 8] {
+        let aut = random_periodic_automaton(7, period);
+        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
+            b.iter(|| {
+                eventually_periodic_to_nfa(&aut, p, &WaitingPolicy::Unbounded, &alphabet)
+                    .expect("periodic")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_compile_and_minimize,
+    bench_eventually_periodic
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Regenerates every table of EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p tvg-bench --bin experiments [e1|e2|e3|e4|e5|e6|all]`
+
+use tvg_bench::experiments as ex;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    if all || which == "e1" {
+        println!("{}", ex::e1_membership());
+        println!("{}", ex::e1_exhaustive(12));
+    }
+    if all || which == "e2" {
+        println!("{}", ex::e2_computable_languages());
+    }
+    if all || which == "e3" {
+        println!("{}", ex::e3_periodic_compilation());
+        println!("{}", ex::e3_regular_embedding());
+        println!("{}", ex::e3_residual_contrast());
+        println!("{}", ex::e3_lstar_learning());
+    }
+    if all || which == "e4" {
+        println!("{}", ex::e4_dilation());
+        println!("{}", ex::e4_nonregular_survives());
+    }
+    if all || which == "e5" {
+        println!("{}", ex::e5_broadcast(32, 120, 20));
+        println!("{}", ex::e5_routing(12, 40));
+    }
+    if all || which == "e6" {
+        println!("{}", ex::e6_prime_ablation());
+        println!("{}", ex::e6_nfa_size_ablation());
+        println!("{}", ex::e6_horizon_ablation());
+        println!("{}", ex::e6_clock_trace());
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment harness: regenerates every table and figure of the
+//! reproduction (see `EXPERIMENTS.md` at the workspace root).
+//!
+//! Each `eN_*` function computes one experiment and returns a [`Table`]
+//! ready for printing; the `experiments` binary runs them all. Criterion
+//! benches under `benches/` measure the same code paths for scaling
+//! shape.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,155 @@
+//! Formatting and parsing for [`Nat`].
+
+use crate::Nat;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error produced when parsing a [`Nat`] from a string, or converting one to
+/// a machine integer, fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseNatError {
+    /// The input was empty.
+    Empty,
+    /// The input contained a non-decimal-digit character.
+    InvalidDigit(char),
+    /// The value does not fit in the requested machine integer type.
+    Overflow,
+}
+
+impl fmt::Display for ParseNatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNatError::Empty => write!(f, "cannot parse natural number from empty string"),
+            ParseNatError::InvalidDigit(c) => write!(f, "invalid digit {c:?} in natural number"),
+            ParseNatError::Overflow => write!(f, "value does not fit in target integer type"),
+        }
+    }
+}
+
+impl Error for ParseNatError {}
+
+impl FromStr for Nat {
+    type Err = ParseNatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseNatError::Empty);
+        }
+        let mut n = Nat::zero();
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(10).ok_or(ParseNatError::InvalidDigit(c))?;
+            n.mul_small(10);
+            n.add_small(d);
+        }
+        Ok(n)
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel 9 decimal digits at a time.
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_small(1_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.pop().map(|c| c.to_string()).unwrap_or_default();
+        for c in chunks.into_iter().rev() {
+            s.push_str(&format!("{c:09}"));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Debug shows the decimal value: limb vectors are meaningless to read.
+        write!(f, "Nat({self})")
+    }
+}
+
+impl fmt::LowerHex for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mut s = format!("{:x}", self.limbs.last().expect("nonzero"));
+        for l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:08x}"));
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_small() {
+        assert_eq!(Nat::zero().to_string(), "0");
+        assert_eq!(Nat::from(42u64).to_string(), "42");
+        assert_eq!(Nat::from(1_000_000_000u64).to_string(), "1000000000");
+    }
+
+    #[test]
+    fn display_matches_u128() {
+        for v in [1u128, 999_999_999, 1_000_000_000, u128::from(u64::MAX), u128::MAX] {
+            assert_eq!(Nat::from(v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["0", "1", "4294967296", "340282366920938463463374607431768211455"] {
+            let n: Nat = s.parse().expect("valid");
+            assert_eq!(n.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_with_underscores() {
+        let n: Nat = "1_000_000".parse().expect("valid");
+        assert_eq!(n, Nat::from(1_000_000u64));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!("".parse::<Nat>(), Err(ParseNatError::Empty));
+        assert_eq!("12x".parse::<Nat>(), Err(ParseNatError::InvalidDigit('x')));
+        assert_eq!("-5".parse::<Nat>(), Err(ParseNatError::InvalidDigit('-')));
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_decimal() {
+        assert_eq!(format!("{:?}", Nat::from(7u64)), "Nat(7)");
+        assert_eq!(format!("{:?}", Nat::zero()), "Nat(0)");
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", Nat::zero()), "0");
+        assert_eq!(format!("{:x}", Nat::from(0xDEAD_BEEFu64)), "deadbeef");
+        assert_eq!(
+            format!("{:x}", Nat::from(0x1_0000_0000u64)),
+            "100000000"
+        );
+        assert_eq!(format!("{:#x}", Nat::from(255u64)), "0xff");
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_without_period() {
+        let msg = ParseNatError::InvalidDigit('z').to_string();
+        assert!(msg.starts_with("invalid digit"));
+        assert!(!msg.ends_with('.'));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for `Nat` arithmetic, cross-checked against `u128`
+//! and against algebraic laws that hold beyond machine range.
+
+use proptest::prelude::*;
+use tvg_bigint::Nat;
+
+fn nat(v: u128) -> Nat {
+    Nat::from(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(nat(a as u128) + nat(b as u128), nat(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(nat(a as u128) * nat(b as u128), nat(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(nat(hi) - nat(lo), nat(hi - lo));
+        if hi != lo {
+            prop_assert_eq!(nat(lo).checked_sub(&nat(hi)), None);
+        }
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = nat(a).div_rem(&nat(b));
+        prop_assert_eq!(q, nat(a / b));
+        prop_assert_eq!(r, nat(a % b));
+    }
+
+    #[test]
+    fn add_commutes_beyond_machine_range(a in any::<u128>(), b in any::<u128>(), s in 0usize..200) {
+        let x = nat(a).shl_bits(s);
+        let y = nat(b);
+        prop_assert_eq!(&x + &y, &y + &x);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in any::<u64>(), b in any::<u64>(), c in any::<u64>(), s in 0usize..100) {
+        let a = nat(a as u128).shl_bits(s);
+        let b = nat(b as u128);
+        let c = nat(c as u128);
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn div_rem_is_inverse_of_mul_add(a in any::<u128>(), d in 1u128.., s in 0usize..150) {
+        let a = nat(a).shl_bits(s);
+        let d = nat(d);
+        let (q, r) = a.div_rem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(q * d + r, a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in any::<u128>(), s in 0usize..150) {
+        let n = nat(a).shl_bits(s);
+        let parsed: Nat = n.to_string().parse().expect("display output must parse");
+        prop_assert_eq!(parsed, n);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(nat(a).cmp(&nat(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn shifts_invert(a in any::<u128>(), s in 0usize..300) {
+        let n = nat(a);
+        prop_assert_eq!(n.shl_bits(s).shr_bits(s), n);
+    }
+
+    #[test]
+    fn pow_splits_additively(b in 2u64..50, e1 in 0u32..20, e2 in 0u32..20) {
+        let b = Nat::from(b);
+        prop_assert_eq!(b.pow(e1) * b.pow(e2), b.pow(e1 + e2));
+    }
+
+    #[test]
+    fn factor_out_recomposes(base in 2u64..100, k in 0u32..30, cof in 1u64..1000) {
+        let base = Nat::from(base);
+        // Make the cofactor coprime to base by stripping base's factors.
+        let (_, cof) = Nat::from(cof).factor_out(&base);
+        let n = base.pow(k) * &cof;
+        let (k2, cof2) = n.factor_out(&base);
+        prop_assert_eq!(k2, k);
+        prop_assert_eq!(cof2, cof);
+    }
+
+    #[test]
+    fn mod_pow_matches_naive(b in 0u64..1000, e in 0u32..64, m in 1u64..1000) {
+        let expected = {
+            let mut acc: u128 = 1;
+            for _ in 0..e {
+                acc = acc * (b as u128) % (m as u128);
+            }
+            acc % m as u128
+        };
+        let got = Nat::from(b).mod_pow(&Nat::from(u64::from(e)), &Nat::from(m));
+        prop_assert_eq!(got, nat(expected));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in 1u128.., b in 1u128..) {
+        let g = nat(a).gcd(&nat(b));
+        prop_assert!(nat(a).is_multiple_of(&g));
+        prop_assert!(nat(b).is_multiple_of(&g));
+    }
+
+    #[test]
+    fn primality_matches_trial_division(n in 0u64..20_000) {
+        let trial = n >= 2 && (2..n).take_while(|d| d * d <= n).all(|d| n % d != 0);
+        prop_assert_eq!(tvg_bigint::is_prime_u64(n), trial);
+    }
+}

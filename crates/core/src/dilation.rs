@@ -1,0 +1,211 @@
+//! Theorem 2.3: `L_wait[d] = L_nowait` — bounded waiting buys nothing.
+//!
+//! The paper's proof idea is a *dilatation of time*: given the bound `d`,
+//! expand every schedule by the factor `d + 1`. In the dilated graph
+//! edges are present only at multiples of `d+1` and arrivals land on
+//! multiples of `d+1`, so a pause of at most `d` can never reach the next
+//! available instant: `d`-bounded journeys in the dilated graph are
+//! exactly the direct journeys of the original, hence
+//! `L_wait[d](dilate(G, d)) = L_nowait(G)`. Every `L_nowait` language is
+//! therefore also an `L_wait[d]` language; the converse inclusion is
+//! immediate (a `wait[d]` acceptor is in particular a computable
+//! environment). Combined with Theorem 2.1, bounded waiting keeps the
+//! full Turing power — only *unpredictable* (unbounded) waiting collapses
+//! the hierarchy to regular languages.
+//!
+//! The dilation itself is [`tvg_model::Tvg::dilate`] /
+//! [`crate::TvgAutomaton::dilate`]; this module adds the theorem harness
+//! that machine-checks the equality on word samples.
+
+use crate::TvgAutomaton;
+use tvg_journeys::{SearchLimits, WaitingPolicy};
+use tvg_langs::{Alphabet, Word};
+use tvg_model::Time;
+
+/// Compares `L_wait[d](dilate(A, d))` with `L_nowait(A)` on every word up
+/// to `max_len`, returning the disagreement witnesses (empty = the
+/// theorem's equality holds on the sample).
+///
+/// `limits` bounds the original automaton's search; the dilated side uses
+/// the same limits with the horizon scaled by `d + 1`.
+pub fn dilation_disagreements<T: Time>(
+    aut: &TvgAutomaton<T>,
+    d: u64,
+    alphabet: &Alphabet,
+    max_len: usize,
+    limits: &SearchLimits<T>,
+) -> Vec<Word> {
+    let dilated = aut.dilate(d);
+    let dilated_limits = SearchLimits::new(
+        limits
+            .horizon
+            .checked_mul_u64(d + 1)
+            .expect("dilated horizon overflows the time representation"),
+        limits.max_hops,
+    );
+    let bounded = WaitingPolicy::Bounded(T::from_u64(d));
+    tvg_langs::sample::words_upto(alphabet, max_len)
+        .into_iter()
+        .filter(|w| {
+            let nowait = aut.accepts(w, &WaitingPolicy::NoWait, limits);
+            let dilated_wait = dilated.accepts(w, &bounded, &dilated_limits);
+            nowait != dilated_wait
+        })
+        .collect()
+}
+
+/// Checks that *without* dilation, `L_wait[d]` genuinely differs from
+/// `L_nowait` on the sample (returns the words gained by waiting).
+///
+/// This is the sanity control for the theorem harness: dilation is doing
+/// real work exactly when this set is nonempty for the same automaton.
+pub fn waiting_gain<T: Time>(
+    aut: &TvgAutomaton<T>,
+    d: u64,
+    alphabet: &Alphabet,
+    max_len: usize,
+    limits: &SearchLimits<T>,
+) -> Vec<Word> {
+    let bounded = WaitingPolicy::Bounded(T::from_u64(d));
+    tvg_langs::sample::words_upto(alphabet, max_len)
+        .into_iter()
+        .filter(|w| {
+            !aut.accepts(w, &WaitingPolicy::NoWait, limits) && aut.accepts(w, &bounded, limits)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+    use tvg_model::generators::{random_periodic_tvg, RandomPeriodicParams};
+    use tvg_model::{Latency, NodeId, Presence, Time, TvgBuilder};
+
+    /// Staggered two-hop graph: 'b' departs 2 units after 'a' arrives.
+    fn staggered() -> TvgAutomaton<u64> {
+        let mut b = TvgBuilder::<u64>::new();
+        let v = b.nodes(3);
+        b.edge(
+            v[0],
+            v[1],
+            'a',
+            Presence::Periodic { period: 4, phases: BTreeSet::from([0]) },
+            Latency::unit(),
+        )
+        .expect("valid");
+        b.edge(
+            v[1],
+            v[2],
+            'b',
+            Presence::Periodic { period: 4, phases: BTreeSet::from([3]) },
+            Latency::unit(),
+        )
+        .expect("valid");
+        TvgAutomaton::new(
+            b.build().expect("valid"),
+            BTreeSet::from([v[0]]),
+            BTreeSet::from([v[2]]),
+            0,
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn theorem_holds_on_staggered_graph() {
+        let aut = staggered();
+        let limits = SearchLimits::new(40, 6);
+        for d in [0u64, 1, 2, 4, 8] {
+            let witnesses = dilation_disagreements(&aut, d, &Alphabet::ab(), 5, &limits);
+            assert!(witnesses.is_empty(), "d={d}: {witnesses:?}");
+        }
+    }
+
+    #[test]
+    fn control_waiting_does_gain_without_dilation() {
+        // The theorem harness is only meaningful if waiting changes this
+        // automaton's language when NOT dilated.
+        let aut = staggered();
+        let limits = SearchLimits::new(40, 6);
+        let gained = waiting_gain(&aut, 2, &Alphabet::ab(), 5, &limits);
+        assert!(gained.contains(&tvg_langs::word("ab")));
+        // With d=1 the pause is too short to catch phase 3 from phase 1.
+        assert!(waiting_gain(&aut, 1, &Alphabet::ab(), 5, &limits).is_empty());
+    }
+
+    #[test]
+    fn theorem_holds_on_random_periodic_tvgs() {
+        let alphabet = Alphabet::ab();
+        for seed in 0..8u64 {
+            let params = RandomPeriodicParams {
+                num_nodes: 4,
+                num_edges: 7,
+                period: 3,
+                phase_density: 0.4,
+                alphabet: alphabet.clone(),
+            };
+            let g = random_periodic_tvg(&mut StdRng::seed_from_u64(seed), &params);
+            let aut = TvgAutomaton::new(
+                g,
+                BTreeSet::from([NodeId::from_index(0)]),
+                BTreeSet::from([NodeId::from_index(3)]),
+                0,
+            )
+            .expect("valid");
+            let limits = SearchLimits::new(30, 6);
+            for d in [1u64, 2, 5] {
+                let witnesses = dilation_disagreements(&aut, d, &alphabet, 5, &limits);
+                assert!(witnesses.is_empty(), "seed={seed} d={d}: {witnesses:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dilated_figure1_still_accepts_anbn_under_bounded_waiting() {
+        // The headline corollary: a^n b^n — non-regular — IS an L_wait[d]
+        // language, via the dilated Figure-1 automaton.
+        let fig1 = crate::anbn::AnbnAutomaton::smallest();
+        for d in [1u64, 3] {
+            for n in 1..=5usize {
+                let w = crate::anbn::anbn_word(n);
+                let dilated = fig1.automaton().dilate(d);
+                let limits = fig1.limits_for(w.len());
+                let dilated_limits = SearchLimits::new(
+                    limits.horizon.checked_mul_u64(d + 1).expect("nat"),
+                    limits.max_hops,
+                );
+                assert!(
+                    dilated.accepts(
+                        &w,
+                        &WaitingPolicy::Bounded(tvg_bigint::Nat::from(d)),
+                        &dilated_limits
+                    ),
+                    "d={d} n={n}"
+                );
+            }
+            // And near-misses stay rejected.
+            let w_bad = tvg_langs::word("aabbb");
+            let dilated = fig1.automaton().dilate(d);
+            let limits = fig1.limits_for(w_bad.len());
+            let dilated_limits = SearchLimits::new(
+                limits.horizon.checked_mul_u64(d + 1).expect("nat"),
+                limits.max_hops,
+            );
+            assert!(!dilated.accepts(
+                &w_bad,
+                &WaitingPolicy::Bounded(tvg_bigint::Nat::from(d)),
+                &dilated_limits
+            ));
+        }
+    }
+
+    #[test]
+    fn dilation_by_zero_is_identity_on_languages() {
+        let aut = staggered();
+        let limits = SearchLimits::new(40, 6);
+        let witnesses = dilation_disagreements(&aut, 0, &Alphabet::ab(), 5, &limits);
+        assert!(witnesses.is_empty());
+    }
+}

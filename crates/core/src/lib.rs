@@ -1,0 +1,51 @@
+//! Expressivity of time-varying graphs and the power of waiting —
+//! the primary contribution of *“Brief Announcement: Waiting in Dynamic
+//! Networks”* (Casteigts, Flocchini, Godard, Santoro, Yamashita,
+//! PODC 2012), as an executable library.
+//!
+//! A labeled TVG `G` is an automaton [`TvgAutomaton`] whose language
+//! `L_f(G)` is the set of words spelled by feasible journeys; `f` is the
+//! waiting policy. The paper's results, each with its construction here:
+//!
+//! | Result | Statement | Module |
+//! |--------|-----------|--------|
+//! | Figure 1 / Table 1 | a TVG with `L_nowait(G) = {aⁿbⁿ}` | [`anbn`] |
+//! | Theorem 2.1 | `L_nowait` ⊇ all computable languages | [`nowait_power`] |
+//! | Theorem 2.2 | `L_wait` = the regular languages | [`wait_regular`] |
+//! | Theorem 2.3 | `L_wait[d]` = `L_nowait` for every fixed `d` | [`dilation`] |
+//!
+//! The qualitative headline — *forbidding waiting makes the environment
+//! as strong as a Turing machine; allowing unbounded waiting collapses it
+//! to a finite-state machine* — becomes a sequence of machine-checked
+//! equalities between sampled journey languages, compiled automata, and
+//! reference deciders.
+//!
+//! # Examples
+//!
+//! The Figure-1 automaton accepting the non-regular `aⁿbⁿ` with direct
+//! journeys only — time itself is the counter:
+//!
+//! ```
+//! use tvg_expressivity::anbn::AnbnAutomaton;
+//! use tvg_langs::word;
+//!
+//! let fig1 = AnbnAutomaton::new(2, 3)?;
+//! assert!(fig1.accepts_nowait(&word("aaabbb")));
+//! assert!(!fig1.accepts_nowait(&word("aaabb")));
+//!
+//! // The accepting run's clock: 1 →a 2 →a 4 →a 8 →b 24 →b 72 →b 73.
+//! let trace = fig1.nowait_trace(&word("aaabbb")).expect("accepted");
+//! assert_eq!(trace[3].1.to_string(), "8"); // after a³: t = 2³
+//! # Ok::<(), tvg_expressivity::anbn::AnbnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anbn;
+mod automaton;
+pub mod dilation;
+pub mod nowait_power;
+pub mod wait_regular;
+
+pub use automaton::{AutomatonError, TvgAutomaton};

@@ -1,0 +1,364 @@
+//! Broadcast with and without buffering — the paper's motivation,
+//! quantified.
+//!
+//! The introduction argues that protocol design is easier when the
+//! environment provides *store-carry-forward* mechanisms (local
+//! buffering) than when it does not. Here both regimes run on the same
+//! contact trace:
+//!
+//! * [`ForwardingMode::StoreCarryForward`] — an informed node buffers the
+//!   message forever and forwards on every later contact (indirect
+//!   journeys: waiting allowed).
+//! * [`ForwardingMode::NoWaitRelay`] — a relay can forward the message
+//!   *only in the step it arrives*; if the relay has no contact at that
+//!   exact step, its copy is lost (direct journeys: waiting forbidden).
+//!   The source itself may re-beacon every step (`source_beacons`), so
+//!   the comparison isolates the effect of *relay* buffering.
+
+use crate::EvolvingTrace;
+use crate::metrics::DeliveryStats;
+use serde::{Deserialize, Serialize};
+
+/// Relay discipline of a broadcast.
+///
+/// The three variants are the protocol-level mirror of the paper's three
+/// waiting regimes: `StoreCarryForward` ↔ unbounded waiting,
+/// `BoundedBuffer(d)` ↔ `wait[d]`, `NoWaitRelay` ↔ no waiting.
+/// `BoundedBuffer(0)` behaves exactly like `NoWaitRelay`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForwardingMode {
+    /// Informed nodes buffer and forward on every later contact.
+    StoreCarryForward,
+    /// Relays forward only in the arrival step; copies die otherwise.
+    NoWaitRelay,
+    /// Relays buffer a copy for at most `d` steps after arrival, then
+    /// drop it — the `wait[d]` regime as a protocol.
+    BoundedBuffer(u64),
+}
+
+/// Configuration of a broadcast run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BroadcastConfig {
+    /// The node where the message originates.
+    pub source: usize,
+    /// Relay discipline.
+    pub mode: ForwardingMode,
+    /// Whether the source re-emits at every step (it owns the message, so
+    /// buffering at the source is usually assumed even without relays).
+    pub source_beacons: bool,
+}
+
+/// Result of a broadcast run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastOutcome {
+    /// For each node, the step at which it first held the message
+    /// (`Some(0)` for the source).
+    pub informed_at: Vec<Option<u64>>,
+}
+
+impl BroadcastOutcome {
+    /// Summary statistics of the run.
+    #[must_use]
+    pub fn stats(&self) -> DeliveryStats {
+        DeliveryStats::from_informed_times(&self.informed_at)
+    }
+}
+
+/// Runs a broadcast over `trace`.
+///
+/// Semantics per step `t`: every node holding an *active* copy transmits
+/// over each contact present at `t`; receivers hold the message from step
+/// `t + 1`. Under store-carry-forward every informed node stays active
+/// forever; under a bounded buffer a copy stays active for `d` further
+/// steps after arrival; under no-wait relaying a copy is active only in
+/// its arrival step. The source stays active iff `source_beacons`
+/// (except under store-carry-forward, where it always does).
+///
+/// # Panics
+///
+/// Panics if `config.source` is out of range.
+#[must_use]
+pub fn run_broadcast(trace: &EvolvingTrace, config: &BroadcastConfig) -> BroadcastOutcome {
+    let n = trace.num_nodes();
+    assert!(config.source < n, "source out of range");
+    let mut informed_at: Vec<Option<u64>> = vec![None; n];
+    informed_at[config.source] = Some(0);
+    // Step until which each node's copy stays active (inclusive);
+    // `None` = no active copy.
+    let ttl = match config.mode {
+        ForwardingMode::StoreCarryForward => u64::MAX,
+        ForwardingMode::NoWaitRelay => 0,
+        ForwardingMode::BoundedBuffer(d) => d,
+    };
+    let mut active_until: Vec<Option<u64>> = vec![None; n];
+    active_until[config.source] = Some(ttl);
+
+    for t in 0..trace.len() {
+        let t = t as u64;
+        // Transmissions at step t depend only on activity decided before
+        // step t; refreshes take effect from t + 1 (no same-step chaining).
+        let mut refreshed = active_until.clone();
+        for &(a, b) in trace.contacts_at(t as usize) {
+            for (from, to) in [(a, b), (b, a)] {
+                if active_until[from].map_or(false, |until| until >= t) {
+                    if informed_at[to].is_none() {
+                        informed_at[to] = Some(t + 1);
+                    }
+                    let new_until = (t + 1).saturating_add(ttl);
+                    if refreshed[to].map_or(true, |until| until < new_until) {
+                        refreshed[to] = Some(new_until);
+                    }
+                }
+            }
+        }
+        if config.source_beacons {
+            let beacon = (t + 1).saturating_add(ttl);
+            if refreshed[config.source].map_or(true, |until| until < beacon) {
+                refreshed[config.source] = Some(beacon);
+            }
+        }
+        active_until = refreshed;
+    }
+    BroadcastOutcome { informed_at }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markovian::{edge_markovian_trace, EdgeMarkovianParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn scf(source: usize) -> BroadcastConfig {
+        BroadcastConfig {
+            source,
+            mode: ForwardingMode::StoreCarryForward,
+            source_beacons: true,
+        }
+    }
+
+    fn nowait(source: usize) -> BroadcastConfig {
+        BroadcastConfig {
+            source,
+            mode: ForwardingMode::NoWaitRelay,
+            source_beacons: true,
+        }
+    }
+
+    /// The paper's archetype: 0 meets 1, later 1 meets 2. Buffering at
+    /// node 1 is the only way to deliver to 2.
+    fn gap_trace() -> EvolvingTrace {
+        EvolvingTrace::new(
+            3,
+            vec![
+                BTreeSet::from([(0, 1)]),
+                BTreeSet::new(),
+                BTreeSet::from([(1, 2)]),
+                BTreeSet::new(),
+            ],
+        )
+    }
+
+    #[test]
+    fn buffering_bridges_the_gap() {
+        let outcome = run_broadcast(&gap_trace(), &scf(0));
+        assert_eq!(outcome.informed_at, vec![Some(0), Some(1), Some(3)]);
+        let stats = outcome.stats();
+        assert_eq!(stats.delivery_ratio, 1.0);
+        assert_eq!(stats.max_time, Some(3));
+    }
+
+    #[test]
+    fn no_wait_relay_loses_the_copy() {
+        let outcome = run_broadcast(&gap_trace(), &nowait(0));
+        // Node 1 receives at step 1 but has no contact at step 1: its copy
+        // dies; node 2 is never informed.
+        assert_eq!(outcome.informed_at, vec![Some(0), Some(1), None]);
+        assert!((outcome.stats().delivery_ratio - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_wait_succeeds_on_back_to_back_contacts() {
+        // 0-1 at step 0, 1-2 at step 1: the relay can forward immediately.
+        let tr = EvolvingTrace::new(
+            3,
+            vec![BTreeSet::from([(0, 1)]), BTreeSet::from([(1, 2)])],
+        );
+        let outcome = run_broadcast(&tr, &nowait(0));
+        assert_eq!(outcome.informed_at, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn source_beaconing_matters() {
+        // Source's only contact happens twice; without beaconing the
+        // second emission never happens.
+        let tr = EvolvingTrace::new(
+            2,
+            vec![BTreeSet::new(), BTreeSet::from([(0, 1)])],
+        );
+        let with = run_broadcast(&tr, &nowait(0));
+        assert_eq!(with.informed_at[1], Some(2));
+        let without = run_broadcast(
+            &tr,
+            &BroadcastConfig {
+                source: 0,
+                mode: ForwardingMode::NoWaitRelay,
+                source_beacons: false,
+            },
+        );
+        // Source copy is active only at step 0, no contact then.
+        assert_eq!(without.informed_at[1], None);
+    }
+
+    #[test]
+    fn bounded_buffer_interpolates() {
+        // d = 0 ≡ no-wait relaying; huge d ≡ store-carry-forward;
+        // delivery is monotone in d.
+        for seed in 0..8u64 {
+            let params = EdgeMarkovianParams {
+                num_nodes: 10,
+                p_birth: 0.04,
+                p_death: 0.5,
+                steps: 50,
+            };
+            let tr = edge_markovian_trace(&mut StdRng::seed_from_u64(seed), &params);
+            let run = |mode| {
+                run_broadcast(
+                    &tr,
+                    &BroadcastConfig { source: 0, mode, source_beacons: true },
+                )
+            };
+            assert_eq!(
+                run(ForwardingMode::BoundedBuffer(0)).informed_at,
+                run(ForwardingMode::NoWaitRelay).informed_at,
+                "seed {seed}: d=0 must equal no-wait"
+            );
+            assert_eq!(
+                run(ForwardingMode::BoundedBuffer(u64::MAX)).informed_at,
+                run(ForwardingMode::StoreCarryForward).informed_at,
+                "seed {seed}: d=∞ must equal scf"
+            );
+            let mut prev = run(ForwardingMode::BoundedBuffer(0)).stats().delivery_ratio;
+            for d in [1u64, 2, 4, 8, 16] {
+                let cur = run(ForwardingMode::BoundedBuffer(d)).stats().delivery_ratio;
+                assert!(cur >= prev, "seed {seed}: delivery must be monotone in d");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_buffer_bridges_exact_gaps() {
+        // Contact at step 0, next at step 3: the relay needs to hold the
+        // copy for 2 extra steps.
+        let tr = EvolvingTrace::new(
+            3,
+            vec![
+                BTreeSet::from([(0, 1)]),
+                BTreeSet::new(),
+                BTreeSet::new(),
+                BTreeSet::from([(1, 2)]),
+            ],
+        );
+        let run = |d| {
+            run_broadcast(
+                &tr,
+                &BroadcastConfig {
+                    source: 0,
+                    mode: ForwardingMode::BoundedBuffer(d),
+                    source_beacons: false,
+                },
+            )
+        };
+        // Copy arrives at node 1 at step 1; the contact is at step 3, so
+        // the buffer must last ≥ 2 further steps.
+        assert_eq!(run(1).informed_at[2], None);
+        assert_eq!(run(2).informed_at[2], Some(4));
+    }
+
+    #[test]
+    fn scf_dominates_nowait_on_random_traces() {
+        // On every seeded trace, SCF informs a superset of nodes, no
+        // later.
+        for seed in 0..10u64 {
+            let params = EdgeMarkovianParams {
+                num_nodes: 12,
+                p_birth: 0.05,
+                p_death: 0.4,
+                steps: 60,
+            };
+            let tr = edge_markovian_trace(&mut StdRng::seed_from_u64(seed), &params);
+            let s = run_broadcast(&tr, &scf(0));
+            let nw = run_broadcast(&tr, &nowait(0));
+            for node in 0..12 {
+                match (s.informed_at[node], nw.informed_at[node]) {
+                    (None, Some(_)) => panic!("seed {seed}: nowait informed node {node}, scf didn't"),
+                    (Some(ts), Some(tn)) => assert!(ts <= tn, "seed {seed} node {node}"),
+                    _ => {}
+                }
+            }
+            assert!(s.stats().delivery_ratio >= nw.stats().delivery_ratio);
+        }
+    }
+
+    #[test]
+    fn broadcast_agrees_with_journey_semantics() {
+        // SCF delivery == unbounded-waiting journey existence on the
+        // trace-TVG; NoWait delivery (without beaconing) == direct-journey
+        // existence. This pins the simulator to the paper's formal
+        // definitions.
+        use tvg_journeys::{foremost_journey, SearchLimits, WaitingPolicy};
+        use tvg_model::NodeId;
+        for seed in 0..6u64 {
+            let params = EdgeMarkovianParams {
+                num_nodes: 8,
+                p_birth: 0.1,
+                p_death: 0.5,
+                steps: 25,
+            };
+            let tr = edge_markovian_trace(&mut StdRng::seed_from_u64(seed), &params);
+            let g = tr.to_tvg();
+            let limits = SearchLimits::new(tr.len() as u64, tr.len() + 1);
+            let scf_run = run_broadcast(&tr, &scf(0));
+            let nw_run = run_broadcast(
+                &tr,
+                &BroadcastConfig {
+                    source: 0,
+                    mode: ForwardingMode::NoWaitRelay,
+                    source_beacons: false,
+                },
+            );
+            for node in 1..8usize {
+                let wait_reach = foremost_journey(
+                    &g,
+                    NodeId::from_index(0),
+                    NodeId::from_index(node),
+                    &0,
+                    &WaitingPolicy::Unbounded,
+                    &limits,
+                )
+                .is_some();
+                assert_eq!(
+                    scf_run.informed_at[node].is_some(),
+                    wait_reach,
+                    "seed {seed} node {node} (scf vs wait journey)"
+                );
+                let direct_reach = foremost_journey(
+                    &g,
+                    NodeId::from_index(0),
+                    NodeId::from_index(node),
+                    &0,
+                    &WaitingPolicy::NoWait,
+                    &limits,
+                )
+                .is_some();
+                assert_eq!(
+                    nw_run.informed_at[node].is_some(),
+                    direct_reach,
+                    "seed {seed} node {node} (nowait vs direct journey)"
+                );
+            }
+        }
+    }
+}

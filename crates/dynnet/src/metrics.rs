@@ -1,0 +1,136 @@
+//! Delivery metrics for protocol experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a delivery vector (`informed_at` times).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryStats {
+    /// Fraction of nodes informed (including the source).
+    pub delivery_ratio: f64,
+    /// Mean informing time over informed nodes (source counts as 0).
+    pub mean_time: Option<f64>,
+    /// 95th percentile informing time (nearest-rank) over informed nodes.
+    pub p95_time: Option<u64>,
+    /// Latest informing time.
+    pub max_time: Option<u64>,
+}
+
+impl DeliveryStats {
+    /// Computes statistics from per-node informing times.
+    #[must_use]
+    pub fn from_informed_times(informed_at: &[Option<u64>]) -> Self {
+        let mut times: Vec<u64> = informed_at.iter().flatten().copied().collect();
+        times.sort_unstable();
+        let ratio = if informed_at.is_empty() {
+            0.0
+        } else {
+            times.len() as f64 / informed_at.len() as f64
+        };
+        if times.is_empty() {
+            return DeliveryStats {
+                delivery_ratio: ratio,
+                mean_time: None,
+                p95_time: None,
+                max_time: None,
+            };
+        }
+        let mean = times.iter().sum::<u64>() as f64 / times.len() as f64;
+        // Nearest-rank percentile.
+        let rank = ((0.95 * times.len() as f64).ceil() as usize).clamp(1, times.len());
+        DeliveryStats {
+            delivery_ratio: ratio,
+            mean_time: Some(mean),
+            p95_time: Some(times[rank - 1]),
+            max_time: times.last().copied(),
+        }
+    }
+}
+
+/// Aggregates several runs (e.g. different seeds) into mean statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateStats {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean delivery ratio.
+    pub mean_delivery_ratio: f64,
+    /// Mean of the runs' mean informing times (ignoring empty runs).
+    pub mean_time: Option<f64>,
+}
+
+impl AggregateStats {
+    /// Aggregates per-run statistics.
+    #[must_use]
+    pub fn from_runs(runs: &[DeliveryStats]) -> Self {
+        let n = runs.len();
+        let mean_delivery_ratio = if n == 0 {
+            0.0
+        } else {
+            runs.iter().map(|r| r.delivery_ratio).sum::<f64>() / n as f64
+        };
+        let times: Vec<f64> = runs.iter().filter_map(|r| r.mean_time).collect();
+        let mean_time = if times.is_empty() {
+            None
+        } else {
+            Some(times.iter().sum::<f64>() / times.len() as f64)
+        };
+        AggregateStats { runs: n, mean_delivery_ratio, mean_time }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_delivery() {
+        let stats = DeliveryStats::from_informed_times(&[Some(0), Some(2), Some(4)]);
+        assert_eq!(stats.delivery_ratio, 1.0);
+        assert_eq!(stats.mean_time, Some(2.0));
+        assert_eq!(stats.p95_time, Some(4));
+        assert_eq!(stats.max_time, Some(4));
+    }
+
+    #[test]
+    fn partial_delivery() {
+        let stats = DeliveryStats::from_informed_times(&[Some(0), None, None, Some(3)]);
+        assert_eq!(stats.delivery_ratio, 0.5);
+        assert_eq!(stats.mean_time, Some(1.5));
+        assert_eq!(stats.max_time, Some(3));
+    }
+
+    #[test]
+    fn nobody_informed() {
+        let stats = DeliveryStats::from_informed_times(&[None, None]);
+        assert_eq!(stats.delivery_ratio, 0.0);
+        assert_eq!(stats.mean_time, None);
+        assert_eq!(stats.p95_time, None);
+        assert_eq!(stats.max_time, None);
+    }
+
+    #[test]
+    fn empty_input() {
+        let stats = DeliveryStats::from_informed_times(&[]);
+        assert_eq!(stats.delivery_ratio, 0.0);
+    }
+
+    #[test]
+    fn p95_nearest_rank() {
+        let times: Vec<Option<u64>> = (0..100).map(Some).collect();
+        let stats = DeliveryStats::from_informed_times(&times);
+        assert_eq!(stats.p95_time, Some(94)); // rank 95 of 0..=99
+    }
+
+    #[test]
+    fn aggregation() {
+        let a = DeliveryStats::from_informed_times(&[Some(0), Some(2)]);
+        let b = DeliveryStats::from_informed_times(&[Some(0), None]);
+        let agg = AggregateStats::from_runs(&[a, b]);
+        assert_eq!(agg.runs, 2);
+        assert!((agg.mean_delivery_ratio - 0.75).abs() < 1e-12);
+        assert_eq!(agg.mean_time, Some(0.5)); // (1.0 + 0.0) / 2
+        let empty = AggregateStats::from_runs(&[]);
+        assert_eq!(empty.runs, 0);
+        assert_eq!(empty.mean_delivery_ratio, 0.0);
+        assert_eq!(empty.mean_time, None);
+    }
+}

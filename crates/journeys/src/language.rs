@@ -1,0 +1,285 @@
+//! Journey languages: the words spelled by feasible journeys.
+//!
+//! This is the bridge between journeys and expressivity: the language
+//! `L_f(G)` of the paper is exactly the set of words computed here, with
+//! `f` given by the [`WaitingPolicy`]. The `tvg-expressivity` crate's
+//! TVG-automaton acceptance delegates to [`step_configs`], so simulation
+//! and acceptance cannot drift apart.
+
+use crate::{SearchLimits, WaitingPolicy};
+use std::collections::BTreeSet;
+use tvg_langs::{Alphabet, Letter, Word};
+use tvg_model::{NodeId, Time, Tvg};
+
+/// A set of `(node, ready-time)` configurations a partial journey may be
+/// in after reading some word prefix.
+pub type ConfigSet<T> = BTreeSet<(NodeId, T)>;
+
+/// All configurations reachable from `configs` by reading exactly one
+/// `letter`-labeled edge, pausing as `policy` admits.
+pub fn step_configs<T: Time>(
+    g: &Tvg<T>,
+    configs: &ConfigSet<T>,
+    letter: Letter,
+    policy: &WaitingPolicy<T>,
+    limits: &SearchLimits<T>,
+) -> ConfigSet<T> {
+    let mut out = ConfigSet::new();
+    for (node, ready) in configs {
+        for (e, _dep, arr) in crate::search::expansions(g, *node, ready, policy, limits) {
+            if g.edge(e).label() == letter {
+                out.insert((g.edge(e).dst(), arr));
+            }
+        }
+    }
+    out
+}
+
+/// Configurations after reading the whole `word` starting from `starts`.
+///
+/// Returns the empty set as soon as the word becomes unspellable.
+pub fn read_word<T: Time>(
+    g: &Tvg<T>,
+    starts: &ConfigSet<T>,
+    word: &Word,
+    policy: &WaitingPolicy<T>,
+    limits: &SearchLimits<T>,
+) -> ConfigSet<T> {
+    let mut configs = starts.clone();
+    for letter in word.iter() {
+        if configs.is_empty() {
+            break;
+        }
+        configs = step_configs(g, &configs, letter, policy, limits);
+    }
+    configs
+}
+
+/// `true` iff some journey from `starts` spelling `word` ends on a node of
+/// `accepting`.
+pub fn spells<T: Time>(
+    g: &Tvg<T>,
+    starts: &ConfigSet<T>,
+    word: &Word,
+    accepting: &BTreeSet<NodeId>,
+    policy: &WaitingPolicy<T>,
+    limits: &SearchLimits<T>,
+) -> bool {
+    read_word(g, starts, word, policy, limits)
+        .iter()
+        .any(|(n, _)| accepting.contains(n))
+}
+
+/// The alphabet actually used by `g`'s edge labels (sorted, deduplicated).
+///
+/// Returns `None` if the graph has no edges (empty alphabets are not
+/// representable).
+#[must_use]
+pub fn label_alphabet<T: Time>(g: &Tvg<T>) -> Option<Alphabet> {
+    let letters: BTreeSet<char> = g
+        .edges()
+        .map(|e| g.edge(e).label().as_char())
+        .collect();
+    if letters.is_empty() {
+        return None;
+    }
+    let joined: String = letters.into_iter().collect();
+    Some(Alphabet::from_chars(&joined).expect("labels are printable ascii"))
+}
+
+/// All words of length at most `max_len` spelled by journeys from
+/// `starts` to `accepting` — the sampled journey language `L_f(G)`.
+///
+/// Explored as a trie of word prefixes with config-set pruning: a prefix
+/// with no live configurations expands no further, so the cost tracks the
+/// reachable part of the language rather than `|Σ|^max_len`.
+pub fn journey_language<T: Time>(
+    g: &Tvg<T>,
+    starts: &ConfigSet<T>,
+    accepting: &BTreeSet<NodeId>,
+    policy: &WaitingPolicy<T>,
+    limits: &SearchLimits<T>,
+    max_len: usize,
+) -> BTreeSet<Word> {
+    let mut out = BTreeSet::new();
+    let Some(alphabet) = label_alphabet(g) else {
+        if starts.iter().any(|(n, _)| accepting.contains(n)) {
+            out.insert(Word::empty());
+        }
+        return out;
+    };
+    // Depth-first over the prefix trie.
+    let mut stack: Vec<(Word, ConfigSet<T>)> = vec![(Word::empty(), starts.clone())];
+    while let Some((prefix, configs)) = stack.pop() {
+        if configs.iter().any(|(n, _)| accepting.contains(n)) {
+            out.insert(prefix.clone());
+        }
+        if prefix.len() == max_len {
+            continue;
+        }
+        for letter in alphabet.iter() {
+            let next = step_configs(g, &configs, letter, policy, limits);
+            if !next.is_empty() {
+                stack.push((prefix.appended(letter), next));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet as Set;
+    use tvg_langs::word;
+    use tvg_model::{Latency, Presence, TvgBuilder};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    /// v0 --a @1--> v1 --b @5--> v2: "ab" requires waiting.
+    fn line_gap() -> Tvg<u64> {
+        let mut b = TvgBuilder::new();
+        let v = b.nodes(3);
+        b.edge(v[0], v[1], 'a', Presence::At(1u64), Latency::unit())
+            .expect("valid");
+        b.edge(v[1], v[2], 'b', Presence::At(5u64), Latency::unit())
+            .expect("valid");
+        b.build().expect("valid")
+    }
+
+    fn limits() -> SearchLimits<u64> {
+        SearchLimits::new(20, 10)
+    }
+
+    #[test]
+    fn language_depends_on_policy() {
+        let g = line_gap();
+        let starts = ConfigSet::from([(n(0), 1u64)]);
+        let accepting = Set::from([n(2)]);
+        let lang_nowait = journey_language(
+            &g,
+            &starts,
+            &accepting,
+            &WaitingPolicy::NoWait,
+            &limits(),
+            4,
+        );
+        assert!(lang_nowait.is_empty());
+        let lang_wait = journey_language(
+            &g,
+            &starts,
+            &accepting,
+            &WaitingPolicy::Unbounded,
+            &limits(),
+            4,
+        );
+        assert_eq!(lang_wait, Set::from([word("ab")]));
+    }
+
+    #[test]
+    fn read_word_tracks_configs() {
+        let g = line_gap();
+        let starts = ConfigSet::from([(n(0), 1u64)]);
+        let after_a = read_word(&g, &starts, &word("a"), &WaitingPolicy::NoWait, &limits());
+        assert_eq!(after_a, ConfigSet::from([(n(1), 2u64)]));
+        let after_ab = read_word(&g, &starts, &word("ab"), &WaitingPolicy::NoWait, &limits());
+        assert!(after_ab.is_empty());
+        let after_ab_wait =
+            read_word(&g, &starts, &word("ab"), &WaitingPolicy::Unbounded, &limits());
+        assert_eq!(after_ab_wait, ConfigSet::from([(n(2), 6u64)]));
+    }
+
+    #[test]
+    fn spells_requires_accepting_node() {
+        let g = line_gap();
+        let starts = ConfigSet::from([(n(0), 1u64)]);
+        assert!(spells(
+            &g,
+            &starts,
+            &word("a"),
+            &Set::from([n(1)]),
+            &WaitingPolicy::NoWait,
+            &limits()
+        ));
+        assert!(!spells(
+            &g,
+            &starts,
+            &word("a"),
+            &Set::from([n(2)]),
+            &WaitingPolicy::NoWait,
+            &limits()
+        ));
+    }
+
+    #[test]
+    fn empty_word_accepted_iff_start_accepting() {
+        let g = line_gap();
+        let starts = ConfigSet::from([(n(0), 1u64)]);
+        let lang = journey_language(
+            &g,
+            &starts,
+            &Set::from([n(0)]),
+            &WaitingPolicy::NoWait,
+            &limits(),
+            2,
+        );
+        assert!(lang.contains(&Word::empty()));
+    }
+
+    #[test]
+    fn label_alphabet_collects_letters() {
+        let g = line_gap();
+        let sigma = label_alphabet(&g).expect("has edges");
+        assert_eq!(sigma.len(), 2);
+        assert!(sigma.index_of_char('a').is_some());
+        assert!(sigma.index_of_char('b').is_some());
+    }
+
+    #[test]
+    fn self_loop_languages() {
+        // Single node with an always-present a-self-loop: L = a* under
+        // every policy.
+        let mut b = TvgBuilder::new();
+        let v = b.nodes(1);
+        b.edge(v[0], v[0], 'a', Presence::Always, Latency::unit())
+            .expect("valid");
+        let g = b.build().expect("valid");
+        let starts = ConfigSet::from([(n(0), 0u64)]);
+        let accepting = Set::from([n(0)]);
+        for policy in [WaitingPolicy::NoWait, WaitingPolicy::Unbounded] {
+            let lang = journey_language(&g, &starts, &accepting, &policy, &limits(), 3);
+            assert_eq!(
+                lang,
+                Set::from([Word::empty(), word("a"), word("aa"), word("aaa")]),
+                "{policy}"
+            );
+        }
+    }
+
+    #[test]
+    fn nondeterministic_labels_explored() {
+        // Two a-labeled edges from v0 to different nodes; only one leads on
+        // to v3 with b.
+        let mut b = TvgBuilder::new();
+        let v = b.nodes(4);
+        b.edge(v[0], v[1], 'a', Presence::Always, Latency::unit())
+            .expect("valid");
+        b.edge(v[0], v[2], 'a', Presence::Always, Latency::unit())
+            .expect("valid");
+        b.edge(v[2], v[3], 'b', Presence::Always, Latency::unit())
+            .expect("valid");
+        let g = b.build().expect("valid");
+        let starts = ConfigSet::from([(n(0), 0u64)]);
+        let lang = journey_language(
+            &g,
+            &starts,
+            &Set::from([n(3)]),
+            &WaitingPolicy::NoWait,
+            &limits(),
+            2,
+        );
+        assert_eq!(lang, Set::from([word("ab")]));
+    }
+}

@@ -1,0 +1,63 @@
+//! Journeys — paths over time — in time-varying graphs.
+//!
+//! The defining feature of dynamic networks is that a route may exist
+//! *over time* even when no snapshot contains it end-to-end. A
+//! [`Journey`] is the formal object: a walk plus departure instants, each
+//! hop crossing an edge that is present when taken. Whether the traveler
+//! may *pause* between hops is the [`WaitingPolicy`] — the knob whose
+//! expressive consequences the paper quantifies (direct vs. indirect
+//! journeys; `L_nowait`, `L_wait[d]`, `L_wait`).
+//!
+//! The crate provides:
+//!
+//! * [`Journey`] / [`Hop`] — representation and validation against a TVG
+//!   under a policy, with typed failure reasons ([`JourneyError`]).
+//! * [`foremost_journey`], [`shortest_journey`], [`fastest_journey`] —
+//!   the classic journey-optimality triple, exact for every policy via
+//!   `(node, time)` configuration search.
+//! * [`language`] — journey languages `L_f(G)`: the bridge to the
+//!   `tvg-expressivity` crate.
+//! * [`ReachabilityMatrix`] — who reaches whom, how fast, under which
+//!   policy.
+//!
+//! # Examples
+//!
+//! The archetypal store-carry-forward situation — the second edge only
+//! appears after the first one is gone, so only waiting connects:
+//!
+//! ```
+//! use tvg_journeys::{foremost_journey, SearchLimits, WaitingPolicy};
+//! use tvg_model::{Latency, Presence, TvgBuilder};
+//!
+//! let mut b = TvgBuilder::<u64>::new();
+//! let v = b.nodes(3);
+//! b.edge(v[0], v[1], 'a', Presence::At(1), Latency::unit())?;
+//! b.edge(v[1], v[2], 'b', Presence::At(5), Latency::unit())?;
+//! let g = b.build()?;
+//!
+//! let limits = SearchLimits::new(10, 5);
+//! let direct = foremost_journey(&g, v[0], v[2], &1, &WaitingPolicy::NoWait, &limits);
+//! assert!(direct.is_none()); // no direct journey exists
+//!
+//! let waited = foremost_journey(&g, v[0], v[2], &1, &WaitingPolicy::Unbounded, &limits)
+//!     .expect("waiting connects");
+//! assert_eq!(waited.arrival(), Some(&6));
+//! # Ok::<(), tvg_model::TvgError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod journey;
+pub mod language;
+mod policy;
+mod reachability;
+pub mod search;
+
+pub use journey::{Hop, Journey, JourneyError};
+pub use policy::WaitingPolicy;
+pub use reachability::ReachabilityMatrix;
+pub use search::{
+    all_journeys, expansions, fastest_journey, foremost_journey, reachable_configs,
+    reachable_nodes, shortest_journey, SearchLimits,
+};

@@ -1,0 +1,185 @@
+//! Myhill–Nerode residual analysis from a membership oracle.
+//!
+//! A language is regular iff it has finitely many residuals
+//! (`u⁻¹L = {s : us ∈ L}`). Theorem 2.2 predicts that `L_wait(G)` has
+//! finitely many residuals for *every* TVG `G`, while Theorem 2.1 exhibits
+//! `L_nowait` languages whose residual count grows without bound. This
+//! module measures residual counts empirically: it distinguishes prefixes
+//! by their behavior on all suffixes up to a length budget, yielding a
+//! *lower bound* on the true Myhill–Nerode index that saturates for
+//! regular languages and keeps climbing for the non-regular witnesses —
+//! the shape experiment E3 reports.
+
+use crate::sample::words_upto;
+use crate::{Alphabet, Word};
+use std::collections::BTreeMap;
+
+/// Result of a residual-counting pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResidualAnalysis {
+    /// Number of pairwise-distinguishable prefixes found.
+    pub residual_count: usize,
+    /// One shortest representative prefix per residual class, in shortlex
+    /// order of discovery.
+    pub representatives: Vec<Word>,
+}
+
+/// Counts residual classes distinguishable with bounded evidence.
+///
+/// Prefixes up to `prefix_len` are mapped to their acceptance signature
+/// over all suffixes up to `suffix_len`; distinct signatures witness
+/// distinct residuals. The result is a lower bound on the Myhill–Nerode
+/// index (exact once both budgets exceed the index for a regular
+/// language).
+///
+/// Oracle calls: `O(|Σ|^prefix_len · |Σ|^suffix_len)` — keep budgets small.
+///
+/// ```
+/// use tvg_langs::{myhill::residual_lower_bound, Alphabet};
+/// // "ends in b" has exactly 2 residuals.
+/// let r = residual_lower_bound(&Alphabet::ab(), 4, 2, |w| {
+///     w.iter().last().map_or(false, |l| l.as_char() == 'b')
+/// });
+/// assert_eq!(r.residual_count, 2);
+/// ```
+pub fn residual_lower_bound<F: FnMut(&Word) -> bool>(
+    alphabet: &Alphabet,
+    prefix_len: usize,
+    suffix_len: usize,
+    mut oracle: F,
+) -> ResidualAnalysis {
+    let suffixes = words_upto(alphabet, suffix_len);
+    let mut classes: BTreeMap<Vec<bool>, Word> = BTreeMap::new();
+    for prefix in words_upto(alphabet, prefix_len) {
+        let signature: Vec<bool> = suffixes
+            .iter()
+            .map(|s| oracle(&prefix.concat(s)))
+            .collect();
+        classes.entry(signature).or_insert(prefix);
+    }
+    let mut representatives: Vec<Word> = classes.into_values().collect();
+    representatives.sort_by_key(|w| (w.len(), w.clone()));
+    ResidualAnalysis {
+        residual_count: representatives.len(),
+        representatives,
+    }
+}
+
+/// Residual counts for growing prefix budgets (fixed suffix budget).
+///
+/// A flat tail is regularity evidence; strictly increasing counts witness
+/// non-regularity directly (each increase exhibits new residuals).
+pub fn residual_growth<F: FnMut(&Word) -> bool>(
+    alphabet: &Alphabet,
+    max_prefix_len: usize,
+    suffix_len: usize,
+    mut oracle: F,
+) -> Vec<usize> {
+    (0..=max_prefix_len)
+        .map(|p| residual_lower_bound(alphabet, p, suffix_len, &mut oracle).residual_count)
+        .collect()
+}
+
+/// Returns `true` iff the residual count is already saturated: growing the
+/// prefix budget from `prefix_len` to `prefix_len + 1` discovers no new
+/// class.
+pub fn residuals_saturated<F: FnMut(&Word) -> bool>(
+    alphabet: &Alphabet,
+    prefix_len: usize,
+    suffix_len: usize,
+    mut oracle: F,
+) -> bool {
+    let small = residual_lower_bound(alphabet, prefix_len, suffix_len, &mut oracle);
+    let large = residual_lower_bound(alphabet, prefix_len + 1, suffix_len, &mut oracle);
+    small.residual_count == large.residual_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dfa;
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    #[test]
+    fn regular_language_exact_index() {
+        // Even number of a's: MN index 2.
+        let r = residual_lower_bound(&sigma(), 4, 3, |w| w.count_char('a') % 2 == 0);
+        assert_eq!(r.residual_count, 2);
+        assert_eq!(r.representatives[0], Word::empty());
+    }
+
+    #[test]
+    fn index_matches_minimal_dfa() {
+        // L = words containing "ab": minimal DFA has 3 states.
+        let dfa = crate::Regex::parse("(a|b)*ab(a|b)*", &sigma())
+            .expect("parses")
+            .to_nfa(&sigma())
+            .to_dfa()
+            .minimize();
+        assert_eq!(dfa.num_states(), 3);
+        let r = residual_lower_bound(&sigma(), 5, 3, |w| dfa.accepts(w));
+        assert_eq!(r.residual_count, 3);
+    }
+
+    #[test]
+    fn anbn_residuals_grow() {
+        let anbn = |w: &Word| {
+            let n = w.count_char('a');
+            n >= 1
+                && w.len() == 2 * n
+                && w.iter().take(n).all(|l| l.as_char() == 'a')
+                && w.iter().skip(n).all(|l| l.as_char() == 'b')
+        };
+        let growth = residual_growth(&sigma(), 6, 6, anbn);
+        // Strictly more residuals at every prefix length: aⁱ are pairwise
+        // distinguishable (only aⁱbⁱ completes them).
+        for i in 1..growth.len() {
+            assert!(
+                growth[i] > growth[i - 1],
+                "expected strict growth, got {growth:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_detects_regularity() {
+        assert!(residuals_saturated(&sigma(), 4, 3, |w| w.count_char('a') % 2 == 0));
+        let anbn = |w: &Word| {
+            let n = w.count_char('a');
+            n >= 1 && w.len() == 2 * n && w.to_string() == format!("{}{}", "a".repeat(n), "b".repeat(n))
+        };
+        assert!(!residuals_saturated(&sigma(), 4, 6, anbn));
+    }
+
+    #[test]
+    fn representatives_distinguish_each_other() {
+        let dfa = Dfa::new(
+            sigma(),
+            vec![vec![1, 0], vec![2, 1], vec![2, 2]],
+            0,
+            vec![false, false, true],
+        )
+        .expect("valid");
+        let r = residual_lower_bound(&sigma(), 5, 4, |w| dfa.accepts(w));
+        assert_eq!(r.residual_count, 3);
+        // Every pair of representatives must have a distinguishing suffix.
+        for (i, u) in r.representatives.iter().enumerate() {
+            for v in r.representatives.iter().skip(i + 1) {
+                let distinguished = words_upto(&sigma(), 4)
+                    .iter()
+                    .any(|s| dfa.accepts(&u.concat(s)) != dfa.accepts(&v.concat(s)));
+                assert!(distinguished, "{u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budgets_give_single_class() {
+        let r = residual_lower_bound(&sigma(), 0, 0, |_| false);
+        assert_eq!(r.residual_count, 1);
+        assert_eq!(r.representatives, vec![Word::empty()]);
+    }
+}

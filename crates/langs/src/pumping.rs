@@ -1,0 +1,140 @@
+//! Pumping-lemma certificates for regular languages.
+//!
+//! For a DFA with `n` states and any accepted word of length ≥ `n`, a
+//! state repeats within the first `n` letters, yielding a decomposition
+//! `w = xyz` with `|xy| ≤ n`, `|y| ≥ 1`, and `x yᵏ z ∈ L` for every `k`.
+//! This module *produces* that decomposition — and, dually, checking that
+//! no decomposition pumps is the classic route to non-regularity proofs
+//! like the one Figure 1's `aⁿbⁿ` language needs.
+
+use crate::{Dfa, Word};
+
+/// A pumping decomposition `w = x · y · z` with the loop `y`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PumpingDecomposition {
+    /// Prefix before the loop.
+    pub x: Word,
+    /// The pumpable loop (nonempty).
+    pub y: Word,
+    /// Suffix after the loop.
+    pub z: Word,
+}
+
+impl PumpingDecomposition {
+    /// The word `x yᵏ z`.
+    #[must_use]
+    pub fn pumped(&self, k: usize) -> Word {
+        let mut out = self.x.clone();
+        for _ in 0..k {
+            out.extend(self.y.iter());
+        }
+        out.extend(self.z.iter());
+        out
+    }
+}
+
+/// Finds a pumping decomposition of `w` for `dfa`, if `w` is accepted
+/// and long enough (`|w| ≥` number of states).
+///
+/// The decomposition satisfies the pumping lemma: `|xy| ≤ n`, `|y| ≥ 1`,
+/// and `dfa` accepts `x yᵏ z` for all `k ≥ 0`.
+///
+/// ```
+/// use tvg_langs::{pumping::pump, word, Alphabet, Regex};
+///
+/// let dfa = Regex::parse("(ab)*", &Alphabet::ab())?
+///     .to_nfa(&Alphabet::ab()).to_dfa().minimize();
+/// let d = pump(&dfa, &word("ababab")).expect("long accepted word pumps");
+/// assert!(dfa.accepts(&d.pumped(0)));
+/// assert!(dfa.accepts(&d.pumped(5)));
+/// # Ok::<(), tvg_langs::RegexError>(())
+/// ```
+#[must_use]
+pub fn pump(dfa: &Dfa, w: &Word) -> Option<PumpingDecomposition> {
+    if !dfa.accepts(w) || w.len() < dfa.num_states() {
+        return None;
+    }
+    // Walk the run; the first repeated state bounds the loop.
+    let mut seen: Vec<(usize, usize)> = vec![(dfa.start(), 0)]; // (state, position)
+    let mut state = dfa.start();
+    for (pos, letter) in w.iter().enumerate() {
+        state = dfa.step(state, letter)?;
+        if let Some(&(_, first)) = seen.iter().find(|&&(s, _)| s == state) {
+            let letters: Vec<_> = w.iter().collect();
+            return Some(PumpingDecomposition {
+                x: Word::from_letters(letters[..first].to_vec()),
+                y: Word::from_letters(letters[first..=pos].to_vec()),
+                z: Word::from_letters(letters[pos + 1..].to_vec()),
+            });
+        }
+        seen.push((state, pos + 1));
+    }
+    // Unreachable for |w| ≥ n by pigeonhole, but stay total.
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{word, Alphabet, Regex};
+
+    fn dfa_of(pattern: &str) -> Dfa {
+        Regex::parse(pattern, &Alphabet::ab())
+            .expect("parses")
+            .to_nfa(&Alphabet::ab())
+            .to_dfa()
+            .minimize()
+    }
+
+    #[test]
+    fn decomposition_satisfies_the_lemma() {
+        let dfa = dfa_of("(a|b)*ab");
+        let w = word("babab");
+        let d = pump(&dfa, &w).expect("accepted and long enough");
+        assert!(!d.y.is_empty());
+        assert!(d.x.len() + d.y.len() <= dfa.num_states());
+        assert_eq!(d.pumped(1), w);
+        for k in [0usize, 2, 3, 7] {
+            assert!(dfa.accepts(&d.pumped(k)), "k={k}");
+        }
+    }
+
+    #[test]
+    fn rejected_or_short_words_do_not_pump() {
+        let dfa = dfa_of("(ab)*");
+        assert_eq!(pump(&dfa, &word("aba")), None); // rejected
+        assert_eq!(pump(&dfa, &word("ab")), None); // shorter than n
+    }
+
+    #[test]
+    fn pumping_contradiction_for_anbn() {
+        // The textbook non-regularity argument, executable: no regular
+        // approximation of aⁿbⁿ can be exact — pumping any long member
+        // must eventually leave the language.
+        let is_anbn = |w: &Word| {
+            let n = w.count_char('a');
+            n >= 1
+                && w.len() == 2 * n
+                && w.iter().take(n).all(|l| l.as_char() == 'a')
+                && w.iter().skip(n).all(|l| l.as_char() == 'b')
+        };
+        // Over-approximation a+b+ (regular) contains a⁵b⁵; pumping it
+        // stays in a+b+ but leaves aⁿbⁿ for some k.
+        let approx = dfa_of("a+b+");
+        let w = word("aaaaabbbbb");
+        let d = pump(&approx, &w).expect("pumps in the approximation");
+        let escaped = (0..5).any(|k| {
+            let pumped = d.pumped(k);
+            approx.accepts(&pumped) && !is_anbn(&pumped)
+        });
+        assert!(escaped, "pumping must escape aⁿbⁿ while staying regular");
+    }
+
+    #[test]
+    fn pumped_zero_removes_the_loop() {
+        let dfa = dfa_of("a*");
+        let d = pump(&dfa, &word("aaa")).expect("pumps");
+        assert!(d.pumped(0).len() < 3);
+        assert!(dfa.accepts(&d.pumped(0)));
+    }
+}

@@ -1,0 +1,355 @@
+//! Regular expressions: AST, parser, and compilation to NFA.
+//!
+//! Used by tests and experiments to state expected regular languages
+//! (e.g. the waiting-language of a periodic TVG) in readable form.
+//!
+//! Syntax: letters are literals; `|` alternation, juxtaposition
+//! concatenation, postfix `*`/`+`/`?`, `.` any alphabet letter, `()`
+//! grouping, `ε` the empty word. An empty alternation branch also denotes
+//! ε, so `(a|)` is "optional a".
+
+use crate::{Alphabet, Letter, Nfa, Word};
+use std::error::Error;
+use std::fmt;
+
+/// A parsed regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty language ∅.
+    Empty,
+    /// The empty word ε.
+    Epsilon,
+    /// A single letter.
+    Lit(Letter),
+    /// Any single alphabet letter (`.`).
+    AnyLetter,
+    /// Concatenation.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Alternation.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+}
+
+/// Errors from parsing a regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegexError {
+    /// A character that is neither an operator nor an alphabet letter.
+    UnexpectedChar {
+        /// Offset of the offending character.
+        position: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// A closing parenthesis with no matching opener, or vice versa.
+    UnbalancedParens {
+        /// Offset of the unbalanced parenthesis.
+        position: usize,
+    },
+    /// A postfix operator with nothing to apply to.
+    DanglingPostfix {
+        /// Offset of the operator.
+        position: usize,
+        /// The operator character.
+        ch: char,
+    },
+    /// Input ended inside a group.
+    UnexpectedEnd,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegexError::UnexpectedChar { position, ch } => {
+                write!(f, "unexpected character {ch:?} at position {position}")
+            }
+            RegexError::UnbalancedParens { position } => {
+                write!(f, "unbalanced parenthesis at position {position}")
+            }
+            RegexError::DanglingPostfix { position, ch } => {
+                write!(f, "postfix operator {ch:?} at position {position} has no operand")
+            }
+            RegexError::UnexpectedEnd => write!(f, "unexpected end of pattern"),
+        }
+    }
+}
+
+impl Error for RegexError {}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    alphabet: &'a Alphabet,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Regex, RegexError> {
+        let mut lhs = self.parse_concat()?;
+        while self.peek() == Some('|') {
+            self.bump();
+            let rhs = self.parse_concat()?;
+            lhs = Regex::Alt(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_concat(&mut self) -> Result<Regex, RegexError> {
+        let mut parts: Vec<Regex> = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some('|') | Some(')') => break,
+                Some('*') | Some('+') | Some('?') => {
+                    return Err(RegexError::DanglingPostfix {
+                        position: self.pos,
+                        ch: self.peek().expect("peeked"),
+                    })
+                }
+                _ => parts.push(self.parse_postfix()?),
+            }
+        }
+        Ok(parts
+            .into_iter()
+            .reduce(|a, b| Regex::Concat(Box::new(a), Box::new(b)))
+            .unwrap_or(Regex::Epsilon))
+    }
+
+    fn parse_postfix(&mut self) -> Result<Regex, RegexError> {
+        let mut atom = self.parse_atom()?;
+        while let Some(c) = self.peek() {
+            match c {
+                '*' => {
+                    self.bump();
+                    atom = Regex::Star(Box::new(atom));
+                }
+                '+' => {
+                    self.bump();
+                    atom = Regex::Concat(Box::new(atom.clone()), Box::new(Regex::Star(Box::new(atom))));
+                }
+                '?' => {
+                    self.bump();
+                    atom = Regex::Alt(Box::new(atom), Box::new(Regex::Epsilon));
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex, RegexError> {
+        let position = self.pos;
+        match self.bump() {
+            None => Err(RegexError::UnexpectedEnd),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(RegexError::UnbalancedParens { position });
+                }
+                Ok(inner)
+            }
+            Some('.') => Ok(Regex::AnyLetter),
+            Some('ε') => Ok(Regex::Epsilon),
+            Some(c) => {
+                let l = Letter::new(c)
+                    .map_err(|_| RegexError::UnexpectedChar { position, ch: c })?;
+                if !self.alphabet.contains(l) {
+                    return Err(RegexError::UnexpectedChar { position, ch: c });
+                }
+                Ok(Regex::Lit(l))
+            }
+        }
+    }
+}
+
+impl Regex {
+    /// Parses `pattern` over `alphabet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RegexError`] locating the first syntax problem.
+    ///
+    /// ```
+    /// use tvg_langs::{Alphabet, Regex, word};
+    /// let re = Regex::parse("a(a|b)*b", &Alphabet::ab())?;
+    /// let dfa = re.to_nfa(&Alphabet::ab()).to_dfa();
+    /// assert!(dfa.accepts(&word("aab")));
+    /// assert!(!dfa.accepts(&word("ba")));
+    /// # Ok::<(), tvg_langs::RegexError>(())
+    /// ```
+    pub fn parse(pattern: &str, alphabet: &Alphabet) -> Result<Self, RegexError> {
+        let mut p = Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            alphabet,
+        };
+        let re = p.parse_alt()?;
+        match p.peek() {
+            None => Ok(re),
+            Some(')') => Err(RegexError::UnbalancedParens { position: p.pos }),
+            Some(c) => Err(RegexError::UnexpectedChar { position: p.pos, ch: c }),
+        }
+    }
+
+    /// Thompson construction: an NFA for this expression over `alphabet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression contains a literal outside `alphabet`
+    /// (impossible for expressions produced by [`Regex::parse`] with the
+    /// same alphabet).
+    #[must_use]
+    pub fn to_nfa(&self, alphabet: &Alphabet) -> Nfa {
+        match self {
+            Regex::Empty => Nfa::empty_language(alphabet.clone()),
+            Regex::Epsilon => Nfa::literal(alphabet.clone(), &Word::empty()),
+            Regex::Lit(l) => Nfa::literal(alphabet.clone(), &Word::from_letters(vec![*l])),
+            Regex::AnyLetter => {
+                let mut nfa = Nfa::new(alphabet.clone(), 2);
+                nfa.add_start(0).expect("state 0 exists");
+                nfa.add_accepting(1).expect("state 1 exists");
+                for l in alphabet.iter() {
+                    nfa.add_transition(0, Some(l.as_char()), 1)
+                        .expect("alphabet letter");
+                }
+                nfa
+            }
+            Regex::Concat(a, b) => a
+                .to_nfa(alphabet)
+                .concat(&b.to_nfa(alphabet))
+                .expect("same alphabet by construction"),
+            Regex::Alt(a, b) => a
+                .to_nfa(alphabet)
+                .union(&b.to_nfa(alphabet))
+                .expect("same alphabet by construction"),
+            Regex::Star(a) => a.to_nfa(alphabet).star(),
+        }
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Empty => write!(f, "∅"),
+            Regex::Epsilon => write!(f, "ε"),
+            Regex::Lit(l) => write!(f, "{l}"),
+            Regex::AnyLetter => write!(f, "."),
+            Regex::Concat(a, b) => write!(f, "{a}{b}"),
+            Regex::Alt(a, b) => write!(f, "({a}|{b})"),
+            Regex::Star(a) => match **a {
+                Regex::Lit(_) | Regex::AnyLetter => write!(f, "{a}*"),
+                _ => write!(f, "({a})*"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sample::words_upto, word};
+
+    fn lang(pattern: &str) -> impl Fn(&Word) -> bool {
+        let dfa = Regex::parse(pattern, &Alphabet::ab())
+            .expect("pattern parses")
+            .to_nfa(&Alphabet::ab())
+            .to_dfa();
+        move |w: &Word| dfa.accepts(w)
+    }
+
+    #[test]
+    fn literals_and_concat() {
+        let f = lang("ab");
+        assert!(f(&word("ab")));
+        assert!(!f(&word("a")));
+        assert!(!f(&word("abb")));
+    }
+
+    #[test]
+    fn alternation_and_star() {
+        let f = lang("(a|b)*abb");
+        assert!(f(&word("abb")));
+        assert!(f(&word("bababb")));
+        assert!(!f(&word("ab")));
+    }
+
+    #[test]
+    fn plus_and_question() {
+        let f = lang("a+b?");
+        assert!(f(&word("a")));
+        assert!(f(&word("aaab")));
+        assert!(!f(&word("b")));
+        assert!(!f(&word("abb")));
+    }
+
+    #[test]
+    fn empty_branch_is_epsilon() {
+        let f = lang("a|");
+        assert!(f(&Word::empty()));
+        assert!(f(&word("a")));
+        assert!(!f(&word("b")));
+    }
+
+    #[test]
+    fn dot_matches_any_letter() {
+        let f = lang(".*");
+        for w in words_upto(&Alphabet::ab(), 4) {
+            assert!(f(&w), "{w}");
+        }
+        let g = lang("a.b");
+        assert!(g(&word("aab")));
+        assert!(g(&word("abb")));
+        assert!(!g(&word("ab")));
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let sigma = Alphabet::ab();
+        assert_eq!(
+            Regex::parse("a(b", &sigma),
+            Err(RegexError::UnbalancedParens { position: 1 })
+        );
+        assert_eq!(
+            Regex::parse("a)b", &sigma),
+            Err(RegexError::UnbalancedParens { position: 1 })
+        );
+        assert_eq!(
+            Regex::parse("*a", &sigma),
+            Err(RegexError::DanglingPostfix { position: 0, ch: '*' })
+        );
+        assert_eq!(
+            Regex::parse("ac", &sigma),
+            Err(RegexError::UnexpectedChar { position: 1, ch: 'c' })
+        );
+    }
+
+    #[test]
+    fn empty_pattern_is_epsilon() {
+        let f = lang("");
+        assert!(f(&Word::empty()));
+        assert!(!f(&word("a")));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let sigma = Alphabet::ab();
+        for pat in ["a", "ab", "(a|b)*", "a+b?", "a(ba)*"] {
+            let re = Regex::parse(pat, &sigma).expect("parses");
+            let re2 = Regex::parse(&re.to_string(), &sigma).expect("display output parses");
+            // Language equality (ASTs may differ syntactically).
+            let d1 = re.to_nfa(&sigma).to_dfa();
+            let d2 = re2.to_nfa(&sigma).to_dfa();
+            assert!(d1.equivalent_to(&d2), "{pat}");
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Well-quasi-order machinery on words (Higman's subword embedding).
+//!
+//! The proof of Theorem 2.2 introduces a quasi-order on words "based upon
+//! the possibility of inclusion for corresponding journeys" and shows it is
+//! a well-quasi-order, then applies the Harju–Ilie regularity criterion
+//! (closure under a wqo implies regularity). The archetype of such orders —
+//! and the engine behind Higman's lemma the paper contrasts against — is
+//! the *scattered subword embedding* implemented here, together with the
+//! constructions the criterion relies on: upward/downward closures of
+//! finite languages are regular, built explicitly as NFAs.
+
+use crate::{Alphabet, Nfa, Word};
+
+/// Returns `true` iff `u` embeds into `w` as a scattered subword
+/// (Higman's order): `u ⊑ w`.
+///
+/// ```
+/// use tvg_langs::{wqo::is_subword, word};
+/// assert!(is_subword(&word("ab"), &word("aabb")));
+/// assert!(is_subword(&word("ace"), &word("abcde")));
+/// assert!(!is_subword(&word("ba"), &word("aab")));
+/// ```
+#[must_use]
+pub fn is_subword(u: &Word, w: &Word) -> bool {
+    let mut it = w.iter();
+    'outer: for needle in u.iter() {
+        for hay in it.by_ref() {
+            if hay == needle {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The ⊑-minimal elements of a finite set of words.
+///
+/// These generate the same upward closure as the full set; by Higman's
+/// lemma every upward-closed language is the closure of finitely many
+/// minimal words, which is why closures are regular.
+#[must_use]
+pub fn minimal_elements(words: &[Word]) -> Vec<Word> {
+    let mut out: Vec<Word> = Vec::new();
+    for (i, w) in words.iter().enumerate() {
+        let dominated = words.iter().enumerate().any(|(j, u)| {
+            if i == j {
+                return false;
+            }
+            if u == w {
+                // Keep only the first occurrence of duplicates.
+                return j < i;
+            }
+            is_subword(u, w)
+        });
+        if !dominated {
+            out.push(w.clone());
+        }
+    }
+    out
+}
+
+/// Returns `true` iff no two distinct words in the slice are ⊑-comparable.
+#[must_use]
+pub fn is_antichain(words: &[Word]) -> bool {
+    for (i, u) in words.iter().enumerate() {
+        for w in words.iter().skip(i + 1) {
+            if is_subword(u, w) || is_subword(w, u) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// NFA for the upward closure `↑L = {w : ∃u ∈ basis, u ⊑ w}` of a finite
+/// set of words.
+///
+/// One chain of states per basis word, with self-loops on every alphabet
+/// letter — the standard witness that upward-closed languages are regular.
+///
+/// ```
+/// use tvg_langs::{wqo::upward_closure_nfa, Alphabet, word};
+/// let up = upward_closure_nfa(&[word("ab")], &Alphabet::ab());
+/// assert!(up.accepts(&word("aabb")));
+/// assert!(!up.accepts(&word("ba")));
+/// ```
+#[must_use]
+pub fn upward_closure_nfa(basis: &[Word], alphabet: &Alphabet) -> Nfa {
+    let mut result: Option<Nfa> = None;
+    for u in basis {
+        let mut nfa = Nfa::new(alphabet.clone(), u.len() + 1);
+        nfa.add_start(0).expect("state exists");
+        nfa.add_accepting(u.len()).expect("state exists");
+        for i in 0..=u.len() {
+            for l in alphabet.iter() {
+                nfa.add_transition(i, Some(l.as_char()), i)
+                    .expect("alphabet letter");
+            }
+            if let Some(l) = u.get(i) {
+                nfa.add_transition(i, Some(l.as_char()), i + 1)
+                    .expect("alphabet letter");
+            }
+        }
+        result = Some(match result {
+            None => nfa,
+            Some(acc) => acc.union(&nfa).expect("same alphabet"),
+        });
+    }
+    result.unwrap_or_else(|| Nfa::empty_language(alphabet.clone()))
+}
+
+/// NFA for the downward closure `↓L = {w : ∃u ∈ basis, w ⊑ u}`.
+#[must_use]
+pub fn downward_closure_nfa(basis: &[Word], alphabet: &Alphabet) -> Nfa {
+    let mut result: Option<Nfa> = None;
+    for u in basis {
+        let mut nfa = Nfa::new(alphabet.clone(), u.len() + 1);
+        nfa.add_start(0).expect("state exists");
+        nfa.add_accepting(u.len()).expect("state exists");
+        for (i, l) in u.iter().enumerate() {
+            nfa.add_transition(i, Some(l.as_char()), i + 1)
+                .expect("alphabet letter");
+            nfa.add_transition(i, None, i + 1).expect("state exists");
+        }
+        result = Some(match result {
+            None => nfa,
+            Some(acc) => acc.union(&nfa).expect("same alphabet"),
+        });
+    }
+    result.unwrap_or_else(|| Nfa::empty_language(alphabet.clone()))
+}
+
+/// Returns `true` iff `lang` (decided by `oracle`) is upward-closed within
+/// the universe of words up to `max_len`: every superword (within the
+/// universe) of a member is a member.
+pub fn is_upward_closed_upto<F: FnMut(&Word) -> bool>(
+    alphabet: &Alphabet,
+    max_len: usize,
+    mut oracle: F,
+) -> bool {
+    let universe = crate::sample::words_upto(alphabet, max_len);
+    let members: Vec<bool> = universe.iter().map(|w| oracle(w)).collect();
+    for (i, u) in universe.iter().enumerate() {
+        if !members[i] {
+            continue;
+        }
+        for (j, w) in universe.iter().enumerate() {
+            if !members[j] && is_subword(u, w) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::words_upto;
+    use crate::word;
+
+    #[test]
+    fn embedding_basics() {
+        assert!(is_subword(&Word::empty(), &word("abc")));
+        assert!(is_subword(&word("abc"), &word("abc")));
+        assert!(is_subword(&word("ac"), &word("abc")));
+        assert!(!is_subword(&word("abc"), &word("ab")));
+        assert!(!is_subword(&word("aa"), &word("ab")));
+    }
+
+    #[test]
+    fn embedding_is_reflexive_and_transitive_sampled() {
+        let words = words_upto(&Alphabet::ab(), 5);
+        for u in &words {
+            assert!(is_subword(u, u), "{u}");
+        }
+        // Transitivity on a sampled triple set.
+        for u in words.iter().filter(|w| w.len() <= 2) {
+            for v in words.iter().filter(|w| w.len() <= 3) {
+                for w in words.iter().filter(|w| w.len() <= 4) {
+                    if is_subword(u, v) && is_subword(v, w) {
+                        assert!(is_subword(u, w), "{u} {v} {w}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upward_closure_matches_brute_force() {
+        let sigma = Alphabet::ab();
+        let basis = [word("ab"), word("ba")];
+        let nfa = upward_closure_nfa(&basis, &sigma);
+        for w in words_upto(&sigma, 6) {
+            let expected = basis.iter().any(|u| is_subword(u, &w));
+            assert_eq!(nfa.accepts(&w), expected, "{w}");
+        }
+    }
+
+    #[test]
+    fn downward_closure_matches_brute_force() {
+        let sigma = Alphabet::ab();
+        let basis = [word("abab")];
+        let nfa = downward_closure_nfa(&basis, &sigma);
+        for w in words_upto(&sigma, 5) {
+            let expected = basis.iter().any(|u| is_subword(&w, u));
+            assert_eq!(nfa.accepts(&w), expected, "{w}");
+        }
+    }
+
+    #[test]
+    fn closure_of_empty_basis_is_empty_language() {
+        let sigma = Alphabet::ab();
+        assert!(upward_closure_nfa(&[], &sigma).to_dfa().is_language_empty());
+        assert!(downward_closure_nfa(&[], &sigma).to_dfa().is_language_empty());
+    }
+
+    #[test]
+    fn minimal_elements_generate_same_closure() {
+        let sigma = Alphabet::ab();
+        let words = vec![word("ab"), word("ba"), word("aabb"), word("ab")];
+        let minimal = minimal_elements(&words);
+        // "aabb" ⊒ "ab" is pruned; the duplicate "ab" is kept once.
+        assert_eq!(minimal, vec![word("ab"), word("ba")]);
+        let full = upward_closure_nfa(&words, &sigma).to_dfa();
+        let reduced = upward_closure_nfa(&minimal, &sigma).to_dfa();
+        assert!(full.equivalent_to(&reduced));
+    }
+
+    #[test]
+    fn antichain_detection() {
+        assert!(is_antichain(&[word("ab"), word("ba")]));
+        assert!(!is_antichain(&[word("ab"), word("aabb")]));
+        assert!(is_antichain(&[]));
+        assert!(is_antichain(&[word("a")]));
+    }
+
+    #[test]
+    fn upward_closed_check() {
+        let sigma = Alphabet::ab();
+        // "contains at least one a" is upward closed.
+        assert!(is_upward_closed_upto(&sigma, 5, |w| w.count_char('a') >= 1));
+        // "exactly one a" is not.
+        assert!(!is_upward_closed_upto(&sigma, 5, |w| w.count_char('a') == 1));
+    }
+}

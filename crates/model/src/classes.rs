@@ -1,0 +1,170 @@
+//! Time-varying graph classes.
+//!
+//! The TVG framework the paper builds on (Casteigts, Flocchini,
+//! Quattrociocchi, Santoro 2011, the paper's reference \[1\]) organizes
+//! dynamic networks into classes by recurrence guarantees of their edge
+//! schedules. The
+//! Theorem 2.2 compiler in `tvg-expressivity` is exact on the
+//! *periodic* class; these predicates let callers check class membership
+//! before invoking it, and let generators assert what they produce.
+
+use crate::{Presence, Time, Tvg};
+
+/// Schedule classes decidable by structural inspection of the AST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ScheduleClass {
+    /// Present at finitely many instants (or never).
+    Finite,
+    /// Eventually periodic: periodic behavior, possibly after a bounded
+    /// prefix (`At`, `After`, windows and boolean combinations thereof).
+    EventuallyPeriodic,
+    /// Not classifiable structurally (e.g. [`Presence::Custom`] or the
+    /// paper's prime-power schedule, which is aperiodic by design).
+    Unknown,
+}
+
+/// Classifies a presence schedule by its AST structure.
+///
+/// Conservative: `Unknown` means "not provably periodic", not "aperiodic".
+#[must_use]
+pub fn classify_presence<T: Time>(p: &Presence<T>) -> ScheduleClass {
+    use ScheduleClass::*;
+    match p {
+        Presence::Never | Presence::At(_) | Presence::FiniteSet(_) | Presence::Window { .. } => {
+            Finite
+        }
+        Presence::Always | Presence::After(_) | Presence::Before(_) | Presence::Periodic { .. } => {
+            EventuallyPeriodic
+        }
+        Presence::Not(inner) => match classify_presence(inner) {
+            Finite | EventuallyPeriodic => EventuallyPeriodic,
+            Unknown => Unknown,
+        },
+        Presence::And(a, b) | Presence::Or(a, b) => {
+            match (classify_presence(a), classify_presence(b)) {
+                (Unknown, _) | (_, Unknown) => Unknown,
+                (Finite, _) | (_, Finite) if matches!(p, Presence::And(_, _)) => Finite,
+                _ => EventuallyPeriodic,
+            }
+        }
+        Presence::Dilated { inner, .. } => match classify_presence(inner) {
+            Finite => Finite,
+            EventuallyPeriodic => EventuallyPeriodic,
+            Unknown => Unknown,
+        },
+        Presence::PqPower { .. } | Presence::Custom(_) => Unknown,
+    }
+}
+
+/// `true` iff every edge of `g` is *recurrent* within one observed period:
+/// present at least once in `[0, period)`.
+///
+/// For genuinely periodic graphs this witnesses the recurrent class
+/// (every edge reappears forever); for arbitrary graphs it is only an
+/// observation over the window.
+#[must_use]
+pub fn all_edges_recur_within(g: &Tvg<u64>, period: u64) -> bool {
+    g.edges().all(|e| {
+        (0..period).any(|t| g.is_present(e, &t))
+    })
+}
+
+/// `true` iff every schedule in `g` verifies `ρ(t) = ρ(t + period)` on the
+/// sampled window `[0, window)` — an empirical periodicity check used by
+/// tests and by the Theorem 2.2 compiler's precondition validation.
+#[must_use]
+pub fn observed_periodic(g: &Tvg<u64>, period: u64, window: u64) -> bool {
+    g.edges().all(|e| {
+        (0..window).all(|t| g.is_present(e, &t) == g.is_present(e, &(t + period)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Latency, TvgBuilder};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn classification_of_leaves() {
+        use ScheduleClass::*;
+        assert_eq!(classify_presence(&Presence::<u64>::Never), Finite);
+        assert_eq!(classify_presence(&Presence::At(3u64)), Finite);
+        assert_eq!(
+            classify_presence(&Presence::Window { from: 1u64, until: 9 }),
+            Finite
+        );
+        assert_eq!(classify_presence(&Presence::<u64>::Always), EventuallyPeriodic);
+        assert_eq!(classify_presence(&Presence::After(5u64)), EventuallyPeriodic);
+        assert_eq!(
+            classify_presence(&Presence::<u64>::Periodic { period: 3, phases: BTreeSet::from([0u64]) }),
+            EventuallyPeriodic
+        );
+        assert_eq!(
+            classify_presence(&Presence::<u64>::PqPower { p: 2, q: 3 }),
+            Unknown
+        );
+        assert_eq!(
+            classify_presence(&Presence::<u64>::from_fn(|_| true)),
+            Unknown
+        );
+    }
+
+    #[test]
+    fn classification_of_combinators() {
+        use ScheduleClass::*;
+        let fin = Presence::At(3u64);
+        let per = Presence::Periodic { period: 2, phases: BTreeSet::from([0u64]) };
+        let unk = Presence::<u64>::PqPower { p: 2, q: 3 };
+        assert_eq!(
+            classify_presence(&Presence::Not(Box::new(fin.clone()))),
+            EventuallyPeriodic
+        );
+        assert_eq!(
+            classify_presence(&Presence::And(Box::new(fin.clone()), Box::new(per.clone()))),
+            Finite
+        );
+        assert_eq!(
+            classify_presence(&Presence::Or(Box::new(fin.clone()), Box::new(per.clone()))),
+            EventuallyPeriodic
+        );
+        assert_eq!(
+            classify_presence(&Presence::And(Box::new(per.clone()), Box::new(unk))),
+            Unknown
+        );
+        assert_eq!(
+            classify_presence(&fin.dilate(3)),
+            Finite
+        );
+        assert_eq!(classify_presence(&per.dilate(3)), EventuallyPeriodic);
+    }
+
+    fn periodic_graph() -> Tvg<u64> {
+        let mut b = TvgBuilder::new();
+        let v = b.nodes(2);
+        b.edge(
+            v[0],
+            v[1],
+            'a',
+            Presence::Periodic { period: 4, phases: BTreeSet::from([1u64, 2]) },
+            Latency::unit(),
+        )
+        .expect("valid");
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn recurrence_within_period() {
+        let g = periodic_graph();
+        assert!(all_edges_recur_within(&g, 4));
+        assert!(!all_edges_recur_within(&g, 1)); // phase 0 absent
+    }
+
+    #[test]
+    fn observed_periodicity() {
+        let g = periodic_graph();
+        assert!(observed_periodic(&g, 4, 20));
+        assert!(observed_periodic(&g, 8, 20)); // multiples also verify
+        assert!(!observed_periodic(&g, 3, 20));
+    }
+}

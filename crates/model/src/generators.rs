@@ -1,0 +1,319 @@
+//! Generators for structured and random time-varying graphs.
+//!
+//! Experiments E3/E4 quantify over *families* of TVGs; these constructors
+//! produce the periodic and random instances those sweeps run on. All
+//! randomness flows through a caller-supplied [`rand::Rng`], so every
+//! experiment is reproducible from its seed.
+
+use crate::{Latency, Presence, Tvg, TvgBuilder};
+use rand::Rng;
+use std::collections::BTreeSet;
+use tvg_langs::Alphabet;
+
+/// Parameters for [`random_periodic_tvg`].
+#[derive(Debug, Clone)]
+pub struct RandomPeriodicParams {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of directed labeled edges.
+    pub num_edges: usize,
+    /// Common period of all presence schedules (nonzero).
+    pub period: u64,
+    /// Probability that each phase `0..period` is present, per edge.
+    pub phase_density: f64,
+    /// Edge labels are drawn uniformly from this alphabet.
+    pub alphabet: Alphabet,
+}
+
+impl Default for RandomPeriodicParams {
+    fn default() -> Self {
+        RandomPeriodicParams {
+            num_nodes: 5,
+            num_edges: 8,
+            period: 4,
+            phase_density: 0.5,
+            alphabet: Alphabet::ab(),
+        }
+    }
+}
+
+/// A random TVG with periodic presence schedules and unit latencies.
+///
+/// Self-loops are allowed (they are meaningful in TVG-automata); each edge
+/// gets an independent random phase set, re-drawn once if empty so every
+/// edge is present somewhere in the period (recurrent class).
+///
+/// # Panics
+///
+/// Panics if `num_nodes == 0` or `period == 0`.
+pub fn random_periodic_tvg<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &RandomPeriodicParams,
+) -> Tvg<u64> {
+    assert!(params.num_nodes > 0, "need at least one node");
+    assert!(params.period > 0, "period must be nonzero");
+    let mut b = TvgBuilder::new();
+    let nodes = b.nodes(params.num_nodes);
+    for _ in 0..params.num_edges {
+        let src = nodes[rng.gen_range(0..nodes.len())];
+        let dst = nodes[rng.gen_range(0..nodes.len())];
+        let label = params
+            .alphabet
+            .letter(rng.gen_range(0..params.alphabet.len()))
+            .as_char();
+        let mut phases: BTreeSet<u64> = (0..params.period)
+            .filter(|_| rng.gen_bool(params.phase_density))
+            .collect();
+        if phases.is_empty() {
+            phases.insert(rng.gen_range(0..params.period));
+        }
+        b.edge(
+            src,
+            dst,
+            label,
+            Presence::Periodic { period: params.period, phases },
+            Latency::unit(),
+        )
+        .expect("nodes come from this builder");
+    }
+    b.build().expect("at least one node")
+}
+
+/// A directed ring of `n` nodes whose edge `i → i+1` is present at phase
+/// `i mod period` — a "circular bus line" where a traveler must wait one
+/// period between consecutive hops unless departures are aligned.
+///
+/// All edges are labeled `label` and have unit latency.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `period == 0`.
+pub fn ring_bus_tvg(n: usize, period: u64, label: char) -> Tvg<u64> {
+    assert!(n > 0, "need at least one node");
+    assert!(period > 0, "period must be nonzero");
+    let mut b = TvgBuilder::new();
+    let nodes = b.nodes(n);
+    for i in 0..n {
+        let phase = (i as u64) % period;
+        b.edge(
+            nodes[i],
+            nodes[(i + 1) % n],
+            label,
+            Presence::Periodic { period, phases: BTreeSet::from([phase]) },
+            Latency::unit(),
+        )
+        .expect("nodes come from this builder");
+    }
+    b.build().expect("at least one node")
+}
+
+/// A line (path) network `v0 → v1 → … → v(n-1)` where hop `i` departs
+/// only at the instants in `timetable[i]` — a transit timetable. Unit
+/// latencies; all edges labeled `label`.
+///
+/// # Panics
+///
+/// Panics if `timetable.len() + 1 != n` or `n == 0`.
+pub fn line_timetable_tvg(n: usize, timetable: &[BTreeSet<u64>], label: char) -> Tvg<u64> {
+    assert!(n > 0, "need at least one node");
+    assert_eq!(timetable.len() + 1, n, "one timetable entry per hop");
+    let mut b = TvgBuilder::new();
+    let nodes = b.nodes(n);
+    for (i, departures) in timetable.iter().enumerate() {
+        b.edge(
+            nodes[i],
+            nodes[i + 1],
+            label,
+            Presence::FiniteSet(departures.iter().map(|&t| t).collect()),
+            Latency::unit(),
+        )
+        .expect("nodes come from this builder");
+    }
+    b.build().expect("at least one node")
+}
+
+/// A star network: hub node 0 with spokes `1..n`, each spoke pair
+/// `hub ↔ spoke` present at a phase staggered by spoke index. Models a
+/// message ferry visiting clients round-robin.
+///
+/// All edges labeled `label`, unit latency, period `n - 1`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star_ferry_tvg(n: usize, label: char) -> Tvg<u64> {
+    assert!(n >= 2, "need a hub and at least one spoke");
+    let period = (n - 1) as u64;
+    let mut b = TvgBuilder::new();
+    let nodes = b.nodes(n);
+    for spoke in 1..n {
+        let phase = (spoke - 1) as u64 % period;
+        for (src, dst) in [(0, spoke), (spoke, 0)] {
+            b.edge(
+                nodes[src],
+                nodes[dst],
+                label,
+                Presence::Periodic { period, phases: BTreeSet::from([phase]) },
+                Latency::unit(),
+            )
+            .expect("nodes come from this builder");
+        }
+    }
+    b.build().expect("at least one node")
+}
+
+/// A toroidal grid (`rows × cols`) where horizontal edges are present at
+/// even instants and vertical edges at odd instants — a synchronous
+/// two-phase mesh.
+///
+/// All edges labeled `label`, unit latency.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn grid_two_phase_tvg(rows: usize, cols: usize, label: char) -> Tvg<u64> {
+    assert!(rows > 0 && cols > 0, "grid must be nonempty");
+    let mut b = TvgBuilder::new();
+    let nodes = b.nodes(rows * cols);
+    let id = |r: usize, c: usize| nodes[r * cols + c];
+    let horizontal = Presence::Periodic { period: 2, phases: BTreeSet::from([0u64]) };
+    let vertical = Presence::Periodic { period: 2, phases: BTreeSet::from([1u64]) };
+    for r in 0..rows {
+        for c in 0..cols {
+            if cols > 1 {
+                b.edge(id(r, c), id(r, (c + 1) % cols), label, horizontal.clone(), Latency::unit())
+                    .expect("builder-owned nodes");
+            }
+            if rows > 1 {
+                b.edge(id(r, c), id((r + 1) % rows, c), label, vertical.clone(), Latency::unit())
+                    .expect("builder-owned nodes");
+            }
+        }
+    }
+    b.build().expect("at least one node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_periodic_is_reproducible() {
+        let params = RandomPeriodicParams::default();
+        let g1 = random_periodic_tvg(&mut StdRng::seed_from_u64(42), &params);
+        let g2 = random_periodic_tvg(&mut StdRng::seed_from_u64(42), &params);
+        assert_eq!(g1.num_nodes(), g2.num_nodes());
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for (e1, e2) in g1.edges().zip(g2.edges()) {
+            assert_eq!(g1.edge(e1).src(), g2.edge(e2).src());
+            assert_eq!(g1.edge(e1).dst(), g2.edge(e2).dst());
+            assert_eq!(g1.edge(e1).label(), g2.edge(e2).label());
+            for t in 0..16u64 {
+                assert_eq!(g1.is_present(e1, &t), g2.is_present(e2, &t));
+            }
+        }
+    }
+
+    #[test]
+    fn random_periodic_every_edge_recurs() {
+        let params = RandomPeriodicParams {
+            phase_density: 0.05, // likely to draw empty phase sets
+            ..RandomPeriodicParams::default()
+        };
+        let g = random_periodic_tvg(&mut StdRng::seed_from_u64(7), &params);
+        for e in g.edges() {
+            let present_somewhere =
+                (0..params.period).any(|t| g.is_present(e, &t));
+            assert!(present_somewhere, "{e} never present");
+        }
+    }
+
+    #[test]
+    fn random_periodic_schedules_are_periodic() {
+        let params = RandomPeriodicParams::default();
+        let g = random_periodic_tvg(&mut StdRng::seed_from_u64(3), &params);
+        for e in g.edges() {
+            for t in 0..params.period * 3 {
+                assert_eq!(
+                    g.is_present(e, &t),
+                    g.is_present(e, &(t + params.period)),
+                    "{e} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_bus_phases_stagger() {
+        let g = ring_bus_tvg(4, 4, 'r');
+        // Edge i present iff t ≡ i (mod 4).
+        for (i, e) in g.edges().enumerate() {
+            for t in 0..12u64 {
+                assert_eq!(g.is_present(e, &t), t % 4 == i as u64, "edge {i} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn line_timetable_respects_departures() {
+        let g = line_timetable_tvg(
+            3,
+            &[BTreeSet::from([2u64, 5]), BTreeSet::from([7u64])],
+            't',
+        );
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(g.traverse(edges[0], &2), Some(3));
+        assert_eq!(g.traverse(edges[0], &3), None);
+        assert_eq!(g.traverse(edges[1], &7), Some(8));
+        assert_eq!(g.traverse(edges[1], &5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one timetable entry per hop")]
+    fn timetable_arity_checked() {
+        let _ = line_timetable_tvg(3, &[BTreeSet::new()], 't');
+    }
+
+    #[test]
+    fn star_ferry_visits_round_robin() {
+        let g = star_ferry_tvg(4, 'f'); // hub + 3 spokes, period 3
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 6);
+        // At t=0 only spoke 1's pair is up; at t=1 spoke 2's; at t=2 spoke 3's.
+        for t in 0u64..6 {
+            let up = g.snapshot(&t);
+            assert_eq!(up.len(), 2, "t={t}");
+            let spoke = (t % 3) as usize + 1;
+            for e in up {
+                let edge = g.edge(e);
+                let pair = (edge.src().index(), edge.dst().index());
+                assert!(pair == (0, spoke) || pair == (spoke, 0), "t={t} {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_alternates_phases() {
+        let g = grid_two_phase_tvg(2, 3, 'g');
+        assert_eq!(g.num_nodes(), 6);
+        // Horizontal edges (within a row) present only at even t.
+        for e in g.edges() {
+            let edge = g.edge(e);
+            let (s, d) = (edge.src().index(), edge.dst().index());
+            let same_row = s / 3 == d / 3;
+            assert_eq!(g.is_present(e, &0), same_row, "{e} at t=0");
+            assert_eq!(g.is_present(e, &1), !same_row, "{e} at t=1");
+        }
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let line = grid_two_phase_tvg(1, 4, 'g');
+        assert_eq!(line.num_nodes(), 4);
+        assert_eq!(line.num_edges(), 4); // ring of horizontals only
+        let column = grid_two_phase_tvg(3, 1, 'g');
+        assert_eq!(column.num_edges(), 3); // ring of verticals only
+    }
+}

@@ -1,0 +1,76 @@
+//! Typed identifiers for TVG nodes and edges.
+
+use std::fmt;
+
+/// Identifier of a node (entity) in a time-varying graph.
+///
+/// Displays as `v<index>`; indices are dense and assigned by the builder
+/// in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a node id from a dense index.
+    ///
+    /// Prefer the ids returned by the builder; this is for deserializing
+    /// experiment configs and tests.
+    #[must_use]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index fits in u32"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of a labeled edge in a time-varying graph.
+///
+/// Displays as `e<index>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// The dense index of this edge.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs an edge id from a dense index.
+    #[must_use]
+    pub fn from_index(i: usize) -> Self {
+        EdgeId(u32::try_from(i).expect("edge index fits in u32"))
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId::from_index(3).to_string(), "v3");
+        assert_eq!(EdgeId::from_index(0).to_string(), "e0");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(NodeId::from_index(7).index(), 7);
+        assert_eq!(EdgeId::from_index(9).index(), 9);
+    }
+}

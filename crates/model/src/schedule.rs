@@ -1,0 +1,481 @@
+//! Presence and latency schedules: the functions `ρ` and `ζ` of a TVG.
+//!
+//! A time-varying graph `G = (V, E, T, ρ, ζ)` attaches to every edge a
+//! *presence function* `ρ(e, ·) : T → {0,1}` and a *latency function*
+//! `ζ(e, ·) : T → T`. This module represents both as small ASTs rather
+//! than bare closures:
+//!
+//! * the paper's Table 1 is expressible structurally (`After`, `At`,
+//!   [`Presence::PqPower`] for `t = pⁱqⁱ⁻¹`, affine latencies `(p−1)t`);
+//! * Theorem 2.3's time dilation becomes a *syntactic* wrapper
+//!   ([`Presence::dilate`] / [`Latency::dilate`]) with a testable
+//!   contract;
+//! * the Theorem 2.2 compiler can pattern-match on periodic structure;
+//! * and [`Presence::Custom`] keeps the full computable generality that
+//!   Theorem 2.1 requires (the environment may run a Turing machine).
+//!
+//! Arithmetic that can overflow the time representation is checked:
+//! a latency whose value would overflow reports `None`, which callers
+//! treat as "edge unusable at this time".
+
+use crate::Time;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+use tvg_bigint::Nat;
+
+/// A presence function `ρ(e, ·)` in AST form.
+#[derive(Clone)]
+pub enum Presence<T> {
+    /// Present at every instant.
+    Always,
+    /// Never present.
+    Never,
+    /// Present only at exactly the given instant.
+    At(T),
+    /// Present at all instants strictly greater than the given one.
+    After(T),
+    /// Present at all instants strictly smaller than the given one.
+    Before(T),
+    /// Present on the inclusive window `[from, until]`.
+    Window {
+        /// First instant of availability.
+        from: T,
+        /// Last instant of availability.
+        until: T,
+    },
+    /// Present at exactly the instants in the set (trace-driven TVGs).
+    FiniteSet(BTreeSet<T>),
+    /// Present iff `t mod period ∈ phases` — the recurrent/periodic class.
+    Periodic {
+        /// Period length (must be nonzero).
+        period: u64,
+        /// Phases within `0..period` at which the edge is present.
+        phases: BTreeSet<u64>,
+    },
+    /// Present iff `t = pⁱ·qⁱ⁻¹` for some `i > 1` — the Table-1 predicate
+    /// scheduling edge `e₄` of the paper's Figure 1.
+    PqPower {
+        /// First prime of the encoding.
+        p: u64,
+        /// Second prime of the encoding.
+        q: u64,
+    },
+    /// Logical negation.
+    Not(Box<Presence<T>>),
+    /// Conjunction.
+    And(Box<Presence<T>>, Box<Presence<T>>),
+    /// Disjunction.
+    Or(Box<Presence<T>>, Box<Presence<T>>),
+    /// Time dilation by an integer factor (Theorem 2.3): present iff
+    /// `factor | t` and the inner schedule is present at `t / factor`.
+    Dilated {
+        /// The dilation factor (must be nonzero).
+        factor: u64,
+        /// The undilated schedule.
+        inner: Box<Presence<T>>,
+    },
+    /// An arbitrary computable predicate — the full generality of the
+    /// paper's environment (Theorem 2.1 schedules run deciders here).
+    Custom(Arc<dyn Fn(&T) -> bool + Send + Sync>),
+}
+
+impl<T: Time> Presence<T> {
+    /// Evaluates `ρ` at instant `t`.
+    ///
+    /// ```
+    /// use tvg_model::Presence;
+    /// let rho = Presence::Periodic { period: 4, phases: [0u64, 1].into() };
+    /// assert!(rho.is_present(&4u64));
+    /// assert!(!rho.is_present(&6u64));
+    /// ```
+    #[must_use]
+    pub fn is_present(&self, t: &T) -> bool {
+        match self {
+            Presence::Always => true,
+            Presence::Never => false,
+            Presence::At(c) => t == c,
+            Presence::After(c) => t > c,
+            Presence::Before(c) => t < c,
+            Presence::Window { from, until } => t >= from && t <= until,
+            Presence::FiniteSet(set) => set.contains(t),
+            Presence::Periodic { period, phases } => phases.contains(&t.rem_u64(*period)),
+            Presence::PqPower { p, q } => pq_power_index(t, *p, *q).is_some(),
+            Presence::Not(inner) => !inner.is_present(t),
+            Presence::And(a, b) => a.is_present(t) && b.is_present(t),
+            Presence::Or(a, b) => a.is_present(t) || b.is_present(t),
+            Presence::Dilated { factor, inner } => {
+                let (quot, rem) = t.div_rem_u64(*factor);
+                rem == 0 && inner.is_present(&quot)
+            }
+            Presence::Custom(f) => f(t),
+        }
+    }
+
+    /// The earliest instant in `[from, until]` at which the edge is
+    /// present, by linear scan.
+    ///
+    /// Used by waiting semantics over `u64` horizons; the scan is exact
+    /// for every variant including [`Presence::Custom`].
+    #[must_use]
+    pub fn next_present_within(&self, from: &T, until: &T) -> Option<T> {
+        let mut t = from.clone();
+        while t <= *until {
+            if self.is_present(&t) {
+                return Some(t);
+            }
+            t = t.succ();
+        }
+        None
+    }
+
+    /// Wraps the schedule in a time dilation by `factor` (Theorem 2.3).
+    ///
+    /// The dilated schedule is present exactly at `{factor · t : ρ(t)=1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    #[must_use]
+    pub fn dilate(self, factor: u64) -> Presence<T> {
+        assert!(factor != 0, "dilation factor must be nonzero");
+        if factor == 1 {
+            return self;
+        }
+        Presence::Dilated {
+            factor,
+            inner: Box::new(self),
+        }
+    }
+
+    /// Convenience: a custom presence from a closure.
+    pub fn from_fn(f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Presence<T> {
+        Presence::Custom(Arc::new(f))
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Presence<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Presence::Always => write!(f, "Always"),
+            Presence::Never => write!(f, "Never"),
+            Presence::At(t) => write!(f, "At({t:?})"),
+            Presence::After(t) => write!(f, "After({t:?})"),
+            Presence::Before(t) => write!(f, "Before({t:?})"),
+            Presence::Window { from, until } => write!(f, "Window({from:?}..={until:?})"),
+            Presence::FiniteSet(s) => write!(f, "FiniteSet({s:?})"),
+            Presence::Periodic { period, phases } => {
+                write!(f, "Periodic(mod {period} in {phases:?})")
+            }
+            Presence::PqPower { p, q } => write!(f, "PqPower(t = {p}^i * {q}^(i-1), i > 1)"),
+            Presence::Not(x) => write!(f, "Not({x:?})"),
+            Presence::And(a, b) => write!(f, "And({a:?}, {b:?})"),
+            Presence::Or(a, b) => write!(f, "Or({a:?}, {b:?})"),
+            Presence::Dilated { factor, inner } => write!(f, "Dilated(x{factor}, {inner:?})"),
+            Presence::Custom(_) => write!(f, "Custom(<fn>)"),
+        }
+    }
+}
+
+/// Returns `i` such that `t = pⁱ·qⁱ⁻¹` with `i > 1`, if it exists.
+///
+/// This is the presence predicate of edge `e₄` in the paper's Table 1,
+/// evaluated by prime-power decomposition.
+#[must_use]
+pub fn pq_power_index<T: Time>(t: &T, p: u64, q: u64) -> Option<u32> {
+    // Work in Nat regardless of the time representation: decomposition
+    // needs exact division.
+    let tn = to_nat(t);
+    if tn.is_zero() {
+        return None;
+    }
+    let (alpha, beta) = tn.decompose_pq(&Nat::from(p), &Nat::from(q))?;
+    (alpha > 1 && alpha == beta + 1).then_some(alpha)
+}
+
+fn to_nat<T: Time>(t: &T) -> Nat {
+    // Digits in base 2^32 via repeated division keep this exact for any
+    // Time implementation; the common cases (u64, Nat) stay cheap.
+    if let Some(v) = t.to_u64() {
+        return Nat::from(v);
+    }
+    let mut digits: Vec<u64> = Vec::new();
+    let base = 1u64 << 32;
+    let mut cur = t.clone();
+    while cur > T::zero() {
+        let (q, r) = cur.div_rem_u64(base);
+        digits.push(r);
+        cur = q;
+    }
+    let mut out = Nat::zero();
+    for &d in digits.iter().rev() {
+        out = out * Nat::from(base) + Nat::from(d);
+    }
+    out
+}
+
+/// A latency function `ζ(e, ·)` in AST form.
+#[derive(Clone)]
+pub enum Latency<T> {
+    /// Constant crossing time.
+    Const(T),
+    /// Affine in the departure time: `ζ(t) = mul · t + add`.
+    ///
+    /// Table 1's `(p−1)t` is `Affine { mul: p−1, add: 0 }`.
+    Affine {
+        /// Coefficient on the departure time.
+        mul: u64,
+        /// Constant term.
+        add: T,
+    },
+    /// Dilated latency (Theorem 2.3): `ζ'(t) = factor · ζ(t / factor)`,
+    /// meaningful at instants divisible by `factor` (which is exactly
+    /// where the dilated presence allows departures).
+    Dilated {
+        /// The dilation factor (must be nonzero).
+        factor: u64,
+        /// The undilated latency.
+        inner: Box<Latency<T>>,
+    },
+    /// An arbitrary computable latency.
+    Custom(Arc<dyn Fn(&T) -> T + Send + Sync>),
+}
+
+impl<T: Time> Latency<T> {
+    /// Evaluates `ζ` at departure instant `t`; `None` if the value
+    /// overflows the time representation.
+    ///
+    /// ```
+    /// use tvg_model::Latency;
+    /// let zeta = Latency::Affine { mul: 1, add: 0u64 }; // ζ(t) = t, so arrival 2t
+    /// assert_eq!(zeta.at(&21u64), Some(21));
+    /// ```
+    #[must_use]
+    pub fn at(&self, t: &T) -> Option<T> {
+        match self {
+            Latency::Const(c) => Some(c.clone()),
+            Latency::Affine { mul, add } => t.checked_mul_u64(*mul)?.checked_add(add),
+            Latency::Dilated { factor, inner } => {
+                let (quot, _rem) = t.div_rem_u64(*factor);
+                inner.at(&quot)?.checked_mul_u64(*factor)
+            }
+            Latency::Custom(f) => Some(f(t)),
+        }
+    }
+
+    /// Arrival time of a crossing departing at `t`: `t + ζ(t)`, or `None`
+    /// on overflow.
+    #[must_use]
+    pub fn arrival(&self, t: &T) -> Option<T> {
+        t.checked_add(&self.at(t)?)
+    }
+
+    /// Wraps the latency in a time dilation by `factor` (Theorem 2.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    #[must_use]
+    pub fn dilate(self, factor: u64) -> Latency<T> {
+        assert!(factor != 0, "dilation factor must be nonzero");
+        if factor == 1 {
+            return self;
+        }
+        Latency::Dilated {
+            factor,
+            inner: Box::new(self),
+        }
+    }
+
+    /// Convenience: a custom latency from a closure.
+    pub fn from_fn(f: impl Fn(&T) -> T + Send + Sync + 'static) -> Latency<T> {
+        Latency::Custom(Arc::new(f))
+    }
+
+    /// The unit latency `ζ ≡ 1` (the default for simulation TVGs).
+    #[must_use]
+    pub fn unit() -> Latency<T> {
+        Latency::Const(T::one())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Latency<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Latency::Const(c) => write!(f, "Const({c:?})"),
+            Latency::Affine { mul, add } => write!(f, "Affine({mul}·t + {add:?})"),
+            Latency::Dilated { factor, inner } => write!(f, "Dilated(x{factor}, {inner:?})"),
+            Latency::Custom(_) => write!(f, "Custom(<fn>)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_presence_variants() {
+        assert!(Presence::<u64>::Always.is_present(&0));
+        assert!(!Presence::<u64>::Never.is_present(&0));
+        assert!(Presence::At(5u64).is_present(&5));
+        assert!(!Presence::At(5u64).is_present(&6));
+        assert!(Presence::After(5u64).is_present(&6));
+        assert!(!Presence::After(5u64).is_present(&5));
+        assert!(Presence::Before(5u64).is_present(&4));
+        assert!(!Presence::Before(5u64).is_present(&5));
+        let w = Presence::Window { from: 3u64, until: 5 };
+        assert!(w.is_present(&3) && w.is_present(&5));
+        assert!(!w.is_present(&2) && !w.is_present(&6));
+    }
+
+    #[test]
+    fn finite_set_and_boolean_combinators() {
+        let s = Presence::FiniteSet(BTreeSet::from([2u64, 4, 8]));
+        assert!(s.is_present(&4));
+        assert!(!s.is_present(&3));
+        let not = Presence::Not(Box::new(s.clone()));
+        assert!(not.is_present(&3));
+        let and = Presence::And(Box::new(s.clone()), Box::new(Presence::After(3)));
+        assert!(and.is_present(&4));
+        assert!(!and.is_present(&2));
+        let or = Presence::Or(Box::new(s), Box::new(Presence::At(3)));
+        assert!(or.is_present(&3));
+        assert!(or.is_present(&2));
+        assert!(!or.is_present(&5));
+    }
+
+    #[test]
+    fn periodic_presence() {
+        let p = Presence::Periodic { period: 3, phases: BTreeSet::from([1u64]) };
+        for t in 0u64..20 {
+            assert_eq!(p.is_present(&t), t % 3 == 1, "t={t}");
+        }
+    }
+
+    #[test]
+    fn pq_power_predicate_matches_definition() {
+        let (p, q) = (2u64, 3u64);
+        let rho = Presence::PqPower { p, q };
+        // Collect all t = 2^i 3^(i-1), i in 2..6: 12, 72, 432, 2592.
+        let mut expected = BTreeSet::new();
+        for i in 2u32..6 {
+            expected.insert(2u64.pow(i) * 3u64.pow(i - 1));
+        }
+        for t in 0u64..3000 {
+            assert_eq!(rho.is_present(&t), expected.contains(&t), "t={t}");
+        }
+        // i = 1 gives t = p, which must NOT satisfy the predicate.
+        assert!(!rho.is_present(&2u64));
+    }
+
+    #[test]
+    fn pq_power_on_bigint_times() {
+        let p = Nat::from(2u64);
+        let q = Nat::from(3u64);
+        let t = p.pow(40) * q.pow(39);
+        assert_eq!(pq_power_index(&t, 2, 3), Some(40));
+        assert_eq!(pq_power_index(&(t * Nat::from(5u64)), 2, 3), None);
+        assert_eq!(pq_power_index(&Nat::zero(), 2, 3), None);
+        assert_eq!(pq_power_index(&Nat::one(), 2, 3), None); // i=0 not allowed
+    }
+
+    #[test]
+    fn next_present_scans() {
+        let p = Presence::Periodic { period: 5, phases: BTreeSet::from([3u64]) };
+        assert_eq!(p.next_present_within(&0u64, &10), Some(3));
+        assert_eq!(p.next_present_within(&4u64, &10), Some(8));
+        assert_eq!(p.next_present_within(&9u64, &12), None);
+        assert_eq!(Presence::<u64>::Never.next_present_within(&0, &100), None);
+    }
+
+    #[test]
+    fn dilation_contract_presence() {
+        let inner = Presence::Periodic { period: 2, phases: BTreeSet::from([1u64]) };
+        let dilated = inner.clone().dilate(3);
+        for t in 0u64..30 {
+            let expected = t % 3 == 0 && inner.is_present(&(t / 3));
+            assert_eq!(dilated.is_present(&t), expected, "t={t}");
+        }
+    }
+
+    #[test]
+    fn dilation_by_one_is_identity() {
+        let p = Presence::At(4u64).dilate(1);
+        assert!(matches!(p, Presence::At(4)));
+        let l = Latency::Const(2u64).dilate(1);
+        assert!(matches!(l, Latency::Const(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dilation factor must be nonzero")]
+    fn zero_dilation_panics() {
+        let _ = Presence::<u64>::Always.dilate(0);
+    }
+
+    #[test]
+    fn latency_variants() {
+        assert_eq!(Latency::Const(7u64).at(&100), Some(7));
+        assert_eq!(Latency::Const(7u64).arrival(&100), Some(107));
+        // ζ(t) = (p-1)·t with p=2: arrival doubles the time.
+        let zeta = Latency::Affine { mul: 1, add: 0u64 };
+        assert_eq!(zeta.arrival(&8), Some(16));
+        let zeta5 = Latency::Affine { mul: 4, add: 0u64 };
+        assert_eq!(zeta5.arrival(&3), Some(15)); // 3 + 4*3 = 15 = 5*3
+        assert_eq!(Latency::<u64>::unit().at(&0), Some(1));
+    }
+
+    #[test]
+    fn latency_overflow_is_none() {
+        let zeta = Latency::Affine { mul: 2, add: 0u64 };
+        assert_eq!(zeta.at(&(u64::MAX / 2 + 1)), None);
+        assert_eq!(Latency::Const(u64::MAX).arrival(&1), None);
+    }
+
+    #[test]
+    fn latency_dilation_contract() {
+        // inner ζ(t) = 3t (affine), factor 4: ζ'(4t) = 4·(3t) = 12t,
+        // arrival' (4t) = 4t + 12t = 4·(t + 3t).
+        let inner = Latency::Affine { mul: 3, add: 0u64 };
+        let dilated = inner.clone().dilate(4);
+        for t in 0u64..50 {
+            let inner_arrival = inner.arrival(&t).expect("no overflow");
+            assert_eq!(dilated.arrival(&(t * 4)), Some(inner_arrival * 4), "t={t}");
+        }
+    }
+
+    #[test]
+    fn custom_schedules() {
+        let rho = Presence::from_fn(|t: &u64| t.is_power_of_two());
+        assert!(rho.is_present(&8));
+        assert!(!rho.is_present(&9));
+        let zeta = Latency::from_fn(|t: &u64| t * t);
+        assert_eq!(zeta.at(&5), Some(25));
+    }
+
+    #[test]
+    fn custom_dilated_composes() {
+        // Dilating a custom schedule still works: the wrapper divides time
+        // before delegating.
+        let rho = Presence::from_fn(|t: &u64| *t == 5).dilate(2);
+        assert!(rho.is_present(&10));
+        assert!(!rho.is_present(&5));
+        assert!(!rho.is_present(&11));
+    }
+
+    #[test]
+    fn debug_output_is_informative() {
+        let rho = Presence::<u64>::PqPower { p: 2, q: 3 };
+        assert!(format!("{rho:?}").contains("2^i"));
+        let zeta = Latency::Affine { mul: 1, add: 0u64 };
+        assert!(format!("{zeta:?}").contains("Affine"));
+        assert_eq!(format!("{:?}", Presence::<u64>::from_fn(|_| true)), "Custom(<fn>)");
+    }
+
+    #[test]
+    fn bigint_affine_latency_never_overflows() {
+        let zeta = Latency::Affine { mul: u64::MAX, add: Nat::zero() };
+        let t = Nat::from(u64::MAX);
+        assert!(zeta.arrival(&t).is_some());
+    }
+}

@@ -1,0 +1,206 @@
+//! The time domain of a time-varying graph.
+//!
+//! The paper studies TVGs over a temporal domain `T` (typically `N`). This
+//! workspace instantiates `T` two ways: [`u64`] for simulation-scale work
+//! (journey search, periodic schedules, dynamic-network protocols) and
+//! [`Nat`] for the theorem constructions, whose schedules reach times like
+//! `pⁿqⁿ` that overflow any machine word. The [`Time`] trait is the small
+//! arithmetic interface both share.
+//!
+//! All operations that can overflow a machine word are *checked*: callers
+//! treat `None` as "beyond the temporal domain", which makes a `u64`
+//! overflow behave like an edge that is never available rather than a
+//! panic.
+
+use std::fmt::{Debug, Display};
+use std::hash::Hash;
+use tvg_bigint::Nat;
+
+/// Arithmetic interface of a TVG time domain (discrete, totally ordered,
+/// starting at zero).
+pub trait Time: Clone + Ord + Eq + Hash + Debug + Display {
+    /// The origin of the time axis.
+    fn zero() -> Self;
+
+    /// The unit step.
+    fn one() -> Self;
+
+    /// Embeds a machine integer into the domain.
+    fn from_u64(v: u64) -> Self;
+
+    /// Converts back to a machine integer if the value fits.
+    fn to_u64(&self) -> Option<u64>;
+
+    /// `self + rhs`, or `None` on overflow of the representation.
+    fn checked_add(&self, rhs: &Self) -> Option<Self>;
+
+    /// `self - rhs`, or `None` if `rhs > self`.
+    fn checked_sub(&self, rhs: &Self) -> Option<Self>;
+
+    /// `self · k`, or `None` on overflow of the representation.
+    fn checked_mul_u64(&self, k: u64) -> Option<Self>;
+
+    /// Quotient and remainder by a machine-word modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    fn div_rem_u64(&self, m: u64) -> (Self, u64);
+
+    /// The next instant.
+    fn succ(&self) -> Self;
+
+    /// Remainder by a machine-word modulus.
+    fn rem_u64(&self, m: u64) -> u64 {
+        self.div_rem_u64(m).1
+    }
+}
+
+impl Time for u64 {
+    fn zero() -> Self {
+        0
+    }
+
+    fn one() -> Self {
+        1
+    }
+
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+
+    fn to_u64(&self) -> Option<u64> {
+        Some(*self)
+    }
+
+    fn checked_add(&self, rhs: &Self) -> Option<Self> {
+        u64::checked_add(*self, *rhs)
+    }
+
+    fn checked_sub(&self, rhs: &Self) -> Option<Self> {
+        u64::checked_sub(*self, *rhs)
+    }
+
+    fn checked_mul_u64(&self, k: u64) -> Option<Self> {
+        u64::checked_mul(*self, k)
+    }
+
+    fn div_rem_u64(&self, m: u64) -> (Self, u64) {
+        assert!(m != 0, "time modulus must be nonzero");
+        (self / m, self % m)
+    }
+
+    fn succ(&self) -> Self {
+        self + 1
+    }
+}
+
+impl Time for Nat {
+    fn zero() -> Self {
+        Nat::zero()
+    }
+
+    fn one() -> Self {
+        Nat::one()
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Nat::from(v)
+    }
+
+    fn to_u64(&self) -> Option<u64> {
+        Nat::to_u64(self)
+    }
+
+    fn checked_add(&self, rhs: &Self) -> Option<Self> {
+        Some(self + rhs)
+    }
+
+    fn checked_sub(&self, rhs: &Self) -> Option<Self> {
+        Nat::checked_sub(self, rhs)
+    }
+
+    fn checked_mul_u64(&self, k: u64) -> Option<Self> {
+        Some(self * Nat::from(k))
+    }
+
+    fn div_rem_u64(&self, m: u64) -> (Self, u64) {
+        assert!(m != 0, "time modulus must be nonzero");
+        if let Ok(small) = u32::try_from(m) {
+            let (q, r) = self.div_rem_small(small);
+            (q, u64::from(r))
+        } else {
+            let (q, r) = self.div_rem(&Nat::from(m));
+            (q, r.to_u64().expect("remainder below a u64 modulus fits"))
+        }
+    }
+
+    fn succ(&self) -> Self {
+        Nat::succ(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laws<T: Time>() {
+        assert_eq!(T::zero().succ(), T::one());
+        assert_eq!(T::from_u64(0), T::zero());
+        assert_eq!(T::from_u64(1), T::one());
+        assert_eq!(T::from_u64(41).succ(), T::from_u64(42));
+        assert_eq!(
+            T::from_u64(6).checked_add(&T::from_u64(7)),
+            Some(T::from_u64(13))
+        );
+        assert_eq!(
+            T::from_u64(6).checked_sub(&T::from_u64(7)),
+            None
+        );
+        assert_eq!(
+            T::from_u64(7).checked_sub(&T::from_u64(6)),
+            Some(T::one())
+        );
+        assert_eq!(T::from_u64(6).checked_mul_u64(7), Some(T::from_u64(42)));
+        assert_eq!(T::from_u64(17).div_rem_u64(5), (T::from_u64(3), 2));
+        assert_eq!(T::from_u64(17).rem_u64(5), 2);
+        assert!(T::from_u64(3) < T::from_u64(4));
+    }
+
+    #[test]
+    fn u64_satisfies_laws() {
+        laws::<u64>();
+    }
+
+    #[test]
+    fn nat_satisfies_laws() {
+        laws::<Nat>();
+    }
+
+    #[test]
+    fn u64_overflow_is_none() {
+        assert_eq!(Time::checked_add(&u64::MAX, &1), None);
+        assert_eq!(u64::MAX.checked_mul_u64(2), None);
+    }
+
+    #[test]
+    fn nat_never_overflows() {
+        let big = Nat::from(u64::MAX);
+        assert!(Time::checked_add(&big, &big).is_some());
+        assert!(big.checked_mul_u64(u64::MAX).is_some());
+    }
+
+    #[test]
+    fn nat_div_rem_with_large_modulus() {
+        let t = Nat::from(u128::from(u64::MAX) * 3 + 7);
+        let (q, r) = Time::div_rem_u64(&t, u64::MAX);
+        assert_eq!(q, Nat::from(3u64));
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be nonzero")]
+    fn zero_modulus_panics() {
+        let _ = 5u64.div_rem_u64(0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Store-carry-forward vs. no-wait broadcast on edge-Markovian dynamic
+//! networks — the paper's motivating claim, quantified (experiment E5 in
+//! miniature).
+//!
+//! Run with: `cargo run --example broadcast_sim`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tvg_suite::dynnet::broadcast::{run_broadcast, BroadcastConfig, ForwardingMode};
+use tvg_suite::dynnet::markovian::{edge_markovian_trace, EdgeMarkovianParams};
+use tvg_suite::dynnet::metrics::AggregateStats;
+
+fn main() {
+    let n = 32;
+    let steps = 120;
+    let seeds = 20;
+    println!(
+        "edge-Markovian broadcast: n = {n}, {steps} steps, {seeds} seeds, p_birth = 0.01"
+    );
+    println!();
+    println!("  p_death   density   store-carry-forward      no-wait relay");
+    println!("                      delivery   mean time     delivery   mean time");
+
+    for p_death in [0.1, 0.2, 0.4, 0.6, 0.8] {
+        let params = EdgeMarkovianParams {
+            num_nodes: n,
+            p_birth: 0.01,
+            p_death,
+            steps,
+        };
+        let mut scf_stats = Vec::new();
+        let mut nw_stats = Vec::new();
+        for seed in 0..seeds {
+            let trace = edge_markovian_trace(&mut StdRng::seed_from_u64(seed), &params);
+            scf_stats.push(
+                run_broadcast(
+                    &trace,
+                    &BroadcastConfig {
+                        source: 0,
+                        mode: ForwardingMode::StoreCarryForward,
+                        source_beacons: true,
+                    },
+                )
+                .stats(),
+            );
+            nw_stats.push(
+                run_broadcast(
+                    &trace,
+                    &BroadcastConfig {
+                        source: 0,
+                        mode: ForwardingMode::NoWaitRelay,
+                        source_beacons: true,
+                    },
+                )
+                .stats(),
+            );
+        }
+        let scf = AggregateStats::from_runs(&scf_stats);
+        let nw = AggregateStats::from_runs(&nw_stats);
+        println!(
+            "  {:<9.1} {:<9.3} {:>7.1}%   {:>9.1}    {:>7.1}%   {:>9.1}",
+            p_death,
+            params.stationary_density(),
+            scf.mean_delivery_ratio * 100.0,
+            scf.mean_time.unwrap_or(f64::NAN),
+            nw.mean_delivery_ratio * 100.0,
+            nw.mean_time.unwrap_or(f64::NAN),
+        );
+    }
+    println!();
+    println!("expected shape: buffering keeps delivery near 100% as churn grows;");
+    println!("no-wait relaying collapses once contacts stop chaining back-to-back.");
+}

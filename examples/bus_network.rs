@@ -1,0 +1,64 @@
+//! A periodic transit network: foremost / shortest / fastest journeys,
+//! and why passengers (unlike packets without buffers) can wait.
+//!
+//! Run with: `cargo run --example bus_network`
+
+use std::collections::BTreeSet;
+use tvg_suite::journeys::{
+    fastest_journey, foremost_journey, shortest_journey, ReachabilityMatrix, SearchLimits,
+    WaitingPolicy,
+};
+use tvg_suite::model::generators::{line_timetable_tvg, ring_bus_tvg};
+use tvg_suite::model::NodeId;
+
+fn main() {
+    // A commuter line with four stops; each hop has a timetable.
+    let timetable = vec![
+        BTreeSet::from([2u64, 10, 18]), // stop0 → stop1 departures
+        BTreeSet::from([5u64, 13, 21]), // stop1 → stop2 departures
+        BTreeSet::from([6u64, 14, 22]), // stop2 → stop3 departures
+    ];
+    let line = line_timetable_tvg(4, &timetable, 't');
+    let limits = SearchLimits::new(30, 8);
+    let (src, dst) = (NodeId::from_index(0), NodeId::from_index(3));
+
+    println!("commuter line, stop0 → stop3 (timetabled departures):");
+    let foremost = foremost_journey(&line, src, dst, &0, &WaitingPolicy::Unbounded, &limits)
+        .expect("line is connected over time");
+    println!("  foremost (earliest arrival): {foremost} → arrives {:?}", foremost.arrival());
+    let shortest = shortest_journey(&line, src, dst, &0, &WaitingPolicy::Unbounded, &limits)
+        .expect("line is connected over time");
+    println!("  shortest (fewest hops):      {} hops", shortest.num_hops());
+    let fastest = fastest_journey(&line, src, dst, &0, &WaitingPolicy::Unbounded, &limits)
+        .expect("line is connected over time");
+    println!(
+        "  fastest (min duration):      departs {:?}, duration {}",
+        fastest.departure(),
+        fastest.duration()
+    );
+    println!();
+
+    // Without waiting, timetables almost never chain exactly.
+    let direct = foremost_journey(&line, src, dst, &0, &WaitingPolicy::NoWait, &limits);
+    println!(
+        "  without waiting at stops: {}",
+        match direct {
+            Some(j) => format!("possible ({j})"),
+            None => "impossible — connections never align exactly".to_string(),
+        }
+    );
+    println!();
+
+    // A circular bus route with staggered phases: full reachability needs
+    // waiting; the reachability matrix quantifies it.
+    let ring = ring_bus_tvg(6, 6, 'r');
+    let limits = SearchLimits::new(60, 12);
+    for policy in [WaitingPolicy::NoWait, WaitingPolicy::Unbounded] {
+        let m = ReachabilityMatrix::compute(&ring, &0, &policy, &limits);
+        println!(
+            "ring bus ({policy:<7}): reachability {:>5.1}%, temporal diameter {:?}",
+            m.reachability_ratio() * 100.0,
+            m.temporal_diameter()
+        );
+    }
+}

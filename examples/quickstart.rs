@@ -1,0 +1,65 @@
+//! Quickstart: build a small time-varying graph, search journeys under
+//! the three waiting policies, and run it as a TVG-automaton.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::collections::BTreeSet;
+use tvg_suite::expressivity::TvgAutomaton;
+use tvg_suite::journeys::{foremost_journey, SearchLimits, WaitingPolicy};
+use tvg_suite::langs::word;
+use tvg_suite::model::{Latency, Presence, TvgBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny dynamic network: a message can go v0 → v1 early, but the
+    // v1 → v2 link only comes up at t = 5.
+    let mut b = TvgBuilder::<u64>::new();
+    let v0 = b.node("v0");
+    let v1 = b.node("v1");
+    let v2 = b.node("v2");
+    b.edge(v0, v1, 'a', Presence::At(1), Latency::unit())?;
+    b.edge(v1, v2, 'b', Presence::At(5), Latency::unit())?;
+    let g = b.build()?;
+
+    println!("TVG with {} nodes, {} edges", g.num_nodes(), g.num_edges());
+    println!("snapshot at t=1: {:?}", g.snapshot(&1));
+    println!("snapshot at t=5: {:?}", g.snapshot(&5));
+    println!();
+
+    // Journey search under the paper's three regimes.
+    let limits = SearchLimits::new(10, 5);
+    for policy in [
+        WaitingPolicy::NoWait,
+        WaitingPolicy::Bounded(3),
+        WaitingPolicy::Unbounded,
+    ] {
+        match foremost_journey(&g, v0, v2, &1, &policy, &limits) {
+            Some(j) => println!("{policy:<8} v0→v2: {j}  (arrives at {:?})", j.arrival()),
+            None => println!("{policy:<8} v0→v2: no feasible journey"),
+        }
+    }
+    println!();
+
+    // The same graph as a language acceptor.
+    let aut = TvgAutomaton::new(
+        g,
+        BTreeSet::from([v0]),
+        BTreeSet::from([v2]),
+        1,
+    )?;
+    let w = word("ab");
+    for policy in [WaitingPolicy::NoWait, WaitingPolicy::Unbounded] {
+        println!(
+            "A(G) accepts {w:?} under {policy}: {}",
+            aut.accepts(&w, &policy, &limits)
+        );
+    }
+    println!();
+    println!(
+        "L_wait(G) up to length 3: {:?}",
+        aut.language_upto(&WaitingPolicy::Unbounded, &limits, 3)
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the *Waiting in Dynamic Networks* reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use tvg_suite::…`. See the individual crates
+//! for the real documentation:
+//!
+//! * [`bigint`] — arbitrary-precision naturals (schedule arithmetic).
+//! * [`langs`] — words, automata, grammars, Turing machines, wqo tools.
+//! * [`model`] — the time-varying graph model and schedules.
+//! * [`journeys`] — journeys, waiting policies, search, reachability.
+//! * [`expressivity`] — the paper's constructions (Figure 1, Theorems
+//!   2.1–2.3).
+//! * [`dynnet`] — dynamic-network protocol simulations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tvg_bigint as bigint;
+pub use tvg_dynnet as dynnet;
+pub use tvg_expressivity as expressivity;
+pub use tvg_journeys as journeys;
+pub use tvg_langs as langs;
+pub use tvg_model as model;

@@ -1,0 +1,200 @@
+//! Failure injection: malformed inputs across crates must produce typed
+//! errors (or documented panics), never silent misbehavior.
+
+use std::collections::BTreeSet;
+use tvg_suite::expressivity::anbn::{AnbnAutomaton, AnbnError};
+use tvg_suite::expressivity::wait_regular::{periodic_to_nfa, CompileError};
+use tvg_suite::expressivity::{AutomatonError, TvgAutomaton};
+use tvg_suite::journeys::{Hop, Journey, JourneyError, WaitingPolicy};
+use tvg_suite::langs::{
+    Alphabet, AlphabetError, Dfa, DfaError, Grammar, GrammarError, Nfa, NfaError, Regex,
+    RegexError, TmBuilder, TmError, Word,
+};
+use tvg_suite::model::{EdgeId, Latency, NodeId, Presence, TvgBuilder, TvgError};
+
+#[test]
+fn alphabet_failures() {
+    assert_eq!(Alphabet::from_chars("").unwrap_err(), AlphabetError::Empty);
+    assert_eq!(
+        Alphabet::from_chars("aba").unwrap_err(),
+        AlphabetError::DuplicateLetter('a')
+    );
+    assert_eq!(
+        "a b".parse::<Word>().unwrap_err(),
+        AlphabetError::NotPrintableAscii(' ')
+    );
+}
+
+#[test]
+fn dfa_failures() {
+    assert_eq!(
+        Dfa::new(Alphabet::ab(), vec![], 0, vec![]).unwrap_err(),
+        DfaError::NoStates
+    );
+    assert_eq!(
+        Dfa::new(Alphabet::ab(), vec![vec![0, 9]], 0, vec![true]).unwrap_err(),
+        DfaError::BadTarget { state: 0, letter: 1, target: 9 }
+    );
+}
+
+#[test]
+fn nfa_failures() {
+    let mut nfa = Nfa::new(Alphabet::ab(), 1);
+    assert_eq!(nfa.add_start(5).unwrap_err(), NfaError::BadState(5));
+    assert_eq!(
+        nfa.add_transition(0, Some('z'), 0).unwrap_err(),
+        NfaError::LetterNotInAlphabet('z')
+    );
+    let other = Nfa::new(Alphabet::abc(), 1);
+    assert_eq!(nfa.union(&other).unwrap_err(), NfaError::AlphabetMismatch);
+}
+
+#[test]
+fn regex_failures() {
+    let sigma = Alphabet::ab();
+    assert!(matches!(
+        Regex::parse("(ab", &sigma).unwrap_err(),
+        RegexError::UnbalancedParens { .. }
+    ));
+    assert!(matches!(
+        Regex::parse("+a", &sigma).unwrap_err(),
+        RegexError::DanglingPostfix { .. }
+    ));
+    assert!(matches!(
+        Regex::parse("axb", &sigma).unwrap_err(),
+        RegexError::UnexpectedChar { .. }
+    ));
+}
+
+#[test]
+fn grammar_and_tm_failures() {
+    assert_eq!(Grammar::from_rules("").unwrap_err(), GrammarError::Empty);
+    assert!(matches!(
+        Grammar::from_rules("S a").unwrap_err(),
+        GrammarError::MissingArrow { .. }
+    ));
+    let dup = TmBuilder::new("s")
+        .rule("s", 'a', "s", 'a', tvg_suite::langs::Move::Right)
+        .expect("first rule ok")
+        .rule("s", 'a', "t", 'b', tvg_suite::langs::Move::Left)
+        .expect("second rule ok")
+        .build();
+    assert!(matches!(dup.unwrap_err(), TmError::DuplicateRule { .. }));
+}
+
+#[test]
+fn tvg_builder_failures() {
+    let b = TvgBuilder::<u64>::new();
+    assert_eq!(b.build().unwrap_err(), TvgError::NoNodes);
+
+    let mut b = TvgBuilder::<u64>::new();
+    let v = b.node("v");
+    let ghost = NodeId::from_index(42);
+    assert_eq!(
+        b.edge(v, ghost, 'a', Presence::Always, Latency::unit())
+            .unwrap_err(),
+        TvgError::UnknownNode(ghost)
+    );
+    assert_eq!(
+        b.edge(v, v, 'é', Presence::Always, Latency::unit()).unwrap_err(),
+        TvgError::BadLabel('é')
+    );
+}
+
+#[test]
+fn automaton_failures() {
+    let mut b = TvgBuilder::<u64>::new();
+    let v = b.nodes(1);
+    let g = b.build().expect("valid");
+    assert_eq!(
+        TvgAutomaton::new(g.clone(), BTreeSet::new(), BTreeSet::new(), 0).unwrap_err(),
+        AutomatonError::NoInitialStates
+    );
+    let ghost = NodeId::from_index(5);
+    assert_eq!(
+        TvgAutomaton::new(g, BTreeSet::from([ghost]), BTreeSet::from([v[0]]), 0).unwrap_err(),
+        AutomatonError::UnknownNode(ghost)
+    );
+}
+
+#[test]
+fn journey_validation_failures_are_specific() {
+    let mut b = TvgBuilder::<u64>::new();
+    let v = b.nodes(2);
+    b.edge(v[0], v[1], 'a', Presence::At(3), Latency::unit())
+        .expect("valid");
+    let g = b.build().expect("valid");
+    let e = EdgeId::from_index(0);
+
+    // Wrong source.
+    let j = Journey::from_hops(vec![Hop { edge: e, depart: 3, arrive: 4 }]);
+    assert_eq!(
+        j.validate(&g, v[1], &3, &WaitingPolicy::Unbounded),
+        Err(JourneyError::WrongSource)
+    );
+    // Edge absent.
+    let j = Journey::from_hops(vec![Hop { edge: e, depart: 2, arrive: 3 }]);
+    assert_eq!(
+        j.validate(&g, v[0], &2, &WaitingPolicy::Unbounded),
+        Err(JourneyError::EdgeAbsent { hop: 0 })
+    );
+    // Wait bound exceeded.
+    let j = Journey::from_hops(vec![Hop { edge: e, depart: 3, arrive: 4 }]);
+    assert_eq!(
+        j.validate(&g, v[0], &0, &WaitingPolicy::Bounded(2)),
+        Err(JourneyError::WaitTooLong { hop: 0 })
+    );
+    // Arrival inconsistent with latency.
+    let j = Journey::from_hops(vec![Hop { edge: e, depart: 3, arrive: 9 }]);
+    assert_eq!(
+        j.validate(&g, v[0], &3, &WaitingPolicy::Unbounded),
+        Err(JourneyError::WrongArrival { hop: 0 })
+    );
+}
+
+#[test]
+fn compiler_failures_name_offenders() {
+    let mut b = TvgBuilder::<u64>::new();
+    let v = b.nodes(2);
+    b.edge(v[0], v[1], 'a', Presence::PqPower { p: 2, q: 3 }, Latency::unit())
+        .expect("valid");
+    let aut = TvgAutomaton::new(
+        b.build().expect("valid"),
+        BTreeSet::from([v[0]]),
+        BTreeSet::from([v[1]]),
+        0,
+    )
+    .expect("valid");
+    // The aperiodic prime-power schedule cannot be compiled — precisely
+    // the boundary between Theorem 2.1 and Theorem 2.2 territory.
+    assert_eq!(
+        periodic_to_nfa(&aut, 6, &WaitingPolicy::Unbounded, &Alphabet::ab()).unwrap_err(),
+        CompileError::NonPeriodicPresence(EdgeId::from_index(0))
+    );
+}
+
+#[test]
+fn anbn_parameter_failures() {
+    assert_eq!(AnbnAutomaton::new(6, 3).unwrap_err(), AnbnError::NotPrime(6));
+    assert_eq!(AnbnAutomaton::new(3, 3).unwrap_err(), AnbnError::PrimesNotDistinct);
+}
+
+#[test]
+fn u64_time_overflow_is_unusable_edge_not_panic() {
+    // An affine latency that overflows u64 must make the edge unusable,
+    // not crash the search.
+    let mut b = TvgBuilder::<u64>::new();
+    let v = b.nodes(2);
+    let e = b
+        .edge(
+            v[0],
+            v[1],
+            'a',
+            Presence::Always,
+            Latency::Affine { mul: u64::MAX, add: 0 },
+        )
+        .expect("valid");
+    let g = b.build().expect("valid");
+    assert_eq!(g.traverse(e, &2), None); // 2 · u64::MAX overflows
+    assert_eq!(g.traverse(e, &0), Some(0)); // 0 · anything is fine
+}

@@ -1,0 +1,73 @@
+//! Pins the paper's concrete artifacts to exact values: the Table-1
+//! schedule semantics and the Figure-1 run, digit for digit.
+
+use tvg_suite::bigint::Nat;
+use tvg_suite::expressivity::anbn::{anbn_word, AnbnAutomaton};
+use tvg_suite::langs::word;
+use tvg_suite::model::{pq_power_index, Presence};
+
+#[test]
+fn table1_presence_functions_exact() {
+    // ρ(e0) = always; ρ(e1): t > p; ρ(e3): t = p — directly the AST.
+    let p = 2u64;
+    let e1 = Presence::After(Nat::from(p));
+    assert!(!e1.is_present(&Nat::from(2u64)));
+    assert!(e1.is_present(&Nat::from(3u64)));
+    let e3 = Presence::At(Nat::from(p));
+    assert!(e3.is_present(&Nat::from(2u64)));
+    assert!(!e3.is_present(&Nat::from(3u64)));
+
+    // ρ(e4): t = pⁱqⁱ⁻¹, i > 1 — prime-power decomposition.
+    let e4 = Presence::<Nat>::PqPower { p: 2, q: 3 };
+    // i = 2: 2²·3 = 12; i = 3: 2³·3² = 72; i = 4: 2⁴·3³ = 432.
+    for t in [12u64, 72, 432] {
+        assert!(e4.is_present(&Nat::from(t)), "{t}");
+    }
+    // i = 1 (t = p = 2) is excluded; near misses too.
+    for t in [2u64, 6, 24, 36, 71, 73] {
+        assert!(!e4.is_present(&Nat::from(t)), "{t}");
+    }
+    // ρ(e2) = ¬ρ(e4).
+    let e2 = Presence::Not(Box::new(Presence::<Nat>::PqPower { p: 2, q: 3 }));
+    assert!(!e2.is_present(&Nat::from(72u64)));
+    assert!(e2.is_present(&Nat::from(24u64)));
+}
+
+#[test]
+fn pq_power_index_reports_the_exponent() {
+    assert_eq!(pq_power_index(&Nat::from(12u64), 2, 3), Some(2));
+    assert_eq!(pq_power_index(&Nat::from(72u64), 2, 3), Some(3));
+    assert_eq!(pq_power_index(&Nat::from(2u64), 2, 3), None); // i = 1 excluded
+    assert_eq!(
+        pq_power_index(&(Nat::from(2u64).pow(20) * Nat::from(3u64).pow(19)), 2, 3),
+        Some(20)
+    );
+}
+
+#[test]
+fn figure1_clock_trace_digit_for_digit() {
+    // The accepting run of a⁴b⁴ (p=2, q=3), exactly as the schedule
+    // dictates: ×2 per a, ×3 per b, +1 on the final accept edge.
+    let aut = AnbnAutomaton::smallest();
+    let trace = aut.nowait_trace(&anbn_word(4)).expect("a⁴b⁴ accepted");
+    let clocks: Vec<String> = trace.iter().map(|(_, t)| t.to_string()).collect();
+    assert_eq!(
+        clocks,
+        vec!["1", "2", "4", "8", "16", "48", "144", "432", "433"]
+    );
+    let nodes: Vec<&str> = trace.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        nodes,
+        vec!["v0", "v0", "v0", "v0", "v0", "v1", "v1", "v1", "v2"]
+    );
+}
+
+#[test]
+fn reading_starts_at_one_matters() {
+    // The paper fixes the start of reading at t = 1; the construction
+    // degenerates from t = 0 (0 · p = 0, the clock never moves).
+    let aut = AnbnAutomaton::smallest();
+    assert!(aut.accepts_nowait(&word("ab")));
+    // The public API pins start_time = 1:
+    assert_eq!(aut.automaton().start_time(), &Nat::one());
+}
