@@ -22,18 +22,18 @@ fn bench_broadcast(c: &mut Criterion) {
             ("scf", ForwardingMode::StoreCarryForward),
             ("nowait", ForwardingMode::NoWaitRelay),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &trace,
-                |b, trace| {
-                    b.iter(|| {
-                        run_broadcast(
-                            trace,
-                            &BroadcastConfig { source: 0, mode, source_beacons: true },
-                        )
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &trace, |b, trace| {
+                b.iter(|| {
+                    run_broadcast(
+                        trace,
+                        &BroadcastConfig {
+                            source: 0,
+                            mode,
+                            source_beacons: true,
+                        },
+                    )
+                });
+            });
         }
     }
     group.finish();

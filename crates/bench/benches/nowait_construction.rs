@@ -29,8 +29,7 @@ fn bench_grammar_schedule(c: &mut Criterion) {
 }
 
 fn bench_tm_schedule(c: &mut Criterion) {
-    let aut =
-        DeciderAutomaton::from_turing_machine(Alphabet::abc(), machines::anbncn(), 1_000_000);
+    let aut = DeciderAutomaton::from_turing_machine(Alphabet::abc(), machines::anbncn(), 1_000_000);
     let mut group = c.benchmark_group("e2_turing_machine_schedule_accept");
     group.sample_size(10);
     for n in [2usize, 4, 8] {

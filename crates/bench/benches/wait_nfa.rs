@@ -15,8 +15,7 @@ fn bench_compile(c: &mut Criterion) {
         let aut = random_periodic_automaton(7, period);
         group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
             b.iter(|| {
-                periodic_to_nfa(&aut, p, &WaitingPolicy::Unbounded, &alphabet)
-                    .expect("periodic")
+                periodic_to_nfa(&aut, p, &WaitingPolicy::Unbounded, &alphabet).expect("periodic")
             });
         });
     }

@@ -38,7 +38,10 @@ pub fn staggered_automaton() -> TvgAutomaton<u64> {
         v[0],
         v[1],
         'a',
-        Presence::Periodic { period: 4, phases: BTreeSet::from([0]) },
+        Presence::Periodic {
+            period: 4,
+            phases: BTreeSet::from([0]),
+        },
         Latency::unit(),
     )
     .expect("valid");
@@ -46,7 +49,10 @@ pub fn staggered_automaton() -> TvgAutomaton<u64> {
         v[1],
         v[2],
         'b',
-        Presence::Periodic { period: 4, phases: BTreeSet::from([3]) },
+        Presence::Periodic {
+            period: 4,
+            phases: BTreeSet::from([3]),
+        },
         Latency::unit(),
     )
     .expect("valid");
@@ -55,7 +61,10 @@ pub fn staggered_automaton() -> TvgAutomaton<u64> {
         v[2],
         v[0],
         'a',
-        Presence::Periodic { period: 4, phases: BTreeSet::from([0, 2]) },
+        Presence::Periodic {
+            period: 4,
+            phases: BTreeSet::from([0, 2]),
+        },
         Latency::unit(),
     )
     .expect("valid");
@@ -96,15 +105,27 @@ pub fn e1_membership() -> Table {
     let aut = AnbnAutomaton::smallest();
     let mut t = Table::new(
         "E1a — Figure 1: A(G) accepts aⁿbⁿ by direct journeys (p=2, q=3)",
-        &["n", "word", "accepted", "a^n b^(n-1) rejected", "a^(n-1) b^n rejected", "peak clock (decimal digits)", "time"],
+        &[
+            "n",
+            "word",
+            "accepted",
+            "a^n b^(n-1) rejected",
+            "a^(n-1) b^n rejected",
+            "peak clock (decimal digits)",
+            "time",
+        ],
     );
     for n in [1usize, 2, 4, 8, 16, 32, 48, 64] {
         let w = anbn_word(n);
         let start = Instant::now();
         let accepted = aut.accepts_nowait(&w);
         let elapsed = start.elapsed();
-        let miss1 = format!("{}{}", "a".repeat(n), "b".repeat(n - 1)).parse::<Word>().expect("ascii");
-        let miss2 = format!("{}{}", "a".repeat(n.saturating_sub(1)), "b".repeat(n)).parse::<Word>().expect("ascii");
+        let miss1 = format!("{}{}", "a".repeat(n), "b".repeat(n - 1))
+            .parse::<Word>()
+            .expect("ascii");
+        let miss2 = format!("{}{}", "a".repeat(n.saturating_sub(1)), "b".repeat(n))
+            .parse::<Word>()
+            .expect("ascii");
         let peak = Nat::from(2u64).pow(n as u32) * Nat::from(3u64).pow(n.saturating_sub(1) as u32);
         t.row(&[
             n.to_string(),
@@ -133,7 +154,11 @@ pub fn e1_exhaustive(max_len: usize) -> Table {
         .iter()
         .filter(|w| aut.accepts_nowait(w) != is_anbn(w))
         .count();
-    t.row(&[max_len.to_string(), words.len().to_string(), mismatches.to_string()]);
+    t.row(&[
+        max_len.to_string(),
+        words.len().to_string(),
+        mismatches.to_string(),
+    ]);
     t.note("paper: zero mismatches expected (Theorem-level claim for Figure 1)");
     t
 }
@@ -145,7 +170,15 @@ pub fn e1_exhaustive(max_len: usize) -> Table {
 pub fn e2_computable_languages() -> Table {
     let mut t = Table::new(
         "E2 — Theorem 2.1: L_nowait ⊇ computable (decider runs in the schedule)",
-        &["language", "class", "decider", "|Σ|", "checked ≤ len", "words", "mismatches"],
+        &[
+            "language",
+            "class",
+            "decider",
+            "|Σ|",
+            "checked ≤ len",
+            "words",
+            "mismatches",
+        ],
     );
     struct Case {
         name: &'static str,
@@ -304,7 +337,14 @@ pub fn e3_periodic_compilation() -> Table {
     let alphabet = Alphabet::ab();
     let mut t = Table::new(
         "E3a — Theorem 2.2: L_wait of periodic TVGs is regular (compiler vs simulation)",
-        &["seed", "period", "NFA states", "DFA states", "min-DFA states", "lang ≤ 7 identical"],
+        &[
+            "seed",
+            "period",
+            "NFA states",
+            "DFA states",
+            "min-DFA states",
+            "lang ≤ 7 identical",
+        ],
     );
     for seed in 0..8u64 {
         let period = 2 + seed % 3;
@@ -336,7 +376,11 @@ pub fn e3_regular_embedding() -> Table {
     let alphabet = Alphabet::ab();
     let mut t = Table::new(
         "E3b — Theorem 2.2: regular ⊆ L_wait (DFA → always-present TVG)",
-        &["regex", "min-DFA states", "nowait = wait = wait[2] = L(dfa) (≤ 6)"],
+        &[
+            "regex",
+            "min-DFA states",
+            "nowait = wait = wait[2] = L(dfa) (≤ 6)",
+        ],
     );
     for pattern in ["(a|b)*ab", "a*b*", "(ab)*", "a(a|b)+", "(a|b)*b(a|b)*"] {
         let dfa = Regex::parse(pattern, &alphabet)
@@ -352,7 +396,11 @@ pub fn e3_regular_embedding() -> Table {
                 && aut.accepts(&w, &WaitingPolicy::Bounded(2), &limits) == expected
                 && aut.accepts(&w, &WaitingPolicy::Unbounded, &limits) == expected
         });
-        t.row(&[pattern.to_string(), dfa.num_states().to_string(), ok.to_string()]);
+        t.row(&[
+            pattern.to_string(),
+            dfa.num_states().to_string(),
+            ok.to_string(),
+        ]);
     }
     t.note("static schedules make waiting irrelevant: all policies agree with the DFA");
     t
@@ -370,12 +418,15 @@ pub fn e3_residual_contrast() -> Table {
         .expect("periodic")
         .to_dfa()
         .minimize();
-    let nowait_growth =
-        myhill::residual_growth(&alphabet, 6, 6, |w| fig1.accepts_nowait(w));
+    let nowait_growth = myhill::residual_growth(&alphabet, 6, 6, |w| fig1.accepts_nowait(w));
     let wait_growth = myhill::residual_growth(&alphabet, 6, 6, |w| wait_dfa.accepts(w));
     let mut t = Table::new(
         "E3c — residual (Myhill–Nerode) lower bounds: L_nowait grows, L_wait saturates",
-        &["prefix budget", "L_nowait(Figure 1) residuals", "L_wait(periodic) residuals"],
+        &[
+            "prefix budget",
+            "L_nowait(Figure 1) residuals",
+            "L_wait(periodic) residuals",
+        ],
     );
     for (i, (n, w)) in nowait_growth.iter().zip(&wait_growth).enumerate() {
         t.row(&[i.to_string(), n.to_string(), w.to_string()]);
@@ -395,7 +446,12 @@ pub fn e3_lstar_learning() -> Table {
     let alphabet = Alphabet::ab();
     let mut t = Table::new(
         "E3d — Theorem 2.2 operational: L* learns L_wait from queries alone",
-        &["seed", "learned DFA states", "compiled min-DFA states", "equivalent"],
+        &[
+            "seed",
+            "learned DFA states",
+            "compiled min-DFA states",
+            "equivalent",
+        ],
     );
     for seed in [0u64, 3, 5, 7] {
         let aut = random_periodic_automaton(seed, 3);
@@ -431,7 +487,12 @@ pub fn e4_dilation() -> Table {
     let alphabet = Alphabet::ab();
     let mut t = Table::new(
         "E4 — Theorem 2.3: L_wait[d](dilate(G,d)) = L_nowait(G)",
-        &["graph", "d", "wait[d] gain before dilation", "disagreements after dilation"],
+        &[
+            "graph",
+            "d",
+            "wait[d] gain before dilation",
+            "disagreements after dilation",
+        ],
     );
     let graphs: Vec<(&str, TvgAutomaton<u64>)> = vec![
         ("staggered", staggered_automaton()),
@@ -519,8 +580,7 @@ pub fn e5_broadcast(num_nodes: usize, steps: usize, seeds: u64) -> Table {
             p_death,
             steps,
         };
-        let mut per_mode: Vec<Vec<tvg_dynnet::metrics::DeliveryStats>> =
-            vec![Vec::new(); 4];
+        let mut per_mode: Vec<Vec<tvg_dynnet::metrics::DeliveryStats>> = vec![Vec::new(); 4];
         let modes = [
             ForwardingMode::StoreCarryForward,
             ForwardingMode::BoundedBuffer(8),
@@ -533,14 +593,20 @@ pub fn e5_broadcast(num_nodes: usize, steps: usize, seeds: u64) -> Table {
                 per_mode[i].push(
                     run_broadcast(
                         &trace,
-                        &BroadcastConfig { source: 0, mode, source_beacons: true },
+                        &BroadcastConfig {
+                            source: 0,
+                            mode,
+                            source_beacons: true,
+                        },
                     )
                     .stats(),
                 );
             }
         }
-        let agg: Vec<AggregateStats> =
-            per_mode.iter().map(|runs| AggregateStats::from_runs(runs)).collect();
+        let agg: Vec<AggregateStats> = per_mode
+            .iter()
+            .map(|runs| AggregateStats::from_runs(runs))
+            .collect();
         t.row(&[
             format!("{p_death:.2}"),
             format!("{:.3}", params.stationary_density()),

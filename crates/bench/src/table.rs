@@ -46,7 +46,10 @@ impl Table {
     /// Cell accessor for tests: `(row, column)`.
     #[must_use]
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
     }
 }
 

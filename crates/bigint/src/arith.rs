@@ -86,8 +86,9 @@ impl Nat {
         }
         let mut carry: u64 = 0;
         for i in 0..self.limbs.len() {
-            let sum =
-                u64::from(self.limbs[i]) + u64::from(other.limbs.get(i).copied().unwrap_or(0)) + carry;
+            let sum = u64::from(self.limbs[i])
+                + u64::from(other.limbs.get(i).copied().unwrap_or(0))
+                + carry;
             self.limbs[i] = sum as u32;
             carry = sum >> 32;
         }
@@ -299,8 +300,10 @@ mod tests {
 
     #[test]
     fn mul_cross_limb() {
-        assert_eq!(n(u128::from(u64::MAX)) * n(u128::from(u64::MAX)),
-                   n(u128::from(u64::MAX) * u128::from(u64::MAX)));
+        assert_eq!(
+            n(u128::from(u64::MAX)) * n(u128::from(u64::MAX)),
+            n(u128::from(u64::MAX) * u128::from(u64::MAX))
+        );
         assert_eq!(n(0) * n(12345), n(0));
         assert_eq!(n(1) * n(12345), n(12345));
     }

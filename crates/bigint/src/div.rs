@@ -176,7 +176,10 @@ mod tests {
         let big = n(0xFEED_FACE_CAFE_BEEF_DEAD_BEEF);
         let (q, r) = big.div_rem_small(1_000_000_000);
         assert_eq!(q, n(0xFEED_FACE_CAFE_BEEF_DEAD_BEEF / 1_000_000_000));
-        assert_eq!(u128::from(r), 0xFEED_FACE_CAFE_BEEF_DEAD_BEEF % 1_000_000_000);
+        assert_eq!(
+            u128::from(r),
+            0xFEED_FACE_CAFE_BEEF_DEAD_BEEF % 1_000_000_000
+        );
     }
 
     #[test]

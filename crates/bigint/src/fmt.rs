@@ -103,14 +103,25 @@ mod tests {
 
     #[test]
     fn display_matches_u128() {
-        for v in [1u128, 999_999_999, 1_000_000_000, u128::from(u64::MAX), u128::MAX] {
+        for v in [
+            1u128,
+            999_999_999,
+            1_000_000_000,
+            u128::from(u64::MAX),
+            u128::MAX,
+        ] {
             assert_eq!(Nat::from(v).to_string(), v.to_string());
         }
     }
 
     #[test]
     fn parse_roundtrip() {
-        for s in ["0", "1", "4294967296", "340282366920938463463374607431768211455"] {
+        for s in [
+            "0",
+            "1",
+            "4294967296",
+            "340282366920938463463374607431768211455",
+        ] {
             let n: Nat = s.parse().expect("valid");
             assert_eq!(n.to_string(), s);
         }
@@ -139,10 +150,7 @@ mod tests {
     fn hex_formatting() {
         assert_eq!(format!("{:x}", Nat::zero()), "0");
         assert_eq!(format!("{:x}", Nat::from(0xDEAD_BEEFu64)), "deadbeef");
-        assert_eq!(
-            format!("{:x}", Nat::from(0x1_0000_0000u64)),
-            "100000000"
-        );
+        assert_eq!(format!("{:x}", Nat::from(0x1_0000_0000u64)), "100000000");
         assert_eq!(format!("{:#x}", Nat::from(255u64)), "0xff");
     }
 

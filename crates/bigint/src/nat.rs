@@ -61,7 +61,7 @@ impl Nat {
     /// Returns `true` iff the number is even (zero counts as even).
     #[must_use]
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l % 2 == 0)
+        self.limbs.first().is_none_or(|l| l % 2 == 0)
     }
 
     /// Number of significant bits (`0` for zero).
@@ -83,7 +83,7 @@ impl Nat {
     #[must_use]
     pub fn bit(&self, i: usize) -> bool {
         let (limb, off) = (i / 32, i % 32);
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Remove trailing zero limbs to restore the canonical form.
@@ -242,7 +242,16 @@ mod tests {
 
     #[test]
     fn ordering_matches_u128() {
-        let cases = [0u128, 1, 2, 1 << 31, 1 << 32, 1 << 63, u128::from(u64::MAX), 1 << 100];
+        let cases = [
+            0u128,
+            1,
+            2,
+            1 << 31,
+            1 << 32,
+            1 << 63,
+            u128::from(u64::MAX),
+            1 << 100,
+        ];
         for &a in &cases {
             for &b in &cases {
                 assert_eq!(Nat::from(a).cmp(&Nat::from(b)), a.cmp(&b), "{a} vs {b}");

@@ -126,7 +126,15 @@ mod tests {
 
     #[test]
     fn pow_matches_u128() {
-        for (b, e) in [(2u128, 0u32), (2, 1), (2, 100), (3, 63), (10, 30), (1, 999), (0, 5)] {
+        for (b, e) in [
+            (2u128, 0u32),
+            (2, 1),
+            (2, 100),
+            (3, 63),
+            (10, 30),
+            (1, 999),
+            (0, 5),
+        ] {
             let expected = if b == 0 && e == 0 {
                 Nat::one()
             } else if b == 0 {
@@ -157,8 +165,14 @@ mod tests {
 
     #[test]
     fn mod_pow_edges() {
-        assert_eq!(Nat::from(5u64).mod_pow(&Nat::zero(), &Nat::from(7u64)), Nat::one());
-        assert_eq!(Nat::from(5u64).mod_pow(&Nat::from(3u64), &Nat::one()), Nat::zero());
+        assert_eq!(
+            Nat::from(5u64).mod_pow(&Nat::zero(), &Nat::from(7u64)),
+            Nat::one()
+        );
+        assert_eq!(
+            Nat::from(5u64).mod_pow(&Nat::from(3u64), &Nat::one()),
+            Nat::zero()
+        );
     }
 
     #[test]

@@ -115,7 +115,9 @@ mod tests {
 
     #[test]
     fn small_primes_recognized() {
-        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61];
+        let primes = [
+            2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+        ];
         for p in primes {
             assert!(Nat::from(p).is_prime(), "{p} should be prime");
         }
@@ -123,7 +125,9 @@ mod tests {
 
     #[test]
     fn small_composites_rejected() {
-        for c in [0u64, 1, 4, 6, 8, 9, 15, 21, 25, 27, 33, 35, 49, 51, 55, 57, 63, 91] {
+        for c in [
+            0u64, 1, 4, 6, 8, 9, 15, 21, 25, 27, 33, 35, 49, 51, 55, 57, 63, 91,
+        ] {
             assert!(!Nat::from(c).is_prime(), "{c} should be composite");
         }
     }

@@ -1,101 +1,142 @@
 //! Property-based tests for `Nat` arithmetic, cross-checked against `u128`
 //! and against algebraic laws that hold beyond machine range.
+//!
+//! Runs on `tvg-testkit`'s deterministic harness: fixed seeds derived
+//! from each property's name, fixed case counts, identical output on
+//! every run.
 
-use proptest::prelude::*;
+use rand::Rng;
 use tvg_bigint::Nat;
+use tvg_testkit::gen::u128_any;
 
 fn nat(v: u128) -> Nat {
     Nat::from(v)
 }
 
-proptest! {
-    #[test]
-    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(nat(a as u128) + nat(b as u128), nat(a as u128 + b as u128));
-    }
+#[test]
+fn add_matches_u128() {
+    tvg_testkit::check("add_matches_u128", |rng, _| {
+        let (a, b) = (rng.gen::<u64>(), rng.gen::<u64>());
+        assert_eq!(nat(a as u128) + nat(b as u128), nat(a as u128 + b as u128));
+    });
+}
 
-    #[test]
-    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(nat(a as u128) * nat(b as u128), nat(a as u128 * b as u128));
-    }
+#[test]
+fn mul_matches_u128() {
+    tvg_testkit::check("mul_matches_u128", |rng, _| {
+        let (a, b) = (rng.gen::<u64>(), rng.gen::<u64>());
+        assert_eq!(nat(a as u128) * nat(b as u128), nat(a as u128 * b as u128));
+    });
+}
 
-    #[test]
-    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+#[test]
+fn sub_matches_u128() {
+    tvg_testkit::check("sub_matches_u128", |rng, _| {
+        let (a, b) = (u128_any(rng), u128_any(rng));
         let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
-        prop_assert_eq!(nat(hi) - nat(lo), nat(hi - lo));
+        assert_eq!(nat(hi) - nat(lo), nat(hi - lo));
         if hi != lo {
-            prop_assert_eq!(nat(lo).checked_sub(&nat(hi)), None);
+            assert_eq!(nat(lo).checked_sub(&nat(hi)), None);
         }
-    }
+    });
+}
 
-    #[test]
-    fn div_rem_matches_u128(a in any::<u128>(), b in 1u128..) {
+#[test]
+fn div_rem_matches_u128() {
+    tvg_testkit::check("div_rem_matches_u128", |rng, _| {
+        let a = u128_any(rng);
+        let b = u128_any(rng).max(1);
         let (q, r) = nat(a).div_rem(&nat(b));
-        prop_assert_eq!(q, nat(a / b));
-        prop_assert_eq!(r, nat(a % b));
-    }
+        assert_eq!(q, nat(a / b));
+        assert_eq!(r, nat(a % b));
+    });
+}
 
-    #[test]
-    fn add_commutes_beyond_machine_range(a in any::<u128>(), b in any::<u128>(), s in 0usize..200) {
-        let x = nat(a).shl_bits(s);
-        let y = nat(b);
-        prop_assert_eq!(&x + &y, &y + &x);
-    }
+#[test]
+fn add_commutes_beyond_machine_range() {
+    tvg_testkit::check("add_commutes_beyond_machine_range", |rng, _| {
+        let x = nat(u128_any(rng)).shl_bits(rng.gen_range(0..200));
+        let y = nat(u128_any(rng));
+        assert_eq!(&x + &y, &y + &x);
+    });
+}
 
-    #[test]
-    fn mul_distributes_over_add(a in any::<u64>(), b in any::<u64>(), c in any::<u64>(), s in 0usize..100) {
-        let a = nat(a as u128).shl_bits(s);
-        let b = nat(b as u128);
-        let c = nat(c as u128);
-        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
-    }
+#[test]
+fn mul_distributes_over_add() {
+    tvg_testkit::check("mul_distributes_over_add", |rng, _| {
+        let a = nat(rng.gen::<u64>() as u128).shl_bits(rng.gen_range(0..100));
+        let b = nat(rng.gen::<u64>() as u128);
+        let c = nat(rng.gen::<u64>() as u128);
+        assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+    });
+}
 
-    #[test]
-    fn div_rem_is_inverse_of_mul_add(a in any::<u128>(), d in 1u128.., s in 0usize..150) {
-        let a = nat(a).shl_bits(s);
-        let d = nat(d);
+#[test]
+fn div_rem_is_inverse_of_mul_add() {
+    tvg_testkit::check("div_rem_is_inverse_of_mul_add", |rng, _| {
+        let a = nat(u128_any(rng)).shl_bits(rng.gen_range(0..150));
+        let d = nat(u128_any(rng).max(1));
         let (q, r) = a.div_rem(&d);
-        prop_assert!(r < d);
-        prop_assert_eq!(q * d + r, a);
-    }
+        assert!(r < d);
+        assert_eq!(q * d + r, a);
+    });
+}
 
-    #[test]
-    fn decimal_roundtrip(a in any::<u128>(), s in 0usize..150) {
-        let n = nat(a).shl_bits(s);
+#[test]
+fn decimal_roundtrip() {
+    tvg_testkit::check("decimal_roundtrip", |rng, _| {
+        let n = nat(u128_any(rng)).shl_bits(rng.gen_range(0..150));
         let parsed: Nat = n.to_string().parse().expect("display output must parse");
-        prop_assert_eq!(parsed, n);
-    }
+        assert_eq!(parsed, n);
+    });
+}
 
-    #[test]
-    fn ordering_is_total_and_consistent(a in any::<u128>(), b in any::<u128>()) {
-        prop_assert_eq!(nat(a).cmp(&nat(b)), a.cmp(&b));
-    }
+#[test]
+fn ordering_is_total_and_consistent() {
+    tvg_testkit::check("ordering_is_total_and_consistent", |rng, _| {
+        let (a, b) = (u128_any(rng), u128_any(rng));
+        assert_eq!(nat(a).cmp(&nat(b)), a.cmp(&b));
+    });
+}
 
-    #[test]
-    fn shifts_invert(a in any::<u128>(), s in 0usize..300) {
-        let n = nat(a);
-        prop_assert_eq!(n.shl_bits(s).shr_bits(s), n);
-    }
+#[test]
+fn shifts_invert() {
+    tvg_testkit::check("shifts_invert", |rng, _| {
+        let n = nat(u128_any(rng));
+        let s = rng.gen_range(0..300);
+        assert_eq!(n.shl_bits(s).shr_bits(s), n);
+    });
+}
 
-    #[test]
-    fn pow_splits_additively(b in 2u64..50, e1 in 0u32..20, e2 in 0u32..20) {
-        let b = Nat::from(b);
-        prop_assert_eq!(b.pow(e1) * b.pow(e2), b.pow(e1 + e2));
-    }
+#[test]
+fn pow_splits_additively() {
+    tvg_testkit::check("pow_splits_additively", |rng, _| {
+        let b = Nat::from(rng.gen_range(2u64..50));
+        let (e1, e2) = (rng.gen_range(0u32..20), rng.gen_range(0u32..20));
+        assert_eq!(b.pow(e1) * b.pow(e2), b.pow(e1 + e2));
+    });
+}
 
-    #[test]
-    fn factor_out_recomposes(base in 2u64..100, k in 0u32..30, cof in 1u64..1000) {
-        let base = Nat::from(base);
+#[test]
+fn factor_out_recomposes() {
+    tvg_testkit::check("factor_out_recomposes", |rng, _| {
+        let base = Nat::from(rng.gen_range(2u64..100));
+        let k = rng.gen_range(0u32..30);
         // Make the cofactor coprime to base by stripping base's factors.
-        let (_, cof) = Nat::from(cof).factor_out(&base);
+        let (_, cof) = Nat::from(rng.gen_range(1u64..1000)).factor_out(&base);
         let n = base.pow(k) * &cof;
         let (k2, cof2) = n.factor_out(&base);
-        prop_assert_eq!(k2, k);
-        prop_assert_eq!(cof2, cof);
-    }
+        assert_eq!(k2, k);
+        assert_eq!(cof2, cof);
+    });
+}
 
-    #[test]
-    fn mod_pow_matches_naive(b in 0u64..1000, e in 0u32..64, m in 1u64..1000) {
+#[test]
+fn mod_pow_matches_naive() {
+    tvg_testkit::check("mod_pow_matches_naive", |rng, _| {
+        let b = rng.gen_range(0u64..1000);
+        let e = rng.gen_range(0u32..64);
+        let m = rng.gen_range(1u64..1000);
         let expected = {
             let mut acc: u128 = 1;
             for _ in 0..e {
@@ -104,19 +145,25 @@ proptest! {
             acc % m as u128
         };
         let got = Nat::from(b).mod_pow(&Nat::from(u64::from(e)), &Nat::from(m));
-        prop_assert_eq!(got, nat(expected));
-    }
+        assert_eq!(got, nat(expected));
+    });
+}
 
-    #[test]
-    fn gcd_divides_both(a in 1u128.., b in 1u128..) {
+#[test]
+fn gcd_divides_both() {
+    tvg_testkit::check("gcd_divides_both", |rng, _| {
+        let (a, b) = (u128_any(rng).max(1), u128_any(rng).max(1));
         let g = nat(a).gcd(&nat(b));
-        prop_assert!(nat(a).is_multiple_of(&g));
-        prop_assert!(nat(b).is_multiple_of(&g));
-    }
+        assert!(nat(a).is_multiple_of(&g));
+        assert!(nat(b).is_multiple_of(&g));
+    });
+}
 
-    #[test]
-    fn primality_matches_trial_division(n in 0u64..20_000) {
+#[test]
+fn primality_matches_trial_division() {
+    tvg_testkit::check("primality_matches_trial_division", |rng, _| {
+        let n = rng.gen_range(0u64..20_000);
         let trial = n >= 2 && (2..n).take_while(|d| d * d <= n).all(|d| n % d != 0);
-        prop_assert_eq!(tvg_bigint::is_prime_u64(n), trial);
-    }
+        assert_eq!(tvg_bigint::is_prime_u64(n), trial);
+    });
 }

@@ -86,15 +86,27 @@ impl AnbnAutomaton {
         let v2 = b.node("v2");
         let pn = Nat::from(p);
         // e0: a-loop multiplying time by p.
-        b.edge(v0, v0, 'a', Presence::Always, Latency::Affine { mul: p - 1, add: Nat::zero() })
-            .expect("builder-owned nodes");
+        b.edge(
+            v0,
+            v0,
+            'a',
+            Presence::Always,
+            Latency::Affine {
+                mul: p - 1,
+                add: Nat::zero(),
+            },
+        )
+        .expect("builder-owned nodes");
         // e1: first b (n ≥ 2), multiplying time by q.
         b.edge(
             v0,
             v1,
             'b',
             Presence::After(pn.clone()),
-            Latency::Affine { mul: q - 1, add: Nat::zero() },
+            Latency::Affine {
+                mul: q - 1,
+                add: Nat::zero(),
+            },
         )
         .expect("builder-owned nodes");
         // e2: middle bs, blocked exactly at t = p^i q^(i-1).
@@ -103,15 +115,24 @@ impl AnbnAutomaton {
             v1,
             'b',
             Presence::Not(Box::new(Presence::PqPower { p, q })),
-            Latency::Affine { mul: q - 1, add: Nat::zero() },
+            Latency::Affine {
+                mul: q - 1,
+                add: Nat::zero(),
+            },
         )
         .expect("builder-owned nodes");
         // e3: the n = 1 accept ("ab"): only at t = p.
         b.edge(v0, v2, 'b', Presence::At(pn), Latency::Const(Nat::one()))
             .expect("builder-owned nodes");
         // e4: the final b, open exactly at t = p^i q^(i-1), i > 1.
-        b.edge(v1, v2, 'b', Presence::PqPower { p, q }, Latency::Const(Nat::one()))
-            .expect("builder-owned nodes");
+        b.edge(
+            v1,
+            v2,
+            'b',
+            Presence::PqPower { p, q },
+            Latency::Const(Nat::one()),
+        )
+        .expect("builder-owned nodes");
         let automaton = TvgAutomaton::new(
             b.build().expect("three nodes"),
             BTreeSet::from([v0]),
@@ -179,11 +200,11 @@ impl AnbnAutomaton {
     #[must_use]
     pub fn nowait_trace(&self, w: &Word) -> Option<Vec<(String, Nat)>> {
         let limits = self.limits_for(w.len());
-        let trace = self
-            .automaton
-            .trace(w, &WaitingPolicy::NoWait, &limits);
-        if trace.last().map_or(true, |cfgs| {
-            !cfgs.iter().any(|(n, _)| self.automaton.accepting().contains(n))
+        let trace = self.automaton.trace(w, &WaitingPolicy::NoWait, &limits);
+        if trace.last().is_none_or(|cfgs| {
+            !cfgs
+                .iter()
+                .any(|(n, _)| self.automaton.accepting().contains(n))
         }) {
             return None;
         }
@@ -228,9 +249,18 @@ mod tests {
 
     #[test]
     fn parameters_validated() {
-        assert_eq!(AnbnAutomaton::new(2, 2).unwrap_err(), AnbnError::PrimesNotDistinct);
-        assert_eq!(AnbnAutomaton::new(4, 3).unwrap_err(), AnbnError::NotPrime(4));
-        assert_eq!(AnbnAutomaton::new(2, 1).unwrap_err(), AnbnError::NotPrime(1));
+        assert_eq!(
+            AnbnAutomaton::new(2, 2).unwrap_err(),
+            AnbnError::PrimesNotDistinct
+        );
+        assert_eq!(
+            AnbnAutomaton::new(4, 3).unwrap_err(),
+            AnbnError::NotPrime(4)
+        );
+        assert_eq!(
+            AnbnAutomaton::new(2, 1).unwrap_err(),
+            AnbnError::NotPrime(1)
+        );
         assert!(AnbnAutomaton::new(5, 7).is_ok());
     }
 
@@ -279,7 +309,7 @@ mod tests {
         let times: Vec<String> = trace.iter().map(|(_, t)| t.to_string()).collect();
         assert_eq!(times, vec!["1", "2", "4", "8", "24", "72", "73"]);
         assert_eq!(trace.last().expect("nonempty").0, "v2");
-        assert!(aut.nowait_trace(&word("ab" )).is_some());
+        assert!(aut.nowait_trace(&word("ab")).is_some());
         assert!(aut.nowait_trace(&word("ba")).is_none());
     }
 
@@ -320,9 +350,9 @@ mod tests {
         let aut = AnbnAutomaton::smallest();
         let w = word("abb");
         let limits = SearchLimits::new(Nat::from(100u64), 6);
-        let accepted_waiting =
-            aut.automaton()
-                .accepts(&w, &WaitingPolicy::Unbounded, &limits);
+        let accepted_waiting = aut
+            .automaton()
+            .accepts(&w, &WaitingPolicy::Unbounded, &limits);
         assert!(accepted_waiting);
         assert!(!is_anbn(&w));
     }

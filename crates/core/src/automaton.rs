@@ -30,7 +30,9 @@ impl fmt::Display for AutomatonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AutomatonError::UnknownNode(n) => write!(f, "automaton references unknown node {n}"),
-            AutomatonError::NoInitialStates => write!(f, "automaton needs at least one initial state"),
+            AutomatonError::NoInitialStates => {
+                write!(f, "automaton needs at least one initial state")
+            }
         }
     }
 }
@@ -91,7 +93,12 @@ impl<T: Time> TvgAutomaton<T> {
                 return Err(AutomatonError::UnknownNode(n));
             }
         }
-        Ok(TvgAutomaton { tvg, initial, accepting, start_time })
+        Ok(TvgAutomaton {
+            tvg,
+            initial,
+            accepting,
+            start_time,
+        })
     }
 
     /// The underlying time-varying graph.

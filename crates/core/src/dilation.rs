@@ -92,7 +92,10 @@ mod tests {
             v[0],
             v[1],
             'a',
-            Presence::Periodic { period: 4, phases: BTreeSet::from([0]) },
+            Presence::Periodic {
+                period: 4,
+                phases: BTreeSet::from([0]),
+            },
             Latency::unit(),
         )
         .expect("valid");
@@ -100,7 +103,10 @@ mod tests {
             v[1],
             v[2],
             'b',
-            Presence::Periodic { period: 4, phases: BTreeSet::from([3]) },
+            Presence::Periodic {
+                period: 4,
+                phases: BTreeSet::from([3]),
+            },
             Latency::unit(),
         )
         .expect("valid");

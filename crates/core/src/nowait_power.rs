@@ -105,7 +105,10 @@ impl DeciderAutomaton {
                 run,
                 letter.as_char(),
                 Presence::Always,
-                Latency::Affine { mul: k, add: Nat::from(digit) },
+                Latency::Affine {
+                    mul: k,
+                    add: Nat::from(digit),
+                },
             )
             .expect("builder-owned nodes");
             // Accepting edge: the schedule runs the decider on the word
@@ -118,7 +121,7 @@ impl DeciderAutomaton {
                 letter.as_char(),
                 Presence::from_fn(move |t: &Nat| {
                     let extended = t * Nat::from(k + 1) + Nat::from(digit);
-                    decode_time(&alpha, &extended).map_or(false, |w| dec(&w))
+                    decode_time(&alpha, &extended).is_some_and(|w| dec(&w))
                 }),
                 Latency::Const(Nat::one()),
             )
@@ -131,7 +134,10 @@ impl DeciderAutomaton {
             Nat::one(),
         )
         .expect("static construction is structurally valid");
-        DeciderAutomaton { automaton, alphabet }
+        DeciderAutomaton {
+            automaton,
+            alphabet,
+        }
     }
 
     /// Builds the construction from a Turing machine with a fuel budget
@@ -256,22 +262,16 @@ mod tests {
 
     #[test]
     fn context_sensitive_language_anbncn() {
-        let aut = DeciderAutomaton::from_turing_machine(
-            Alphabet::abc(),
-            machines::anbncn(),
-            100_000,
-        );
+        let aut =
+            DeciderAutomaton::from_turing_machine(Alphabet::abc(), machines::anbncn(), 100_000);
         let tm = machines::anbncn();
         check_against_reference(&aut, |w| tm.decide(w, 100_000), 7);
     }
 
     #[test]
     fn palindromes_via_turing_machine() {
-        let aut = DeciderAutomaton::from_turing_machine(
-            Alphabet::ab(),
-            machines::palindrome(),
-            100_000,
-        );
+        let aut =
+            DeciderAutomaton::from_turing_machine(Alphabet::ab(), machines::palindrome(), 100_000);
         check_against_reference(&aut, |w| *w == w.reversed(), 8);
     }
 

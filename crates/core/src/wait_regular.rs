@@ -53,7 +53,10 @@ impl fmt::Display for CompileError {
                 write!(f, "edge {e} has a non-constant latency")
             }
             CompileError::NonPeriodicPresence(e) => {
-                write!(f, "edge {e} has a presence not periodic with the given period")
+                write!(
+                    f,
+                    "edge {e} has a presence not periodic with the given period"
+                )
             }
             CompileError::LabelOutsideAlphabet(c) => {
                 write!(f, "edge label {c:?} is outside the supplied alphabet")
@@ -71,7 +74,7 @@ fn phase_set(presence: &Presence<u64>, period: u64) -> Option<BTreeSet<u64>> {
         Presence::Always => Some((0..period).collect()),
         Presence::Never => Some(BTreeSet::new()),
         Presence::Periodic { period: p0, phases } => {
-            if *p0 == 0 || period % p0 != 0 {
+            if *p0 == 0 || !period.is_multiple_of(*p0) {
                 return None;
             }
             let mut out = BTreeSet::new();
@@ -140,8 +143,7 @@ pub fn periodic_to_nfa(
         let Latency::Const(ell) = edge.latency() else {
             return Err(CompileError::NonConstantLatency(e));
         };
-        let phases =
-            phase_set(edge.presence(), p).ok_or(CompileError::NonPeriodicPresence(e))?;
+        let phases = phase_set(edge.presence(), p).ok_or(CompileError::NonPeriodicPresence(e))?;
         let label = edge.label().as_char();
         if alphabet.index_of_char(label).is_none() {
             return Err(CompileError::LabelOutsideAlphabet(label));
@@ -200,7 +202,7 @@ fn transient_bound(presence: &Presence<u64>, period: u64) -> Option<u64> {
         Presence::Window { until, .. } => Some(until + 1),
         Presence::FiniteSet(set) => Some(set.iter().max().map_or(0, |m| m + 1)),
         Presence::Periodic { period: p0, .. } => {
-            (*p0 != 0 && period % p0 == 0).then_some(0)
+            (*p0 != 0 && period.is_multiple_of(*p0)).then_some(0)
         }
         Presence::Not(inner) => transient_bound(inner, period),
         Presence::And(a, b) | Presence::Or(a, b) => {
@@ -209,7 +211,7 @@ fn transient_bound(presence: &Presence<u64>, period: u64) -> Option<u64> {
         Presence::Dilated { factor, inner } => {
             // Inner is p-periodic beyond T₀ ⟹ dilated is (factor·p)-periodic
             // beyond factor·T₀ — require the caller's period to absorb it.
-            if period % factor != 0 {
+            if !period.is_multiple_of(*factor) {
                 return None;
             }
             let inner_t0 = transient_bound(inner, period / factor)?;
@@ -254,8 +256,8 @@ pub fn eventually_periodic_to_nfa(
         let Latency::Const(ell) = edge.latency() else {
             return Err(CompileError::NonConstantLatency(e));
         };
-        let bound = transient_bound(edge.presence(), p)
-            .ok_or(CompileError::NonPeriodicPresence(e))?;
+        let bound =
+            transient_bound(edge.presence(), p).ok_or(CompileError::NonPeriodicPresence(e))?;
         t0 = t0.max(bound);
         let label = edge.label().as_char();
         if alphabet.index_of_char(label).is_none() {
@@ -288,18 +290,21 @@ pub fn eventually_periodic_to_nfa(
     }
     for &f in aut.accepting() {
         for t in 0..t0 {
-            nfa.add_accepting(explicit(f.index(), t)).expect("state in range");
+            nfa.add_accepting(explicit(f.index(), t))
+                .expect("state in range");
         }
         for phase in 0..p {
-            nfa.add_accepting(tail(f.index(), phase)).expect("state in range");
+            nfa.add_accepting(tail(f.index(), phase))
+                .expect("state in range");
         }
     }
 
     for (e, &(u, v, label, ell)) in g.edges().zip(&edge_info) {
         let presence = g.edge(e).presence();
         // Tail presence per phase, evaluated at the first aligned instant.
-        let tail_present: Vec<bool> =
-            (0..p).map(|phase| presence.is_present(&(t0 + phase))).collect();
+        let tail_present: Vec<bool> = (0..p)
+            .map(|phase| presence.is_present(&(t0 + phase)))
+            .collect();
 
         // From explicit states (ready at concrete time t < T₀).
         for t in 0..t0 {
@@ -317,12 +322,8 @@ pub fn eventually_periodic_to_nfa(
                     tail_present[(s % p) as usize]
                 };
                 if present {
-                    nfa.add_transition(
-                        explicit(u, t),
-                        Some(label),
-                        state_of(v, s + ell),
-                    )
-                    .expect("states in range, label in alphabet");
+                    nfa.add_transition(explicit(u, t), Some(label), state_of(v, s + ell))
+                        .expect("states in range, label in alphabet");
                 }
             }
         }
@@ -402,8 +403,14 @@ pub fn dfa_to_tvg_automaton(dfa: &Dfa) -> TvgAutomaton<u64> {
             let t = dfa
                 .step(s, letter)
                 .expect("alphabet letters step everywhere in a total dfa");
-            b.edge(nodes[s], nodes[t], letter.as_char(), Presence::Always, Latency::unit())
-                .expect("builder-owned nodes");
+            b.edge(
+                nodes[s],
+                nodes[t],
+                letter.as_char(),
+                Presence::Always,
+                Latency::unit(),
+            )
+            .expect("builder-owned nodes");
         }
     }
     let accepting = (0..dfa.num_states())
@@ -459,11 +466,7 @@ mod tests {
                 let nfa = periodic_to_nfa(&aut, 3, &policy, &alphabet).expect("periodic");
                 let limits = sufficient_limits(&aut, 3, 6);
                 let simulated = aut.language_upto(&policy, &limits, 6);
-                let compiled: BTreeSet<Word> = nfa
-                    .to_dfa()
-                    .language_upto(6)
-                    .into_iter()
-                    .collect();
+                let compiled: BTreeSet<Word> = nfa.to_dfa().language_upto(6).into_iter().collect();
                 assert_eq!(simulated, compiled, "seed={seed} policy={policy}");
             }
         }
@@ -487,8 +490,7 @@ mod tests {
             0,
         )
         .expect("valid");
-        let nfa =
-            periodic_to_nfa(&aut, 4, &WaitingPolicy::Unbounded, &alphabet).expect("periodic");
+        let nfa = periodic_to_nfa(&aut, 4, &WaitingPolicy::Unbounded, &alphabet).expect("periodic");
         let min = nfa.to_dfa().minimize();
         // Regularity witnessed constructively: a concrete minimal DFA.
         assert!(min.num_states() <= 5 * 4 + 1);
@@ -509,7 +511,10 @@ mod tests {
         // Sub-period expands: period 2 phases {1} in period 4 = {1, 3}.
         assert_eq!(
             phase_set(
-                &Presence::Periodic { period: 2, phases: BTreeSet::from([1]) },
+                &Presence::Periodic {
+                    period: 2,
+                    phases: BTreeSet::from([1])
+                },
                 4
             ),
             Some(BTreeSet::from([1, 3]))
@@ -517,15 +522,24 @@ mod tests {
         // Mismatched periods fail.
         assert_eq!(
             phase_set(
-                &Presence::Periodic { period: 3, phases: BTreeSet::from([0]) },
+                &Presence::Periodic {
+                    period: 3,
+                    phases: BTreeSet::from([0])
+                },
                 4
             ),
             None
         );
         // Combinators.
         let p = Presence::Or(
-            Box::new(Presence::Periodic { period: 2, phases: BTreeSet::from([0]) }),
-            Box::new(Presence::Periodic { period: 4, phases: BTreeSet::from([1]) }),
+            Box::new(Presence::Periodic {
+                period: 2,
+                phases: BTreeSet::from([0]),
+            }),
+            Box::new(Presence::Periodic {
+                period: 4,
+                phases: BTreeSet::from([1]),
+            }),
         );
         assert_eq!(phase_set(&p, 4), Some(BTreeSet::from([0, 1, 2])));
         assert_eq!(
@@ -636,7 +650,10 @@ mod tests {
             v[2],
             v[3],
             'a',
-            Presence::Periodic { period: 3, phases: BTreeSet::from([1]) },
+            Presence::Periodic {
+                period: 3,
+                phases: BTreeSet::from([1]),
+            },
             Latency::unit(),
         )
         .expect("valid");
@@ -667,8 +684,7 @@ mod tests {
                 .expect("eventually periodic");
             let limits = SearchLimits::new(60, 7);
             let simulated = aut.language_upto(&policy, &limits, 6);
-            let compiled: BTreeSet<Word> =
-                nfa.to_dfa().language_upto(6).into_iter().collect();
+            let compiled: BTreeSet<Word> = nfa.to_dfa().language_upto(6).into_iter().collect();
             assert_eq!(simulated, compiled, "{policy}");
         }
     }
@@ -711,8 +727,14 @@ mod tests {
     fn eventually_periodic_rejects_aperiodic_schedules() {
         let mut b = TvgBuilder::<u64>::new();
         let v = b.nodes(2);
-        b.edge(v[0], v[1], 'a', Presence::PqPower { p: 2, q: 3 }, Latency::unit())
-            .expect("valid");
+        b.edge(
+            v[0],
+            v[1],
+            'a',
+            Presence::PqPower { p: 2, q: 3 },
+            Latency::unit(),
+        )
+        .expect("valid");
         let aut = TvgAutomaton::new(
             b.build().expect("valid"),
             BTreeSet::from([v[0]]),
@@ -739,18 +761,16 @@ mod tests {
             v[0],
             v[1],
             'a',
-            Presence::Periodic { period: 2, phases: BTreeSet::from([0]) }.dilate(3),
+            Presence::Periodic {
+                period: 2,
+                phases: BTreeSet::from([0]),
+            }
+            .dilate(3),
             Latency::Const(3),
         )
         .expect("valid");
-        b.edge(
-            v[1],
-            v[0],
-            'b',
-            Presence::Always,
-            Latency::Const(1),
-        )
-        .expect("valid");
+        b.edge(v[1], v[0], 'b', Presence::Always, Latency::Const(1))
+            .expect("valid");
         let aut = TvgAutomaton::new(
             b.build().expect("valid"),
             BTreeSet::from([v[0]]),
@@ -763,8 +783,7 @@ mod tests {
                 .expect("dilated periodic is 6-periodic");
             let limits = SearchLimits::new(60, 7);
             let simulated = aut.language_upto(&policy, &limits, 5);
-            let compiled: BTreeSet<Word> =
-                nfa.to_dfa().language_upto(5).into_iter().collect();
+            let compiled: BTreeSet<Word> = nfa.to_dfa().language_upto(5).into_iter().collect();
             assert_eq!(simulated, compiled, "{policy}");
         }
     }
@@ -810,7 +829,10 @@ mod tests {
             v[0],
             v[1],
             'a',
-            Presence::Periodic { period: 4, phases: BTreeSet::from([0]) },
+            Presence::Periodic {
+                period: 4,
+                phases: BTreeSet::from([0]),
+            },
             Latency::unit(),
         )
         .expect("valid");
@@ -818,7 +840,10 @@ mod tests {
             v[1],
             v[2],
             'b',
-            Presence::Periodic { period: 4, phases: BTreeSet::from([3]) },
+            Presence::Periodic {
+                period: 4,
+                phases: BTreeSet::from([3]),
+            },
             Latency::unit(),
         )
         .expect("valid");

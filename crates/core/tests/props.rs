@@ -1,53 +1,29 @@
 //! Property tests for the paper's constructions: the theorems hold on
 //! randomly generated instances, not just the curated examples.
+//!
+//! Runs on `tvg-testkit`'s deterministic harness; random automata come
+//! from `tvg_testkit::gen::periodic_automaton` and oracle deciders from
+//! `tvg_testkit::oracles`.
 
-use proptest::prelude::*;
+use rand::Rng;
 use std::collections::BTreeSet;
-use tvg_expressivity::anbn::{anbn_word, is_anbn, AnbnAutomaton};
+use tvg_expressivity::anbn::AnbnAutomaton;
 use tvg_expressivity::dilation::dilation_disagreements;
 use tvg_expressivity::wait_regular::{periodic_to_nfa, sufficient_limits};
-use tvg_expressivity::TvgAutomaton;
 use tvg_journeys::{SearchLimits, WaitingPolicy};
 use tvg_langs::{Alphabet, Word};
-use tvg_model::generators::{random_periodic_tvg, RandomPeriodicParams};
-use tvg_model::NodeId;
+use tvg_testkit::gen;
+use tvg_testkit::oracles::{anbn_word, is_anbn};
+use tvg_testkit::Config;
 
-fn arb_periodic_automaton() -> impl Strategy<Value = (TvgAutomaton<u64>, u64)> {
-    (2usize..5, 3usize..8, 2u64..4, any::<u64>()).prop_map(
-        |(nodes, edges, period, seed)| {
-            use rand::rngs::StdRng;
-            use rand::SeedableRng;
-            let params = RandomPeriodicParams {
-                num_nodes: nodes,
-                num_edges: edges,
-                period,
-                phase_density: 0.4,
-                alphabet: Alphabet::ab(),
-            };
-            let g = random_periodic_tvg(&mut StdRng::seed_from_u64(seed), &params);
-            let aut = TvgAutomaton::new(
-                g,
-                BTreeSet::from([NodeId::from_index(0)]),
-                BTreeSet::from([NodeId::from_index(nodes - 1)]),
-                0,
-            )
-            .expect("valid");
-            (aut, period)
-        },
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Theorem 2.2 (periodic fragment) as a property: compiler output and
-    /// journey simulation agree on every random instance and policy.
-    #[test]
-    fn compiled_nfa_equals_simulation(
-        (aut, period) in arb_periodic_automaton(),
-        policy_pick in 0usize..4,
-    ) {
-        let policy = match policy_pick {
+/// Theorem 2.2 (periodic fragment) as a property: compiler output and
+/// journey simulation agree on every random instance and policy.
+#[test]
+fn compiled_nfa_equals_simulation() {
+    let cfg = Config::named_with_cases("compiled_nfa_equals_simulation", 32);
+    tvg_testkit::check_with(cfg, |rng, _| {
+        let (aut, period) = gen::periodic_automaton(rng);
+        let policy = match rng.gen_range(0usize..4) {
             0 => WaitingPolicy::NoWait,
             1 => WaitingPolicy::Bounded(1),
             2 => WaitingPolicy::Bounded(2),
@@ -58,72 +34,80 @@ proptest! {
         let limits = sufficient_limits(&aut, period, 5);
         let simulated = aut.language_upto(&policy, &limits, 5);
         let compiled: BTreeSet<Word> = nfa.to_dfa().language_upto(5).into_iter().collect();
-        prop_assert_eq!(simulated, compiled);
-    }
+        assert_eq!(simulated, compiled);
+    });
+}
 
-    /// Theorem 2.3 as a property: zero disagreements on every random
-    /// instance and bound.
-    #[test]
-    fn dilation_theorem_on_random_instances(
-        (aut, _period) in arb_periodic_automaton(),
-        d in 0u64..5,
-    ) {
+/// Theorem 2.3 as a property: zero disagreements on every random
+/// instance and bound.
+#[test]
+fn dilation_theorem_on_random_instances() {
+    let cfg = Config::named_with_cases("dilation_theorem_on_random_instances", 32);
+    tvg_testkit::check_with(cfg, |rng, _| {
+        let (aut, _period) = gen::periodic_automaton(rng);
+        let d = rng.gen_range(0u64..5);
         let limits = SearchLimits::new(30, 5);
         let witnesses = dilation_disagreements(&aut, d, &Alphabet::ab(), 4, &limits);
-        prop_assert!(witnesses.is_empty(), "{witnesses:?}");
-    }
+        assert!(witnesses.is_empty(), "{witnesses:?}");
+    });
+}
 
-    /// Policy monotonicity of the accepted language on random instances.
-    #[test]
-    fn acceptance_is_monotone_in_waiting(
-        (aut, period) in arb_periodic_automaton(),
-        word_bits in proptest::collection::vec(0usize..2, 0..5),
-    ) {
-        let alphabet = Alphabet::ab();
-        let w: Word = word_bits.into_iter().map(|i| alphabet.letter(i)).collect();
+/// Policy monotonicity of the accepted language on random instances.
+#[test]
+fn acceptance_is_monotone_in_waiting() {
+    tvg_testkit::check("acceptance_is_monotone_in_waiting", |rng, _| {
+        let (aut, period) = gen::periodic_automaton(rng);
+        let w = gen::word(rng, &Alphabet::ab(), 4);
         let limits = sufficient_limits(&aut, period, 6);
         let nw = aut.accepts(&w, &WaitingPolicy::NoWait, &limits);
         let b2 = aut.accepts(&w, &WaitingPolicy::Bounded(2), &limits);
         let un = aut.accepts(&w, &WaitingPolicy::Unbounded, &limits);
-        prop_assert!(!nw || b2, "nowait ⊆ wait[2]");
-        prop_assert!(!b2 || un, "wait[2] ⊆ wait");
-    }
+        assert!(!nw || b2, "nowait ⊆ wait[2]");
+        assert!(!b2 || un, "wait[2] ⊆ wait");
+    });
+}
 
-    /// Figure 1 membership for arbitrary n and prime pairs.
-    #[test]
-    fn figure1_members_accepted(n in 1usize..20, pair in 0usize..3) {
-        let (p, q) = [(2u64, 3u64), (3, 5), (5, 2)][pair];
+/// Figure 1 membership for arbitrary n and prime pairs.
+#[test]
+fn figure1_members_accepted() {
+    let cfg = Config::named_with_cases("figure1_members_accepted", 24);
+    tvg_testkit::check_with(cfg, |rng, _| {
+        let n = rng.gen_range(1usize..20);
+        let (p, q) = [(2u64, 3u64), (3, 5), (5, 2)][rng.gen_range(0usize..3)];
         let aut = AnbnAutomaton::new(p, q).expect("distinct primes");
-        prop_assert!(aut.accepts_nowait(&anbn_word(n)));
-    }
+        assert!(aut.accepts_nowait(&anbn_word(n)));
+    });
+}
 
-    /// Figure 1 rejects every random non-member.
-    #[test]
-    fn figure1_nonmembers_rejected(word_bits in proptest::collection::vec(0usize..2, 0..12)) {
-        let alphabet = Alphabet::ab();
-        let w: Word = word_bits.into_iter().map(|i| alphabet.letter(i)).collect();
-        prop_assume!(!is_anbn(&w));
-        let aut = AnbnAutomaton::smallest();
-        prop_assert!(!aut.accepts_nowait(&w));
-    }
+/// Figure 1 rejects every random non-member.
+#[test]
+fn figure1_nonmembers_rejected() {
+    let aut = AnbnAutomaton::smallest();
+    tvg_testkit::check("figure1_nonmembers_rejected", |rng, _| {
+        let w = gen::word(rng, &Alphabet::ab(), 11);
+        if is_anbn(&w) {
+            return; // only non-members are interesting here
+        }
+        assert!(!aut.accepts_nowait(&w));
+    });
+}
 
-    /// Dilating twice composes: dilate(G, a) then (b) equals dilate by
-    /// (a+1)(b+1)-1 on acceptance behavior.
-    #[test]
-    fn dilation_composes(
-        (aut, _p) in arb_periodic_automaton(),
-        a in 0u64..3,
-        b in 0u64..3,
-        word_bits in proptest::collection::vec(0usize..2, 0..4),
-    ) {
-        let alphabet = Alphabet::ab();
-        let w: Word = word_bits.into_iter().map(|i| alphabet.letter(i)).collect();
+/// Dilating twice composes: dilate(G, a) then (b) equals dilate by
+/// (a+1)(b+1)-1 on acceptance behavior.
+#[test]
+fn dilation_composes() {
+    let cfg = Config::named_with_cases("dilation_composes", 32);
+    tvg_testkit::check_with(cfg, |rng, _| {
+        let (aut, _p) = gen::periodic_automaton(rng);
+        let a = rng.gen_range(0u64..3);
+        let b = rng.gen_range(0u64..3);
+        let w = gen::word(rng, &Alphabet::ab(), 3);
         let twice = aut.dilate(a).dilate(b);
         let once = aut.dilate((a + 1) * (b + 1) - 1);
         let limits = SearchLimits::new(200, 5);
-        prop_assert_eq!(
+        assert_eq!(
             twice.accepts(&w, &WaitingPolicy::NoWait, &limits),
             once.accepts(&w, &WaitingPolicy::NoWait, &limits)
         );
-    }
+    });
 }

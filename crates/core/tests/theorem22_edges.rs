@@ -1,0 +1,143 @@
+//! Degenerate-input coverage for the Theorem 2.2 compiler pair
+//! (`dfa_to_tvg_automaton` / `periodic_to_nfa`): the empty language, the
+//! full language `Σ*`, and the single-letter alphabet all round-trip
+//! exactly.
+//!
+//! These are the boundary points of the theorem's quantification — a
+//! compiler bug that special-cases "no accepting states", "everything
+//! accepts", or "only one letter" would slip past the random sweeps in
+//! `props.rs` but not past these.
+
+use std::collections::BTreeSet;
+use tvg_expressivity::wait_regular::{
+    dfa_to_tvg_automaton, eventually_periodic_to_nfa, periodic_to_nfa, sufficient_limits,
+};
+use tvg_journeys::WaitingPolicy;
+use tvg_langs::sample::words_upto;
+use tvg_langs::{Alphabet, Dfa, Word};
+use tvg_testkit::oracles::{empty_language_dfa, regex_dfa, sigma_star_dfa, unary_alphabet};
+
+fn policies() -> Vec<WaitingPolicy<u64>> {
+    vec![
+        WaitingPolicy::NoWait,
+        WaitingPolicy::Bounded(1),
+        WaitingPolicy::Bounded(3),
+        WaitingPolicy::Unbounded,
+    ]
+}
+
+/// Embeds `dfa` as a TVG-automaton, compiles it back for every policy,
+/// and asserts language equality with the original — the full Theorem 2.2
+/// round-trip at period 1 (an `Always` schedule is 1-periodic).
+fn assert_roundtrip(dfa: &Dfa, alphabet: &Alphabet, max_len: usize) {
+    let aut = dfa_to_tvg_automaton(dfa);
+    for policy in policies() {
+        let nfa = periodic_to_nfa(&aut, 1, &policy, alphabet)
+            .expect("always-present schedules are 1-periodic");
+        assert!(
+            nfa.to_dfa().equivalent_to(dfa),
+            "compiled language differs under {policy}"
+        );
+        // The journey simulation agrees word by word, too.
+        let limits = sufficient_limits(&aut, 1, max_len);
+        for w in words_upto(alphabet, max_len) {
+            assert_eq!(
+                aut.accepts(&w, &policy, &limits),
+                dfa.accepts(&w),
+                "{policy} {w:?}"
+            );
+        }
+        // And the eventually-periodic extension matches the plain
+        // compiler on this purely periodic input.
+        let ext = eventually_periodic_to_nfa(&aut, 1, &policy, alphabet)
+            .expect("always-present schedules are eventually periodic");
+        assert!(
+            ext.to_dfa().equivalent_to(dfa),
+            "extension differs under {policy}"
+        );
+    }
+}
+
+#[test]
+fn empty_language_roundtrips() {
+    let sigma = Alphabet::ab();
+    let empty = empty_language_dfa(&sigma);
+    assert_roundtrip(&empty, &sigma, 5);
+
+    // The embedded automaton accepts nothing at all, empty word included.
+    let aut = dfa_to_tvg_automaton(&empty);
+    let limits = sufficient_limits(&aut, 1, 5);
+    let lang = aut.language_upto(&WaitingPolicy::Unbounded, &limits, 5);
+    assert!(lang.is_empty(), "{lang:?}");
+}
+
+#[test]
+fn sigma_star_roundtrips() {
+    let sigma = Alphabet::ab();
+    let all = sigma_star_dfa(&sigma);
+    assert_roundtrip(&all, &sigma, 5);
+
+    // Σ* includes the empty word: initial state is accepting.
+    let aut = dfa_to_tvg_automaton(&all);
+    let limits = sufficient_limits(&aut, 1, 5);
+    let lang = aut.language_upto(&WaitingPolicy::NoWait, &limits, 3);
+    let expected: BTreeSet<Word> = words_upto(&sigma, 3).into_iter().collect();
+    assert_eq!(lang, expected);
+}
+
+#[test]
+fn unary_alphabet_roundtrips() {
+    let sigma = unary_alphabet();
+    // Even-length unary words: the smallest DFA whose language is neither
+    // ∅ nor Σ* over one letter.
+    let even = regex_dfa("(aa)*", &sigma);
+    assert_roundtrip(&even, &sigma, 6);
+
+    // Degenerate endpoints on the unary alphabet as well.
+    assert_roundtrip(&empty_language_dfa(&sigma), &sigma, 6);
+    assert_roundtrip(&sigma_star_dfa(&sigma), &sigma, 6);
+}
+
+#[test]
+fn unary_periodic_compiles_beyond_period_one() {
+    // A genuinely periodic unary automaton (edge up at phase 0 of 2):
+    // under no-wait from start time 0 the journey uses the edge at even
+    // instants only; with unbounded waiting every length is accepted.
+    use tvg_expressivity::TvgAutomaton;
+    use tvg_model::{Latency, NodeId, Presence, TvgBuilder};
+
+    let sigma = unary_alphabet();
+    let mut b = TvgBuilder::<u64>::new();
+    let v = b.nodes(1);
+    b.edge(
+        v[0],
+        v[0],
+        'a',
+        Presence::Periodic {
+            period: 2,
+            phases: BTreeSet::from([0u64]),
+        },
+        Latency::Const(2),
+    )
+    .expect("valid");
+    let aut = TvgAutomaton::new(
+        b.build().expect("valid"),
+        BTreeSet::from([NodeId::from_index(0)]),
+        BTreeSet::from([NodeId::from_index(0)]),
+        0,
+    )
+    .expect("valid");
+
+    for policy in policies() {
+        let nfa = periodic_to_nfa(&aut, 2, &policy, &sigma).expect("periodic");
+        let limits = sufficient_limits(&aut, 2, 5);
+        let simulated = aut.language_upto(&policy, &limits, 5);
+        let compiled: BTreeSet<Word> = nfa.to_dfa().language_upto(5).into_iter().collect();
+        assert_eq!(simulated, compiled, "{policy}");
+    }
+    // Sanity: with even latency from an even phase the loop always
+    // re-aligns, so every policy accepts every unary word here.
+    let limits = sufficient_limits(&aut, 2, 5);
+    let nowait = aut.language_upto(&WaitingPolicy::NoWait, &limits, 5);
+    assert_eq!(nowait.len(), 6, "{nowait:?}"); // ε, a, aa, ..., aaaaa
+}

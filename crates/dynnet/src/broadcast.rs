@@ -15,9 +15,8 @@
 //!   The source itself may re-beacon every step (`source_beacons`), so
 //!   the comparison isolates the effect of *relay* buffering.
 
-use crate::EvolvingTrace;
 use crate::metrics::DeliveryStats;
-use serde::{Deserialize, Serialize};
+use crate::EvolvingTrace;
 
 /// Relay discipline of a broadcast.
 ///
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// waiting regimes: `StoreCarryForward` ↔ unbounded waiting,
 /// `BoundedBuffer(d)` ↔ `wait[d]`, `NoWaitRelay` ↔ no waiting.
 /// `BoundedBuffer(0)` behaves exactly like `NoWaitRelay`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ForwardingMode {
     /// Informed nodes buffer and forward on every later contact.
     StoreCarryForward,
@@ -37,7 +36,7 @@ pub enum ForwardingMode {
 }
 
 /// Configuration of a broadcast run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BroadcastConfig {
     /// The node where the message originates.
     pub source: usize,
@@ -100,12 +99,12 @@ pub fn run_broadcast(trace: &EvolvingTrace, config: &BroadcastConfig) -> Broadca
         let mut refreshed = active_until.clone();
         for &(a, b) in trace.contacts_at(t as usize) {
             for (from, to) in [(a, b), (b, a)] {
-                if active_until[from].map_or(false, |until| until >= t) {
+                if active_until[from].is_some_and(|until| until >= t) {
                     if informed_at[to].is_none() {
                         informed_at[to] = Some(t + 1);
                     }
                     let new_until = (t + 1).saturating_add(ttl);
-                    if refreshed[to].map_or(true, |until| until < new_until) {
+                    if refreshed[to].is_none_or(|until| until < new_until) {
                         refreshed[to] = Some(new_until);
                     }
                 }
@@ -113,7 +112,7 @@ pub fn run_broadcast(trace: &EvolvingTrace, config: &BroadcastConfig) -> Broadca
         }
         if config.source_beacons {
             let beacon = (t + 1).saturating_add(ttl);
-            if refreshed[config.source].map_or(true, |until| until < beacon) {
+            if refreshed[config.source].is_none_or(|until| until < beacon) {
                 refreshed[config.source] = Some(beacon);
             }
         }
@@ -181,10 +180,7 @@ mod tests {
     #[test]
     fn no_wait_succeeds_on_back_to_back_contacts() {
         // 0-1 at step 0, 1-2 at step 1: the relay can forward immediately.
-        let tr = EvolvingTrace::new(
-            3,
-            vec![BTreeSet::from([(0, 1)]), BTreeSet::from([(1, 2)])],
-        );
+        let tr = EvolvingTrace::new(3, vec![BTreeSet::from([(0, 1)]), BTreeSet::from([(1, 2)])]);
         let outcome = run_broadcast(&tr, &nowait(0));
         assert_eq!(outcome.informed_at, vec![Some(0), Some(1), Some(2)]);
     }
@@ -193,10 +189,7 @@ mod tests {
     fn source_beaconing_matters() {
         // Source's only contact happens twice; without beaconing the
         // second emission never happens.
-        let tr = EvolvingTrace::new(
-            2,
-            vec![BTreeSet::new(), BTreeSet::from([(0, 1)])],
-        );
+        let tr = EvolvingTrace::new(2, vec![BTreeSet::new(), BTreeSet::from([(0, 1)])]);
         let with = run_broadcast(&tr, &nowait(0));
         assert_eq!(with.informed_at[1], Some(2));
         let without = run_broadcast(
@@ -226,7 +219,11 @@ mod tests {
             let run = |mode| {
                 run_broadcast(
                     &tr,
-                    &BroadcastConfig { source: 0, mode, source_beacons: true },
+                    &BroadcastConfig {
+                        source: 0,
+                        mode,
+                        source_beacons: true,
+                    },
                 )
             };
             assert_eq!(
@@ -293,7 +290,9 @@ mod tests {
             let nw = run_broadcast(&tr, &nowait(0));
             for node in 0..12 {
                 match (s.informed_at[node], nw.informed_at[node]) {
-                    (None, Some(_)) => panic!("seed {seed}: nowait informed node {node}, scf didn't"),
+                    (None, Some(_)) => {
+                        panic!("seed {seed}: nowait informed node {node}, scf didn't")
+                    }
                     (Some(ts), Some(tn)) => assert!(ts <= tn, "seed {seed} node {node}"),
                     _ => {}
                 }

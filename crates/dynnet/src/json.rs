@@ -1,0 +1,561 @@
+//! Minimal JSON encoding for the crate's parameter and report types.
+//!
+//! The workspace builds fully offline, so `serde`/`serde_json` are not
+//! available; experiment sweeps still want to log configurations and
+//! results in a machine-readable form. This module hand-rolls the tiny
+//! subset of JSON those flat types need: objects, strings, numbers,
+//! booleans, and `null`.
+//!
+//! Every type implements [`ToJson`] and [`FromJson`], and
+//! `from_json(to_json(x)) == x` is property-tested in
+//! `tests/props.rs`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::broadcast::{BroadcastConfig, ForwardingMode};
+use crate::markovian::EdgeMarkovianParams;
+use crate::metrics::{AggregateStats, DeliveryStats};
+use crate::routing::RouteReport;
+
+/// A parsed JSON value (the subset this crate emits).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer, kept exact (floats round-trip integers
+    /// only up to 2⁵³; `u64` counters must survive unharmed).
+    Int(u64),
+    /// Any other JSON number, kept as `f64`.
+    Num(f64),
+    /// A string (no escapes are needed by this crate's types).
+    Str(String),
+    /// An object with string keys.
+    Obj(BTreeMap<String, Json>),
+}
+
+/// Types encodable to JSON text.
+pub trait ToJson {
+    /// Encodes `self` as a JSON value.
+    fn to_json_value(&self) -> Json;
+
+    /// Encodes `self` as compact JSON text.
+    fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+}
+
+/// Types decodable from JSON text.
+pub trait FromJson: Sized {
+    /// Decodes from a parsed JSON value.
+    fn from_json_value(v: &Json) -> Result<Self, JsonError>;
+
+    /// Decodes from JSON text.
+    fn from_json(text: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&parse(text)?)
+    }
+}
+
+/// Decoding failure: malformed text or a shape mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(n) => write!(f, "{n}"),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    // NaN/inf have no JSON representation; encode as null
+                    // (serde_json's convention) so the output always
+                    // parses — decoding then fails with a typed error.
+                    write!(f, "null")
+                } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => write!(f, "\"{s}\""),
+            Json::Obj(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "\"{k}\":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Parses JSON text (objects, strings without escapes, numbers, booleans,
+/// `null`).
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Maximum nesting the parser accepts before returning an error (the
+/// crate's own types nest two levels; this guards against stack
+/// overflow on adversarial input).
+const MAX_DEPTH: usize = 64;
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        self.depth += 1;
+        let v = self.value_inner();
+        self.depth -= 1;
+        v
+    }
+
+    fn value_inner(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| JsonError("invalid utf-8 in string".into()))?;
+                    self.pos += 1;
+                    return Ok(s.to_string());
+                }
+                b'\\' => return err("string escapes are not supported"),
+                _ => self.pos += 1,
+            }
+        }
+        err("unterminated string")
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        // Plain non-negative integer literals stay exact.
+        if !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = s.parse::<u64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        match s.parse::<f64>() {
+            Ok(n) => Ok(Json::Num(n)),
+            Err(_) => err(format!("invalid number {s:?}")),
+        }
+    }
+}
+
+// ---- field helpers ----------------------------------------------------
+
+fn get<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+    match obj {
+        Json::Obj(map) => map
+            .get(key)
+            .ok_or_else(|| JsonError(format!("missing field {key:?}"))),
+        _ => err("expected an object"),
+    }
+}
+
+fn as_f64(v: &Json, key: &str) -> Result<f64, JsonError> {
+    match v {
+        Json::Num(n) => Ok(*n),
+        Json::Int(n) => Ok(*n as f64),
+        _ => err(format!("field {key:?}: expected a number")),
+    }
+}
+
+fn as_u64(v: &Json, key: &str) -> Result<u64, JsonError> {
+    match v {
+        Json::Int(n) => Ok(*n),
+        _ => err(format!("field {key:?}: expected a non-negative integer")),
+    }
+}
+
+fn as_usize(v: &Json, key: &str) -> Result<usize, JsonError> {
+    usize::try_from(as_u64(v, key)?)
+        .map_err(|_| JsonError(format!("field {key:?}: integer too large for usize")))
+}
+
+fn as_bool(v: &Json, key: &str) -> Result<bool, JsonError> {
+    match v {
+        Json::Bool(b) => Ok(*b),
+        _ => err(format!("field {key:?}: expected a boolean")),
+    }
+}
+
+fn opt<T>(
+    v: &Json,
+    key: &str,
+    f: impl FnOnce(&Json, &str) -> Result<T, JsonError>,
+) -> Result<Option<T>, JsonError> {
+    match v {
+        Json::Null => Ok(None),
+        other => f(other, key).map(Some),
+    }
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num_opt_f64(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::Num)
+}
+
+fn num_opt_u64(v: Option<u64>) -> Json {
+    v.map_or(Json::Null, Json::Int)
+}
+
+// ---- impls ------------------------------------------------------------
+
+impl ToJson for EdgeMarkovianParams {
+    fn to_json_value(&self) -> Json {
+        obj(vec![
+            ("num_nodes", Json::Int(self.num_nodes as u64)),
+            ("p_birth", Json::Num(self.p_birth)),
+            ("p_death", Json::Num(self.p_death)),
+            ("steps", Json::Int(self.steps as u64)),
+        ])
+    }
+}
+
+impl FromJson for EdgeMarkovianParams {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(EdgeMarkovianParams {
+            num_nodes: as_usize(get(v, "num_nodes")?, "num_nodes")?,
+            p_birth: as_f64(get(v, "p_birth")?, "p_birth")?,
+            p_death: as_f64(get(v, "p_death")?, "p_death")?,
+            steps: as_usize(get(v, "steps")?, "steps")?,
+        })
+    }
+}
+
+impl ToJson for ForwardingMode {
+    fn to_json_value(&self) -> Json {
+        match self {
+            ForwardingMode::StoreCarryForward => Json::Str("store_carry_forward".into()),
+            ForwardingMode::NoWaitRelay => Json::Str("no_wait_relay".into()),
+            ForwardingMode::BoundedBuffer(d) => obj(vec![("bounded_buffer", Json::Int(*d))]),
+        }
+    }
+}
+
+impl FromJson for ForwardingMode {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) if s == "store_carry_forward" => Ok(ForwardingMode::StoreCarryForward),
+            Json::Str(s) if s == "no_wait_relay" => Ok(ForwardingMode::NoWaitRelay),
+            Json::Obj(_) => Ok(ForwardingMode::BoundedBuffer(as_u64(
+                get(v, "bounded_buffer")?,
+                "bounded_buffer",
+            )?)),
+            _ => err("invalid forwarding mode"),
+        }
+    }
+}
+
+impl ToJson for BroadcastConfig {
+    fn to_json_value(&self) -> Json {
+        obj(vec![
+            ("source", Json::Int(self.source as u64)),
+            ("mode", self.mode.to_json_value()),
+            ("source_beacons", Json::Bool(self.source_beacons)),
+        ])
+    }
+}
+
+impl FromJson for BroadcastConfig {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(BroadcastConfig {
+            source: as_usize(get(v, "source")?, "source")?,
+            mode: ForwardingMode::from_json_value(get(v, "mode")?)?,
+            source_beacons: as_bool(get(v, "source_beacons")?, "source_beacons")?,
+        })
+    }
+}
+
+impl ToJson for RouteReport {
+    fn to_json_value(&self) -> Json {
+        obj(vec![
+            ("delivered", Json::Bool(self.delivered)),
+            ("arrival", num_opt_u64(self.arrival)),
+            ("hops", num_opt_u64(self.hops.map(|h| h as u64))),
+        ])
+    }
+}
+
+impl FromJson for RouteReport {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(RouteReport {
+            delivered: as_bool(get(v, "delivered")?, "delivered")?,
+            arrival: opt(get(v, "arrival")?, "arrival", as_u64)?,
+            hops: opt(get(v, "hops")?, "hops", as_usize)?,
+        })
+    }
+}
+
+impl ToJson for DeliveryStats {
+    fn to_json_value(&self) -> Json {
+        obj(vec![
+            ("delivery_ratio", Json::Num(self.delivery_ratio)),
+            ("mean_time", num_opt_f64(self.mean_time)),
+            ("p95_time", num_opt_u64(self.p95_time)),
+            ("max_time", num_opt_u64(self.max_time)),
+        ])
+    }
+}
+
+impl FromJson for DeliveryStats {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(DeliveryStats {
+            delivery_ratio: as_f64(get(v, "delivery_ratio")?, "delivery_ratio")?,
+            mean_time: opt(get(v, "mean_time")?, "mean_time", as_f64)?,
+            p95_time: opt(get(v, "p95_time")?, "p95_time", as_u64)?,
+            max_time: opt(get(v, "max_time")?, "max_time", as_u64)?,
+        })
+    }
+}
+
+impl ToJson for AggregateStats {
+    fn to_json_value(&self) -> Json {
+        obj(vec![
+            ("runs", Json::Int(self.runs as u64)),
+            ("mean_delivery_ratio", Json::Num(self.mean_delivery_ratio)),
+            ("mean_time", num_opt_f64(self.mean_time)),
+        ])
+    }
+}
+
+impl FromJson for AggregateStats {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(AggregateStats {
+            runs: as_usize(get(v, "runs")?, "runs")?,
+            mean_delivery_ratio: as_f64(get(v, "mean_delivery_ratio")?, "mean_delivery_ratio")?,
+            mean_time: opt(get(v, "mean_time")?, "mean_time", as_f64)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_roundtrip() {
+        let p = EdgeMarkovianParams {
+            num_nodes: 16,
+            p_birth: 0.05,
+            p_death: 0.4,
+            steps: 80,
+        };
+        let text = p.to_json();
+        assert_eq!(
+            text,
+            r#"{"num_nodes":16,"p_birth":0.05,"p_death":0.4,"steps":80}"#
+        );
+        assert_eq!(EdgeMarkovianParams::from_json(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn mode_roundtrip() {
+        for mode in [
+            ForwardingMode::StoreCarryForward,
+            ForwardingMode::NoWaitRelay,
+            ForwardingMode::BoundedBuffer(7),
+        ] {
+            let back = ForwardingMode::from_json(&mode.to_json()).unwrap();
+            assert_eq!(back, mode);
+        }
+    }
+
+    #[test]
+    fn null_options_roundtrip() {
+        let r = RouteReport {
+            delivered: false,
+            arrival: None,
+            hops: None,
+        };
+        assert_eq!(
+            r.to_json(),
+            r#"{"arrival":null,"delivered":false,"hops":null}"#
+        );
+        assert_eq!(RouteReport::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn large_integers_stay_exact() {
+        // f64 rounds integers above 2⁵³; the Int variant must not.
+        for d in [(1u64 << 53) + 1, u64::MAX] {
+            let mode = ForwardingMode::BoundedBuffer(d);
+            assert_eq!(ForwardingMode::from_json(&mode.to_json()).unwrap(), mode);
+        }
+        let r = RouteReport {
+            delivered: true,
+            arrival: Some(u64::MAX),
+            hops: Some(3),
+        };
+        assert_eq!(RouteReport::from_json(&r.to_json()).unwrap(), r);
+        // And a float-typed field refuses an out-of-type integer encoding.
+        assert!(EdgeMarkovianParams::from_json(
+            r#"{"num_nodes":2.5,"p_birth":0.1,"p_death":0.1,"steps":1}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null_and_fail_decode_typed() {
+        let p = EdgeMarkovianParams {
+            num_nodes: 2,
+            p_birth: f64::NAN,
+            p_death: f64::INFINITY,
+            steps: 1,
+        };
+        let text = p.to_json();
+        // The text is valid JSON (parseable)...
+        assert!(parse(&text).is_ok(), "{text}");
+        // ...and decoding reports a typed error, not a panic.
+        assert!(EdgeMarkovianParams::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let bomb = "{\"a\":".repeat(100_000);
+        assert!(parse(&bomb).is_err());
+        // Shallow nesting within the limit still parses.
+        let ok = "{\"a\":{\"b\":{\"c\":1}}}";
+        assert!(parse(ok).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse(r#"{"a":}"#).is_err());
+        assert!(EdgeMarkovianParams::from_json("{}").is_err());
+        assert!(EdgeMarkovianParams::from_json(
+            r#"{"num_nodes":-1,"p_birth":0,"p_death":0,"steps":0}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let text =
+            " { \"num_nodes\" : 3 , \"p_birth\" : 0.5 , \"p_death\" : 0.5 , \"steps\" : 2 } ";
+        let p = EdgeMarkovianParams::from_json(text).unwrap();
+        assert_eq!(p.num_nodes, 3);
+    }
+}

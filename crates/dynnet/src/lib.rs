@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod broadcast;
+pub mod json;
 pub mod markovian;
 pub mod metrics;
 pub mod routing;

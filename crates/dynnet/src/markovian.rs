@@ -9,11 +9,10 @@
 
 use crate::EvolvingTrace;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Parameters of an edge-Markovian trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeMarkovianParams {
     /// Number of nodes.
     pub num_nodes: usize,
@@ -100,9 +99,19 @@ mod tests {
 
     #[test]
     fn stationary_density_formula() {
-        let p = EdgeMarkovianParams { num_nodes: 2, p_birth: 0.1, p_death: 0.3, steps: 1 };
+        let p = EdgeMarkovianParams {
+            num_nodes: 2,
+            p_birth: 0.1,
+            p_death: 0.3,
+            steps: 1,
+        };
         assert!((p.stationary_density() - 0.25).abs() < 1e-12);
-        let z = EdgeMarkovianParams { num_nodes: 2, p_birth: 0.0, p_death: 0.0, steps: 1 };
+        let z = EdgeMarkovianParams {
+            num_nodes: 2,
+            p_birth: 0.0,
+            p_death: 0.0,
+            steps: 1,
+        };
         assert_eq!(z.stationary_density(), 0.0);
     }
 

@@ -1,9 +1,7 @@
 //! Delivery metrics for protocol experiments.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics of a delivery vector (`informed_at` times).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeliveryStats {
     /// Fraction of nodes informed (including the source).
     pub delivery_ratio: f64,
@@ -47,7 +45,7 @@ impl DeliveryStats {
 }
 
 /// Aggregates several runs (e.g. different seeds) into mean statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AggregateStats {
     /// Number of runs aggregated.
     pub runs: usize,
@@ -73,7 +71,11 @@ impl AggregateStats {
         } else {
             Some(times.iter().sum::<f64>() / times.len() as f64)
         };
-        AggregateStats { runs: n, mean_delivery_ratio, mean_time }
+        AggregateStats {
+            runs: n,
+            mean_delivery_ratio,
+            mean_time,
+        }
     }
 }
 

@@ -7,12 +7,11 @@
 //! the unicast face of experiment E5.
 
 use crate::EvolvingTrace;
-use serde::{Deserialize, Serialize};
 use tvg_journeys::{foremost_journey, SearchLimits, WaitingPolicy};
 use tvg_model::NodeId;
 
 /// Outcome of routing one message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouteReport {
     /// Whether a feasible journey exists.
     pub delivered: bool,
@@ -55,7 +54,11 @@ pub fn route(
             arrival: j.arrival().copied().or(Some(start)),
             hops: Some(j.num_hops()),
         },
-        None => RouteReport { delivered: false, arrival: None, hops: None },
+        None => RouteReport {
+            delivered: false,
+            arrival: None,
+            hops: None,
+        },
     }
 }
 

@@ -37,7 +37,10 @@ impl EvolvingTrace {
                     .collect::<BTreeSet<_>>()
             })
             .collect();
-        EvolvingTrace { num_nodes, snapshots: normalized }
+        EvolvingTrace {
+            num_nodes,
+            snapshots: normalized,
+        }
     }
 
     /// Number of nodes.

@@ -1,133 +1,183 @@
 //! Property tests for the dynamic-network simulations: dominance laws,
 //! semantic pinning to journeys, and config serialization round-trips.
+//!
+//! Runs on `tvg-testkit`'s deterministic harness; random traces come
+//! from `tvg_testkit::gen::{markovian_params, markovian_trace}`.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::Rng;
 use std::collections::BTreeSet;
 use tvg_dynnet::broadcast::{run_broadcast, BroadcastConfig, ForwardingMode};
-use tvg_dynnet::markovian::{edge_markovian_trace, EdgeMarkovianParams};
+use tvg_dynnet::json::{FromJson, ToJson};
+use tvg_dynnet::markovian::EdgeMarkovianParams;
 use tvg_dynnet::metrics::DeliveryStats;
-use tvg_dynnet::EvolvingTrace;
+use tvg_testkit::gen;
+use tvg_testkit::Config;
 
-fn arb_params() -> impl Strategy<Value = EdgeMarkovianParams> {
-    (3usize..10, 0.0f64..0.5, 0.1f64..0.9, 5usize..40).prop_map(
-        |(num_nodes, p_birth, p_death, steps)| EdgeMarkovianParams {
-            num_nodes,
-            p_birth,
-            p_death,
-            steps,
-        },
-    )
-}
-
-fn arb_trace() -> impl Strategy<Value = EvolvingTrace> {
-    (arb_params(), any::<u64>())
-        .prop_map(|(params, seed)| edge_markovian_trace(&mut StdRng::seed_from_u64(seed), &params))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn scf_dominates_nowait_pointwise(trace in arb_trace()) {
+#[test]
+fn scf_dominates_nowait_pointwise() {
+    let cfg = Config::named_with_cases("scf_dominates_nowait_pointwise", 48);
+    tvg_testkit::check_with(cfg, |rng, _| {
+        let trace = gen::markovian_trace(rng);
         let scf = run_broadcast(
             &trace,
-            &BroadcastConfig { source: 0, mode: ForwardingMode::StoreCarryForward, source_beacons: true },
+            &BroadcastConfig {
+                source: 0,
+                mode: ForwardingMode::StoreCarryForward,
+                source_beacons: true,
+            },
         );
         let nw = run_broadcast(
             &trace,
-            &BroadcastConfig { source: 0, mode: ForwardingMode::NoWaitRelay, source_beacons: true },
+            &BroadcastConfig {
+                source: 0,
+                mode: ForwardingMode::NoWaitRelay,
+                source_beacons: true,
+            },
         );
         for node in 0..trace.num_nodes() {
             match (scf.informed_at[node], nw.informed_at[node]) {
-                (None, Some(_)) => prop_assert!(false, "no-wait informed node {node}, scf did not"),
-                (Some(a), Some(b)) => prop_assert!(a <= b),
+                (None, Some(_)) => panic!("no-wait informed node {node}, scf did not"),
+                (Some(a), Some(b)) => assert!(a <= b),
                 _ => {}
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn beaconing_only_helps(trace in arb_trace()) {
+#[test]
+fn beaconing_only_helps() {
+    let cfg = Config::named_with_cases("beaconing_only_helps", 48);
+    tvg_testkit::check_with(cfg, |rng, _| {
+        let trace = gen::markovian_trace(rng);
         let with = run_broadcast(
             &trace,
-            &BroadcastConfig { source: 0, mode: ForwardingMode::NoWaitRelay, source_beacons: true },
+            &BroadcastConfig {
+                source: 0,
+                mode: ForwardingMode::NoWaitRelay,
+                source_beacons: true,
+            },
         );
         let without = run_broadcast(
             &trace,
-            &BroadcastConfig { source: 0, mode: ForwardingMode::NoWaitRelay, source_beacons: false },
+            &BroadcastConfig {
+                source: 0,
+                mode: ForwardingMode::NoWaitRelay,
+                source_beacons: false,
+            },
         );
-        prop_assert!(with.stats().delivery_ratio >= without.stats().delivery_ratio);
-    }
+        assert!(with.stats().delivery_ratio >= without.stats().delivery_ratio);
+    });
+}
 
-    #[test]
-    fn informed_times_are_causal(trace in arb_trace()) {
+#[test]
+fn informed_times_are_causal() {
+    let cfg = Config::named_with_cases("informed_times_are_causal", 48);
+    tvg_testkit::check_with(cfg, |rng, _| {
+        let trace = gen::markovian_trace(rng);
         let scf = run_broadcast(
             &trace,
-            &BroadcastConfig { source: 0, mode: ForwardingMode::StoreCarryForward, source_beacons: true },
+            &BroadcastConfig {
+                source: 0,
+                mode: ForwardingMode::StoreCarryForward,
+                source_beacons: true,
+            },
         );
-        prop_assert_eq!(scf.informed_at[0], Some(0));
+        assert_eq!(scf.informed_at[0], Some(0));
         for node in 0..trace.num_nodes() {
             if let Some(t) = scf.informed_at[node] {
-                prop_assert!(t as usize <= trace.len());
+                assert!(t as usize <= trace.len());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn delivery_stats_are_consistent(times in proptest::collection::vec(
-        proptest::option::of(0u64..100), 1..30)) {
+#[test]
+fn delivery_stats_are_consistent() {
+    tvg_testkit::check("delivery_stats_are_consistent", |rng, _| {
+        let len = rng.gen_range(1usize..30);
+        let times: Vec<Option<u64>> = (0..len)
+            .map(|_| rng.gen_bool(0.5).then(|| rng.gen_range(0u64..100)))
+            .collect();
         let stats = DeliveryStats::from_informed_times(&times);
-        prop_assert!((0.0..=1.0).contains(&stats.delivery_ratio));
+        assert!((0.0..=1.0).contains(&stats.delivery_ratio));
         let informed: Vec<u64> = times.iter().flatten().copied().collect();
         if informed.is_empty() {
-            prop_assert_eq!(stats.mean_time, None);
-            prop_assert_eq!(stats.max_time, None);
+            assert_eq!(stats.mean_time, None);
+            assert_eq!(stats.max_time, None);
         } else {
             let max = *informed.iter().max().expect("nonempty");
-            prop_assert_eq!(stats.max_time, Some(max));
+            assert_eq!(stats.max_time, Some(max));
             let mean = stats.mean_time.expect("nonempty");
-            prop_assert!(mean <= max as f64);
+            assert!(mean <= max as f64);
             if let Some(p95) = stats.p95_time {
-                prop_assert!(p95 <= max);
+                assert!(p95 <= max);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn stationary_density_within_bounds(params in arb_params()) {
-        let d = params.stationary_density();
-        prop_assert!((0.0..=1.0).contains(&d));
-    }
+#[test]
+fn stationary_density_within_bounds() {
+    tvg_testkit::check("stationary_density_within_bounds", |rng, _| {
+        let d = gen::markovian_params(rng).stationary_density();
+        assert!((0.0..=1.0).contains(&d));
+    });
+}
 
-    #[test]
-    fn params_serde_roundtrip(params in arb_params()) {
-        let json = serde_json::to_string(&params).expect("serializable");
-        let back: EdgeMarkovianParams = serde_json::from_str(&json).expect("deserializable");
-        prop_assert_eq!(params.num_nodes, back.num_nodes);
-        prop_assert_eq!(params.steps, back.steps);
+#[test]
+fn params_json_roundtrip() {
+    tvg_testkit::check("params_json_roundtrip", |rng, _| {
+        let params = gen::markovian_params(rng);
+        let json = params.to_json();
+        let back = EdgeMarkovianParams::from_json(&json).expect("deserializable");
+        assert_eq!(params.num_nodes, back.num_nodes);
+        assert_eq!(params.steps, back.steps);
         // Floats may lose the last ULP through the textual encoding.
-        prop_assert!((params.p_birth - back.p_birth).abs() < 1e-12);
-        prop_assert!((params.p_death - back.p_death).abs() < 1e-12);
-    }
+        assert!((params.p_birth - back.p_birth).abs() < 1e-12);
+        assert!((params.p_death - back.p_death).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn trace_contacts_are_normalized(trace in arb_trace()) {
+#[test]
+fn config_json_roundtrip() {
+    tvg_testkit::check("config_json_roundtrip", |rng, _| {
+        let config = BroadcastConfig {
+            source: rng.gen_range(0usize..16),
+            mode: match rng.gen_range(0u32..3) {
+                0 => ForwardingMode::StoreCarryForward,
+                1 => ForwardingMode::NoWaitRelay,
+                _ => ForwardingMode::BoundedBuffer(rng.gen_range(0u64..10)),
+            },
+            source_beacons: rng.gen::<bool>(),
+        };
+        let back = BroadcastConfig::from_json(&config.to_json()).expect("deserializable");
+        assert_eq!(back, config);
+    });
+}
+
+#[test]
+fn trace_contacts_are_normalized() {
+    let cfg = Config::named_with_cases("trace_contacts_are_normalized", 48);
+    tvg_testkit::check_with(cfg, |rng, _| {
+        let trace = gen::markovian_trace(rng);
         for t in 0..trace.len() {
             for &(a, b) in trace.contacts_at(t) {
-                prop_assert!(a < b);
-                prop_assert!(b < trace.num_nodes());
-                prop_assert!(trace.in_contact(a, b, t));
-                prop_assert!(trace.in_contact(b, a, t));
+                assert!(a < b);
+                assert!(b < trace.num_nodes());
+                assert!(trace.in_contact(a, b, t));
+                assert!(trace.in_contact(b, a, t));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn tvg_conversion_has_matching_contacts(trace in arb_trace()) {
+#[test]
+fn tvg_conversion_has_matching_contacts() {
+    let cfg = Config::named_with_cases("tvg_conversion_has_matching_contacts", 32);
+    tvg_testkit::check_with(cfg, |rng, _| {
+        let trace = gen::markovian_trace(rng);
         let g = trace.to_tvg();
-        prop_assert_eq!(g.num_nodes(), trace.num_nodes());
+        assert_eq!(g.num_nodes(), trace.num_nodes());
         // Every contact is traversable in both directions at its instant.
         for t in 0..trace.len() {
             let snapshot: BTreeSet<(usize, usize)> = g
@@ -139,7 +189,7 @@ proptest! {
                     (a.min(b), a.max(b))
                 })
                 .collect();
-            prop_assert_eq!(&snapshot, trace.contacts_at(t));
+            assert_eq!(&snapshot, trace.contacts_at(t));
         }
-    }
+    });
 }

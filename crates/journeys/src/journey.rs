@@ -150,9 +150,7 @@ impl<T: Time> Journey<T> {
     /// Destination node along `g` given the starting node.
     #[must_use]
     pub fn destination(&self, g: &Tvg<T>, start: NodeId) -> NodeId {
-        self.hops
-            .last()
-            .map_or(start, |h| g.edge(h.edge).dst())
+        self.hops.last().map_or(start, |h| g.edge(h.edge).dst())
     }
 
     /// Validates this journey against `g`.
@@ -252,7 +250,10 @@ mod tests {
             v[0],
             v[1],
             'a',
-            Presence::Periodic { period: 2, phases: BTreeSet::from([0u64]) },
+            Presence::Periodic {
+                period: 2,
+                phases: BTreeSet::from([0u64]),
+            },
             Latency::unit(),
         )
         .expect("valid");
@@ -274,9 +275,7 @@ mod tests {
         let g = g();
         let j = Journey::<u64>::empty();
         for node in g.nodes() {
-            assert!(j
-                .validate(&g, node, &0, &WaitingPolicy::NoWait)
-                .is_ok());
+            assert!(j.validate(&g, node, &0, &WaitingPolicy::NoWait).is_ok());
         }
         assert_eq!(j.duration(), 0);
         assert!(j.word(&g).is_empty());
@@ -289,8 +288,16 @@ mod tests {
         // Depart v0 at 4 (even), arrive v1 at 5... but edge b needs t>3 and
         // we arrive at 5: direct departure at 5 works.
         let j = Journey::from_hops(vec![
-            Hop { edge: e(0), depart: 4, arrive: 5 },
-            Hop { edge: e(1), depart: 5, arrive: 7 },
+            Hop {
+                edge: e(0),
+                depart: 4,
+                arrive: 5,
+            },
+            Hop {
+                edge: e(1),
+                depart: 5,
+                arrive: 7,
+            },
         ]);
         for policy in [
             WaitingPolicy::NoWait,
@@ -312,8 +319,16 @@ mod tests {
         // Depart v0 at 2, arrive v1 at 3; edge b absent at 3 (needs t>3),
         // so wait one unit and depart at 4.
         let j = Journey::from_hops(vec![
-            Hop { edge: e(0), depart: 2, arrive: 3 },
-            Hop { edge: e(1), depart: 4, arrive: 6 },
+            Hop {
+                edge: e(0),
+                depart: 2,
+                arrive: 3,
+            },
+            Hop {
+                edge: e(1),
+                depart: 4,
+                arrive: 6,
+            },
         ]);
         assert_eq!(
             j.validate(&g, n(0), &2, &WaitingPolicy::NoWait),
@@ -328,7 +343,11 @@ mod tests {
     fn initial_pause_counts_against_policy() {
         let g = g();
         // Ready at 1 but the 'a' edge is absent until 2.
-        let j = Journey::from_hops(vec![Hop { edge: e(0), depart: 2, arrive: 3 }]);
+        let j = Journey::from_hops(vec![Hop {
+            edge: e(0),
+            depart: 2,
+            arrive: 3,
+        }]);
         assert_eq!(
             j.validate(&g, n(0), &1, &WaitingPolicy::NoWait),
             Err(JourneyError::WaitTooLong { hop: 0 })
@@ -340,15 +359,27 @@ mod tests {
     fn structural_errors_detected() {
         let g = g();
         // Starts at the wrong node.
-        let j = Journey::from_hops(vec![Hop { edge: e(1), depart: 4, arrive: 6 }]);
+        let j = Journey::from_hops(vec![Hop {
+            edge: e(1),
+            depart: 4,
+            arrive: 6,
+        }]);
         assert_eq!(
             j.validate(&g, n(0), &4, &WaitingPolicy::Unbounded),
             Err(JourneyError::WrongSource)
         );
         // Disconnected second hop (e0 again from v1).
         let j = Journey::from_hops(vec![
-            Hop { edge: e(0), depart: 4, arrive: 5 },
-            Hop { edge: e(0), depart: 6, arrive: 7 },
+            Hop {
+                edge: e(0),
+                depart: 4,
+                arrive: 5,
+            },
+            Hop {
+                edge: e(0),
+                depart: 6,
+                arrive: 7,
+            },
         ]);
         assert_eq!(
             j.validate(&g, n(0), &4, &WaitingPolicy::Unbounded),
@@ -360,19 +391,31 @@ mod tests {
     fn temporal_errors_detected() {
         let g = g();
         // Departs before ready.
-        let j = Journey::from_hops(vec![Hop { edge: e(0), depart: 2, arrive: 3 }]);
+        let j = Journey::from_hops(vec![Hop {
+            edge: e(0),
+            depart: 2,
+            arrive: 3,
+        }]);
         assert_eq!(
             j.validate(&g, n(0), &4, &WaitingPolicy::Unbounded),
             Err(JourneyError::DepartsTooEarly { hop: 0 })
         );
         // Edge absent (odd t).
-        let j = Journey::from_hops(vec![Hop { edge: e(0), depart: 5, arrive: 6 }]);
+        let j = Journey::from_hops(vec![Hop {
+            edge: e(0),
+            depart: 5,
+            arrive: 6,
+        }]);
         assert_eq!(
             j.validate(&g, n(0), &5, &WaitingPolicy::Unbounded),
             Err(JourneyError::EdgeAbsent { hop: 0 })
         );
         // Wrong recorded arrival.
-        let j = Journey::from_hops(vec![Hop { edge: e(0), depart: 4, arrive: 9 }]);
+        let j = Journey::from_hops(vec![Hop {
+            edge: e(0),
+            depart: 4,
+            arrive: 9,
+        }]);
         assert_eq!(
             j.validate(&g, n(0), &4, &WaitingPolicy::Unbounded),
             Err(JourneyError::WrongArrival { hop: 0 })
@@ -381,7 +424,11 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let j = Journey::from_hops(vec![Hop { edge: e(0), depart: 4u64, arrive: 5 }]);
+        let j = Journey::from_hops(vec![Hop {
+            edge: e(0),
+            depart: 4u64,
+            arrive: 5,
+        }]);
         assert_eq!(j.to_string(), "e0@4→5");
         assert_eq!(Journey::<u64>::empty().to_string(), "(empty journey)");
     }

@@ -76,10 +76,7 @@ pub fn spells<T: Time>(
 /// representable).
 #[must_use]
 pub fn label_alphabet<T: Time>(g: &Tvg<T>) -> Option<Alphabet> {
-    let letters: BTreeSet<char> = g
-        .edges()
-        .map(|e| g.edge(e).label().as_char())
-        .collect();
+    let letters: BTreeSet<char> = g.edges().map(|e| g.edge(e).label().as_char()).collect();
     if letters.is_empty() {
         return None;
     }
@@ -186,8 +183,13 @@ mod tests {
         assert_eq!(after_a, ConfigSet::from([(n(1), 2u64)]));
         let after_ab = read_word(&g, &starts, &word("ab"), &WaitingPolicy::NoWait, &limits());
         assert!(after_ab.is_empty());
-        let after_ab_wait =
-            read_word(&g, &starts, &word("ab"), &WaitingPolicy::Unbounded, &limits());
+        let after_ab_wait = read_word(
+            &g,
+            &starts,
+            &word("ab"),
+            &WaitingPolicy::Unbounded,
+            &limits(),
+        );
         assert_eq!(after_ab_wait, ConfigSet::from([(n(2), 6u64)]));
     }
 

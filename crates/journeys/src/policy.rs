@@ -101,13 +101,31 @@ mod tests {
 
     #[test]
     fn latest_departure_windows() {
-        assert_eq!(WaitingPolicy::<u64>::NoWait.latest_departure(&5, &100), Some(5));
-        assert_eq!(WaitingPolicy::Bounded(3u64).latest_departure(&5, &100), Some(8));
-        assert_eq!(WaitingPolicy::Bounded(3u64).latest_departure(&5, &6), Some(6));
-        assert_eq!(WaitingPolicy::<u64>::Unbounded.latest_departure(&5, &100), Some(100));
+        assert_eq!(
+            WaitingPolicy::<u64>::NoWait.latest_departure(&5, &100),
+            Some(5)
+        );
+        assert_eq!(
+            WaitingPolicy::Bounded(3u64).latest_departure(&5, &100),
+            Some(8)
+        );
+        assert_eq!(
+            WaitingPolicy::Bounded(3u64).latest_departure(&5, &6),
+            Some(6)
+        );
+        assert_eq!(
+            WaitingPolicy::<u64>::Unbounded.latest_departure(&5, &100),
+            Some(100)
+        );
         // Ready already past the horizon: empty window.
-        assert_eq!(WaitingPolicy::<u64>::Unbounded.latest_departure(&101, &100), None);
-        assert_eq!(WaitingPolicy::<u64>::NoWait.latest_departure(&101, &100), None);
+        assert_eq!(
+            WaitingPolicy::<u64>::Unbounded.latest_departure(&101, &100),
+            None
+        );
+        assert_eq!(
+            WaitingPolicy::<u64>::NoWait.latest_departure(&101, &100),
+            None
+        );
     }
 
     #[test]

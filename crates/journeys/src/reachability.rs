@@ -34,7 +34,10 @@ impl<T: Time> ReachabilityMatrix<T> {
                     .collect()
             })
             .collect();
-        ReachabilityMatrix { start: start.clone(), arrivals }
+        ReachabilityMatrix {
+            start: start.clone(),
+            arrivals,
+        }
     }
 
     /// Earliest arrival from `src` to `dst`, `None` if unreachable.
@@ -105,9 +108,7 @@ impl<T: Time> ReachabilityMatrix<T> {
         self.arrivals
             .iter()
             .enumerate()
-            .filter(|(i, row)| {
-                row.iter().enumerate().all(|(j, a)| *i == j || a.is_some())
-            })
+            .filter(|(i, row)| row.iter().enumerate().all(|(j, a)| *i == j || a.is_some()))
             .map(|(i, _)| NodeId::from_index(i))
             .collect()
     }
@@ -202,12 +203,8 @@ mod tests {
         b.edge(v[1], v[2], 'b', Presence::Always, Latency::unit())
             .expect("valid");
         let g = b.build().expect("valid");
-        let m = ReachabilityMatrix::compute(
-            &g,
-            &0,
-            &WaitingPolicy::NoWait,
-            &SearchLimits::new(10, 4),
-        );
+        let m =
+            ReachabilityMatrix::compute(&g, &0, &WaitingPolicy::NoWait, &SearchLimits::new(10, 4));
         assert_eq!(m.temporal_sources(), vec![n(0)]);
         assert_eq!(m.temporal_sinks(), vec![n(2)]);
         assert!(!m.is_temporally_connected());
@@ -218,12 +215,8 @@ mod tests {
         let mut b = TvgBuilder::<u64>::new();
         b.node("only");
         let g = b.build().expect("valid");
-        let m = ReachabilityMatrix::compute(
-            &g,
-            &0,
-            &WaitingPolicy::NoWait,
-            &SearchLimits::new(5, 3),
-        );
+        let m =
+            ReachabilityMatrix::compute(&g, &0, &WaitingPolicy::NoWait, &SearchLimits::new(5, 3));
         assert!(m.is_temporally_connected());
         assert_eq!(m.reachability_ratio(), 1.0);
         assert_eq!(m.temporal_diameter(), None);

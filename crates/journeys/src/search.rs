@@ -66,7 +66,11 @@ type ParentMap<T> = BTreeMap<(NodeId, T), (NodeId, T, EdgeId, T)>;
 fn rebuild_journey<T: Time>(parents: &ParentMap<T>, mut state: (NodeId, T)) -> Journey<T> {
     let mut hops = Vec::new();
     while let Some((pn, pt, e, dep)) = parents.get(&state).cloned() {
-        hops.push(Hop { edge: e, depart: dep, arrive: state.1.clone() });
+        hops.push(Hop {
+            edge: e,
+            depart: dep,
+            arrive: state.1.clone(),
+        });
         state = (pn, pt);
     }
     hops.reverse();
@@ -143,7 +147,11 @@ pub fn all_journeys<T: Time>(
                     return out;
                 }
                 let mut extended = hops.clone();
-                extended.push(Hop { edge: e, depart: dep, arrive: arr.clone() });
+                extended.push(Hop {
+                    edge: e,
+                    depart: dep,
+                    arrive: arr.clone(),
+                });
                 out.push(Journey::from_hops(extended.clone()));
                 next.push((g.edge(e).dst(), arr, extended));
             }
@@ -266,7 +274,11 @@ pub fn fastest_journey<T: Time>(
                 let succ = g.edge(e).dst();
                 let tail = foremost_journey(g, succ, dst, &arr, policy, limits);
                 if let Some(tail) = tail {
-                    let mut hops = vec![Hop { edge: e, depart: dep.clone(), arrive: arr.clone() }];
+                    let mut hops = vec![Hop {
+                        edge: e,
+                        depart: dep.clone(),
+                        arrive: arr.clone(),
+                    }];
                     hops.extend(tail.hops().iter().cloned());
                     let candidate = Journey::from_hops(hops);
                     let better = match &best {
@@ -332,13 +344,8 @@ mod tests {
         assert_eq!(j.arrival(), Some(&6)); // depart 1→2 (a), wait, 5→6 (b)
         assert_eq!(j.num_hops(), 2);
         assert_eq!(j.word(&g).to_string(), "ab");
-        assert_eq!(
-            j.validate(&g, n(0), &1, &WaitingPolicy::Unbounded),
-            Ok(())
-        );
-        assert!(
-            foremost_journey(&g, n(0), n(2), &1, &WaitingPolicy::NoWait, &limits()).is_none()
-        );
+        assert_eq!(j.validate(&g, n(0), &1, &WaitingPolicy::Unbounded), Ok(()));
+        assert!(foremost_journey(&g, n(0), n(2), &1, &WaitingPolicy::NoWait, &limits()).is_none());
     }
 
     #[test]
@@ -412,27 +419,20 @@ mod tests {
     fn horizon_cuts_search() {
         let g = line_gap();
         let tight = SearchLimits::new(4, 10); // departure at 5 excluded
-        assert!(
-            foremost_journey(&g, n(0), n(2), &1, &WaitingPolicy::Unbounded, &tight).is_none()
-        );
+        assert!(foremost_journey(&g, n(0), n(2), &1, &WaitingPolicy::Unbounded, &tight).is_none());
     }
 
     #[test]
     fn hop_limit_cuts_search() {
         let g = line_gap();
         let tight = SearchLimits::new(20, 1);
-        assert!(
-            foremost_journey(&g, n(0), n(2), &1, &WaitingPolicy::Unbounded, &tight).is_none()
-        );
+        assert!(foremost_journey(&g, n(0), n(2), &1, &WaitingPolicy::Unbounded, &tight).is_none());
     }
 
     #[test]
     fn journeys_found_are_valid() {
         let g = line_gap();
-        for policy in [
-            WaitingPolicy::Bounded(3),
-            WaitingPolicy::Unbounded,
-        ] {
+        for policy in [WaitingPolicy::Bounded(3), WaitingPolicy::Unbounded] {
             let j = foremost_journey(&g, n(0), n(2), &1, &policy, &limits()).expect("reachable");
             assert_eq!(j.validate(&g, n(0), &1, &policy), Ok(()), "{policy}");
         }
@@ -445,7 +445,11 @@ mod tests {
         // Empty journey + a@1 + (a@1 then b@5).
         assert_eq!(journeys.len(), 3);
         for j in &journeys {
-            assert_eq!(j.validate(&g, n(0), &1, &WaitingPolicy::Unbounded), Ok(()), "{j}");
+            assert_eq!(
+                j.validate(&g, n(0), &1, &WaitingPolicy::Unbounded),
+                Ok(()),
+                "{j}"
+            );
         }
         // NoWait sees only the empty journey and a@1 (b@5 unreachable).
         let direct = all_journeys(&g, n(0), &1, &WaitingPolicy::NoWait, &limits(), 100);

@@ -1,51 +1,29 @@
 //! Property tests for journeys: everything a search returns must
 //! validate, policies are monotone, and optimality claims hold against
 //! brute force on random periodic TVGs.
+//!
+//! Runs on `tvg-testkit`'s deterministic harness; random TVGs and
+//! policies come from `tvg_testkit::gen`.
 
-use proptest::prelude::*;
+use rand::Rng;
 use std::collections::BTreeSet;
 use tvg_journeys::{
-    expansions, fastest_journey, foremost_journey, reachable_nodes, shortest_journey,
-    SearchLimits, WaitingPolicy,
+    expansions, fastest_journey, foremost_journey, reachable_nodes, shortest_journey, SearchLimits,
+    WaitingPolicy,
 };
-use tvg_langs::Alphabet;
-use tvg_model::generators::{random_periodic_tvg, RandomPeriodicParams};
-use tvg_model::{NodeId, Tvg};
-
-fn arb_tvg() -> impl Strategy<Value = Tvg<u64>> {
-    (2usize..6, 2usize..10, 2u64..5, any::<u64>()).prop_map(
-        |(nodes, edges, period, seed)| {
-            use rand::rngs::StdRng;
-            use rand::SeedableRng;
-            let params = RandomPeriodicParams {
-                num_nodes: nodes,
-                num_edges: edges,
-                period,
-                phase_density: 0.45,
-                alphabet: Alphabet::ab(),
-            };
-            random_periodic_tvg(&mut StdRng::seed_from_u64(seed), &params)
-        },
-    )
-}
-
-fn arb_policy() -> impl Strategy<Value = WaitingPolicy<u64>> {
-    prop_oneof![
-        Just(WaitingPolicy::NoWait),
-        (0u64..5).prop_map(WaitingPolicy::Bounded),
-        Just(WaitingPolicy::Unbounded),
-    ]
-}
+use tvg_model::NodeId;
+use tvg_testkit::gen;
 
 fn limits() -> SearchLimits<u64> {
     SearchLimits::new(25, 6)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn found_journeys_validate(g in arb_tvg(), policy in arb_policy(), start in 0u64..6) {
+#[test]
+fn found_journeys_validate() {
+    tvg_testkit::check("found_journeys_validate", |rng, _| {
+        let g = gen::periodic_tvg(rng);
+        let policy = gen::policy(rng);
+        let start = rng.gen_range(0u64..6);
         let src = NodeId::from_index(0);
         for dst_i in 0..g.num_nodes() {
             let dst = NodeId::from_index(dst_i);
@@ -68,87 +46,125 @@ proptest! {
                     // Under restrictive policies the fastest journey must
                     // still chain correctly hop-to-hop; only the initial
                     // pause is free.
-                    prop_assert!(
+                    assert!(
                         report.is_ok() || finder == "fastest",
                         "{finder}: {report:?} for {j}"
                     );
-                    prop_assert_eq!(j.destination(&g, src), dst);
+                    assert_eq!(j.destination(&g, src), dst);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn reachability_is_monotone_in_waiting(g in arb_tvg(), start in 0u64..6) {
+#[test]
+fn reachability_is_monotone_in_waiting() {
+    tvg_testkit::check("reachability_is_monotone_in_waiting", |rng, _| {
+        let g = gen::periodic_tvg(rng);
+        let start = rng.gen_range(0u64..6);
         let src = NodeId::from_index(0);
         let nw = reachable_nodes(&g, src, &start, &WaitingPolicy::NoWait, &limits());
         let b1 = reachable_nodes(&g, src, &start, &WaitingPolicy::Bounded(1), &limits());
         let b3 = reachable_nodes(&g, src, &start, &WaitingPolicy::Bounded(3), &limits());
         let un = reachable_nodes(&g, src, &start, &WaitingPolicy::Unbounded, &limits());
-        prop_assert!(nw.is_subset(&b1));
-        prop_assert!(b1.is_subset(&b3));
-        prop_assert!(b3.is_subset(&un));
-        prop_assert!(nw.contains(&src));
-    }
+        assert!(nw.is_subset(&b1));
+        assert!(b1.is_subset(&b3));
+        assert!(b3.is_subset(&un));
+        assert!(nw.contains(&src));
+    });
+}
 
-    #[test]
-    fn foremost_is_minimal_among_shortest_and_fastest(
-        g in arb_tvg(),
-        policy in arb_policy(),
-        start in 0u64..4,
-    ) {
-        let src = NodeId::from_index(0);
-        for dst_i in 1..g.num_nodes() {
-            let dst = NodeId::from_index(dst_i);
-            let fm = foremost_journey(&g, src, dst, &start, &policy, &limits());
-            let sh = shortest_journey(&g, src, dst, &start, &policy, &limits());
-            match (&fm, &sh) {
-                (Some(f), Some(s)) => {
-                    // Foremost arrives no later; shortest has no more hops.
-                    prop_assert!(f.arrival() <= s.arrival() || s.arrival().is_none());
-                    prop_assert!(s.num_hops() <= f.num_hops());
+#[test]
+fn foremost_is_minimal_among_shortest_and_fastest() {
+    tvg_testkit::check(
+        "foremost_is_minimal_among_shortest_and_fastest",
+        |rng, _| {
+            let g = gen::periodic_tvg(rng);
+            let policy = gen::policy(rng);
+            let start = rng.gen_range(0u64..4);
+            let src = NodeId::from_index(0);
+            for dst_i in 1..g.num_nodes() {
+                let dst = NodeId::from_index(dst_i);
+                let fm = foremost_journey(&g, src, dst, &start, &policy, &limits());
+                let sh = shortest_journey(&g, src, dst, &start, &policy, &limits());
+                match (&fm, &sh) {
+                    (Some(f), Some(s)) => {
+                        // Foremost arrives no later; shortest has no more hops.
+                        assert!(f.arrival() <= s.arrival() || s.arrival().is_none());
+                        assert!(s.num_hops() <= f.num_hops());
+                    }
+                    // Both searches are exact over the same bounded space.
+                    (None, Some(_)) | (Some(_), None) => {
+                        panic!("finders disagree on reachability");
+                    }
+                    (None, None) => {}
                 }
-                // Both searches are exact over the same bounded space.
-                (None, Some(_)) | (Some(_), None) => {
-                    prop_assert!(false, "finders disagree on reachability");
-                }
-                (None, None) => {}
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn expansions_agree_with_policy_admission(
-        g in arb_tvg(),
-        policy in arb_policy(),
-        ready in 0u64..10,
-    ) {
+#[test]
+fn expansions_agree_with_policy_admission() {
+    tvg_testkit::check("expansions_agree_with_policy_admission", |rng, _| {
+        let g = gen::periodic_tvg(rng);
+        let policy = gen::policy(rng);
+        let ready = rng.gen_range(0u64..10);
         let node = NodeId::from_index(0);
         for (e, dep, arr) in expansions(&g, node, &ready, &policy, &limits()) {
-            prop_assert!(policy.admits(&ready, &dep));
-            prop_assert!(g.is_present(e, &dep));
-            prop_assert_eq!(g.traverse(e, &dep), Some(arr));
-            prop_assert!(dep <= limits().horizon);
+            assert!(policy.admits(&ready, &dep));
+            assert!(g.is_present(e, &dep));
+            assert_eq!(g.traverse(e, &dep), Some(arr));
+            assert!(dep <= limits().horizon);
         }
-    }
+    });
+}
 
-    #[test]
-    fn bounded_zero_equals_nowait_everywhere(g in arb_tvg(), start in 0u64..6) {
+#[test]
+fn bounded_zero_equals_nowait_everywhere() {
+    tvg_testkit::check("bounded_zero_equals_nowait_everywhere", |rng, _| {
+        let g = gen::periodic_tvg(rng);
+        let start = rng.gen_range(0u64..6);
         let src = NodeId::from_index(0);
         let a = reachable_nodes(&g, src, &start, &WaitingPolicy::NoWait, &limits());
         let b = reachable_nodes(&g, src, &start, &WaitingPolicy::Bounded(0), &limits());
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn journey_language_respects_policy_monotonicity(g in arb_tvg(), start in 0u64..4) {
+#[test]
+fn journey_language_respects_policy_monotonicity() {
+    tvg_testkit::check("journey_language_respects_policy_monotonicity", |rng, _| {
         use tvg_journeys::language::{journey_language, ConfigSet};
+        let g = gen::periodic_tvg(rng);
+        let start = rng.gen_range(0u64..4);
         let starts = ConfigSet::from([(NodeId::from_index(0), start)]);
         let accepting: BTreeSet<NodeId> = BTreeSet::from([NodeId::from_index(g.num_nodes() - 1)]);
-        let l_nw = journey_language(&g, &starts, &accepting, &WaitingPolicy::NoWait, &limits(), 4);
-        let l_b2 = journey_language(&g, &starts, &accepting, &WaitingPolicy::Bounded(2), &limits(), 4);
-        let l_un = journey_language(&g, &starts, &accepting, &WaitingPolicy::Unbounded, &limits(), 4);
-        prop_assert!(l_nw.is_subset(&l_b2));
-        prop_assert!(l_b2.is_subset(&l_un));
-    }
+        let l_nw = journey_language(
+            &g,
+            &starts,
+            &accepting,
+            &WaitingPolicy::NoWait,
+            &limits(),
+            4,
+        );
+        let l_b2 = journey_language(
+            &g,
+            &starts,
+            &accepting,
+            &WaitingPolicy::Bounded(2),
+            &limits(),
+            4,
+        );
+        let l_un = journey_language(
+            &g,
+            &starts,
+            &accepting,
+            &WaitingPolicy::Unbounded,
+            &limits(),
+            4,
+        );
+        assert!(l_nw.is_subset(&l_b2));
+        assert!(l_b2.is_subset(&l_un));
+    });
 }

@@ -213,7 +213,9 @@ impl Word {
     /// The empty word ε.
     #[must_use]
     pub fn empty() -> Self {
-        Word { letters: Vec::new() }
+        Word {
+            letters: Vec::new(),
+        }
     }
 
     /// Builds a word from letters.

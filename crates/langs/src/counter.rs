@@ -141,7 +141,10 @@ impl CounterMachine {
                 }
             }
         }
-        Ok(CounterMachine { num_counters, program })
+        Ok(CounterMachine {
+            num_counters,
+            program,
+        })
     }
 
     /// Number of counters the program uses.
@@ -214,9 +217,21 @@ pub mod programs {
         CounterMachine::new(
             2,
             vec![
-                Instr::Dec { r: 0, next: 1, on_zero: 2 },
-                Instr::Dec { r: 1, next: 0, on_zero: 4 },
-                Instr::Dec { r: 1, next: 4, on_zero: 3 },
+                Instr::Dec {
+                    r: 0,
+                    next: 1,
+                    on_zero: 2,
+                },
+                Instr::Dec {
+                    r: 1,
+                    next: 0,
+                    on_zero: 4,
+                },
+                Instr::Dec {
+                    r: 1,
+                    next: 4,
+                    on_zero: 3,
+                },
                 Instr::Accept,
                 Instr::Reject,
             ],
@@ -230,10 +245,18 @@ pub mod programs {
         CounterMachine::new(
             1,
             vec![
-                Instr::Dec { r: 0, next: 1, on_zero: 2 }, // 0
-                Instr::Dec { r: 0, next: 0, on_zero: 3 }, // 1
-                Instr::Accept,                            // 2
-                Instr::Reject,                            // 3
+                Instr::Dec {
+                    r: 0,
+                    next: 1,
+                    on_zero: 2,
+                }, // 0
+                Instr::Dec {
+                    r: 0,
+                    next: 0,
+                    on_zero: 3,
+                }, // 1
+                Instr::Accept, // 2
+                Instr::Reject, // 3
             ],
         )
         .expect("static program is valid")
@@ -245,13 +268,29 @@ pub mod programs {
         CounterMachine::new(
             2,
             vec![
-                Instr::Dec { r: 1, next: 1, on_zero: 3 }, // 0: take one from c1…
-                Instr::Dec { r: 0, next: 2, on_zero: 6 }, // 1: …remove two from c0
-                Instr::Dec { r: 0, next: 0, on_zero: 6 }, // 2
-                Instr::Dec { r: 0, next: 6, on_zero: 4 }, // 3: c1 empty: c0 must be too
-                Instr::Accept,                            // 4
-                Instr::Reject,                            // 5 (unused, kept for clarity)
-                Instr::Reject,                            // 6
+                Instr::Dec {
+                    r: 1,
+                    next: 1,
+                    on_zero: 3,
+                }, // 0: take one from c1…
+                Instr::Dec {
+                    r: 0,
+                    next: 2,
+                    on_zero: 6,
+                }, // 1: …remove two from c0
+                Instr::Dec {
+                    r: 0,
+                    next: 0,
+                    on_zero: 6,
+                }, // 2
+                Instr::Dec {
+                    r: 0,
+                    next: 6,
+                    on_zero: 4,
+                }, // 3: c1 empty: c0 must be too
+                Instr::Accept, // 4
+                Instr::Reject, // 5 (unused, kept for clarity)
+                Instr::Reject, // 6
             ],
         )
         .expect("static program is valid")
@@ -344,7 +383,15 @@ mod tests {
             CounterError::BadAddress { at: 0, target: 7 }
         );
         assert_eq!(
-            CounterMachine::new(1, vec![Instr::Dec { r: 3, next: 0, on_zero: 0 }]).unwrap_err(),
+            CounterMachine::new(
+                1,
+                vec![Instr::Dec {
+                    r: 3,
+                    next: 0,
+                    on_zero: 0
+                }]
+            )
+            .unwrap_err(),
             CounterError::BadRegister { at: 0, register: 3 }
         );
     }

@@ -53,11 +53,19 @@ impl fmt::Display for DfaError {
                 f,
                 "accepting vector has length {accepting} but there are {states} states"
             ),
-            DfaError::BadRowWidth { state, expected, got } => write!(
+            DfaError::BadRowWidth {
+                state,
+                expected,
+                got,
+            } => write!(
                 f,
                 "transition row for state {state} has width {got}, expected {expected}"
             ),
-            DfaError::BadTarget { state, letter, target } => write!(
+            DfaError::BadTarget {
+                state,
+                letter,
+                target,
+            } => write!(
                 f,
                 "transition from state {state} on letter {letter} targets missing state {target}"
             ),
@@ -131,11 +139,20 @@ impl Dfa {
             }
             for (a, &t) in row.iter().enumerate() {
                 if t >= n {
-                    return Err(DfaError::BadTarget { state: s, letter: a, target: t });
+                    return Err(DfaError::BadTarget {
+                        state: s,
+                        letter: a,
+                        target: t,
+                    });
                 }
             }
         }
-        Ok(Dfa { alphabet, delta, start, accepting })
+        Ok(Dfa {
+            alphabet,
+            delta,
+            start,
+            accepting,
+        })
     }
 
     /// The DFA accepting the empty language over `alphabet`.
@@ -212,7 +229,7 @@ impl Dfa {
     /// are rejected.
     #[must_use]
     pub fn accepts(&self, w: &Word) -> bool {
-        self.run(w).map_or(false, |s| self.accepting[s])
+        self.run(w).is_some_and(|s| self.accepting[s])
     }
 
     /// Complements the accepted language (in place on a clone).
@@ -574,15 +591,26 @@ mod tests {
         );
         assert_eq!(
             Dfa::new(Alphabet::ab(), vec![vec![0]], 0, vec![true]),
-            Err(DfaError::BadRowWidth { state: 0, expected: 2, got: 1 })
+            Err(DfaError::BadRowWidth {
+                state: 0,
+                expected: 2,
+                got: 1
+            })
         );
         assert_eq!(
             Dfa::new(Alphabet::ab(), vec![vec![0, 7]], 0, vec![true]),
-            Err(DfaError::BadTarget { state: 0, letter: 1, target: 7 })
+            Err(DfaError::BadTarget {
+                state: 0,
+                letter: 1,
+                target: 7
+            })
         );
         assert_eq!(
             Dfa::new(Alphabet::ab(), vec![vec![0, 0]], 0, vec![]),
-            Err(DfaError::AcceptingLengthMismatch { states: 1, accepting: 0 })
+            Err(DfaError::AcceptingLengthMismatch {
+                states: 1,
+                accepting: 0
+            })
         );
     }
 

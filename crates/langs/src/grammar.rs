@@ -133,7 +133,10 @@ impl Grammar {
         }
         let mut productions = Vec::new();
         for (lineno, (lhs, branches)) in raw.iter().enumerate() {
-            let lhs_idx = nonterminals.iter().position(|n| n == lhs).expect("inserted");
+            let lhs_idx = nonterminals
+                .iter()
+                .position(|n| n == lhs)
+                .expect("inserted");
             for b in branches {
                 let mut syms = Vec::new();
                 for c in b.chars() {
@@ -184,11 +187,12 @@ impl Grammar {
         let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
         let mut seen: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
 
-        let push = |sets: &mut Vec<Vec<Item>>, seen: &mut Vec<HashSet<Item>>, i: usize, item: Item| {
-            if seen[i].insert(item) {
-                sets[i].push(item);
-            }
-        };
+        let push =
+            |sets: &mut Vec<Vec<Item>>, seen: &mut Vec<HashSet<Item>>, i: usize, item: Item| {
+                if seen[i].insert(item) {
+                    sets[i].push(item);
+                }
+            };
 
         for (p, (lhs, _)) in self.productions.iter().enumerate() {
             if *lhs == self.start {

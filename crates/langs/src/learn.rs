@@ -152,9 +152,9 @@ impl ObservationTable {
         for row in rows {
             for e in &self.suffixes {
                 let w = row.concat(e);
-                if !self.entries.contains_key(&w) {
-                    let verdict = membership(&w);
-                    self.entries.insert(w, verdict);
+                if let std::collections::btree_map::Entry::Vacant(e) = self.entries.entry(w) {
+                    let verdict = membership(e.key());
+                    e.insert(verdict);
                 }
             }
         }
@@ -174,8 +174,7 @@ impl ObservationTable {
 
     /// A one-letter extension whose row matches no prefix row, if any.
     fn find_unclosed(&self) -> Option<Word> {
-        let prefix_rows: BTreeSet<Vec<bool>> =
-            self.prefixes.iter().map(|p| self.row(p)).collect();
+        let prefix_rows: BTreeSet<Vec<bool>> = self.prefixes.iter().map(|p| self.row(p)).collect();
         for p in &self.prefixes {
             for a in self.alphabet.iter() {
                 let ext = p.appended(a);
@@ -218,8 +217,8 @@ impl ObservationTable {
         let mut representative: Vec<Word> = Vec::new();
         for p in &self.prefixes {
             let r = self.row(p);
-            if !index.contains_key(&r) {
-                index.insert(r, representative.len());
+            if let std::collections::btree_map::Entry::Vacant(e) = index.entry(r) {
+                e.insert(representative.len());
                 representative.push(p.clone());
             }
         }
@@ -259,14 +258,13 @@ mod tests {
             .to_dfa()
             .minimize();
         let t2 = target.clone();
-        let learned = learn_dfa(
+        learn_dfa(
             &sigma,
             move |w| target.accepts(w),
             move |hyp| bounded_equivalence(hyp, |w| t2.accepts(w), &Alphabet::ab(), check_len),
             32,
         )
-        .expect("learnable");
-        learned
+        .expect("learnable")
     }
 
     #[test]
@@ -326,16 +324,18 @@ mod tests {
             |hyp| bounded_equivalence(hyp, anbn, &Alphabet::ab(), 12),
             3,
         );
-        assert_eq!(result.unwrap_err(), LearnError::RoundBudgetExhausted { rounds: 3 });
+        assert_eq!(
+            result.unwrap_err(),
+            LearnError::RoundBudgetExhausted { rounds: 3 }
+        );
     }
 
     #[test]
     fn learned_dfa_matches_oracle_everywhere_sampled() {
         let sigma = Alphabet::ab();
         // Parity of (count(a) - count(b)) mod 3 == 0.
-        let target = |w: &Word| {
-            (w.count_char('a') as i64 - w.count_char('b') as i64).rem_euclid(3) == 0
-        };
+        let target =
+            |w: &Word| (w.count_char('a') as i64 - w.count_char('b') as i64).rem_euclid(3) == 0;
         let learned = learn_dfa(
             &sigma,
             target,

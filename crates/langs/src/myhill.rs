@@ -51,10 +51,7 @@ pub fn residual_lower_bound<F: FnMut(&Word) -> bool>(
     let suffixes = words_upto(alphabet, suffix_len);
     let mut classes: BTreeMap<Vec<bool>, Word> = BTreeMap::new();
     for prefix in words_upto(alphabet, prefix_len) {
-        let signature: Vec<bool> = suffixes
-            .iter()
-            .map(|s| oracle(&prefix.concat(s)))
-            .collect();
+        let signature: Vec<bool> = suffixes.iter().map(|s| oracle(&prefix.concat(s))).collect();
         classes.entry(signature).or_insert(prefix);
     }
     let mut representatives: Vec<Word> = classes.into_values().collect();
@@ -146,10 +143,14 @@ mod tests {
 
     #[test]
     fn saturation_detects_regularity() {
-        assert!(residuals_saturated(&sigma(), 4, 3, |w| w.count_char('a') % 2 == 0));
+        assert!(residuals_saturated(&sigma(), 4, 3, |w| w.count_char('a')
+            % 2
+            == 0));
         let anbn = |w: &Word| {
             let n = w.count_char('a');
-            n >= 1 && w.len() == 2 * n && w.to_string() == format!("{}{}", "a".repeat(n), "b".repeat(n))
+            n >= 1
+                && w.len() == 2 * n
+                && w.to_string() == format!("{}{}", "a".repeat(n), "b".repeat(n))
         };
         assert!(!residuals_saturated(&sigma(), 4, 6, anbn));
     }

@@ -423,7 +423,10 @@ mod tests {
             nfa.add_transition(0, Some('z'), 1),
             Err(NfaError::LetterNotInAlphabet('z'))
         );
-        assert_eq!(nfa.add_transition(0, Some('a'), 9), Err(NfaError::BadState(9)));
+        assert_eq!(
+            nfa.add_transition(0, Some('a'), 9),
+            Err(NfaError::BadState(9))
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl fmt::Display for RegexError {
                 write!(f, "unbalanced parenthesis at position {position}")
             }
             RegexError::DanglingPostfix { position, ch } => {
-                write!(f, "postfix operator {ch:?} at position {position} has no operand")
+                write!(
+                    f,
+                    "postfix operator {ch:?} at position {position} has no operand"
+                )
             }
             RegexError::UnexpectedEnd => write!(f, "unexpected end of pattern"),
         }
@@ -135,7 +138,10 @@ impl<'a> Parser<'a> {
                 }
                 '+' => {
                     self.bump();
-                    atom = Regex::Concat(Box::new(atom.clone()), Box::new(Regex::Star(Box::new(atom))));
+                    atom = Regex::Concat(
+                        Box::new(atom.clone()),
+                        Box::new(Regex::Star(Box::new(atom))),
+                    );
                 }
                 '?' => {
                     self.bump();
@@ -161,8 +167,8 @@ impl<'a> Parser<'a> {
             Some('.') => Ok(Regex::AnyLetter),
             Some('ε') => Ok(Regex::Epsilon),
             Some(c) => {
-                let l = Letter::new(c)
-                    .map_err(|_| RegexError::UnexpectedChar { position, ch: c })?;
+                let l =
+                    Letter::new(c).map_err(|_| RegexError::UnexpectedChar { position, ch: c })?;
                 if !self.alphabet.contains(l) {
                     return Err(RegexError::UnexpectedChar { position, ch: c });
                 }
@@ -197,7 +203,10 @@ impl Regex {
         match p.peek() {
             None => Ok(re),
             Some(')') => Err(RegexError::UnbalancedParens { position: p.pos }),
-            Some(c) => Err(RegexError::UnexpectedChar { position: p.pos, ch: c }),
+            Some(c) => Err(RegexError::UnexpectedChar {
+                position: p.pos,
+                ch: c,
+            }),
         }
     }
 
@@ -325,11 +334,17 @@ mod tests {
         );
         assert_eq!(
             Regex::parse("*a", &sigma),
-            Err(RegexError::DanglingPostfix { position: 0, ch: '*' })
+            Err(RegexError::DanglingPostfix {
+                position: 0,
+                ch: '*'
+            })
         );
         assert_eq!(
             Regex::parse("ac", &sigma),
-            Err(RegexError::UnexpectedChar { position: 1, ch: 'c' })
+            Err(RegexError::UnexpectedChar {
+                position: 1,
+                ch: 'c'
+            })
         );
     }
 

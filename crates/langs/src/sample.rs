@@ -61,10 +61,7 @@ pub fn random_word<R: Rng + ?Sized>(rng: &mut R, alphabet: &Alphabet, len: usize
 }
 
 /// The subset of `words` accepted by `oracle`, as a sorted set.
-pub fn language_filter<F: FnMut(&Word) -> bool>(
-    words: &[Word],
-    mut oracle: F,
-) -> BTreeSet<Word> {
+pub fn language_filter<F: FnMut(&Word) -> bool>(words: &[Word], mut oracle: F) -> BTreeSet<Word> {
     words.iter().filter(|w| oracle(w)).cloned().collect()
 }
 

@@ -39,6 +39,7 @@ pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
     let total = n + 2;
     let mut r: Vec<Vec<Regex>> = vec![vec![Regex::Empty; total]; total];
 
+    #[allow(clippy::needless_range_loop)] // s indexes both the dfa and r
     for s in 0..n {
         for letter in dfa.alphabet().iter() {
             let t = dfa.step(s, letter).expect("total dfa");
@@ -62,17 +63,16 @@ pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
             .collect();
         for &i in &sources {
             for &j in &targets {
-                let detour = concat(
-                    concat(r[i][k].clone(), loop_k.clone()),
-                    r[k][j].clone(),
-                );
+                let detour = concat(concat(r[i][k].clone(), loop_k.clone()), r[k][j].clone());
                 let existing = std::mem::replace(&mut r[i][j], Regex::Empty);
                 r[i][j] = alt(existing, detour);
             }
         }
-        for x in 0..total {
-            r[x][k] = Regex::Empty;
-            r[k][x] = Regex::Empty;
+        for row in &mut r {
+            row[k] = Regex::Empty;
+        }
+        for cell in &mut r[k] {
+            *cell = Regex::Empty;
         }
     }
     r[start][accept].clone()

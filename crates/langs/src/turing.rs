@@ -419,13 +419,18 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            TmError::DuplicateRule { state: "s".to_string(), symbol: 'a' }
+            TmError::DuplicateRule {
+                state: "s".to_string(),
+                symbol: 'a'
+            }
         );
     }
 
     #[test]
     fn bad_symbol_rejected() {
-        let err = TmBuilder::new("s").rule("s", 'é', "s", 'a', Move::Stay).unwrap_err();
+        let err = TmBuilder::new("s")
+            .rule("s", 'é', "s", 'a', Move::Stay)
+            .unwrap_err();
         assert_eq!(err, TmError::BadSymbol('é'));
     }
 

@@ -140,7 +140,7 @@ pub fn is_upward_closed_upto<F: FnMut(&Word) -> bool>(
     mut oracle: F,
 ) -> bool {
     let universe = crate::sample::words_upto(alphabet, max_len);
-    let members: Vec<bool> = universe.iter().map(|w| oracle(w)).collect();
+    let members: Vec<bool> = universe.iter().map(&mut oracle).collect();
     for (i, u) in universe.iter().enumerate() {
         if !members[i] {
             continue;
@@ -213,7 +213,9 @@ mod tests {
     fn closure_of_empty_basis_is_empty_language() {
         let sigma = Alphabet::ab();
         assert!(upward_closure_nfa(&[], &sigma).to_dfa().is_language_empty());
-        assert!(downward_closure_nfa(&[], &sigma).to_dfa().is_language_empty());
+        assert!(downward_closure_nfa(&[], &sigma)
+            .to_dfa()
+            .is_language_empty());
     }
 
     #[test]

@@ -1,94 +1,117 @@
 //! Property tests for the formal-language substrate: algebraic laws of
 //! automata operations, parser round-trips, and wqo axioms.
+//!
+//! Runs on `tvg-testkit`'s deterministic harness; random DFAs and words
+//! come from `tvg_testkit::gen`.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tvg_langs::sample::{random_word, words_upto};
 use tvg_langs::wqo::{is_subword, upward_closure_nfa};
 use tvg_langs::{Alphabet, Dfa, Letter, Nfa, Word};
+use tvg_testkit::gen;
 
 fn ab() -> Alphabet {
     Alphabet::ab()
 }
 
-/// Strategy: a random total DFA over {a,b} with up to `n` states.
-fn arb_dfa(max_states: usize) -> impl Strategy<Value = Dfa> {
-    (2..=max_states).prop_flat_map(move |n| {
-        (
-            proptest::collection::vec(proptest::collection::vec(0..n, 2), n),
-            0..n,
-            proptest::collection::vec(any::<bool>(), n),
-        )
-            .prop_map(move |(delta, start, accepting)| {
-                Dfa::new(ab(), delta, start, accepting).expect("generated shape is valid")
-            })
-    })
+/// A random total DFA over {a,b} with up to `n` states.
+fn arb_dfa<R: Rng + ?Sized>(rng: &mut R, max_states: usize) -> Dfa {
+    gen::dfa(rng, &ab(), max_states)
 }
 
-/// Strategy: a random word over {a,b} of length ≤ 8.
-fn arb_word() -> impl Strategy<Value = Word> {
-    proptest::collection::vec(0..2usize, 0..8).prop_map(|idx| {
-        idx.into_iter().map(|i| ab().letter(i)).collect()
-    })
+/// A random word over {a,b} of length ≤ 7.
+fn arb_word<R: Rng + ?Sized>(rng: &mut R) -> Word {
+    gen::word(rng, &ab(), 7)
 }
 
-proptest! {
-    #[test]
-    fn minimization_preserves_language(dfa in arb_dfa(6), w in arb_word()) {
+#[test]
+fn minimization_preserves_language() {
+    tvg_testkit::check("minimization_preserves_language", |rng, _| {
+        let dfa = arb_dfa(rng, 6);
+        let w = arb_word(rng);
         let min = dfa.minimize();
-        prop_assert_eq!(dfa.accepts(&w), min.accepts(&w));
-        prop_assert!(min.num_states() <= dfa.num_states());
-    }
+        assert_eq!(dfa.accepts(&w), min.accepts(&w));
+        assert!(min.num_states() <= dfa.num_states());
+    });
+}
 
-    #[test]
-    fn minimization_is_idempotent(dfa in arb_dfa(6)) {
-        let once = dfa.minimize();
+#[test]
+fn minimization_is_idempotent() {
+    tvg_testkit::check("minimization_is_idempotent", |rng, _| {
+        let once = arb_dfa(rng, 6).minimize();
         let twice = once.minimize();
-        prop_assert_eq!(once.num_states(), twice.num_states());
-        prop_assert!(once.equivalent_to(&twice));
-    }
+        assert_eq!(once.num_states(), twice.num_states());
+        assert!(once.equivalent_to(&twice));
+    });
+}
 
-    #[test]
-    fn complement_involution(dfa in arb_dfa(5), w in arb_word()) {
-        prop_assert_eq!(dfa.complement().complement().accepts(&w), dfa.accepts(&w));
-        prop_assert_ne!(dfa.complement().accepts(&w), dfa.accepts(&w));
-    }
+#[test]
+fn complement_involution() {
+    tvg_testkit::check("complement_involution", |rng, _| {
+        let dfa = arb_dfa(rng, 5);
+        let w = arb_word(rng);
+        assert_eq!(dfa.complement().complement().accepts(&w), dfa.accepts(&w));
+        assert_ne!(dfa.complement().accepts(&w), dfa.accepts(&w));
+    });
+}
 
-    #[test]
-    fn de_morgan_on_languages(a in arb_dfa(4), b in arb_dfa(4), w in arb_word()) {
+#[test]
+fn de_morgan_on_languages() {
+    tvg_testkit::check("de_morgan_on_languages", |rng, _| {
+        let a = arb_dfa(rng, 4);
+        let b = arb_dfa(rng, 4);
+        let w = arb_word(rng);
         // ¬(A ∪ B) = ¬A ∩ ¬B
         let lhs = a.union(&b).complement();
         let rhs = a.complement().intersection(&b.complement());
-        prop_assert_eq!(lhs.accepts(&w), rhs.accepts(&w));
-    }
+        assert_eq!(lhs.accepts(&w), rhs.accepts(&w));
+    });
+}
 
-    #[test]
-    fn difference_is_intersection_with_complement(a in arb_dfa(4), b in arb_dfa(4), w in arb_word()) {
+#[test]
+fn difference_is_intersection_with_complement() {
+    tvg_testkit::check("difference_is_intersection_with_complement", |rng, _| {
+        let a = arb_dfa(rng, 4);
+        let b = arb_dfa(rng, 4);
+        let w = arb_word(rng);
         let lhs = a.difference(&b);
         let rhs = a.intersection(&b.complement());
-        prop_assert_eq!(lhs.accepts(&w), rhs.accepts(&w));
-    }
+        assert_eq!(lhs.accepts(&w), rhs.accepts(&w));
+    });
+}
 
-    #[test]
-    fn equivalence_is_reflexive_and_witnessed(a in arb_dfa(5), b in arb_dfa(5)) {
-        prop_assert!(a.equivalent_to(&a));
+#[test]
+fn equivalence_is_reflexive_and_witnessed() {
+    tvg_testkit::check("equivalence_is_reflexive_and_witnessed", |rng, _| {
+        let a = arb_dfa(rng, 5);
+        let b = arb_dfa(rng, 5);
+        assert!(a.equivalent_to(&a));
         match a.distinguishing_word(&b) {
-            None => prop_assert!(a.equivalent_to(&b)),
-            Some(w) => prop_assert_ne!(a.accepts(&w), b.accepts(&w)),
+            None => assert!(a.equivalent_to(&b)),
+            Some(w) => assert_ne!(a.accepts(&w), b.accepts(&w)),
         }
-    }
+    });
+}
 
-    #[test]
-    fn count_matches_enumeration(dfa in arb_dfa(4)) {
+#[test]
+fn count_matches_enumeration() {
+    tvg_testkit::check("count_matches_enumeration", |rng, _| {
+        let dfa = arb_dfa(rng, 4);
         let counts = dfa.count_words_per_length(6);
         let langs = dfa.language_upto(6);
         for (len, &c) in counts.iter().enumerate() {
             let brute = langs.iter().filter(|w| w.len() == len).count() as u64;
-            prop_assert_eq!(c, brute);
+            assert_eq!(c, brute);
         }
-    }
+    });
+}
 
-    #[test]
-    fn subset_construction_preserves_language(dfa in arb_dfa(4), w in arb_word()) {
+#[test]
+fn subset_construction_preserves_language() {
+    tvg_testkit::check("subset_construction_preserves_language", |rng, _| {
+        let dfa = arb_dfa(rng, 4);
+        let w = arb_word(rng);
         // Round-trip through an NFA (literal transitions of the DFA).
         let mut nfa = Nfa::new(ab(), dfa.num_states());
         nfa.add_start(dfa.start()).expect("in range");
@@ -98,40 +121,56 @@ proptest! {
             }
             for letter in ab().iter() {
                 let t = dfa.step(s, letter).expect("total");
-                nfa.add_transition(s, Some(letter.as_char()), t).expect("valid");
+                nfa.add_transition(s, Some(letter.as_char()), t)
+                    .expect("valid");
             }
         }
-        prop_assert_eq!(nfa.to_dfa().accepts(&w), dfa.accepts(&w));
-    }
+        assert_eq!(nfa.to_dfa().accepts(&w), dfa.accepts(&w));
+    });
+}
 
-    #[test]
-    fn reverse_reverse_is_identity_on_language(w in arb_word(), probe in arb_word()) {
+#[test]
+fn reverse_reverse_is_identity_on_language() {
+    tvg_testkit::check("reverse_reverse_is_identity_on_language", |rng, _| {
+        let w = arb_word(rng);
+        let probe = arb_word(rng);
         let nfa = Nfa::literal(ab(), &w);
         let rr = nfa.reverse().reverse();
-        prop_assert_eq!(rr.accepts(&probe), nfa.accepts(&probe));
-    }
+        assert_eq!(rr.accepts(&probe), nfa.accepts(&probe));
+    });
+}
 
-    #[test]
-    fn subword_embedding_axioms(u in arb_word(), v in arb_word(), w in arb_word()) {
+#[test]
+fn subword_embedding_axioms() {
+    tvg_testkit::check("subword_embedding_axioms", |rng, _| {
+        let u = arb_word(rng);
+        let v = arb_word(rng);
+        let w = arb_word(rng);
         // Reflexivity.
-        prop_assert!(is_subword(&u, &u));
+        assert!(is_subword(&u, &u));
         // Transitivity.
         if is_subword(&u, &v) && is_subword(&v, &w) {
-            prop_assert!(is_subword(&u, &w));
+            assert!(is_subword(&u, &w));
         }
         // Antisymmetry (on words it is a partial order).
         if is_subword(&u, &v) && is_subword(&v, &u) {
-            prop_assert_eq!(&u, &v);
+            assert_eq!(&u, &v);
         }
         // Compatibility with concatenation.
         if is_subword(&u, &v) {
-            prop_assert!(is_subword(&u, &v.concat(&w)));
-            prop_assert!(is_subword(&u, &w.concat(&v)));
+            assert!(is_subword(&u, &v.concat(&w)));
+            assert!(is_subword(&u, &w.concat(&v)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn upward_closure_is_upward_closed(basis in proptest::collection::vec(arb_word(), 1..3)) {
+#[test]
+fn upward_closure_is_upward_closed() {
+    // Each case checks a bounded universe exhaustively, so fewer cases
+    // suffice.
+    let config = tvg_testkit::Config::named_with_cases("upward_closure_is_upward_closed", 16);
+    tvg_testkit::check_with(config, |rng, _| {
+        let basis: Vec<Word> = (0..rng.gen_range(1..3)).map(|_| arb_word(rng)).collect();
         let nfa = upward_closure_nfa(&basis, &ab());
         // Check on the bounded universe: if accepted and u ⊑ w then w accepted.
         let dfa = nfa.to_dfa();
@@ -141,46 +180,62 @@ proptest! {
             }
             for w in words_upto(&ab(), 5) {
                 if is_subword(&u, &w) {
-                    prop_assert!(dfa.accepts(&w));
+                    assert!(dfa.accepts(&w));
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn regex_synthesis_roundtrips_random_dfas(dfa in arb_dfa(4)) {
-        let min = dfa.minimize();
+#[test]
+fn regex_synthesis_roundtrips_random_dfas() {
+    tvg_testkit::check("regex_synthesis_roundtrips_random_dfas", |rng, _| {
+        let min = arb_dfa(rng, 4).minimize();
         let re = tvg_langs::synth::dfa_to_regex(&min);
         let back = re.to_nfa(&ab()).to_dfa();
-        prop_assert!(back.equivalent_to(&min), "{re}");
-    }
+        assert!(back.equivalent_to(&min), "{re}");
+    });
+}
 
-    #[test]
-    fn random_word_generation_is_sound(len in 0usize..20, seed in any::<u64>()) {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+#[test]
+fn random_word_generation_is_sound() {
+    tvg_testkit::check("random_word_generation_is_sound", |rng, _| {
+        let len = rng.gen_range(0usize..20);
+        let seed = rng.gen::<u64>();
         let w = random_word(&mut StdRng::seed_from_u64(seed), &ab(), len);
-        prop_assert_eq!(w.len(), len);
-        prop_assert!(w.is_over(&ab()));
-    }
+        assert_eq!(w.len(), len);
+        assert!(w.is_over(&ab()));
+    });
+}
 
-    #[test]
-    fn word_concat_associates(u in arb_word(), v in arb_word(), w in arb_word()) {
-        prop_assert_eq!(u.concat(&v).concat(&w), u.concat(&v.concat(&w)));
-        prop_assert_eq!(Word::empty().concat(&u), u.clone());
-        prop_assert_eq!(u.concat(&Word::empty()), u);
-    }
+#[test]
+fn word_concat_associates() {
+    tvg_testkit::check("word_concat_associates", |rng, _| {
+        let u = arb_word(rng);
+        let v = arb_word(rng);
+        let w = arb_word(rng);
+        assert_eq!(u.concat(&v).concat(&w), u.concat(&v.concat(&w)));
+        assert_eq!(Word::empty().concat(&u), u.clone());
+        assert_eq!(u.concat(&Word::empty()), u);
+    });
+}
 
-    #[test]
-    fn reversal_is_involutive_and_antimultiplicative(u in arb_word(), v in arb_word()) {
-        prop_assert_eq!(u.reversed().reversed(), u.clone());
-        prop_assert_eq!(u.concat(&v).reversed(), v.reversed().concat(&u.reversed()));
-    }
+#[test]
+fn reversal_is_involutive_and_antimultiplicative() {
+    tvg_testkit::check("reversal_is_involutive_and_antimultiplicative", |rng, _| {
+        let u = arb_word(rng);
+        let v = arb_word(rng);
+        assert_eq!(u.reversed().reversed(), u.clone());
+        assert_eq!(u.concat(&v).reversed(), v.reversed().concat(&u.reversed()));
+    });
 }
 
 #[test]
 fn letters_display_as_their_char() {
     for c in ['a', 'z', 'A', '0', '~'] {
-        assert_eq!(Letter::new(c).expect("printable").to_string(), c.to_string());
+        assert_eq!(
+            Letter::new(c).expect("printable").to_string(),
+            c.to_string()
+        );
     }
 }

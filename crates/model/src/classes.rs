@@ -64,9 +64,7 @@ pub fn classify_presence<T: Time>(p: &Presence<T>) -> ScheduleClass {
 /// observation over the window.
 #[must_use]
 pub fn all_edges_recur_within(g: &Tvg<u64>, period: u64) -> bool {
-    g.edges().all(|e| {
-        (0..period).any(|t| g.is_present(e, &t))
-    })
+    g.edges().all(|e| (0..period).any(|t| g.is_present(e, &t)))
 }
 
 /// `true` iff every schedule in `g` verifies `ρ(t) = ρ(t + period)` on the
@@ -74,9 +72,8 @@ pub fn all_edges_recur_within(g: &Tvg<u64>, period: u64) -> bool {
 /// tests and by the Theorem 2.2 compiler's precondition validation.
 #[must_use]
 pub fn observed_periodic(g: &Tvg<u64>, period: u64, window: u64) -> bool {
-    g.edges().all(|e| {
-        (0..window).all(|t| g.is_present(e, &t) == g.is_present(e, &(t + period)))
-    })
+    g.edges()
+        .all(|e| (0..window).all(|t| g.is_present(e, &t) == g.is_present(e, &(t + period))))
 }
 
 #[cfg(test)]
@@ -91,13 +88,25 @@ mod tests {
         assert_eq!(classify_presence(&Presence::<u64>::Never), Finite);
         assert_eq!(classify_presence(&Presence::At(3u64)), Finite);
         assert_eq!(
-            classify_presence(&Presence::Window { from: 1u64, until: 9 }),
+            classify_presence(&Presence::Window {
+                from: 1u64,
+                until: 9
+            }),
             Finite
         );
-        assert_eq!(classify_presence(&Presence::<u64>::Always), EventuallyPeriodic);
-        assert_eq!(classify_presence(&Presence::After(5u64)), EventuallyPeriodic);
         assert_eq!(
-            classify_presence(&Presence::<u64>::Periodic { period: 3, phases: BTreeSet::from([0u64]) }),
+            classify_presence(&Presence::<u64>::Always),
+            EventuallyPeriodic
+        );
+        assert_eq!(
+            classify_presence(&Presence::After(5u64)),
+            EventuallyPeriodic
+        );
+        assert_eq!(
+            classify_presence(&Presence::<u64>::Periodic {
+                period: 3,
+                phases: BTreeSet::from([0u64])
+            }),
             EventuallyPeriodic
         );
         assert_eq!(
@@ -114,7 +123,10 @@ mod tests {
     fn classification_of_combinators() {
         use ScheduleClass::*;
         let fin = Presence::At(3u64);
-        let per = Presence::Periodic { period: 2, phases: BTreeSet::from([0u64]) };
+        let per = Presence::Periodic {
+            period: 2,
+            phases: BTreeSet::from([0u64]),
+        };
         let unk = Presence::<u64>::PqPower { p: 2, q: 3 };
         assert_eq!(
             classify_presence(&Presence::Not(Box::new(fin.clone()))),
@@ -132,10 +144,7 @@ mod tests {
             classify_presence(&Presence::And(Box::new(per.clone()), Box::new(unk))),
             Unknown
         );
-        assert_eq!(
-            classify_presence(&fin.dilate(3)),
-            Finite
-        );
+        assert_eq!(classify_presence(&fin.dilate(3)), Finite);
         assert_eq!(classify_presence(&per.dilate(3)), EventuallyPeriodic);
     }
 
@@ -146,7 +155,10 @@ mod tests {
             v[0],
             v[1],
             'a',
-            Presence::Periodic { period: 4, phases: BTreeSet::from([1u64, 2]) },
+            Presence::Periodic {
+                period: 4,
+                phases: BTreeSet::from([1u64, 2]),
+            },
             Latency::unit(),
         )
         .expect("valid");

@@ -71,7 +71,10 @@ pub fn random_periodic_tvg<R: Rng + ?Sized>(
             src,
             dst,
             label,
-            Presence::Periodic { period: params.period, phases },
+            Presence::Periodic {
+                period: params.period,
+                phases,
+            },
             Latency::unit(),
         )
         .expect("nodes come from this builder");
@@ -99,7 +102,10 @@ pub fn ring_bus_tvg(n: usize, period: u64, label: char) -> Tvg<u64> {
             nodes[i],
             nodes[(i + 1) % n],
             label,
-            Presence::Periodic { period, phases: BTreeSet::from([phase]) },
+            Presence::Periodic {
+                period,
+                phases: BTreeSet::from([phase]),
+            },
             Latency::unit(),
         )
         .expect("nodes come from this builder");
@@ -124,7 +130,7 @@ pub fn line_timetable_tvg(n: usize, timetable: &[BTreeSet<u64>], label: char) ->
             nodes[i],
             nodes[i + 1],
             label,
-            Presence::FiniteSet(departures.iter().map(|&t| t).collect()),
+            Presence::FiniteSet(departures.iter().copied().collect()),
             Latency::unit(),
         )
         .expect("nodes come from this builder");
@@ -153,7 +159,10 @@ pub fn star_ferry_tvg(n: usize, label: char) -> Tvg<u64> {
                 nodes[src],
                 nodes[dst],
                 label,
-                Presence::Periodic { period, phases: BTreeSet::from([phase]) },
+                Presence::Periodic {
+                    period,
+                    phases: BTreeSet::from([phase]),
+                },
                 Latency::unit(),
             )
             .expect("nodes come from this builder");
@@ -176,17 +185,35 @@ pub fn grid_two_phase_tvg(rows: usize, cols: usize, label: char) -> Tvg<u64> {
     let mut b = TvgBuilder::new();
     let nodes = b.nodes(rows * cols);
     let id = |r: usize, c: usize| nodes[r * cols + c];
-    let horizontal = Presence::Periodic { period: 2, phases: BTreeSet::from([0u64]) };
-    let vertical = Presence::Periodic { period: 2, phases: BTreeSet::from([1u64]) };
+    let horizontal = Presence::Periodic {
+        period: 2,
+        phases: BTreeSet::from([0u64]),
+    };
+    let vertical = Presence::Periodic {
+        period: 2,
+        phases: BTreeSet::from([1u64]),
+    };
     for r in 0..rows {
         for c in 0..cols {
             if cols > 1 {
-                b.edge(id(r, c), id(r, (c + 1) % cols), label, horizontal.clone(), Latency::unit())
-                    .expect("builder-owned nodes");
+                b.edge(
+                    id(r, c),
+                    id(r, (c + 1) % cols),
+                    label,
+                    horizontal.clone(),
+                    Latency::unit(),
+                )
+                .expect("builder-owned nodes");
             }
             if rows > 1 {
-                b.edge(id(r, c), id((r + 1) % rows, c), label, vertical.clone(), Latency::unit())
-                    .expect("builder-owned nodes");
+                b.edge(
+                    id(r, c),
+                    id((r + 1) % rows, c),
+                    label,
+                    vertical.clone(),
+                    Latency::unit(),
+                )
+                .expect("builder-owned nodes");
             }
         }
     }
@@ -224,8 +251,7 @@ mod tests {
         };
         let g = random_periodic_tvg(&mut StdRng::seed_from_u64(7), &params);
         for e in g.edges() {
-            let present_somewhere =
-                (0..params.period).any(|t| g.is_present(e, &t));
+            let present_somewhere = (0..params.period).any(|t| g.is_present(e, &t));
             assert!(present_somewhere, "{e} never present");
         }
     }
@@ -258,11 +284,7 @@ mod tests {
 
     #[test]
     fn line_timetable_respects_departures() {
-        let g = line_timetable_tvg(
-            3,
-            &[BTreeSet::from([2u64, 5]), BTreeSet::from([7u64])],
-            't',
-        );
+        let g = line_timetable_tvg(3, &[BTreeSet::from([2u64, 5]), BTreeSet::from([7u64])], 't');
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(g.traverse(edges[0], &2), Some(3));
         assert_eq!(g.traverse(edges[0], &3), None);

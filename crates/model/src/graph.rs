@@ -17,7 +17,9 @@ impl Digraph {
     /// Creates a graph with `n` nodes and no edges.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Digraph { adj: vec![Vec::new(); n] }
+        Digraph {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -38,7 +40,10 @@ impl Digraph {
     ///
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         if !self.adj[u].contains(&v) {
             self.adj[u].push(v);
         }
@@ -47,7 +52,7 @@ impl Digraph {
     /// Whether the edge `u → v` exists.
     #[must_use]
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.adj.get(u).map_or(false, |row| row.contains(&v))
+        self.adj.get(u).is_some_and(|row| row.contains(&v))
     }
 
     /// Successors of `u`.

@@ -324,7 +324,10 @@ mod tests {
         assert!(!Presence::After(5u64).is_present(&5));
         assert!(Presence::Before(5u64).is_present(&4));
         assert!(!Presence::Before(5u64).is_present(&5));
-        let w = Presence::Window { from: 3u64, until: 5 };
+        let w = Presence::Window {
+            from: 3u64,
+            until: 5,
+        };
         assert!(w.is_present(&3) && w.is_present(&5));
         assert!(!w.is_present(&2) && !w.is_present(&6));
     }
@@ -347,7 +350,10 @@ mod tests {
 
     #[test]
     fn periodic_presence() {
-        let p = Presence::Periodic { period: 3, phases: BTreeSet::from([1u64]) };
+        let p = Presence::Periodic {
+            period: 3,
+            phases: BTreeSet::from([1u64]),
+        };
         for t in 0u64..20 {
             assert_eq!(p.is_present(&t), t % 3 == 1, "t={t}");
         }
@@ -382,7 +388,10 @@ mod tests {
 
     #[test]
     fn next_present_scans() {
-        let p = Presence::Periodic { period: 5, phases: BTreeSet::from([3u64]) };
+        let p = Presence::Periodic {
+            period: 5,
+            phases: BTreeSet::from([3u64]),
+        };
         assert_eq!(p.next_present_within(&0u64, &10), Some(3));
         assert_eq!(p.next_present_within(&4u64, &10), Some(8));
         assert_eq!(p.next_present_within(&9u64, &12), None);
@@ -391,7 +400,10 @@ mod tests {
 
     #[test]
     fn dilation_contract_presence() {
-        let inner = Presence::Periodic { period: 2, phases: BTreeSet::from([1u64]) };
+        let inner = Presence::Periodic {
+            period: 2,
+            phases: BTreeSet::from([1u64]),
+        };
         let dilated = inner.clone().dilate(3);
         for t in 0u64..30 {
             let expected = t % 3 == 0 && inner.is_present(&(t / 3));
@@ -469,12 +481,18 @@ mod tests {
         assert!(format!("{rho:?}").contains("2^i"));
         let zeta = Latency::Affine { mul: 1, add: 0u64 };
         assert!(format!("{zeta:?}").contains("Affine"));
-        assert_eq!(format!("{:?}", Presence::<u64>::from_fn(|_| true)), "Custom(<fn>)");
+        assert_eq!(
+            format!("{:?}", Presence::<u64>::from_fn(|_| true)),
+            "Custom(<fn>)"
+        );
     }
 
     #[test]
     fn bigint_affine_latency_never_overflows() {
-        let zeta = Latency::Affine { mul: u64::MAX, add: Nat::zero() };
+        let zeta = Latency::Affine {
+            mul: u64::MAX,
+            add: Nat::zero(),
+        };
         let t = Nat::from(u64::MAX);
         assert!(zeta.arrival(&t).is_some());
     }

@@ -153,14 +153,8 @@ mod tests {
             T::from_u64(6).checked_add(&T::from_u64(7)),
             Some(T::from_u64(13))
         );
-        assert_eq!(
-            T::from_u64(6).checked_sub(&T::from_u64(7)),
-            None
-        );
-        assert_eq!(
-            T::from_u64(7).checked_sub(&T::from_u64(6)),
-            Some(T::one())
-        );
+        assert_eq!(T::from_u64(6).checked_sub(&T::from_u64(7)), None);
+        assert_eq!(T::from_u64(7).checked_sub(&T::from_u64(6)), Some(T::one()));
         assert_eq!(T::from_u64(6).checked_mul_u64(7), Some(T::from_u64(42)));
         assert_eq!(T::from_u64(17).div_rem_u64(5), (T::from_u64(3), 2));
         assert_eq!(T::from_u64(17).rem_u64(5), 2);

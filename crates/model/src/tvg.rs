@@ -174,9 +174,7 @@ impl<T: Time> Tvg<T> {
     /// The snapshot (footprint at one instant): edges present at `t`.
     #[must_use]
     pub fn snapshot(&self, t: &T) -> Vec<EdgeId> {
-        self.edges()
-            .filter(|&e| self.is_present(e, t))
-            .collect()
+        self.edges().filter(|&e| self.is_present(e, t)).collect()
     }
 
     /// The snapshot as a static digraph on the same node set.
@@ -338,7 +336,10 @@ mod tests {
             v0,
             v1,
             'a',
-            Presence::Periodic { period: 2, phases: BTreeSet::from([0u64]) },
+            Presence::Periodic {
+                period: 2,
+                phases: BTreeSet::from([0u64]),
+            },
             Latency::unit(),
         )
         .expect("valid");

@@ -1,151 +1,142 @@
 //! Property tests for schedules and TVGs: the dilation contract on
 //! arbitrary schedule ASTs, periodicity laws, and traversal invariants.
+//!
+//! Runs on `tvg-testkit`'s deterministic harness; schedule ASTs come from
+//! `tvg_testkit::gen::{presence, latency}`.
 
-use proptest::prelude::*;
+use rand::Rng;
 use std::collections::BTreeSet;
 use tvg_model::{Latency, Presence, Time, TvgBuilder};
+use tvg_testkit::gen::{latency, presence};
 
-/// Strategy: a random presence AST over `u64` (no `Custom` — those are
-/// covered by targeted unit tests; everything else composes here).
-fn arb_presence() -> impl Strategy<Value = Presence<u64>> {
-    let leaf = prop_oneof![
-        Just(Presence::Always),
-        Just(Presence::Never),
-        (0u64..40).prop_map(Presence::At),
-        (0u64..40).prop_map(Presence::After),
-        (1u64..40).prop_map(Presence::Before),
-        (0u64..20, 0u64..20).prop_map(|(a, b)| Presence::Window {
-            from: a.min(b),
-            until: a.max(b),
-        }),
-        proptest::collection::btree_set(0u64..40, 0..5).prop_map(Presence::FiniteSet),
-        (1u64..8, proptest::collection::btree_set(0u64..8, 0..4)).prop_map(
-            |(period, raw)| Presence::Periodic {
-                phases: raw.into_iter().map(|p| p % period).collect(),
-                period,
-            }
-        ),
-        Just(Presence::PqPower { p: 2, q: 3 }),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|p| Presence::Not(Box::new(p))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Presence::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Presence::Or(Box::new(a), Box::new(b))),
-            (1u64..5, inner).prop_map(|(factor, p)| p.dilate(factor)),
-        ]
-    })
-}
-
-/// Strategy: a random latency.
-fn arb_latency() -> impl Strategy<Value = Latency<u64>> {
-    prop_oneof![
-        (0u64..10).prop_map(Latency::Const),
-        (0u64..4, 0u64..10).prop_map(|(mul, add)| Latency::Affine { mul, add }),
-        (1u64..4, 0u64..6).prop_map(|(f, c)| Latency::Const(c).dilate(f)),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn dilation_contract_for_presence(p in arb_presence(), factor in 1u64..6, t in 0u64..200) {
+#[test]
+fn dilation_contract_for_presence() {
+    tvg_testkit::check("dilation_contract_for_presence", |rng, _| {
+        let p = presence(rng, 3);
+        let factor = rng.gen_range(1u64..6);
+        let t = rng.gen_range(0u64..200);
         let dilated = p.clone().dilate(factor);
         let expected = t % factor == 0 && p.is_present(&(t / factor));
-        prop_assert_eq!(dilated.is_present(&t), expected);
-    }
+        assert_eq!(dilated.is_present(&t), expected);
+    });
+}
 
-    #[test]
-    fn dilation_by_one_is_identity(p in arb_presence(), t in 0u64..100) {
-        prop_assert_eq!(p.clone().dilate(1).is_present(&t), p.is_present(&t));
-    }
+#[test]
+fn dilation_by_one_is_identity() {
+    tvg_testkit::check("dilation_by_one_is_identity", |rng, _| {
+        let p = presence(rng, 3);
+        let t = rng.gen_range(0u64..100);
+        assert_eq!(p.clone().dilate(1).is_present(&t), p.is_present(&t));
+    });
+}
 
-    #[test]
-    fn boolean_combinators_obey_logic(a in arb_presence(), b in arb_presence(), t in 0u64..100) {
+#[test]
+fn boolean_combinators_obey_logic() {
+    tvg_testkit::check("boolean_combinators_obey_logic", |rng, _| {
+        let a = presence(rng, 3);
+        let b = presence(rng, 3);
+        let t = rng.gen_range(0u64..100);
         let not_a = Presence::Not(Box::new(a.clone()));
-        prop_assert_eq!(not_a.is_present(&t), !a.is_present(&t));
+        assert_eq!(not_a.is_present(&t), !a.is_present(&t));
         let and = Presence::And(Box::new(a.clone()), Box::new(b.clone()));
-        prop_assert_eq!(and.is_present(&t), a.is_present(&t) && b.is_present(&t));
+        assert_eq!(and.is_present(&t), a.is_present(&t) && b.is_present(&t));
         let or = Presence::Or(Box::new(a.clone()), Box::new(b.clone()));
-        prop_assert_eq!(or.is_present(&t), a.is_present(&t) || b.is_present(&t));
-    }
+        assert_eq!(or.is_present(&t), a.is_present(&t) || b.is_present(&t));
+    });
+}
 
-    #[test]
-    fn next_present_is_sound_and_minimal(p in arb_presence(), from in 0u64..60, span in 0u64..40) {
-        let until = from + span;
+#[test]
+fn next_present_is_sound_and_minimal() {
+    tvg_testkit::check("next_present_is_sound_and_minimal", |rng, _| {
+        let p = presence(rng, 3);
+        let from = rng.gen_range(0u64..60);
+        let until = from + rng.gen_range(0u64..40);
         match p.next_present_within(&from, &until) {
             Some(t) => {
-                prop_assert!(t >= from && t <= until);
-                prop_assert!(p.is_present(&t));
+                assert!(t >= from && t <= until);
+                assert!(p.is_present(&t));
                 for earlier in from..t {
-                    prop_assert!(!p.is_present(&earlier));
+                    assert!(!p.is_present(&earlier));
                 }
             }
             None => {
                 for t in from..=until {
-                    prop_assert!(!p.is_present(&t));
+                    assert!(!p.is_present(&t));
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn latency_dilation_contract(l in arb_latency(), factor in 1u64..6, t in 0u64..100) {
+#[test]
+fn latency_dilation_contract() {
+    tvg_testkit::check("latency_dilation_contract", |rng, _| {
+        let l = latency(rng);
+        let factor = rng.gen_range(1u64..6);
+        let t = rng.gen_range(0u64..100);
         let dilated = l.clone().dilate(factor);
         if let (Some(inner_arrival), Some(dilated_arrival)) =
             (l.arrival(&t), dilated.arrival(&(t * factor)))
         {
-            prop_assert_eq!(dilated_arrival, inner_arrival * factor);
+            assert_eq!(dilated_arrival, inner_arrival * factor);
         }
-    }
+    });
+}
 
-    #[test]
-    fn arrival_never_precedes_departure(l in arb_latency(), t in 0u64..1000) {
+#[test]
+fn arrival_never_precedes_departure() {
+    tvg_testkit::check("arrival_never_precedes_departure", |rng, _| {
+        let l = latency(rng);
+        let t = rng.gen_range(0u64..1000);
         if let Some(a) = l.arrival(&t) {
-            prop_assert!(a >= t);
+            assert!(a >= t);
         }
-    }
+    });
+}
 
-    #[test]
-    fn periodic_schedules_are_periodic(
-        period in 1u64..10,
-        raw in proptest::collection::btree_set(0u64..10, 0..6),
-        t in 0u64..100,
-    ) {
-        let phases: BTreeSet<u64> = raw.into_iter().map(|p| p % period).collect();
+#[test]
+fn periodic_schedules_are_periodic() {
+    tvg_testkit::check("periodic_schedules_are_periodic", |rng, _| {
+        let period = rng.gen_range(1u64..10);
+        let count = rng.gen_range(0..6);
+        let phases: BTreeSet<u64> = (0..count).map(|_| rng.gen_range(0..period)).collect();
+        let t = rng.gen_range(0u64..100);
         let p = Presence::Periodic { period, phases };
-        prop_assert_eq!(p.is_present(&t), p.is_present(&(t + period)));
-    }
+        assert_eq!(p.is_present(&t), p.is_present(&(t + period)));
+    });
+}
 
-    #[test]
-    fn tvg_traversal_respects_schedules(
-        p in arb_presence(),
-        l in arb_latency(),
-        t in 0u64..100,
-    ) {
+#[test]
+fn tvg_traversal_respects_schedules() {
+    tvg_testkit::check("tvg_traversal_respects_schedules", |rng, _| {
+        let p = presence(rng, 3);
+        let l = latency(rng);
+        let t = rng.gen_range(0u64..100);
         let mut b = TvgBuilder::<u64>::new();
         let v = b.nodes(2);
-        let e = b.edge(v[0], v[1], 'a', p.clone(), l.clone()).expect("valid");
+        let e = b
+            .edge(v[0], v[1], 'a', p.clone(), l.clone())
+            .expect("valid");
         let g = b.build().expect("valid");
         match g.traverse(e, &t) {
             Some(arrival) => {
-                prop_assert!(p.is_present(&t));
-                prop_assert_eq!(Some(arrival), l.arrival(&t));
+                assert!(p.is_present(&t));
+                assert_eq!(Some(arrival), l.arrival(&t));
             }
             None => {
-                prop_assert!(!p.is_present(&t) || l.arrival(&t).is_none());
+                assert!(!p.is_present(&t) || l.arrival(&t).is_none());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn whole_graph_dilation_matches_edge_dilation(
-        p in arb_presence(),
-        l in arb_latency(),
-        d in 0u64..5,
-        t in 0u64..120,
-    ) {
+#[test]
+fn whole_graph_dilation_matches_edge_dilation() {
+    tvg_testkit::check("whole_graph_dilation_matches_edge_dilation", |rng, _| {
+        let p = presence(rng, 3);
+        let l = latency(rng);
+        let d = rng.gen_range(0u64..5);
+        let t = rng.gen_range(0u64..120);
         let mut b = TvgBuilder::<u64>::new();
         let v = b.nodes(2);
         let e = b.edge(v[0], v[1], 'a', p, l).expect("valid");
@@ -156,29 +147,39 @@ proptest! {
         if t % factor == 0 {
             let orig = g.traverse(e, &(t / factor));
             let dil = dilated.traverse(e, &t);
-            prop_assert_eq!(dil, orig.map(|a| a * factor));
+            assert_eq!(dil, orig.map(|a| a * factor));
         } else {
-            prop_assert_eq!(dilated.traverse(e, &t), None);
+            assert_eq!(dilated.traverse(e, &t), None);
         }
-    }
+    });
+}
 
-    #[test]
-    fn snapshot_is_consistent_with_presence(p in arb_presence(), t in 0u64..60) {
+#[test]
+fn snapshot_is_consistent_with_presence() {
+    tvg_testkit::check("snapshot_is_consistent_with_presence", |rng, _| {
+        let p = presence(rng, 3);
+        let t = rng.gen_range(0u64..60);
         let mut b = TvgBuilder::<u64>::new();
         let v = b.nodes(2);
-        let e = b.edge(v[0], v[1], 'x', p.clone(), Latency::unit()).expect("valid");
+        let e = b
+            .edge(v[0], v[1], 'x', p.clone(), Latency::unit())
+            .expect("valid");
         let g = b.build().expect("valid");
-        prop_assert_eq!(g.snapshot(&t).contains(&e), p.is_present(&t));
-    }
+        assert_eq!(g.snapshot(&t).contains(&e), p.is_present(&t));
+    });
+}
 
-    #[test]
-    fn time_trait_laws_u64(a in 0u64..1_000_000, b in 0u64..1_000_000) {
-        prop_assert_eq!(Time::checked_add(&a, &b), a.checked_add(b));
+#[test]
+fn time_trait_laws_u64() {
+    tvg_testkit::check("time_trait_laws_u64", |rng, _| {
+        let a = rng.gen_range(0u64..1_000_000);
+        let b = rng.gen_range(0u64..1_000_000);
+        assert_eq!(Time::checked_add(&a, &b), a.checked_add(b));
         if a >= b {
-            prop_assert_eq!(Time::checked_sub(&a, &b), Some(a - b));
+            assert_eq!(Time::checked_sub(&a, &b), Some(a - b));
         } else {
-            prop_assert_eq!(Time::checked_sub(&a, &b), None);
+            assert_eq!(Time::checked_sub(&a, &b), None);
         }
-        prop_assert_eq!(a.succ(), a + 1);
-    }
+        assert_eq!(a.succ(), a + 1);
+    });
 }

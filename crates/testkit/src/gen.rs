@@ -1,0 +1,227 @@
+//! Random-value generators shared by every workspace test suite.
+//!
+//! Each generator is an explicit function of the RNG — the testkit
+//! analogue of a `proptest` strategy. Given equal RNG states they produce
+//! equal values, which is what makes whole suites replayable from a
+//! `(seed, case)` pair.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use tvg_dynnet::markovian::{edge_markovian_trace, EdgeMarkovianParams};
+use tvg_dynnet::EvolvingTrace;
+use tvg_expressivity::TvgAutomaton;
+use tvg_journeys::WaitingPolicy;
+use tvg_langs::{Alphabet, Dfa, Word};
+use tvg_model::generators::{random_periodic_tvg, RandomPeriodicParams};
+use tvg_model::{Latency, NodeId, Presence, Tvg};
+
+/// A uniform `u128` (the `rand` shim's `gen` covers only one machine
+/// word).
+pub fn u128_any<R: Rng + ?Sized>(rng: &mut R) -> u128 {
+    (u128::from(rng.gen::<u64>()) << 64) | u128::from(rng.gen::<u64>())
+}
+
+/// A uniform `f64` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or either bound is not finite.
+pub fn f64_in<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo <= hi,
+        "bad range [{lo}, {hi})"
+    );
+    lo + rng.gen::<f64>() * (hi - lo)
+}
+
+/// A random word over `alphabet` with length drawn uniformly from
+/// `0..=max_len`.
+pub fn word<R: Rng + ?Sized>(rng: &mut R, alphabet: &Alphabet, max_len: usize) -> Word {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| alphabet.letter(rng.gen_range(0..alphabet.len())))
+        .collect()
+}
+
+/// A random total DFA over `alphabet` with `2..=max_states` states,
+/// uniform transitions, uniform accepting set.
+///
+/// # Panics
+///
+/// Panics if `max_states < 2`.
+pub fn dfa<R: Rng + ?Sized>(rng: &mut R, alphabet: &Alphabet, max_states: usize) -> Dfa {
+    assert!(max_states >= 2, "need at least two states");
+    let n = rng.gen_range(2..=max_states);
+    let delta: Vec<Vec<usize>> = (0..n)
+        .map(|_| (0..alphabet.len()).map(|_| rng.gen_range(0..n)).collect())
+        .collect();
+    let start = rng.gen_range(0..n);
+    let accepting: Vec<bool> = (0..n).map(|_| rng.gen::<bool>()).collect();
+    Dfa::new(alphabet.clone(), delta, start, accepting).expect("generated shape is valid")
+}
+
+/// A random presence AST over `u64`: the leaves and combinators of the
+/// schedule algebra (excluding `Custom`, which is covered by targeted
+/// unit tests), recursing up to `depth`.
+pub fn presence<R: Rng + ?Sized>(rng: &mut R, depth: usize) -> Presence<u64> {
+    if depth == 0 || rng.gen_bool(0.55) {
+        return match rng.gen_range(0..8u32) {
+            0 => Presence::Always,
+            1 => Presence::Never,
+            2 => Presence::At(rng.gen_range(0..40)),
+            3 => Presence::After(rng.gen_range(0..40)),
+            4 => Presence::Before(rng.gen_range(1..40)),
+            5 => {
+                let (a, b) = (rng.gen_range(0..20), rng.gen_range(0..20));
+                Presence::Window {
+                    from: a.min(b),
+                    until: a.max(b),
+                }
+            }
+            6 => {
+                let count = rng.gen_range(0..5);
+                Presence::FiniteSet((0..count).map(|_| rng.gen_range(0..40)).collect())
+            }
+            _ => {
+                let period = rng.gen_range(1..8);
+                let count = rng.gen_range(0..4);
+                Presence::Periodic {
+                    period,
+                    phases: (0..count).map(|_| rng.gen_range(0..period)).collect(),
+                }
+            }
+        };
+    }
+    match rng.gen_range(0..5u32) {
+        0 => Presence::Not(Box::new(presence(rng, depth - 1))),
+        1 => Presence::And(
+            Box::new(presence(rng, depth - 1)),
+            Box::new(presence(rng, depth - 1)),
+        ),
+        2 => Presence::Or(
+            Box::new(presence(rng, depth - 1)),
+            Box::new(presence(rng, depth - 1)),
+        ),
+        3 => presence(rng, depth - 1).dilate(rng.gen_range(1..5)),
+        _ => Presence::PqPower { p: 2, q: 3 },
+    }
+}
+
+/// A random latency: constant, affine, or dilated-constant.
+pub fn latency<R: Rng + ?Sized>(rng: &mut R) -> Latency<u64> {
+    match rng.gen_range(0..3u32) {
+        0 => Latency::Const(rng.gen_range(0..10)),
+        1 => Latency::Affine {
+            mul: rng.gen_range(0..4),
+            add: rng.gen_range(0..10),
+        },
+        _ => Latency::Const(rng.gen_range(0..6)).dilate(rng.gen_range(1..4)),
+    }
+}
+
+/// A random waiting policy: no-wait, a small bound, or unbounded.
+pub fn policy<R: Rng + ?Sized>(rng: &mut R) -> WaitingPolicy<u64> {
+    match rng.gen_range(0..3u32) {
+        0 => WaitingPolicy::NoWait,
+        1 => WaitingPolicy::Bounded(rng.gen_range(0..5)),
+        _ => WaitingPolicy::Unbounded,
+    }
+}
+
+/// Random parameters for a small periodic TVG (the scale every
+/// cross-checking property uses).
+pub fn periodic_params<R: Rng + ?Sized>(rng: &mut R) -> RandomPeriodicParams {
+    RandomPeriodicParams {
+        num_nodes: rng.gen_range(2..6),
+        num_edges: rng.gen_range(2..10),
+        period: rng.gen_range(2..5),
+        phase_density: 0.45,
+        alphabet: Alphabet::ab(),
+    }
+}
+
+/// A random periodic TVG drawn via [`periodic_params`]. The graph's own
+/// randomness is forked from `rng` so callers keep one seed per case.
+pub fn periodic_tvg<R: Rng + ?Sized>(rng: &mut R) -> Tvg<u64> {
+    let params = periodic_params(rng);
+    random_periodic_tvg(&mut StdRng::seed_from_u64(rng.gen::<u64>()), &params)
+}
+
+/// A random periodic TVG-automaton (initial = node 0, accepting = last
+/// node, start time 0) together with its period.
+pub fn periodic_automaton<R: Rng + ?Sized>(rng: &mut R) -> (TvgAutomaton<u64>, u64) {
+    let params = periodic_params(rng);
+    let g = random_periodic_tvg(&mut StdRng::seed_from_u64(rng.gen::<u64>()), &params);
+    let aut = TvgAutomaton::new(
+        g,
+        BTreeSet::from([NodeId::from_index(0)]),
+        BTreeSet::from([NodeId::from_index(params.num_nodes - 1)]),
+        0,
+    )
+    .expect("generated automaton is structurally valid");
+    (aut, params.period)
+}
+
+/// Random edge-Markovian trace parameters (small, fast regime).
+pub fn markovian_params<R: Rng + ?Sized>(rng: &mut R) -> EdgeMarkovianParams {
+    EdgeMarkovianParams {
+        num_nodes: rng.gen_range(3..10),
+        p_birth: f64_in(rng, 0.0, 0.5),
+        p_death: f64_in(rng, 0.1, 0.9),
+        steps: rng.gen_range(5..40),
+    }
+}
+
+/// A random edge-Markovian contact trace via [`markovian_params`].
+pub fn markovian_trace<R: Rng + ?Sized>(rng: &mut R) -> EvolvingTrace {
+    let params = markovian_params(rng);
+    edge_markovian_trace(&mut StdRng::seed_from_u64(rng.gen::<u64>()), &params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let w1 = word(&mut rng_for("g"), &Alphabet::ab(), 8);
+        let w2 = word(&mut rng_for("g"), &Alphabet::ab(), 8);
+        assert_eq!(w1, w2);
+        let d1 = dfa(&mut rng_for("g"), &Alphabet::ab(), 6);
+        let d2 = dfa(&mut rng_for("g"), &Alphabet::ab(), 6);
+        assert!(d1.equivalent_to(&d2));
+        let (a1, p1) = periodic_automaton(&mut rng_for("g"));
+        let (a2, p2) = periodic_automaton(&mut rng_for("g"));
+        assert_eq!(p1, p2);
+        assert_eq!(a1.tvg().num_edges(), a2.tvg().num_edges());
+    }
+
+    #[test]
+    fn word_lengths_cover_range() {
+        let mut rng = rng_for("lengths");
+        let lens: BTreeSet<usize> = (0..200)
+            .map(|_| word(&mut rng, &Alphabet::ab(), 5).len())
+            .collect();
+        assert_eq!(lens, (0..=5).collect());
+    }
+
+    #[test]
+    fn f64_in_bounds() {
+        let mut rng = rng_for("f64");
+        for _ in 0..1000 {
+            let v = f64_in(&mut rng, 0.25, 0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn presence_generator_terminates_and_evaluates() {
+        let mut rng = rng_for("presence");
+        for _ in 0..200 {
+            let p = presence(&mut rng, 3);
+            let _ = p.is_present(&17u64); // must not panic at any depth
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic cross-crate test harness for the *Waiting in Dynamic
+//! Networks* reproduction.
+//!
+//! Every test suite in the workspace draws its randomness, fixtures, and
+//! reference oracles from this crate, so that `cargo test` is
+//! byte-for-byte reproducible: the same seeds, the same case counts, the
+//! same pass/fail output on every run and platform.
+//!
+//! * [`rng`] — seeded RNG construction. Suite seeds are derived from
+//!   stable FNV-1a hashes of test names; there is no wall-clock and no
+//!   `thread_rng` anywhere in a test path (the vendored `rand` shim does
+//!   not even provide one).
+//! * [`prop`] — a small deterministic property-test loop (the workspace's
+//!   offline replacement for `proptest`): fixed case counts, per-case
+//!   seeds, and failure messages that name the exact case and seed to
+//!   replay.
+//! * [`gen`] — random-value generators (words, DFAs, schedule ASTs,
+//!   policies, TVG automata, contact traces) shared by every suite.
+//! * [`fixtures`] — the paper's named constructions: the Figure-1
+//!   automaton, periodic bus networks, random-periodic families.
+//! * [`oracles`] — reference language deciders (`is_anbn`, regular
+//!   deciders from regexes/DFAs, `Σ*`, the empty language) that theorem
+//!   tests compare constructions against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+pub mod gen;
+pub mod oracles;
+pub mod prop;
+pub mod rng;
+
+pub use prop::{check, check_with, Config};
+pub use rng::{case_rng, rng_for, seed_for};

@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(6);
 
     let aut = AnbnAutomaton::new(2, 3)?;
-    println!("Figure 1 (p = {}, q = {}): states v0 (start), v1, v2 (accepting)", aut.p(), aut.q());
+    println!(
+        "Figure 1 (p = {}, q = {}): states v0 (start), v1, v2 (accepting)",
+        aut.p(),
+        aut.q()
+    );
     println!();
     println!("  edge  from→to  label  presence ρ(e,t)=1 iff         latency ζ(e,t)");
     println!("  e0    v0→v0    a      always                        (p−1)·t");
@@ -39,9 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 };
                 println!("  {read:<8} at {node}, clock = {t}");
             }
-            println!("  → accepted (clock peaked at p^{n}·q^{} = {})",
+            println!(
+                "  → accepted (clock peaked at p^{n}·q^{} = {})",
                 n.saturating_sub(1),
-                trace[trace.len() - 2].1);
+                trace[trace.len() - 2].1
+            );
         }
         None => println!("  → rejected"),
     }

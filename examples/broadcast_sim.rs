@@ -14,9 +14,7 @@ fn main() {
     let n = 32;
     let steps = 120;
     let seeds = 20;
-    println!(
-        "edge-Markovian broadcast: n = {n}, {steps} steps, {seeds} seeds, p_birth = 0.01"
-    );
+    println!("edge-Markovian broadcast: n = {n}, {steps} steps, {seeds} seeds, p_birth = 0.01");
     println!();
     println!("  p_death   density   store-carry-forward      no-wait relay");
     println!("                      delivery   mean time     delivery   mean time");

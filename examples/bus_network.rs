@@ -25,10 +25,16 @@ fn main() {
     println!("commuter line, stop0 → stop3 (timetabled departures):");
     let foremost = foremost_journey(&line, src, dst, &0, &WaitingPolicy::Unbounded, &limits)
         .expect("line is connected over time");
-    println!("  foremost (earliest arrival): {foremost} → arrives {:?}", foremost.arrival());
+    println!(
+        "  foremost (earliest arrival): {foremost} → arrives {:?}",
+        foremost.arrival()
+    );
     let shortest = shortest_journey(&line, src, dst, &0, &WaitingPolicy::Unbounded, &limits)
         .expect("line is connected over time");
-    println!("  shortest (fewest hops):      {} hops", shortest.num_hops());
+    println!(
+        "  shortest (fewest hops):      {} hops",
+        shortest.num_hops()
+    );
     let fastest = fastest_journey(&line, src, dst, &0, &WaitingPolicy::Unbounded, &limits)
         .expect("line is connected over time");
     println!(

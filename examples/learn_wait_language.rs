@@ -5,33 +5,17 @@
 //!
 //! Run with: `cargo run --example learn_wait_language`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::BTreeSet;
 use tvg_suite::expressivity::wait_regular::{periodic_to_nfa, sufficient_limits};
-use tvg_suite::expressivity::TvgAutomaton;
 use tvg_suite::journeys::WaitingPolicy;
 use tvg_suite::langs::learn::{bounded_equivalence, learn_dfa};
 use tvg_suite::langs::{Alphabet, Word};
-use tvg_suite::model::generators::{random_periodic_tvg, RandomPeriodicParams};
-use tvg_suite::model::NodeId;
+use tvg_testkit::fixtures::{periodic_family_automaton, small_periodic_params};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alphabet = Alphabet::ab();
-    let params = RandomPeriodicParams {
-        num_nodes: 5,
-        num_edges: 8,
-        period: 3,
-        phase_density: 0.4,
-        alphabet: alphabet.clone(),
-    };
-    let g = random_periodic_tvg(&mut StdRng::seed_from_u64(7), &params);
-    let aut = TvgAutomaton::new(
-        g,
-        BTreeSet::from([NodeId::from_index(0)]),
-        BTreeSet::from([NodeId::from_index(4)]),
-        0,
-    )?;
+    // Member 9 of the standard small periodic family (same family the E3
+    // tests sweep): its waiting language has a 7-state minimal DFA.
+    let aut = periodic_family_automaton(&small_periodic_params(3), 9);
     println!(
         "hidden TVG: {} nodes, {} edges, period 3 — the learner sees only query answers",
         aut.tvg().num_nodes(),
@@ -39,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Membership oracle = the journey simulator under unbounded waiting.
-    let limits = sufficient_limits(&aut, 3, 8);
+    let limits = sufficient_limits(&aut, 3, 9);
     let mut queries = 0usize;
     let learned = {
         let oracle = |w: &Word| aut.accepts(w, &WaitingPolicy::Unbounded, &limits);
@@ -49,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 queries += 1;
                 oracle(w)
             },
-            |hyp| bounded_equivalence(hyp, oracle, &alphabet, 7),
+            |hyp| bounded_equivalence(hyp, oracle, &alphabet, 8),
             32,
         )?
     };
@@ -63,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("compiled minimal DFA: {} states", compiled.num_states());
     println!(
         "equivalent: {}",
-        if learned.equivalent_to(&compiled) { "yes — Theorem 2.2, twice over" } else { "NO" }
+        if learned.equivalent_to(&compiled) {
+            "yes — Theorem 2.2, twice over"
+        } else {
+            "NO"
+        }
     );
 
     println!();

@@ -23,21 +23,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         v[0],
         v[1],
         'a',
-        Presence::Periodic { period, phases: BTreeSet::from([0]) },
+        Presence::Periodic {
+            period,
+            phases: BTreeSet::from([0]),
+        },
         Latency::unit(),
     )?;
     b.edge(
         v[1],
         v[2],
         'b',
-        Presence::Periodic { period, phases: BTreeSet::from([3]) },
+        Presence::Periodic {
+            period,
+            phases: BTreeSet::from([3]),
+        },
         Latency::unit(),
     )?;
     b.edge(
         v[2],
         v[0],
         'a',
-        Presence::Periodic { period, phases: BTreeSet::from([0, 2]) },
+        Presence::Periodic {
+            period,
+            phases: BTreeSet::from([0, 2]),
+        },
         Latency::unit(),
     )?;
     let aut = TvgAutomaton::new(
@@ -60,8 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let lang = aut.language_upto(&policy, &limits, max_len);
         let shown: Vec<String> = lang.iter().take(8).map(ToString::to_string).collect();
-        println!("  L_{policy:<8} = {{{}{}}}", shown.join(", "),
-            if lang.len() > 8 { ", …" } else { "" });
+        println!(
+            "  L_{policy:<8} = {{{}{}}}",
+            shown.join(", "),
+            if lang.len() > 8 { ", …" } else { "" }
+        );
     }
     println!();
 
@@ -69,17 +81,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nfa = periodic_to_nfa(&aut, period, &WaitingPolicy::Unbounded, &alphabet)?;
     let dfa = nfa.to_dfa();
     let min = dfa.minimize();
-    println!("L_wait compiled: NFA over (node, phase) with {} states", nfa.num_states());
+    println!(
+        "L_wait compiled: NFA over (node, phase) with {} states",
+        nfa.num_states()
+    );
     println!("  → determinized: {} states", dfa.num_states());
-    println!("  → minimal DFA:  {} states (regular, QED for this graph)", min.num_states());
+    println!(
+        "  → minimal DFA:  {} states (regular, QED for this graph)",
+        min.num_states()
+    );
 
     // The compiled automaton agrees with simulation.
     let simulated = aut.language_upto(&WaitingPolicy::Unbounded, &limits, max_len);
-    let compiled: std::collections::BTreeSet<_> =
-        min.language_upto(max_len).into_iter().collect();
+    let compiled: std::collections::BTreeSet<_> = min.language_upto(max_len).into_iter().collect();
     println!(
         "  simulation vs compiled automaton on ≤ {max_len}: {}",
-        if simulated == compiled { "identical" } else { "MISMATCH" }
+        if simulated == compiled {
+            "identical"
+        } else {
+            "MISMATCH"
+        }
     );
     println!();
 

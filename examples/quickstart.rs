@@ -40,12 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // The same graph as a language acceptor.
-    let aut = TvgAutomaton::new(
-        g,
-        BTreeSet::from([v0]),
-        BTreeSet::from([v2]),
-        1,
-    )?;
+    let aut = TvgAutomaton::new(g, BTreeSet::from([v0]), BTreeSet::from([v2]), 1)?;
     let w = word("ab");
     for policy in [WaitingPolicy::NoWait, WaitingPolicy::Unbounded] {
         println!(

@@ -33,7 +33,11 @@ fn dfa_failures() {
     );
     assert_eq!(
         Dfa::new(Alphabet::ab(), vec![vec![0, 9]], 0, vec![true]).unwrap_err(),
-        DfaError::BadTarget { state: 0, letter: 1, target: 9 }
+        DfaError::BadTarget {
+            state: 0,
+            letter: 1,
+            target: 9
+        }
     );
 }
 
@@ -96,7 +100,8 @@ fn tvg_builder_failures() {
         TvgError::UnknownNode(ghost)
     );
     assert_eq!(
-        b.edge(v, v, 'é', Presence::Always, Latency::unit()).unwrap_err(),
+        b.edge(v, v, 'é', Presence::Always, Latency::unit())
+            .unwrap_err(),
         TvgError::BadLabel('é')
     );
 }
@@ -127,25 +132,41 @@ fn journey_validation_failures_are_specific() {
     let e = EdgeId::from_index(0);
 
     // Wrong source.
-    let j = Journey::from_hops(vec![Hop { edge: e, depart: 3, arrive: 4 }]);
+    let j = Journey::from_hops(vec![Hop {
+        edge: e,
+        depart: 3,
+        arrive: 4,
+    }]);
     assert_eq!(
         j.validate(&g, v[1], &3, &WaitingPolicy::Unbounded),
         Err(JourneyError::WrongSource)
     );
     // Edge absent.
-    let j = Journey::from_hops(vec![Hop { edge: e, depart: 2, arrive: 3 }]);
+    let j = Journey::from_hops(vec![Hop {
+        edge: e,
+        depart: 2,
+        arrive: 3,
+    }]);
     assert_eq!(
         j.validate(&g, v[0], &2, &WaitingPolicy::Unbounded),
         Err(JourneyError::EdgeAbsent { hop: 0 })
     );
     // Wait bound exceeded.
-    let j = Journey::from_hops(vec![Hop { edge: e, depart: 3, arrive: 4 }]);
+    let j = Journey::from_hops(vec![Hop {
+        edge: e,
+        depart: 3,
+        arrive: 4,
+    }]);
     assert_eq!(
         j.validate(&g, v[0], &0, &WaitingPolicy::Bounded(2)),
         Err(JourneyError::WaitTooLong { hop: 0 })
     );
     // Arrival inconsistent with latency.
-    let j = Journey::from_hops(vec![Hop { edge: e, depart: 3, arrive: 9 }]);
+    let j = Journey::from_hops(vec![Hop {
+        edge: e,
+        depart: 3,
+        arrive: 9,
+    }]);
     assert_eq!(
         j.validate(&g, v[0], &3, &WaitingPolicy::Unbounded),
         Err(JourneyError::WrongArrival { hop: 0 })
@@ -156,8 +177,14 @@ fn journey_validation_failures_are_specific() {
 fn compiler_failures_name_offenders() {
     let mut b = TvgBuilder::<u64>::new();
     let v = b.nodes(2);
-    b.edge(v[0], v[1], 'a', Presence::PqPower { p: 2, q: 3 }, Latency::unit())
-        .expect("valid");
+    b.edge(
+        v[0],
+        v[1],
+        'a',
+        Presence::PqPower { p: 2, q: 3 },
+        Latency::unit(),
+    )
+    .expect("valid");
     let aut = TvgAutomaton::new(
         b.build().expect("valid"),
         BTreeSet::from([v[0]]),
@@ -175,8 +202,58 @@ fn compiler_failures_name_offenders() {
 
 #[test]
 fn anbn_parameter_failures() {
-    assert_eq!(AnbnAutomaton::new(6, 3).unwrap_err(), AnbnError::NotPrime(6));
-    assert_eq!(AnbnAutomaton::new(3, 3).unwrap_err(), AnbnError::PrimesNotDistinct);
+    assert_eq!(
+        AnbnAutomaton::new(6, 3).unwrap_err(),
+        AnbnError::NotPrime(6)
+    );
+    assert_eq!(
+        AnbnAutomaton::new(3, 3).unwrap_err(),
+        AnbnError::PrimesNotDistinct
+    );
+}
+
+#[test]
+fn json_decode_failures_are_typed() {
+    use tvg_suite::dynnet::json::{FromJson, ToJson};
+    use tvg_suite::dynnet::markovian::EdgeMarkovianParams;
+    // Malformed text, wrong shapes, and missing fields all produce
+    // errors, never panics or silent defaults.
+    for bad in [
+        "",
+        "{",
+        "[1,2]",
+        "{}",
+        r#"{"num_nodes":"three"}"#,
+        "{}trailing",
+    ] {
+        assert!(EdgeMarkovianParams::from_json(bad).is_err(), "{bad:?}");
+    }
+    // And a valid encoding still round-trips (the failure cases above are
+    // not just rejecting everything).
+    let p = EdgeMarkovianParams {
+        num_nodes: 4,
+        p_birth: 0.1,
+        p_death: 0.2,
+        steps: 9,
+    };
+    assert_eq!(
+        EdgeMarkovianParams::from_json(&p.to_json()).expect("valid"),
+        p
+    );
+}
+
+#[test]
+fn degenerate_language_oracles_are_total() {
+    // The Σ* and ∅ oracles from the testkit stay total on any alphabet,
+    // including the unary edge case.
+    use tvg_testkit::oracles::{empty_language_dfa, sigma_star_dfa, unary_alphabet};
+    let sigma = unary_alphabet();
+    let all = sigma_star_dfa(&sigma);
+    let none = empty_language_dfa(&sigma);
+    for w in tvg_suite::langs::sample::words_upto(&sigma, 4) {
+        assert!(all.accepts(&w));
+        assert!(!none.accepts(&w));
+    }
 }
 
 #[test]
@@ -191,7 +268,10 @@ fn u64_time_overflow_is_unusable_edge_not_panic() {
             v[1],
             'a',
             Presence::Always,
-            Latency::Affine { mul: u64::MAX, add: 0 },
+            Latency::Affine {
+                mul: u64::MAX,
+                add: 0,
+            },
         )
         .expect("valid");
     let g = b.build().expect("valid");

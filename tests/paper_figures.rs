@@ -2,9 +2,10 @@
 //! schedule semantics and the Figure-1 run, digit for digit.
 
 use tvg_suite::bigint::Nat;
-use tvg_suite::expressivity::anbn::{anbn_word, AnbnAutomaton};
 use tvg_suite::langs::word;
 use tvg_suite::model::{pq_power_index, Presence};
+use tvg_testkit::fixtures::figure1;
+use tvg_testkit::oracles::anbn_word;
 
 #[test]
 fn table1_presence_functions_exact() {
@@ -48,7 +49,7 @@ fn pq_power_index_reports_the_exponent() {
 fn figure1_clock_trace_digit_for_digit() {
     // The accepting run of a⁴b⁴ (p=2, q=3), exactly as the schedule
     // dictates: ×2 per a, ×3 per b, +1 on the final accept edge.
-    let aut = AnbnAutomaton::smallest();
+    let aut = figure1();
     let trace = aut.nowait_trace(&anbn_word(4)).expect("a⁴b⁴ accepted");
     let clocks: Vec<String> = trace.iter().map(|(_, t)| t.to_string()).collect();
     assert_eq!(
@@ -66,7 +67,7 @@ fn figure1_clock_trace_digit_for_digit() {
 fn reading_starts_at_one_matters() {
     // The paper fixes the start of reading at t = 1; the construction
     // degenerates from t = 0 (0 · p = 0, the clock never moves).
-    let aut = AnbnAutomaton::smallest();
+    let aut = figure1();
     assert!(aut.accepts_nowait(&word("ab")));
     // The public API pins start_time = 1:
     assert_eq!(aut.automaton().start_time(), &Nat::one());

@@ -2,10 +2,12 @@
 //!
 //! Each test is a reduced-scale version of an EXPERIMENTS.md experiment;
 //! the `experiments` binary in `tvg-bench` runs the full-scale versions.
+//! All randomness flows through `tvg-testkit` fixtures, so the suite is
+//! reproducible run to run.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use tvg_suite::expressivity::anbn::{anbn_word, is_anbn, AnbnAutomaton};
+use tvg_suite::expressivity::anbn::{anbn_word, is_anbn};
 use tvg_suite::expressivity::dilation::{dilation_disagreements, waiting_gain};
 use tvg_suite::expressivity::nowait_power::DeciderAutomaton;
 use tvg_suite::expressivity::wait_regular::{
@@ -14,15 +16,16 @@ use tvg_suite::expressivity::wait_regular::{
 use tvg_suite::expressivity::TvgAutomaton;
 use tvg_suite::journeys::{SearchLimits, WaitingPolicy};
 use tvg_suite::langs::sample::words_upto;
-use tvg_suite::langs::{machines, myhill, word, Alphabet, Grammar, Regex, Word};
-use tvg_suite::model::generators::{random_periodic_tvg, RandomPeriodicParams};
-use tvg_suite::model::NodeId;
+use tvg_suite::langs::{machines, myhill, word, Alphabet, Grammar, Word};
+use tvg_suite::model::generators::RandomPeriodicParams;
+use tvg_testkit::fixtures::{figure1, periodic_family_automaton, small_periodic_params};
+use tvg_testkit::oracles::regex_dfa;
 
 // ---------------------------------------------------------------- E1 --
 
 #[test]
 fn e1_figure1_language_is_anbn_exhaustive() {
-    let aut = AnbnAutomaton::smallest();
+    let aut = figure1();
     for w in words_upto(&Alphabet::ab(), 11) {
         assert_eq!(aut.accepts_nowait(&w), is_anbn(&w), "{w}");
     }
@@ -30,7 +33,7 @@ fn e1_figure1_language_is_anbn_exhaustive() {
 
 #[test]
 fn e1_figure1_deep_membership() {
-    let aut = AnbnAutomaton::smallest();
+    let aut = figure1();
     assert!(aut.accepts_nowait(&anbn_word(50)));
     assert!(!aut.accepts_nowait(&word(&format!("{}{}", "a".repeat(50), "b".repeat(49)))));
 }
@@ -40,7 +43,7 @@ fn e1_nonregularity_witness_residual_growth() {
     // aⁿbⁿ is not regular: residual counts grow strictly with the prefix
     // budget. This pins the *point* of Figure 1 — a TVG expressing a
     // non-regular language without waiting.
-    let aut = AnbnAutomaton::smallest();
+    let aut = figure1();
     let growth = myhill::residual_growth(&Alphabet::ab(), 5, 5, |w| aut.accepts_nowait(w));
     for i in 1..growth.len() {
         assert!(growth[i] > growth[i - 1], "growth stalled: {growth:?}");
@@ -51,8 +54,7 @@ fn e1_nonregularity_witness_residual_growth() {
 
 #[test]
 fn e2_turing_machine_in_the_schedule() {
-    let aut =
-        DeciderAutomaton::from_turing_machine(Alphabet::abc(), machines::anbncn(), 100_000);
+    let aut = DeciderAutomaton::from_turing_machine(Alphabet::abc(), machines::anbncn(), 100_000);
     let tm = machines::anbncn();
     for w in words_upto(&Alphabet::abc(), 6) {
         if w.is_empty() {
@@ -70,7 +72,11 @@ fn e2_grammar_in_the_schedule() {
         if w.is_empty() {
             continue;
         }
-        assert_eq!(aut.accepts_nowait(&w), Grammar::dyck1().recognizes(&w), "{w}");
+        assert_eq!(
+            aut.accepts_nowait(&w),
+            Grammar::dyck1().recognizes(&w),
+            "{w}"
+        );
     }
 }
 
@@ -78,25 +84,13 @@ fn e2_grammar_in_the_schedule() {
 
 #[test]
 fn e3_periodic_wait_languages_are_regular() {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     let alphabet = Alphabet::ab();
+    let params = RandomPeriodicParams {
+        num_edges: 6,
+        ..small_periodic_params(3)
+    };
     for seed in 0..6u64 {
-        let params = RandomPeriodicParams {
-            num_nodes: 4,
-            num_edges: 6,
-            period: 3,
-            phase_density: 0.5,
-            alphabet: alphabet.clone(),
-        };
-        let g = random_periodic_tvg(&mut StdRng::seed_from_u64(seed), &params);
-        let aut = TvgAutomaton::new(
-            g,
-            BTreeSet::from([NodeId::from_index(0)]),
-            BTreeSet::from([NodeId::from_index(3)]),
-            0,
-        )
-        .expect("valid");
+        let aut = periodic_family_automaton(&params, seed);
         let nfa = periodic_to_nfa(&aut, 3, &WaitingPolicy::Unbounded, &alphabet)
             .expect("periodic by construction");
         let limits = sufficient_limits(&aut, 3, 6);
@@ -109,11 +103,7 @@ fn e3_periodic_wait_languages_are_regular() {
 #[test]
 fn e3_regular_languages_embed_into_wait() {
     let alphabet = Alphabet::ab();
-    let dfa = Regex::parse("(a|b)*ba", &alphabet)
-        .expect("parses")
-        .to_nfa(&alphabet)
-        .to_dfa()
-        .minimize();
+    let dfa = regex_dfa("(a|b)*ba", &alphabet);
     let aut = dfa_to_tvg_automaton(&dfa);
     let limits = SearchLimits::new(20, 7);
     for policy in [
@@ -122,31 +112,25 @@ fn e3_regular_languages_embed_into_wait() {
         WaitingPolicy::Unbounded,
     ] {
         for w in words_upto(&alphabet, 6) {
-            assert_eq!(aut.accepts(&w, &policy, &limits), dfa.accepts(&w), "{policy} {w}");
+            assert_eq!(
+                aut.accepts(&w, &policy, &limits),
+                dfa.accepts(&w),
+                "{policy} {w}"
+            );
         }
     }
 }
 
 #[test]
 fn e3_wait_residuals_saturate_on_periodic_graph() {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     let alphabet = Alphabet::ab();
     let params = RandomPeriodicParams {
         num_nodes: 3,
         num_edges: 5,
-        period: 2,
         phase_density: 0.6,
-        alphabet: alphabet.clone(),
+        ..small_periodic_params(2)
     };
-    let g = random_periodic_tvg(&mut StdRng::seed_from_u64(5), &params);
-    let aut = TvgAutomaton::new(
-        g,
-        BTreeSet::from([NodeId::from_index(0)]),
-        BTreeSet::from([NodeId::from_index(2)]),
-        0,
-    )
-    .expect("valid");
+    let aut = periodic_family_automaton(&params, 5);
     // Oracle through the compiled DFA (fast and exact).
     let dfa = periodic_to_nfa(&aut, 2, &WaitingPolicy::Unbounded, &alphabet)
         .expect("periodic")
@@ -164,25 +148,9 @@ fn e3_wait_language_is_learnable_from_queries() {
     // Theorem 2.2, operationalized: because L_wait is regular, Angluin's
     // L* reconstructs it from *membership queries against the journey
     // simulator* — no access to the graph structure at all.
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use tvg_suite::langs::learn::{bounded_equivalence, learn_dfa};
     let alphabet = Alphabet::ab();
-    let params = RandomPeriodicParams {
-        num_nodes: 4,
-        num_edges: 7,
-        period: 3,
-        phase_density: 0.5,
-        alphabet: alphabet.clone(),
-    };
-    let g = random_periodic_tvg(&mut StdRng::seed_from_u64(7), &params);
-    let aut = TvgAutomaton::new(
-        g,
-        BTreeSet::from([NodeId::from_index(0)]),
-        BTreeSet::from([NodeId::from_index(3)]),
-        0,
-    )
-    .expect("valid");
+    let aut = periodic_family_automaton(&small_periodic_params(3), 7);
     let limits = sufficient_limits(&aut, 3, 8);
     let oracle = |w: &Word| aut.accepts(w, &WaitingPolicy::Unbounded, &limits);
     let learned = learn_dfa(
@@ -205,25 +173,14 @@ fn e3_wait_language_is_learnable_from_queries() {
 
 #[test]
 fn e4_dilation_equalizes_bounded_wait_and_nowait() {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     let alphabet = Alphabet::ab();
+    let params = RandomPeriodicParams {
+        num_edges: 6,
+        phase_density: 0.35,
+        ..small_periodic_params(4)
+    };
     for seed in 0..4u64 {
-        let params = RandomPeriodicParams {
-            num_nodes: 4,
-            num_edges: 6,
-            period: 4,
-            phase_density: 0.35,
-            alphabet: alphabet.clone(),
-        };
-        let g = random_periodic_tvg(&mut StdRng::seed_from_u64(seed + 100), &params);
-        let aut = TvgAutomaton::new(
-            g,
-            BTreeSet::from([NodeId::from_index(0)]),
-            BTreeSet::from([NodeId::from_index(3)]),
-            0,
-        )
-        .expect("valid");
+        let aut = periodic_family_automaton(&params, seed + 100);
         let limits = SearchLimits::new(40, 6);
         for d in [1u64, 3] {
             assert!(
@@ -245,7 +202,10 @@ fn e4_waiting_gains_exist_without_dilation() {
         v[0],
         v[1],
         'a',
-        tvg_suite::model::Presence::Periodic { period: 4, phases: BTreeSet::from([0]) },
+        tvg_suite::model::Presence::Periodic {
+            period: 4,
+            phases: BTreeSet::from([0]),
+        },
         tvg_suite::model::Latency::unit(),
     )
     .expect("valid");
@@ -253,7 +213,10 @@ fn e4_waiting_gains_exist_without_dilation() {
         v[1],
         v[2],
         'b',
-        tvg_suite::model::Presence::Periodic { period: 4, phases: BTreeSet::from([3]) },
+        tvg_suite::model::Presence::Periodic {
+            period: 4,
+            phases: BTreeSet::from([3]),
+        },
         tvg_suite::model::Latency::unit(),
     )
     .expect("valid");
@@ -272,7 +235,7 @@ fn e4_waiting_gains_exist_without_dilation() {
 fn e4_nonregular_survives_bounded_waiting() {
     // L_wait[d] contains a^n b^n (via the dilated Figure 1) — so bounded
     // waiting keeps super-regular power, in contrast with Theorem 2.2.
-    let fig1 = AnbnAutomaton::smallest();
+    let fig1 = figure1();
     let d = 2u64;
     for n in 1..=4usize {
         assert!(fig1.automaton().dilate(d).accepts(
@@ -298,6 +261,8 @@ fn e5_buffering_dominates_on_markovian_traces() {
     use rand::SeedableRng;
     use tvg_suite::dynnet::broadcast::{run_broadcast, BroadcastConfig, ForwardingMode};
     use tvg_suite::dynnet::markovian::{edge_markovian_trace, EdgeMarkovianParams};
+    // Per-seed traces are drawn from explicitly seeded StdRngs — the
+    // sweep itself is the E5 experiment's seed schedule.
     let params = EdgeMarkovianParams {
         num_nodes: 16,
         p_birth: 0.005,
@@ -328,5 +293,8 @@ fn e5_buffering_dominates_on_markovian_traces() {
         nw_total += nw.stats().delivery_ratio;
     }
     // In the sparse/high-churn regime the gap must be substantial.
-    assert!(scf_total > nw_total + 1.0, "scf {scf_total} vs nowait {nw_total}");
+    assert!(
+        scf_total > nw_total + 1.0,
+        "scf {scf_total} vs nowait {nw_total}"
+    );
 }

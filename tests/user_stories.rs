@@ -8,8 +8,8 @@ use tvg_suite::journeys::{
     WaitingPolicy,
 };
 use tvg_suite::langs::word;
-use tvg_suite::model::generators::{line_timetable_tvg, ring_bus_tvg};
 use tvg_suite::model::{Latency, NodeId, Presence, TvgBuilder};
+use tvg_testkit::fixtures::{commuter_line, ring_bus};
 
 #[test]
 fn quickstart_story() {
@@ -17,16 +17,17 @@ fn quickstart_story() {
     let v0 = b.node("v0");
     let v1 = b.node("v1");
     let v2 = b.node("v2");
-    b.edge(v0, v1, 'a', Presence::At(1), Latency::unit()).expect("valid");
-    b.edge(v1, v2, 'b', Presence::At(5), Latency::unit()).expect("valid");
+    b.edge(v0, v1, 'a', Presence::At(1), Latency::unit())
+        .expect("valid");
+    b.edge(v1, v2, 'b', Presence::At(5), Latency::unit())
+        .expect("valid");
     let g = b.build().expect("valid");
 
     let limits = SearchLimits::new(10, 5);
     assert!(foremost_journey(&g, v0, v2, &1, &WaitingPolicy::NoWait, &limits).is_none());
     assert!(foremost_journey(&g, v0, v2, &1, &WaitingPolicy::Bounded(3), &limits).is_some());
 
-    let aut = TvgAutomaton::new(g, BTreeSet::from([v0]), BTreeSet::from([v2]), 1)
-        .expect("valid");
+    let aut = TvgAutomaton::new(g, BTreeSet::from([v0]), BTreeSet::from([v2]), 1).expect("valid");
     assert!(!aut.accepts(&word("ab"), &WaitingPolicy::NoWait, &limits));
     assert!(aut.accepts(&word("ab"), &WaitingPolicy::Unbounded, &limits));
     let lang = aut.language_upto(&WaitingPolicy::Unbounded, &limits, 3);
@@ -35,12 +36,7 @@ fn quickstart_story() {
 
 #[test]
 fn bus_network_story() {
-    let timetable = vec![
-        BTreeSet::from([2u64, 10, 18]),
-        BTreeSet::from([5u64, 13, 21]),
-        BTreeSet::from([6u64, 14, 22]),
-    ];
-    let line = line_timetable_tvg(4, &timetable, 't');
+    let line = commuter_line();
     let limits = SearchLimits::new(30, 8);
     let (src, dst) = (NodeId::from_index(0), NodeId::from_index(3));
 
@@ -63,7 +59,7 @@ fn bus_network_story() {
 
 #[test]
 fn ring_bus_story() {
-    let ring = ring_bus_tvg(6, 6, 'r');
+    let ring = ring_bus(6, 6);
     let limits = SearchLimits::new(60, 12);
     let wait = ReachabilityMatrix::compute(&ring, &0, &WaitingPolicy::Unbounded, &limits);
     assert!(wait.is_temporally_connected());
@@ -75,7 +71,7 @@ fn ring_bus_story() {
 
 #[test]
 fn snapshots_and_footprint_story() {
-    let ring = ring_bus_tvg(4, 4, 'r');
+    let ring = ring_bus(4, 4);
     // At any instant exactly one ring edge is up (phases are staggered).
     for t in 0u64..8 {
         assert_eq!(ring.snapshot(&t).len(), 1, "t={t}");
