@@ -1,26 +1,33 @@
 //! Journey-search bench: foremost-journey cost vs ring size and policy
 //! (the `(node, time)` configuration space grows with both).
+//!
+//! The index is compiled once per graph outside the timing loop, so the
+//! numbers isolate query cost; one-time compilation is measured
+//! separately in `temporal_index.rs`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tvg_journeys::{foremost_journey, SearchLimits, WaitingPolicy};
+use tvg_journeys::engine::foremost_to;
+use tvg_journeys::{SearchLimits, WaitingPolicy};
 use tvg_model::generators::ring_bus_tvg;
-use tvg_model::NodeId;
+use tvg_model::{NodeId, TvgIndex};
 
 fn bench_foremost(c: &mut Criterion) {
     let mut group = c.benchmark_group("journeys_foremost_ring");
     group.sample_size(10);
     for n in [8usize, 16, 32] {
         let g = ring_bus_tvg(n, n as u64, 'r');
-        let limits = SearchLimits::new(4 * n as u64, n + 2);
+        let horizon = 4 * n as u64;
+        let limits = SearchLimits::new(horizon, n + 2);
+        let index = TvgIndex::compile(&g, horizon);
         for (label, policy) in [
             ("nowait", WaitingPolicy::NoWait),
             ("bounded2", WaitingPolicy::Bounded(2)),
             ("unbounded", WaitingPolicy::Unbounded),
         ] {
-            group.bench_with_input(BenchmarkId::new(label, n), &g, |b, g| {
+            group.bench_with_input(BenchmarkId::new(label, n), &g, |b, _| {
                 b.iter(|| {
-                    foremost_journey(
-                        g,
+                    foremost_to(
+                        &index,
                         NodeId::from_index(0),
                         NodeId::from_index(n - 1),
                         &0,

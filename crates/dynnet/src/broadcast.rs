@@ -17,6 +17,9 @@
 
 use crate::metrics::DeliveryStats;
 use crate::EvolvingTrace;
+use tvg_journeys::engine::foremost_tree_multi;
+use tvg_journeys::{SearchLimits, WaitingPolicy};
+use tvg_model::{NodeId, TvgIndex};
 
 /// Relay discipline of a broadcast.
 ///
@@ -73,6 +76,15 @@ impl BroadcastOutcome {
 /// its arrival step. The source stays active iff `source_beacons`
 /// (except under store-carry-forward, where it always does).
 ///
+/// These are exactly journey semantics on the trace-TVG: a copy active
+/// for `d` steps after arrival is a traveler allowed to pause at most
+/// `d`, and a beaconing source is a journey allowed to depart the source
+/// at *any* step. The implementation therefore compiles the trace into a
+/// [`TvgIndex`] and runs one multi-seed single-source engine pass — a
+/// node's informing step is its foremost arrival (seeding the source at
+/// every step models beaconing; flood re-activations on re-receipt are
+/// just later `(node, time)` configurations of the same search).
+///
 /// # Panics
 ///
 /// Panics if `config.source` is out of range.
@@ -80,44 +92,38 @@ impl BroadcastOutcome {
 pub fn run_broadcast(trace: &EvolvingTrace, config: &BroadcastConfig) -> BroadcastOutcome {
     let n = trace.num_nodes();
     assert!(config.source < n, "source out of range");
-    let mut informed_at: Vec<Option<u64>> = vec![None; n];
-    informed_at[config.source] = Some(0);
-    // Step until which each node's copy stays active (inclusive);
-    // `None` = no active copy.
-    let ttl = match config.mode {
-        ForwardingMode::StoreCarryForward => u64::MAX,
-        ForwardingMode::NoWaitRelay => 0,
-        ForwardingMode::BoundedBuffer(d) => d,
+    let horizon = trace.len() as u64;
+    let policy = match config.mode {
+        ForwardingMode::StoreCarryForward => WaitingPolicy::Unbounded,
+        ForwardingMode::NoWaitRelay => WaitingPolicy::NoWait,
+        // A buffer outlasting the trace is unbounded within it (and the
+        // explicit mapping keeps `ready + d` from overflowing).
+        ForwardingMode::BoundedBuffer(d) if d >= horizon => WaitingPolicy::Unbounded,
+        ForwardingMode::BoundedBuffer(d) => WaitingPolicy::Bounded(d),
     };
-    let mut active_until: Vec<Option<u64>> = vec![None; n];
-    active_until[config.source] = Some(ttl);
-
-    for t in 0..trace.len() {
-        let t = t as u64;
-        // Transmissions at step t depend only on activity decided before
-        // step t; refreshes take effect from t + 1 (no same-step chaining).
-        let mut refreshed = active_until.clone();
-        for &(a, b) in trace.contacts_at(t as usize) {
-            for (from, to) in [(a, b), (b, a)] {
-                if active_until[from].is_some_and(|until| until >= t) {
-                    if informed_at[to].is_none() {
-                        informed_at[to] = Some(t + 1);
-                    }
-                    let new_until = (t + 1).saturating_add(ttl);
-                    if refreshed[to].is_none_or(|until| until < new_until) {
-                        refreshed[to] = Some(new_until);
-                    }
-                }
+    let source = NodeId::from_index(config.source);
+    // A beaconing source re-emits at every step: seed one configuration
+    // per instant. Under unbounded waiting a single seed already departs
+    // whenever it likes (the source always beacons under SCF).
+    let seeds: Vec<(NodeId, u64)> =
+        if matches!(policy, WaitingPolicy::Unbounded) || !config.source_beacons {
+            vec![(source, 0)]
+        } else {
+            (0..=horizon).map(|t| (source, t)).collect()
+        };
+    let g = trace.to_tvg();
+    let index = TvgIndex::compile(&g, horizon);
+    let limits = SearchLimits::new(horizon, trace.len());
+    let tree = foremost_tree_multi(&index, &seeds, &policy, &limits);
+    let informed_at = (0..n)
+        .map(|node| {
+            if node == config.source {
+                Some(0)
+            } else {
+                tree.arrival(NodeId::from_index(node)).copied()
             }
-        }
-        if config.source_beacons {
-            let beacon = (t + 1).saturating_add(ttl);
-            if refreshed[config.source].is_none_or(|until| until < beacon) {
-                refreshed[config.source] = Some(beacon);
-            }
-        }
-        active_until = refreshed;
-    }
+        })
+        .collect();
     BroadcastOutcome { informed_at }
 }
 

@@ -7,8 +7,9 @@
 //! the unicast face of experiment E5.
 
 use crate::EvolvingTrace;
-use tvg_journeys::{foremost_journey, SearchLimits, WaitingPolicy};
-use tvg_model::NodeId;
+use tvg_journeys::engine::{foremost_to, foremost_tree};
+use tvg_journeys::{SearchLimits, WaitingPolicy};
+use tvg_model::{NodeId, TvgIndex};
 
 /// Outcome of routing one message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,7 +23,8 @@ pub struct RouteReport {
 }
 
 /// Routes from `src` to `dst` over `trace` under `policy`, starting at
-/// step `start`.
+/// step `start`: the trace-TVG is compiled once and queried with a
+/// single-source engine run.
 ///
 /// # Panics
 ///
@@ -39,10 +41,21 @@ pub fn route(
         src < trace.num_nodes() && dst < trace.num_nodes(),
         "endpoint out of range"
     );
+    if src == dst {
+        return RouteReport {
+            delivered: true,
+            arrival: Some(start),
+            hops: Some(0),
+        };
+    }
     let g = trace.to_tvg();
-    let limits = SearchLimits::new(trace.len() as u64, trace.len() + 1);
-    match foremost_journey(
-        &g,
+    let horizon = trace.len() as u64;
+    let index = TvgIndex::compile(&g, horizon);
+    let limits = SearchLimits::new(horizon, trace.len() + 1);
+    // Targeted per-pair query: the engine early-exits at dst's first
+    // (already foremost) settle.
+    match foremost_to(
+        &index,
         NodeId::from_index(src),
         NodeId::from_index(dst),
         &start,
@@ -62,7 +75,9 @@ pub fn route(
     }
 }
 
-/// Fraction of ordered `(src, dst)` pairs deliverable under `policy`.
+/// Fraction of ordered `(src, dst)` pairs deliverable under `policy`:
+/// one compiled index, `n` single-source engine runs — not `n²` pairwise
+/// searches.
 #[must_use]
 pub fn delivery_ratio(trace: &EvolvingTrace, start: u64, policy: &WaitingPolicy<u64>) -> f64 {
     let n = trace.num_nodes();
@@ -70,26 +85,17 @@ pub fn delivery_ratio(trace: &EvolvingTrace, start: u64, policy: &WaitingPolicy<
         return 1.0;
     }
     let g = trace.to_tvg();
-    let limits = SearchLimits::new(trace.len() as u64, trace.len() + 1);
+    let horizon = trace.len() as u64;
+    let index = TvgIndex::compile(&g, horizon);
+    let limits = SearchLimits::new(horizon, trace.len() + 1);
     let mut delivered = 0usize;
     for src in 0..n {
-        for dst in 0..n {
-            if src == dst {
-                continue;
-            }
-            if foremost_journey(
-                &g,
-                NodeId::from_index(src),
-                NodeId::from_index(dst),
-                &start,
-                policy,
-                &limits,
-            )
-            .is_some()
-            {
-                delivered += 1;
-            }
-        }
+        let tree = foremost_tree(&index, NodeId::from_index(src), &start, policy, &limits);
+        // Reached nodes include the source itself; ordered pairs exclude it.
+        delivered += tree
+            .reached_nodes()
+            .filter(|node| node.index() != src)
+            .count();
     }
     delivered as f64 / (n * (n - 1)) as f64
 }

@@ -1,0 +1,540 @@
+//! The single-source journey engine: one pass over a compiled
+//! [`TvgIndex`] computes foremost arrivals (and witness journeys) from a
+//! source to *every* node.
+//!
+//! Two explorers share the [`ForemostTree`] output:
+//!
+//! * **Unbounded waiting** uses label-correcting search with Pareto
+//!   dominance on `(arrival, hops)`. Under unbounded waiting an earlier
+//!   arrival can do everything a later one can (its departure window is a
+//!   superset) as long as it has not spent more hops, so a label
+//!   dominated in both coordinates is pruned soundly — and the hop
+//!   coordinate keeps the pruning exact even when `max_hops` binds.
+//! * **`NoWait` / `Bounded(d)`** retain exact `(node, time)`
+//!   configuration exploration, because under restricted waiting an
+//!   early arrival can be a dead end while a later one connects
+//!   (the phenomenon the paper is about). The index still pays off: the
+//!   waiting window is enumerated interval-by-interval instead of
+//!   tick-by-tick.
+//!
+//! Every run increments a thread-local counter ([`engine_runs`]), which
+//! is how tests pin aggregate consumers (e.g. `ReachabilityMatrix`) to
+//! "exactly n single-source runs, no per-pair search".
+
+use crate::{Hop, Journey, SearchLimits, WaitingPolicy};
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+use tvg_model::{EdgeId, NodeId, Time, TvgIndex};
+
+thread_local! {
+    static ENGINE_RUNS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of single-source engine runs performed by the current thread
+/// since it started. Deterministic within a test thread; used to assert
+/// "compiled once, n engine runs" invariants.
+#[must_use]
+pub fn engine_runs() -> u64 {
+    ENGINE_RUNS.with(Cell::get)
+}
+
+fn record_run() {
+    ENGINE_RUNS.with(|c| c.set(c.get() + 1));
+}
+
+/// The all-destinations output of one single-source engine run: for each
+/// node, the foremost (earliest) arrival from the seed configuration(s),
+/// plus the parent structure to rebuild a witness journey on demand.
+///
+/// Seed nodes are reached at their seed time by the empty journey.
+#[derive(Debug, Clone)]
+pub struct ForemostTree<T> {
+    arrival: Vec<Option<T>>,
+    repr: TreeRepr<T>,
+}
+
+/// Journey-reconstruction data, explorer-specific. Journeys are rebuilt
+/// lazily in [`ForemostTree::journey_to`] so arrival-only consumers
+/// (reachability rows, delivery ratios, broadcasts) pay nothing for
+/// witnesses they never read.
+#[derive(Debug, Clone)]
+enum TreeRepr<T> {
+    /// Exact explorer: parent pointers keyed by `(node, arrival)`.
+    Exact(ParentMap<T>),
+    /// Pareto explorer: the label arena plus, per node, the label id
+    /// realizing its foremost arrival.
+    Pareto {
+        arena: Vec<Label<T>>,
+        best: Vec<Option<usize>>,
+    },
+}
+
+impl<T: Time> ForemostTree<T> {
+    /// The foremost arrival at `n`, `None` if unreachable within the
+    /// limits.
+    #[must_use]
+    pub fn arrival(&self, n: NodeId) -> Option<&T> {
+        self.arrival[n.index()].as_ref()
+    }
+
+    /// A foremost journey to `n` (empty for a seed node), `None` if
+    /// unreachable within the limits. Rebuilt on demand from the parent
+    /// structure.
+    #[must_use]
+    pub fn journey_to(&self, n: NodeId) -> Option<Journey<T>> {
+        let arrival = self.arrival[n.index()].as_ref()?;
+        Some(match &self.repr {
+            TreeRepr::Exact(parents) => rebuild(parents, (n, arrival.clone())),
+            TreeRepr::Pareto { arena, best } => rebuild_labels(
+                arena,
+                best[n.index()].expect("reached nodes have a best label"),
+            ),
+        })
+    }
+
+    /// The reached nodes, in id order.
+    pub fn reached_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.arrival
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// Number of reached nodes (seeds included).
+    #[must_use]
+    pub fn num_reached(&self) -> usize {
+        self.arrival.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// One single-source foremost run from `(src, start)` over the compiled
+/// index: foremost arrivals to every node in one pass.
+///
+/// Departures are bounded by `limits.horizon` (the index's own horizon
+/// also applies) and journeys by `limits.max_hops` hops.
+#[must_use]
+pub fn foremost_tree<T: Time>(
+    index: &TvgIndex<'_, T>,
+    src: NodeId,
+    start: &T,
+    policy: &WaitingPolicy<T>,
+    limits: &SearchLimits<T>,
+) -> ForemostTree<T> {
+    foremost_tree_multi(index, &[(src, start.clone())], policy, limits)
+}
+
+/// [`foremost_tree`] from several seed configurations at once.
+///
+/// A node's foremost arrival is the earliest over journeys from *any*
+/// seed. Multiple seeds model sources that re-emit over time (e.g. a
+/// beaconing broadcast source is a seed at every step).
+#[must_use]
+pub fn foremost_tree_multi<T: Time>(
+    index: &TvgIndex<'_, T>,
+    seeds: &[(NodeId, T)],
+    policy: &WaitingPolicy<T>,
+    limits: &SearchLimits<T>,
+) -> ForemostTree<T> {
+    run(index, seeds, policy, limits, None)
+}
+
+/// A single-target foremost query with early exit: the run stops as soon
+/// as `dst` settles (its first settle is already foremost), skipping the
+/// rest of the configuration space. This is what the per-pair
+/// `foremost_journey` wrapper uses; all-destinations consumers use
+/// [`foremost_tree`] instead.
+#[must_use]
+pub fn foremost_to<T: Time>(
+    index: &TvgIndex<'_, T>,
+    src: NodeId,
+    dst: NodeId,
+    start: &T,
+    policy: &WaitingPolicy<T>,
+    limits: &SearchLimits<T>,
+) -> Option<Journey<T>> {
+    run(index, &[(src, start.clone())], policy, limits, Some(dst)).journey_to(dst)
+}
+
+fn run<T: Time>(
+    index: &TvgIndex<'_, T>,
+    seeds: &[(NodeId, T)],
+    policy: &WaitingPolicy<T>,
+    limits: &SearchLimits<T>,
+    target: Option<NodeId>,
+) -> ForemostTree<T> {
+    record_run();
+    match policy {
+        WaitingPolicy::Unbounded => pareto_explore(index, seeds, limits, target),
+        _ => exact_explore(index, seeds, policy, limits, target),
+    }
+}
+
+/// Maps an arrival configuration to `(parent node, parent ready time,
+/// edge, departure)` — the same parent structure as the tick-scan
+/// reference search, so reconstructed journeys match it hop for hop.
+/// Shared with `search::shortest_journey`, which builds the same map.
+pub(crate) type ParentMap<T> = BTreeMap<(NodeId, T), (NodeId, T, EdgeId, T)>;
+
+pub(crate) fn rebuild<T: Time>(parents: &ParentMap<T>, mut state: (NodeId, T)) -> Journey<T> {
+    let mut hops = Vec::new();
+    while let Some((pn, pt, e, dep)) = parents.get(&state).cloned() {
+        hops.push(Hop {
+            edge: e,
+            depart: dep,
+            arrive: state.1.clone(),
+        });
+        state = (pn, pt);
+    }
+    hops.reverse();
+    Journey::from_hops(hops)
+}
+
+/// Exact `(node, time)` exploration for `NoWait` / `Bounded(d)`:
+/// time-ordered expansion of every reachable configuration, with
+/// interval-driven departure enumeration.
+fn exact_explore<T: Time>(
+    index: &TvgIndex<'_, T>,
+    seeds: &[(NodeId, T)],
+    policy: &WaitingPolicy<T>,
+    limits: &SearchLimits<T>,
+    target: Option<NodeId>,
+) -> ForemostTree<T> {
+    let n = index.tvg().num_nodes();
+    let mut arrival: Vec<Option<T>> = vec![None; n];
+    // (arrival, node, hops); pops in time order, so the first settle of a
+    // node is its foremost arrival.
+    let mut queue: BTreeSet<(T, NodeId, usize)> = seeds
+        .iter()
+        .map(|(node, t)| (t.clone(), *node, 0usize))
+        .collect();
+    let mut seen: BTreeSet<(NodeId, T)> = BTreeSet::new();
+    let mut parents: ParentMap<T> = BTreeMap::new();
+    while let Some((time, node, hops)) = queue.pop_first() {
+        if !seen.insert((node, time.clone())) {
+            continue;
+        }
+        if arrival[node.index()].is_none() {
+            arrival[node.index()] = Some(time.clone());
+            // The first settle is already foremost: a targeted query is
+            // done here.
+            if target == Some(node) {
+                break;
+            }
+        }
+        if hops == limits.max_hops {
+            continue;
+        }
+        let Some(latest) = policy.latest_departure(&time, &limits.horizon) else {
+            continue;
+        };
+        for (e, dep, arr) in index.crossings(node, &time, &latest) {
+            let succ = index.tvg().edge(e).dst();
+            if !seen.contains(&(succ, arr.clone())) {
+                parents
+                    .entry((succ, arr.clone()))
+                    .or_insert((node, time.clone(), e, dep));
+                queue.insert((arr, succ, hops + 1));
+            }
+        }
+    }
+    ForemostTree {
+        arrival,
+        repr: TreeRepr::Exact(parents),
+    }
+}
+
+/// A label of the Pareto explorer: one arrival instant plus the parent
+/// pointer that realizes it (the node lives in the queue key).
+#[derive(Debug, Clone)]
+struct Label<T> {
+    time: T,
+    parent: Option<(usize, EdgeId, T)>,
+}
+
+/// Label-correcting exploration for unbounded waiting with Pareto
+/// `(arrival, hops)` dominance.
+fn pareto_explore<T: Time>(
+    index: &TvgIndex<'_, T>,
+    seeds: &[(NodeId, T)],
+    limits: &SearchLimits<T>,
+    target: Option<NodeId>,
+) -> ForemostTree<T> {
+    let n = index.tvg().num_nodes();
+    let mut arrival: Vec<Option<T>> = vec![None; n];
+    let mut best: Vec<Option<usize>> = vec![None; n];
+    let mut arena: Vec<Label<T>> = Vec::new();
+    // (arrival, hops, node, label id); pops in (time, hops) order.
+    let mut queue: BTreeSet<(T, usize, NodeId, usize)> = BTreeSet::new();
+    // Settled Pareto frontier per node.
+    let mut settled: Vec<Vec<(T, usize)>> = vec![Vec::new(); n];
+    for (node, t) in seeds {
+        arena.push(Label {
+            time: t.clone(),
+            parent: None,
+        });
+        queue.insert((t.clone(), 0, *node, arena.len() - 1));
+    }
+    let dominated = |frontier: &[(T, usize)], time: &T, hops: usize| {
+        frontier.iter().any(|(a, h)| a <= time && *h <= hops)
+    };
+    while let Some((time, hops, node, id)) = queue.pop_first() {
+        if dominated(&settled[node.index()], &time, hops) {
+            continue;
+        }
+        settled[node.index()].push((time.clone(), hops));
+        if arrival[node.index()].is_none() {
+            arrival[node.index()] = Some(time.clone());
+            best[node.index()] = Some(id);
+            if target == Some(node) {
+                break;
+            }
+        }
+        if hops == limits.max_hops || time > limits.horizon {
+            continue;
+        }
+        for &e in index.out_edges(node) {
+            let succ = index.tvg().edge(e).dst();
+            // All crossings of `e` from this label cost the same hops, so
+            // only the minimal-arrival departure can survive dominance —
+            // one label per (label, edge). With a monotone arrival the
+            // earliest departure realizes it (one binary search); an
+            // opaque latency needs the full window scanned.
+            let best_crossing: Option<(T, T)> = if index.arrival_is_monotone(e) {
+                index
+                    .departures_within(e, &time, &limits.horizon)
+                    .next()
+                    .and_then(|dep| Some((index.arrival(e, &dep)?, dep)))
+            } else {
+                let mut best: Option<(T, T)> = None;
+                for dep in index.departures_within(e, &time, &limits.horizon) {
+                    let Some(arr) = index.arrival(e, &dep) else {
+                        continue;
+                    };
+                    match &best {
+                        Some((best_arr, _)) if *best_arr <= arr => {}
+                        _ => best = Some((arr, dep)),
+                    }
+                }
+                best
+            };
+            let Some((arr, dep)) = best_crossing else {
+                continue;
+            };
+            if dominated(&settled[succ.index()], &arr, hops + 1) {
+                continue;
+            }
+            arena.push(Label {
+                time: arr.clone(),
+                parent: Some((id, e, dep)),
+            });
+            queue.insert((arr, hops + 1, succ, arena.len() - 1));
+        }
+    }
+    ForemostTree {
+        arrival,
+        repr: TreeRepr::Pareto { arena, best },
+    }
+}
+
+fn rebuild_labels<T: Time>(arena: &[Label<T>], mut id: usize) -> Journey<T> {
+    let mut hops = Vec::new();
+    while let Some((prev, e, dep)) = &arena[id].parent {
+        hops.push(Hop {
+            edge: *e,
+            depart: dep.clone(),
+            arrive: arena[id].time.clone(),
+        });
+        id = *prev;
+    }
+    hops.reverse();
+    Journey::from_hops(hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvg_model::{Latency, Presence, Tvg, TvgBuilder};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    /// Line v0 →a→ v1 →b→ v2 where b exists only at t = 5.
+    fn line_gap() -> Tvg<u64> {
+        let mut b = TvgBuilder::new();
+        let v = b.nodes(3);
+        b.edge(v[0], v[1], 'a', Presence::At(1u64), Latency::unit())
+            .expect("valid");
+        b.edge(v[1], v[2], 'b', Presence::At(5u64), Latency::unit())
+            .expect("valid");
+        b.build().expect("valid")
+    }
+
+    fn limits() -> SearchLimits<u64> {
+        SearchLimits::new(20, 10)
+    }
+
+    #[test]
+    fn tree_separates_policies() {
+        let g = line_gap();
+        let idx = TvgIndex::compile(&g, 20);
+        let no = foremost_tree(&idx, n(0), &1, &WaitingPolicy::NoWait, &limits());
+        assert_eq!(no.arrival(n(0)), Some(&1));
+        assert_eq!(no.arrival(n(1)), Some(&2));
+        assert_eq!(no.arrival(n(2)), None);
+        assert_eq!(no.num_reached(), 2);
+
+        let wait = foremost_tree(&idx, n(0), &1, &WaitingPolicy::Unbounded, &limits());
+        assert_eq!(wait.arrival(n(2)), Some(&6));
+        let j = wait.journey_to(n(2)).expect("reachable");
+        assert_eq!(j.num_hops(), 2);
+        assert_eq!(j.validate(&g, n(0), &1, &WaitingPolicy::Unbounded), Ok(()));
+        assert_eq!(
+            wait.reached_nodes().collect::<Vec<_>>(),
+            vec![n(0), n(1), n(2)]
+        );
+
+        let b3 = foremost_tree(&idx, n(0), &1, &WaitingPolicy::Bounded(3), &limits());
+        assert_eq!(b3.arrival(n(2)), Some(&6));
+        let b2 = foremost_tree(&idx, n(0), &1, &WaitingPolicy::Bounded(2), &limits());
+        assert_eq!(b2.arrival(n(2)), None);
+    }
+
+    #[test]
+    fn seed_nodes_reach_themselves_by_empty_journeys() {
+        let g = line_gap();
+        let idx = TvgIndex::compile(&g, 20);
+        let tree = foremost_tree(&idx, n(1), &3, &WaitingPolicy::NoWait, &limits());
+        assert_eq!(tree.arrival(n(1)), Some(&3));
+        assert!(tree.journey_to(n(1)).expect("seed").is_empty());
+    }
+
+    #[test]
+    fn multi_seed_takes_the_earliest() {
+        let g = line_gap();
+        let idx = TvgIndex::compile(&g, 20);
+        // Seeding v0 late misses edge a; an extra seed at v1 connects.
+        let seeds = [(n(0), 4u64), (n(1), 4u64)];
+        let tree = foremost_tree_multi(&idx, &seeds, &WaitingPolicy::Unbounded, &limits());
+        assert_eq!(tree.arrival(n(2)), Some(&6));
+        assert_eq!(tree.arrival(n(0)), Some(&4));
+        assert_eq!(tree.arrival(n(1)), Some(&4));
+    }
+
+    #[test]
+    fn hop_and_horizon_limits_bind() {
+        let g = line_gap();
+        let idx = TvgIndex::compile(&g, 20);
+        let one_hop = SearchLimits::new(20, 1);
+        let tree = foremost_tree(&idx, n(0), &1, &WaitingPolicy::Unbounded, &one_hop);
+        assert_eq!(tree.arrival(n(2)), None);
+        let tight = SearchLimits::new(4, 10);
+        let tree = foremost_tree(&idx, n(0), &1, &WaitingPolicy::Unbounded, &tight);
+        assert_eq!(tree.arrival(n(2)), None);
+    }
+
+    #[test]
+    fn pareto_hop_pruning_is_exact_under_hop_limits() {
+        // Two routes to v2: 1 hop arriving late (t=9→10) vs 2 hops
+        // arriving early (t=3). With max_hops = 1 only the late route is
+        // admissible; naive arrival-only dominance would prune it.
+        let mut b = TvgBuilder::new();
+        let v = b.nodes(3);
+        b.edge(v[0], v[2], 'd', Presence::At(9u64), Latency::unit())
+            .expect("valid");
+        b.edge(v[0], v[1], 'a', Presence::At(1u64), Latency::unit())
+            .expect("valid");
+        b.edge(v[1], v[2], 'b', Presence::At(2u64), Latency::unit())
+            .expect("valid");
+        let g = b.build().expect("valid");
+        let idx = TvgIndex::compile(&g, 20);
+        let full = foremost_tree(&idx, n(0), &0, &WaitingPolicy::Unbounded, &limits());
+        assert_eq!(full.arrival(n(2)), Some(&3));
+        let one_hop = SearchLimits::new(20, 1);
+        let tree = foremost_tree(&idx, n(0), &0, &WaitingPolicy::Unbounded, &one_hop);
+        assert_eq!(tree.arrival(n(2)), Some(&10));
+        assert_eq!(tree.journey_to(n(2)).expect("direct").num_hops(), 1);
+    }
+
+    #[test]
+    fn sentinel_unbounded_horizon_does_not_wrap() {
+        // A "search forever" horizon at the top of the u64 domain must
+        // compile to the clamped window, not wrap to emptiness or panic.
+        let g = line_gap();
+        let idx = TvgIndex::compile(&g, u64::MAX);
+        let huge = SearchLimits::new(u64::MAX, 10);
+        let tree = foremost_tree(&idx, n(0), &1, &WaitingPolicy::Unbounded, &huge);
+        assert_eq!(tree.arrival(n(2)), Some(&6));
+        let no = foremost_tree(&idx, n(0), &1, &WaitingPolicy::NoWait, &huge);
+        assert_eq!(no.arrival(n(2)), None);
+    }
+
+    #[test]
+    fn pareto_scans_the_window_for_non_monotone_latencies() {
+        // Departing later is *faster* here: ζ(t) = 20 - 2t on a window.
+        // The monotone fast path would take the earliest departure; the
+        // explorer must scan and find the best arrival.
+        let mut b = TvgBuilder::new();
+        let v = b.nodes(2);
+        b.edge(
+            v[0],
+            v[1],
+            'a',
+            Presence::Window {
+                from: 0u64,
+                until: 9,
+            },
+            Latency::from_fn(|t: &u64| 20u64.saturating_sub(2 * t)),
+        )
+        .expect("valid");
+        let g = b.build().expect("valid");
+        let idx = TvgIndex::compile(&g, 30);
+        let tree = foremost_tree(
+            &idx,
+            n(0),
+            &0,
+            &WaitingPolicy::Unbounded,
+            &SearchLimits::new(30, 3),
+        );
+        // depart 9 → arrive 9 + 2 = 11; every earlier departure is later.
+        assert_eq!(tree.arrival(n(1)), Some(&11));
+        let j = tree.journey_to(n(1)).expect("reachable");
+        assert_eq!(j.departure(), Some(&9));
+    }
+
+    #[test]
+    fn engine_run_counter_increments_per_run() {
+        let g = line_gap();
+        let idx = TvgIndex::compile(&g, 20);
+        let before = engine_runs();
+        let _ = foremost_tree(&idx, n(0), &0, &WaitingPolicy::Unbounded, &limits());
+        let _ = foremost_tree(&idx, n(0), &0, &WaitingPolicy::NoWait, &limits());
+        assert_eq!(engine_runs(), before + 2);
+    }
+
+    #[test]
+    fn zero_latency_cycles_terminate() {
+        // A zero-latency self-loop plus a zero-latency 2-cycle: the
+        // configuration space at each instant is finite and the explorers
+        // must settle it without spinning.
+        let mut b = TvgBuilder::new();
+        let v = b.nodes(2);
+        b.edge(v[0], v[0], 's', Presence::Always, Latency::Const(0u64))
+            .expect("valid");
+        b.edge(v[0], v[1], 'a', Presence::Always, Latency::Const(0u64))
+            .expect("valid");
+        b.edge(v[1], v[0], 'b', Presence::Always, Latency::Const(0u64))
+            .expect("valid");
+        let g = b.build().expect("valid");
+        let idx = TvgIndex::compile(&g, 5);
+        for policy in [
+            WaitingPolicy::NoWait,
+            WaitingPolicy::Bounded(1),
+            WaitingPolicy::Unbounded,
+        ] {
+            let tree = foremost_tree(&idx, n(0), &2, &policy, &SearchLimits::new(5, 4));
+            assert_eq!(tree.arrival(n(1)), Some(&2), "{policy}");
+        }
+    }
+}

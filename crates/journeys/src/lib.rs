@@ -12,9 +12,12 @@
 //!
 //! * [`Journey`] / [`Hop`] — representation and validation against a TVG
 //!   under a policy, with typed failure reasons ([`JourneyError`]).
+//! * [`engine`] — the single-source journey engine over a compiled
+//!   [`tvg_model::TvgIndex`]: one label-correcting pass returns foremost
+//!   arrivals (and witness journeys) to *every* node.
 //! * [`foremost_journey`], [`shortest_journey`], [`fastest_journey`] —
-//!   the classic journey-optimality triple, exact for every policy via
-//!   `(node, time)` configuration search.
+//!   the classic journey-optimality triple, exact for every policy;
+//!   thin wrappers that compile an index and query the engine.
 //! * [`language`] — journey languages `L_f(G)`: the bridge to the
 //!   `tvg-expressivity` crate.
 //! * [`ReachabilityMatrix`] — who reaches whom, how fast, under which
@@ -48,12 +51,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 mod journey;
 pub mod language;
 mod policy;
 mod reachability;
 pub mod search;
 
+pub use engine::{engine_runs, foremost_to, foremost_tree, foremost_tree_multi, ForemostTree};
 pub use journey::{Hop, Journey, JourneyError};
 pub use policy::WaitingPolicy;
 pub use reachability::ReachabilityMatrix;

@@ -4,8 +4,9 @@
 //! how much the waiting policy changes the picture — the quantitative
 //! face of the paper's "waiting makes protocol design easier" claim.
 
-use crate::{foremost_journey, SearchLimits, WaitingPolicy};
-use tvg_model::{NodeId, Time, Tvg};
+use crate::engine::foremost_tree;
+use crate::{SearchLimits, WaitingPolicy};
+use tvg_model::{NodeId, Time, Tvg, TvgIndex};
 
 /// Foremost arrival times between all node pairs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,20 +17,31 @@ pub struct ReachabilityMatrix<T> {
 }
 
 impl<T: Time> ReachabilityMatrix<T> {
-    /// Computes the matrix for `g` with journeys starting at `start`.
+    /// Computes the matrix for `g` with journeys starting at `start`:
+    /// the index is compiled once and each row is one single-source
+    /// engine run (n runs total, not n² pairwise searches).
+    ///
+    /// The diagonal is the trivial self-journey — every node "reaches"
+    /// itself at `start` by the empty journey — modeled explicitly so an
+    /// absent entry always means genuine unreachability.
     pub fn compute(
         g: &Tvg<T>,
         start: &T,
         policy: &WaitingPolicy<T>,
         limits: &SearchLimits<T>,
     ) -> Self {
+        let index = TvgIndex::compile(g, limits.horizon.clone());
         let arrivals = g
             .nodes()
             .map(|src| {
+                let tree = foremost_tree(&index, src, start, policy, limits);
                 g.nodes()
                     .map(|dst| {
-                        foremost_journey(g, src, dst, start, policy, limits)
-                            .map(|j| j.arrival().cloned().unwrap_or_else(|| start.clone()))
+                        if dst == src {
+                            Some(start.clone())
+                        } else {
+                            tree.arrival(dst).cloned()
+                        }
                     })
                     .collect()
             })
@@ -208,6 +220,27 @@ mod tests {
         assert_eq!(m.temporal_sources(), vec![n(0)]);
         assert_eq!(m.temporal_sinks(), vec![n(2)]);
         assert!(!m.is_temporally_connected());
+    }
+
+    #[test]
+    fn compute_is_exactly_n_single_source_runs() {
+        // The matrix must not fall back to per-pair searches: one engine
+        // run per source node, measured by the thread-local run counter.
+        let g = ring_bus_tvg(5, 5, 'r');
+        let limits = SearchLimits::new(30, 10);
+        for policy in [
+            WaitingPolicy::NoWait,
+            WaitingPolicy::Bounded(2),
+            WaitingPolicy::Unbounded,
+        ] {
+            let before = crate::engine::engine_runs();
+            let _ = ReachabilityMatrix::compute(&g, &0, &policy, &limits);
+            assert_eq!(
+                crate::engine::engine_runs() - before,
+                g.num_nodes() as u64,
+                "{policy}: expected one engine run per source"
+            );
+        }
     }
 
     #[test]

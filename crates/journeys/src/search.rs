@@ -1,20 +1,34 @@
-//! Journey search: exact exploration of the `(node, time)` configuration
-//! space under a waiting policy.
+//! Journey search: the three classic optimality notions over a compiled
+//! temporal index.
+//!
+//! Three classic journey optimality notions are provided: *foremost*
+//! (earliest arrival), *shortest* (fewest hops), and *fastest* (smallest
+//! duration). Each compiles the graph into a [`TvgIndex`] for the
+//! requested horizon and queries it — [`foremost_journey`] is a thin
+//! wrapper over one single-source [`crate::engine`] run, and the other
+//! two enumerate departures interval-by-interval instead of
+//! tick-by-tick. Callers issuing many queries against one graph should
+//! compile the index once themselves and use the engine directly.
 //!
 //! Dominance arguments ("earlier is always better") are only sound for
 //! unbounded waiting; under `NoWait`/`Bounded(d)` an early arrival can be
-//! a dead end while a later one connects. The searches here therefore
-//! explore `(node, time)` configurations exactly (bounded by a horizon on
-//! departure times), which keeps them correct for *every* policy — the
-//! regime differences are precisely what the experiments measure.
+//! a dead end while a later one connects, so those policies keep exact
+//! `(node, time)` configuration exploration — the regime differences are
+//! precisely what the experiments measure. The historical tick-scan
+//! implementations survive as `tvg_testkit::tickscan`, the reference
+//! oracle the equivalence suite checks this module against.
 //!
-//! Three classic journey optimality notions are provided:
-//! *foremost* (earliest arrival), *shortest* (fewest hops), and *fastest*
-//! (smallest duration).
+//! [`expansions`], [`reachable_configs`] and [`all_journeys`] remain
+//! window-bounded tick scans on purpose: they are exhaustive-enumeration
+//! primitives (the journey-language layer steps through them letter by
+//! letter) and must work even for time domains whose horizons are too
+//! distant to materialize (the theorem constructions run at `Nat` times
+//! like `pⁿqⁿ⁻¹`).
 
+use crate::engine::{foremost_to, rebuild, ParentMap};
 use crate::{Hop, Journey, WaitingPolicy};
 use std::collections::{BTreeMap, BTreeSet};
-use tvg_model::{EdgeId, NodeId, Time, Tvg};
+use tvg_model::{EdgeId, NodeId, Time, Tvg, TvgIndex};
 
 /// Hard bounds on a journey search.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,24 +71,6 @@ pub fn expansions<T: Time>(
         }
     }
     out
-}
-
-/// Maps an arrival configuration to `(parent node, parent ready time,
-/// edge, departure)`.
-type ParentMap<T> = BTreeMap<(NodeId, T), (NodeId, T, EdgeId, T)>;
-
-fn rebuild_journey<T: Time>(parents: &ParentMap<T>, mut state: (NodeId, T)) -> Journey<T> {
-    let mut hops = Vec::new();
-    while let Some((pn, pt, e, dep)) = parents.get(&state).cloned() {
-        hops.push(Hop {
-            edge: e,
-            depart: dep,
-            arrive: state.1.clone(),
-        });
-        state = (pn, pt);
-    }
-    hops.reverse();
-    Journey::from_hops(hops)
 }
 
 /// Exhaustive reachable configuration set from `(src, start)`.
@@ -166,6 +162,10 @@ pub fn all_journeys<T: Time>(
 
 /// The *foremost* journey: reaches `dst` with the earliest possible
 /// arrival. `None` if `dst` is unreachable within the limits.
+///
+/// Thin wrapper: compiles a [`TvgIndex`] for the horizon and runs one
+/// single-source [`crate::engine`] pass. For many queries over one
+/// graph, compile the index once and call the engine directly.
 pub fn foremost_journey<T: Time>(
     g: &Tvg<T>,
     src: NodeId,
@@ -177,35 +177,14 @@ pub fn foremost_journey<T: Time>(
     if src == dst {
         return Some(Journey::empty());
     }
-    // Time-ordered exploration of (node, time) configurations: the first
-    // time dst is popped, its arrival is minimal.
-    let mut queue: BTreeSet<(T, NodeId, usize)> = BTreeSet::from([(start.clone(), src, 0)]);
-    let mut seen: BTreeSet<(NodeId, T)> = BTreeSet::new();
-    let mut parents: ParentMap<T> = BTreeMap::new();
-    while let Some((time, node, hops)) = queue.pop_first() {
-        if !seen.insert((node, time.clone())) {
-            continue;
-        }
-        if node == dst {
-            return Some(rebuild_journey(&parents, (node, time)));
-        }
-        if hops == limits.max_hops {
-            continue;
-        }
-        for (e, dep, arr) in expansions(g, node, &time, policy, limits) {
-            let succ = g.edge(e).dst();
-            if !seen.contains(&(succ, arr.clone())) {
-                parents
-                    .entry((succ, arr.clone()))
-                    .or_insert((node, time.clone(), e, dep));
-                queue.insert((arr, succ, hops + 1));
-            }
-        }
-    }
-    None
+    let index = TvgIndex::compile(g, limits.horizon.clone());
+    foremost_to(&index, src, dst, start, policy, limits)
 }
 
 /// The *shortest* journey: reaches `dst` with the fewest hops.
+///
+/// Breadth-first over hop layers on the compiled index; within a layer,
+/// departures are enumerated interval-by-interval.
 pub fn shortest_journey<T: Time>(
     g: &Tvg<T>,
     src: NodeId,
@@ -217,19 +196,23 @@ pub fn shortest_journey<T: Time>(
     if src == dst {
         return Some(Journey::empty());
     }
+    let index = TvgIndex::compile(g, limits.horizon.clone());
     let mut seen: BTreeSet<(NodeId, T)> = BTreeSet::from([(src, start.clone())]);
     let mut parents: ParentMap<T> = BTreeMap::new();
     let mut frontier: Vec<(NodeId, T)> = vec![(src, start.clone())];
     for _ in 0..limits.max_hops {
         let mut next = Vec::new();
         for (node, ready) in &frontier {
-            for (e, dep, arr) in expansions(g, *node, ready, policy, limits) {
-                let succ = g.edge(e).dst();
+            let Some(latest) = policy.latest_departure(ready, &limits.horizon) else {
+                continue;
+            };
+            for (e, dep, arr) in index.crossings(*node, ready, &latest) {
+                let succ = index.tvg().edge(e).dst();
                 let state = (succ, arr.clone());
                 if seen.insert(state.clone()) {
                     parents.insert(state.clone(), (*node, ready.clone(), e, dep));
                     if succ == dst {
-                        return Some(rebuild_journey(&parents, state));
+                        return Some(rebuild(&parents, state));
                     }
                     next.push(state);
                 }
@@ -246,6 +229,11 @@ pub fn shortest_journey<T: Time>(
 /// The *fastest* journey: smallest duration (last arrival minus first
 /// departure), allowed to delay its departure to any instant in
 /// `[start, horizon]`.
+///
+/// Compiles the index once, then tries only the instants at which some
+/// out-edge of `src` actually departs (skipping empty ticks entirely);
+/// each candidate pins the first hop and completes with a single-source
+/// foremost pass from its endpoint.
 pub fn fastest_journey<T: Time>(
     g: &Tvg<T>,
     src: NodeId,
@@ -257,41 +245,46 @@ pub fn fastest_journey<T: Time>(
     if src == dst {
         return Some(Journey::empty());
     }
+    let index = TvgIndex::compile(g, limits.horizon.clone());
+    // Candidate first-hop departures: the union of the source's out-edge
+    // presence instants within [start, horizon], in increasing order.
+    let departures: BTreeSet<T> = index
+        .out_edges(src)
+        .iter()
+        .flat_map(|&e| index.departures_within(e, start, &limits.horizon))
+        .collect();
     let mut best: Option<Journey<T>> = None;
-    let mut t = start.clone();
-    while t <= limits.horizon {
-        // Restrict the first hop to depart exactly at `t` by searching
-        // under the same policy but from ready-time `t` with a NoWait
-        // pre-step: seed only if some edge actually departs at t.
-        let departs_now = g
-            .out_edges(src)
-            .iter()
-            .any(|&e| g.traverse(e, &t).is_some());
-        if departs_now {
-            let pinned = WaitingPolicy::NoWait;
-            // First hop at exactly t, then the real policy.
-            for (e, dep, arr) in expansions(g, src, &t, &pinned, limits) {
-                let succ = g.edge(e).dst();
-                let tail = foremost_journey(g, succ, dst, &arr, policy, limits);
-                if let Some(tail) = tail {
-                    let mut hops = vec![Hop {
-                        edge: e,
-                        depart: dep.clone(),
-                        arrive: arr.clone(),
-                    }];
-                    hops.extend(tail.hops().iter().cloned());
-                    let candidate = Journey::from_hops(hops);
-                    let better = match &best {
-                        None => true,
-                        Some(b) => candidate.duration() < b.duration(),
-                    };
-                    if better {
-                        best = Some(candidate);
-                    }
+    for t in departures {
+        for &e in index.out_edges(src) {
+            if !index.is_present(e, &t) {
+                continue;
+            }
+            let Some(arr) = index.arrival(e, &t) else {
+                continue;
+            };
+            let succ = index.tvg().edge(e).dst();
+            let tail = if succ == dst {
+                Some(Journey::empty())
+            } else {
+                foremost_to(&index, succ, dst, &arr, policy, limits)
+            };
+            if let Some(tail) = tail {
+                let mut hops = vec![Hop {
+                    edge: e,
+                    depart: t.clone(),
+                    arrive: arr.clone(),
+                }];
+                hops.extend(tail.hops().iter().cloned());
+                let candidate = Journey::from_hops(hops);
+                let better = match &best {
+                    None => true,
+                    Some(b) => candidate.duration() < b.duration(),
+                };
+                if better {
+                    best = Some(candidate);
                 }
             }
         }
-        t = t.succ();
     }
     best
 }

@@ -1,0 +1,326 @@
+//! The compiled temporal index: a [`Tvg`] materialized for fast queries.
+//!
+//! The schedule ASTs answer `ρ(e, t)` one instant at a time; every
+//! journey search built directly on them pays a tick-by-tick scan of the
+//! waiting window. A [`TvgIndex`] compiles the graph once against a
+//! departure horizon:
+//!
+//! * per-edge presence as a sorted [`IntervalSet`] with binary-search
+//!   `next_departure` and gap-skipping instant enumeration;
+//! * CSR-packed out-edge adjacency (one contiguous slice per node);
+//! * a global time-sorted edge-event timeline (every appearance and
+//!   disappearance of every edge), the substrate for event-driven
+//!   consumers and the unit benchmarks size workloads by.
+//!
+//! Compile once, query many: the single-source journey engine in
+//! `tvg-journeys` and the protocol simulators in `tvg-dynnet` all run on
+//! this index. Compilation materializes schedules up to the horizon, so
+//! its cost is proportional to the number of presence intervals below
+//! the horizon — suitable for simulation-scale horizons, not for the
+//! astronomically distant times of the theorem constructions (those keep
+//! using the closure path).
+
+use crate::interval::{Instants, IntervalSet};
+use crate::{EdgeId, NodeId, Time, Tvg};
+
+/// Whether an edge appears or disappears at an event instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeEventKind {
+    /// The edge becomes present at this instant.
+    Appear,
+    /// The edge becomes absent at this instant (exclusive span end).
+    Disappear,
+}
+
+/// One entry of the global edge-event timeline.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EdgeEvent<T> {
+    /// The instant of the transition.
+    pub time: T,
+    /// The edge transitioning.
+    pub edge: EdgeId,
+    /// The direction of the transition.
+    pub kind: EdgeEventKind,
+}
+
+/// A [`Tvg`] compiled against a departure horizon.
+///
+/// ```
+/// use tvg_model::{Latency, Presence, TvgBuilder, TvgIndex};
+///
+/// let mut b = TvgBuilder::<u64>::new();
+/// let (u, v) = (b.node("u"), b.node("v"));
+/// let e = b.edge(u, v, 'a',
+///     Presence::Periodic { period: 4, phases: [1u64].into() },
+///     Latency::unit())?;
+/// let g = b.build()?;
+///
+/// let idx = TvgIndex::compile(&g, 20);
+/// assert_eq!(idx.next_departure(e, &2), Some(5)); // skip to the phase
+/// assert_eq!(idx.traverse(e, &5), Some(6));
+/// assert_eq!(idx.out_edges(u), &[e]);
+/// # Ok::<(), tvg_model::TvgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TvgIndex<'g, T> {
+    g: &'g Tvg<T>,
+    horizon: T,
+    presence: Vec<IntervalSet<T>>,
+    arrival_monotone: Vec<bool>,
+    csr_offsets: Vec<usize>,
+    csr_edges: Vec<EdgeId>,
+    events: Vec<EdgeEvent<T>>,
+}
+
+impl<'g, T: Time> TvgIndex<'g, T> {
+    /// Compiles `g` for departures in `[0, horizon]`.
+    ///
+    /// Cost is linear in the total number of presence intervals below the
+    /// horizon (plus a sort of the event timeline); every subsequent
+    /// presence query is a binary search.
+    #[must_use]
+    pub fn compile(g: &'g Tvg<T>, horizon: T) -> Self {
+        let presence: Vec<IntervalSet<T>> = g
+            .edges()
+            .map(|e| g.edge(e).presence().intervals(&horizon))
+            .collect();
+        let arrival_monotone: Vec<bool> = g
+            .edges()
+            .map(|e| g.edge(e).latency().arrival_is_monotone())
+            .collect();
+        let mut csr_offsets = Vec::with_capacity(g.num_nodes() + 1);
+        let mut csr_edges = Vec::with_capacity(g.num_edges());
+        csr_offsets.push(0);
+        for n in g.nodes() {
+            csr_edges.extend_from_slice(g.out_edges(n));
+            csr_offsets.push(csr_edges.len());
+        }
+        let mut events = Vec::new();
+        for (i, set) in presence.iter().enumerate() {
+            let edge = EdgeId::from_index(i);
+            for (start, end) in set.spans() {
+                events.push(EdgeEvent {
+                    time: start.clone(),
+                    edge,
+                    kind: EdgeEventKind::Appear,
+                });
+                events.push(EdgeEvent {
+                    time: end.clone(),
+                    edge,
+                    kind: EdgeEventKind::Disappear,
+                });
+            }
+        }
+        events.sort();
+        TvgIndex {
+            g,
+            horizon,
+            presence,
+            arrival_monotone,
+            csr_offsets,
+            csr_edges,
+            events,
+        }
+    }
+
+    /// The graph this index compiles.
+    #[must_use]
+    pub fn tvg(&self) -> &'g Tvg<T> {
+        self.g
+    }
+
+    /// The inclusive departure horizon the index was compiled for.
+    #[must_use]
+    pub fn horizon(&self) -> &T {
+        &self.horizon
+    }
+
+    /// Outgoing edges of `n` as one contiguous CSR slice (builder order,
+    /// identical to [`Tvg::out_edges`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range for the compiled graph.
+    #[must_use]
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.csr_edges[self.csr_offsets[n.index()]..self.csr_offsets[n.index() + 1]]
+    }
+
+    /// The compiled presence intervals of `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range for the compiled graph.
+    #[must_use]
+    pub fn presence(&self, e: EdgeId) -> &IntervalSet<T> {
+        &self.presence[e.index()]
+    }
+
+    /// The earliest departure of `e` at or after `from` (within the
+    /// horizon), by binary search — the compiled counterpart of
+    /// `Presence::next_present_within(from, horizon)`.
+    #[must_use]
+    pub fn next_departure(&self, e: EdgeId, from: &T) -> Option<T> {
+        self.presence[e.index()].next_at_or_after(from)
+    }
+
+    /// Enumerates the departures of `e` within the inclusive window
+    /// `[from, until]`, skipping absent stretches.
+    #[must_use]
+    pub fn departures_within<'a>(&'a self, e: EdgeId, from: &T, until: &T) -> Instants<'a, T> {
+        let until = until.min(&self.horizon);
+        self.presence[e.index()].instants_within(from, until)
+    }
+
+    /// Whether `e` is present at `t` (binary search; agrees with
+    /// [`Tvg::is_present`] for `t <= horizon`, always `false` beyond).
+    #[must_use]
+    pub fn is_present(&self, e: EdgeId, t: &T) -> bool {
+        self.presence[e.index()].contains(t)
+    }
+
+    /// Attempts to traverse `e` departing at `t`: the compiled
+    /// counterpart of [`Tvg::traverse`] (presence by binary search,
+    /// latency through the schedule as before).
+    #[must_use]
+    pub fn traverse(&self, e: EdgeId, t: &T) -> Option<T> {
+        if !self.is_present(e, t) {
+            return None;
+        }
+        self.g.edge(e).latency().arrival(t)
+    }
+
+    /// Arrival of a crossing of `e` known to depart at a present instant
+    /// `t` (skips the presence test; `None` only on latency overflow).
+    #[must_use]
+    pub fn arrival(&self, e: EdgeId, t: &T) -> Option<T> {
+        self.g.edge(e).latency().arrival(t)
+    }
+
+    /// Whether `e`'s arrival is known to be non-decreasing in its
+    /// departure (cached [`crate::Latency::arrival_is_monotone`]): if so,
+    /// the earliest departure in a window is also the earliest arrival.
+    #[must_use]
+    pub fn arrival_is_monotone(&self, e: EdgeId) -> bool {
+        self.arrival_monotone[e.index()]
+    }
+
+    /// Every admissible crossing from `node` departing within the
+    /// inclusive window `[from, until]`: `(edge, depart, arrive)` triples
+    /// in out-edge order, departures ascending per edge, absent
+    /// stretches skipped and latency overflows dropped.
+    ///
+    /// This is the compiled counterpart of the tick-scan `expansions`
+    /// primitive and the shared inner loop of the journey searches.
+    pub fn crossings<'a>(
+        &'a self,
+        node: NodeId,
+        from: &T,
+        until: &T,
+    ) -> impl Iterator<Item = (EdgeId, T, T)> + 'a {
+        let from = from.clone();
+        let until = until.clone();
+        self.out_edges(node).iter().flat_map(move |&e| {
+            self.departures_within(e, &from, &until)
+                .filter_map(move |dep| {
+                    let arr = self.arrival(e, &dep)?;
+                    Some((e, dep, arr))
+                })
+        })
+    }
+
+    /// The global edge-event timeline, sorted by time: every appearance
+    /// and disappearance of every edge within the compiled window.
+    #[must_use]
+    pub fn edge_events(&self) -> &[EdgeEvent<T>] {
+        &self.events
+    }
+
+    /// Total number of edge events (twice the interval count) — the
+    /// workload-size measure the index benchmarks are parameterized by.
+    #[must_use]
+    pub fn num_edge_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Latency, Presence, TvgBuilder};
+    use std::collections::BTreeSet;
+
+    fn sample() -> Tvg<u64> {
+        let mut b = TvgBuilder::new();
+        let v = b.nodes(3);
+        b.edge(
+            v[0],
+            v[1],
+            'a',
+            Presence::Periodic {
+                period: 4,
+                phases: BTreeSet::from([0u64, 1]),
+            },
+            Latency::unit(),
+        )
+        .expect("valid");
+        b.edge(v[1], v[2], 'b', Presence::After(5u64), Latency::Const(2))
+            .expect("valid");
+        b.edge(v[0], v[2], 'c', Presence::Never, Latency::unit())
+            .expect("valid");
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn compiled_presence_agrees_with_closures() {
+        let g = sample();
+        let idx = TvgIndex::compile(&g, 20);
+        for e in g.edges() {
+            for t in 0u64..=20 {
+                assert_eq!(idx.is_present(e, &t), g.is_present(e, &t), "{e} t={t}");
+                assert_eq!(idx.traverse(e, &t), g.traverse(e, &t), "{e} t={t}");
+            }
+            assert!(!idx.is_present(e, &21), "{e} beyond horizon");
+        }
+    }
+
+    #[test]
+    fn csr_matches_adjacency() {
+        let g = sample();
+        let idx = TvgIndex::compile(&g, 10);
+        for n in g.nodes() {
+            assert_eq!(idx.out_edges(n), g.out_edges(n));
+        }
+    }
+
+    #[test]
+    fn next_departure_skips_gaps() {
+        let g = sample();
+        let idx = TvgIndex::compile(&g, 20);
+        let e0 = EdgeId::from_index(0);
+        assert_eq!(idx.next_departure(e0, &2), Some(4));
+        assert_eq!(idx.next_departure(e0, &4), Some(4));
+        assert_eq!(idx.next_departure(e0, &21), None);
+        let dep: Vec<u64> = idx.departures_within(e0, &2, &9).collect();
+        assert_eq!(dep, vec![4, 5, 8, 9]);
+        // Window clamped to the horizon.
+        let dep: Vec<u64> = idx.departures_within(e0, &19, &40).collect();
+        assert_eq!(dep, vec![20]);
+    }
+
+    #[test]
+    fn event_timeline_is_sorted_and_complete() {
+        let g = sample();
+        let idx = TvgIndex::compile(&g, 11);
+        let events = idx.edge_events();
+        assert!(events.windows(2).all(|w| w[0] <= w[1]));
+        // e0: spans {0,1},{4,5},{8,9} → 6 events; e1: (6,12) → 2; e2: none.
+        assert_eq!(idx.num_edge_events(), 8);
+        let appearances: Vec<(u64, usize)> = events
+            .iter()
+            .filter(|ev| ev.kind == EdgeEventKind::Appear)
+            .map(|ev| (ev.time, ev.edge.index()))
+            .collect();
+        assert_eq!(appearances, vec![(0, 0), (4, 0), (6, 1), (8, 0)]);
+    }
+}

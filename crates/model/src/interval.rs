@@ -1,0 +1,297 @@
+//! Sorted half-open interval sets over a time domain.
+//!
+//! An [`IntervalSet`] is the *compiled* form of a presence schedule: the
+//! instants at which an edge is present within a horizon, materialized as
+//! a normalized (sorted, disjoint, non-adjacent) list of half-open spans
+//! `[start, end)`. Where the schedule AST answers `ρ(e, t)` one instant
+//! at a time, the compiled form answers "when is the edge *next*
+//! present?" by binary search and enumerates present instants while
+//! skipping absent stretches entirely — the primitive the indexed journey
+//! engine is built on.
+
+use crate::Time;
+
+/// A normalized set of half-open time spans `[start, end)`.
+///
+/// Invariants (maintained by every constructor): spans are sorted by
+/// start, pairwise disjoint, non-empty, and non-adjacent (touching spans
+/// are merged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSet<T> {
+    spans: Vec<(T, T)>,
+}
+
+impl<T: Time> IntervalSet<T> {
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> Self {
+        IntervalSet { spans: Vec::new() }
+    }
+
+    /// Builds a set from arbitrary spans, normalizing: empty spans are
+    /// dropped, overlapping or adjacent spans are merged, order is fixed.
+    #[must_use]
+    pub fn from_spans(mut spans: Vec<(T, T)>) -> Self {
+        spans.retain(|(s, e)| s < e);
+        spans.sort();
+        let mut normalized: Vec<(T, T)> = Vec::with_capacity(spans.len());
+        for (s, e) in spans {
+            match normalized.last_mut() {
+                Some((_, prev_end)) if s <= *prev_end => {
+                    if e > *prev_end {
+                        *prev_end = e;
+                    }
+                }
+                _ => normalized.push((s, e)),
+            }
+        }
+        IntervalSet { spans: normalized }
+    }
+
+    /// The single-instant set `{t}`.
+    #[must_use]
+    pub fn point(t: T) -> Self {
+        let end = t.succ();
+        IntervalSet {
+            spans: vec![(t, end)],
+        }
+    }
+
+    /// The contiguous set `[0, end)` (empty if `end == 0`).
+    #[must_use]
+    pub fn up_to(end: T) -> Self {
+        if end == T::zero() {
+            return IntervalSet::empty();
+        }
+        IntervalSet {
+            spans: vec![(T::zero(), end)],
+        }
+    }
+
+    /// The normalized spans, sorted and disjoint.
+    #[must_use]
+    pub fn spans(&self) -> &[(T, T)] {
+        &self.spans
+    }
+
+    /// Number of maximal spans (the set's *event count* is twice this).
+    #[must_use]
+    pub fn num_spans(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` iff no instant is in the set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Membership test by binary search.
+    #[must_use]
+    pub fn contains(&self, t: &T) -> bool {
+        let i = self.spans.partition_point(|(s, _)| s <= t);
+        i > 0 && self.spans[i - 1].1 > *t
+    }
+
+    /// The earliest member `>= t`, by binary search. `None` if the set
+    /// has no member at or after `t`.
+    #[must_use]
+    pub fn next_at_or_after(&self, t: &T) -> Option<T> {
+        let i = self.spans.partition_point(|(_, e)| e <= t);
+        let (start, _) = self.spans.get(i)?;
+        Some(if start > t { start.clone() } else { t.clone() })
+    }
+
+    /// The earliest member of the inclusive window `[from, until]` —
+    /// the compiled counterpart of `Presence::next_present_within`.
+    #[must_use]
+    pub fn next_within(&self, from: &T, until: &T) -> Option<T> {
+        self.next_at_or_after(from).filter(|t| t <= until)
+    }
+
+    /// Iterates the members of the inclusive window `[from, until]` in
+    /// increasing order, jumping over absent stretches span to span.
+    #[must_use]
+    pub fn instants_within<'a>(&'a self, from: &T, until: &T) -> Instants<'a, T> {
+        let idx = self.spans.partition_point(|(_, e)| e <= from);
+        Instants {
+            spans: &self.spans,
+            idx,
+            cur: from.clone(),
+            until: until.clone(),
+        }
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut spans = self.spans.clone();
+        spans.extend(other.spans.iter().cloned());
+        IntervalSet::from_spans(spans)
+    }
+
+    /// Set intersection (two-pointer sweep over normalized spans).
+    #[must_use]
+    pub fn intersect(&self, other: &Self) -> Self {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.spans.len() && j < other.spans.len() {
+            let (a_start, a_end) = &self.spans[i];
+            let (b_start, b_end) = &other.spans[j];
+            let start = a_start.max(b_start).clone();
+            let end = a_end.min(b_end).clone();
+            if start < end {
+                out.push((start, end));
+            }
+            if a_end <= b_end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        // Already sorted and disjoint; from_spans just revalidates.
+        IntervalSet::from_spans(out)
+    }
+
+    /// Complement within `[0, end)`.
+    #[must_use]
+    pub fn complement_within(&self, end: &T) -> Self {
+        let mut out = Vec::new();
+        let mut cursor = T::zero();
+        for (s, e) in &self.spans {
+            if *s >= *end {
+                break;
+            }
+            if cursor < *s {
+                out.push((cursor.clone(), s.clone()));
+            }
+            if *e > cursor {
+                cursor = e.clone();
+            }
+        }
+        if cursor < *end {
+            out.push((cursor, end.clone()));
+        }
+        IntervalSet { spans: out }
+    }
+}
+
+/// Iterator over the instants of an [`IntervalSet`] within a window.
+///
+/// Yields each present instant once, in increasing order; consecutive
+/// instants inside a span step by `succ`, gaps between spans are skipped
+/// in O(1).
+#[derive(Debug)]
+pub struct Instants<'a, T> {
+    spans: &'a [(T, T)],
+    idx: usize,
+    cur: T,
+    until: T,
+}
+
+impl<T: Time> Iterator for Instants<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        while let Some((start, end)) = self.spans.get(self.idx) {
+            let candidate = if self.cur >= *start {
+                self.cur.clone()
+            } else {
+                start.clone()
+            };
+            if candidate > self.until {
+                return None;
+            }
+            if candidate < *end {
+                self.cur = candidate.succ();
+                return Some(candidate);
+            }
+            self.idx += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(spans: &[(u64, u64)]) -> IntervalSet<u64> {
+        IntervalSet::from_spans(spans.to_vec())
+    }
+
+    #[test]
+    fn normalization_merges_and_sorts() {
+        let s = set(&[(5, 7), (0, 2), (2, 3), (6, 9), (4, 4)]);
+        assert_eq!(s.spans(), &[(0, 3), (5, 9)]);
+        assert_eq!(s.num_spans(), 2);
+        assert!(IntervalSet::<u64>::empty().is_empty());
+        assert!(set(&[(3, 3)]).is_empty());
+    }
+
+    #[test]
+    fn contains_by_binary_search() {
+        let s = set(&[(2, 4), (7, 8)]);
+        for t in 0u64..12 {
+            assert_eq!(s.contains(&t), (2..4).contains(&t) || t == 7, "t={t}");
+        }
+    }
+
+    #[test]
+    fn next_queries() {
+        let s = set(&[(2, 4), (7, 8)]);
+        assert_eq!(s.next_at_or_after(&0), Some(2));
+        assert_eq!(s.next_at_or_after(&3), Some(3));
+        assert_eq!(s.next_at_or_after(&4), Some(7));
+        assert_eq!(s.next_at_or_after(&8), None);
+        assert_eq!(s.next_within(&0, &1), None);
+        assert_eq!(s.next_within(&0, &2), Some(2));
+        assert_eq!(s.next_within(&4, &7), Some(7));
+    }
+
+    #[test]
+    fn instants_enumerate_window() {
+        let s = set(&[(2, 4), (7, 9)]);
+        let all: Vec<u64> = s.instants_within(&0, &20).collect();
+        assert_eq!(all, vec![2, 3, 7, 8]);
+        let mid: Vec<u64> = s.instants_within(&3, &7).collect();
+        assert_eq!(mid, vec![3, 7]);
+        let none: Vec<u64> = s.instants_within(&9, &20).collect();
+        assert!(none.is_empty());
+        let empty_window: Vec<u64> = s.instants_within(&8, &7).collect();
+        assert!(empty_window.is_empty());
+    }
+
+    #[test]
+    fn union_intersect_complement() {
+        let a = set(&[(0, 4), (10, 12)]);
+        let b = set(&[(2, 6), (11, 15)]);
+        assert_eq!(a.union(&b).spans(), &[(0, 6), (10, 15)]);
+        assert_eq!(a.intersect(&b).spans(), &[(2, 4), (11, 12)]);
+        assert_eq!(a.complement_within(&14).spans(), &[(4, 10), (12, 14)]);
+        assert_eq!(
+            IntervalSet::<u64>::empty().complement_within(&3).spans(),
+            &[(0, 3)]
+        );
+        assert_eq!(a.complement_within(&0).spans(), &[] as &[(u64, u64)]);
+    }
+
+    #[test]
+    fn set_algebra_agrees_with_membership() {
+        let a = set(&[(1, 5), (8, 9), (12, 20)]);
+        let b = set(&[(0, 2), (4, 10), (13, 14)]);
+        let (u, i, c) = (a.union(&b), a.intersect(&b), a.complement_within(&25));
+        for t in 0u64..30 {
+            assert_eq!(u.contains(&t), a.contains(&t) || b.contains(&t), "u t={t}");
+            assert_eq!(i.contains(&t), a.contains(&t) && b.contains(&t), "i t={t}");
+            assert_eq!(c.contains(&t), t < 25 && !a.contains(&t), "c t={t}");
+        }
+    }
+
+    #[test]
+    fn point_and_up_to() {
+        assert_eq!(IntervalSet::point(5u64).spans(), &[(5, 6)]);
+        assert_eq!(IntervalSet::up_to(3u64).spans(), &[(0, 3)]);
+        assert!(IntervalSet::up_to(0u64).is_empty());
+    }
+}

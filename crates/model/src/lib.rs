@@ -15,6 +15,10 @@
 //!   closures, and the Theorem 2.3 time dilation as a syntactic wrapper.
 //! * [`Tvg`] / [`TvgBuilder`] — the graph itself: directed labeled edges,
 //!   snapshots, footprints, and whole-graph dilation.
+//! * [`TvgIndex`] / [`IntervalSet`] — the compiled query layer: per-edge
+//!   presence materialized as sorted half-open intervals over a horizon
+//!   (binary-search next-presence, gap-skipping departure enumeration),
+//!   CSR out-edge adjacency, and a global sorted edge-event timeline.
 //! * [`Digraph`] — a minimal static digraph for snapshots and protocols.
 //! * [`generators`] — reproducible random/structured TVG families for the
 //!   experiment sweeps.
@@ -49,12 +53,16 @@ pub mod dot;
 pub mod generators;
 mod graph;
 mod ids;
+mod index;
+mod interval;
 mod schedule;
 mod time;
 mod tvg;
 
 pub use graph::Digraph;
 pub use ids::{EdgeId, NodeId};
+pub use index::{EdgeEvent, EdgeEventKind, TvgIndex};
+pub use interval::{Instants, IntervalSet};
 pub use schedule::{pq_power_index, Latency, Presence};
 pub use time::Time;
 pub use tvg::{Edge, Tvg, TvgBuilder, TvgError};

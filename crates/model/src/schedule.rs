@@ -18,6 +18,7 @@
 //! a latency whose value would overflow reports `None`, which callers
 //! treat as "edge unusable at this time".
 
+use crate::interval::IntervalSet;
 use crate::Time;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -129,6 +130,98 @@ impl<T: Time> Presence<T> {
         None
     }
 
+    /// Compiles the schedule into its present-instant [`IntervalSet`]
+    /// over the inclusive horizon `[0, horizon]` — the entry point of the
+    /// compiled query path ([`crate::TvgIndex`]).
+    ///
+    /// Structural variants compile without evaluating the predicate
+    /// (`Periodic` emits one run per phase block, boolean combinators
+    /// become interval algebra, `Dilated` maps the inner instants onto
+    /// multiples); [`Presence::Custom`] falls back to an exact linear
+    /// scan of `[0, horizon]`, so compilation is never wrong, only
+    /// sometimes as slow as the closure it replaces.
+    ///
+    /// The result agrees with [`Presence::is_present`] on every `t <=
+    /// horizon`; instants beyond the horizon are absent from the set.
+    /// Arithmetic that would overflow the representation is treated as
+    /// "beyond the horizon", matching the checked-latency convention.
+    /// One consequence: the very top of a bounded time domain (e.g.
+    /// `u64::MAX` itself) has no representable half-open span end, so a
+    /// horizon there compiles the domain's *predecessor* window instead
+    /// of wrapping — sentinel "unbounded" horizons stay safe.
+    #[must_use]
+    pub fn intervals(&self, horizon: &T) -> IntervalSet<T> {
+        // Exclusive end of the compiled window, with the top-of-domain
+        // horizon clamped rather than overflowed.
+        let (horizon_eff, end) = match horizon.checked_add(&T::one()) {
+            Some(end) => (horizon.clone(), end),
+            None => (
+                horizon
+                    .checked_sub(&T::one())
+                    .expect("a maximal time is nonzero"),
+                horizon.clone(),
+            ),
+        };
+        let horizon = &horizon_eff;
+        match self {
+            Presence::Always => IntervalSet::up_to(end),
+            Presence::Never => IntervalSet::empty(),
+            Presence::At(c) => {
+                if c <= horizon {
+                    IntervalSet::point(c.clone())
+                } else {
+                    IntervalSet::empty()
+                }
+            }
+            Presence::After(c) => {
+                if c < horizon {
+                    IntervalSet::from_spans(vec![(c.succ(), end)])
+                } else {
+                    IntervalSet::empty()
+                }
+            }
+            Presence::Before(c) => IntervalSet::up_to(c.clone().min(end)),
+            Presence::Window { from, until } => {
+                if from > until || from > horizon {
+                    IntervalSet::empty()
+                } else {
+                    // Clamp before succ: `until` may be the largest
+                    // representable instant (succ would overflow).
+                    let span_end = if until >= horizon { end } else { until.succ() };
+                    IntervalSet::from_spans(vec![(from.clone(), span_end)])
+                }
+            }
+            Presence::FiniteSet(set) => IntervalSet::from_spans(
+                set.iter()
+                    .filter(|t| *t <= horizon)
+                    .map(|t| (t.clone(), t.succ()))
+                    .collect(),
+            ),
+            Presence::Periodic { period, phases } => {
+                periodic_intervals(*period, phases, horizon, &end)
+            }
+            Presence::PqPower { p, q } => pq_power_intervals(*p, *q, horizon),
+            Presence::Not(inner) => inner.intervals(horizon).complement_within(&end),
+            Presence::And(a, b) => a.intervals(horizon).intersect(&b.intervals(horizon)),
+            Presence::Or(a, b) => a.intervals(horizon).union(&b.intervals(horizon)),
+            Presence::Dilated { factor, inner } => {
+                let (inner_horizon, _) = horizon.div_rem_u64(*factor);
+                let compiled = inner.intervals(&inner_horizon);
+                IntervalSet::from_spans(
+                    compiled
+                        .instants_within(&T::zero(), &inner_horizon)
+                        .filter_map(|t| {
+                            let scaled = t.checked_mul_u64(*factor)?;
+                            let scaled_end = scaled.succ();
+                            Some((scaled, scaled_end))
+                        })
+                        .collect(),
+                )
+            }
+            Presence::Custom(f) => scan_intervals(|t| f(t), horizon, &end),
+        }
+    }
+
     /// Wraps the schedule in a time dilation by `factor` (Theorem 2.3).
     ///
     /// The dilated schedule is present exactly at `{factor · t : ρ(t)=1}`.
@@ -175,6 +268,100 @@ impl<T: fmt::Debug> fmt::Debug for Presence<T> {
             Presence::Custom(_) => write!(f, "Custom(<fn>)"),
         }
     }
+}
+
+/// Compiles `t mod period ∈ phases` over `[0, horizon]`: one span per
+/// run of consecutive phases per period block, merged across block
+/// boundaries by normalization.
+fn periodic_intervals<T: Time>(
+    period: u64,
+    phases: &BTreeSet<u64>,
+    horizon: &T,
+    end: &T,
+) -> IntervalSet<T> {
+    assert!(period != 0, "time modulus must be nonzero");
+    // Maximal runs [a, b) of consecutive phases within 0..period.
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    // Phases ≥ period can never match `t mod period`; skip them so the
+    // compiled set agrees with `is_present` even on such inputs.
+    for &ph in phases.iter().filter(|&&ph| ph < period) {
+        match runs.last_mut() {
+            Some((_, b)) if *b == ph => *b = ph + 1,
+            _ => runs.push((ph, ph + 1)),
+        }
+    }
+    let mut spans = Vec::new();
+    let mut block = T::zero();
+    'blocks: loop {
+        for (a, b) in &runs {
+            let Some(start) = block.checked_add(&T::from_u64(*a)) else {
+                break 'blocks;
+            };
+            if start > *horizon {
+                break;
+            }
+            let span_end = match block.checked_add(&T::from_u64(*b)) {
+                Some(e) => e.min(end.clone()),
+                None => end.clone(),
+            };
+            spans.push((start, span_end));
+        }
+        match block.checked_add(&T::from_u64(period)) {
+            Some(next) if next <= *horizon => block = next,
+            _ => break,
+        }
+    }
+    IntervalSet::from_spans(spans)
+}
+
+/// Compiles `t = pⁱ·qⁱ⁻¹ (i > 1)` over `[0, horizon]` by enumerating the
+/// (geometrically growing) witnesses directly.
+fn pq_power_intervals<T: Time>(p: u64, q: u64, horizon: &T) -> IntervalSet<T> {
+    if p.saturating_mul(q) <= 1 {
+        // Degenerate parameters (p·q ≤ 1): the witness sequence does not
+        // grow, so enumerate by exact scan instead.
+        let end = horizon.succ();
+        return scan_intervals(|t| pq_power_index(t, p, q).is_some(), horizon, &end);
+    }
+    let mut spans = Vec::new();
+    // i = 2: t = p²·q.
+    let mut t = T::from_u64(p)
+        .checked_mul_u64(p)
+        .and_then(|v| v.checked_mul_u64(q));
+    while let Some(v) = t {
+        if v > *horizon {
+            break;
+        }
+        let v_end = v.succ();
+        spans.push((v.clone(), v_end));
+        t = v.checked_mul_u64(p).and_then(|w| w.checked_mul_u64(q));
+    }
+    IntervalSet::from_spans(spans)
+}
+
+/// Exact linear-scan compilation for opaque predicates: walks
+/// `[0, horizon]` once, emitting one span per maximal run of presence.
+fn scan_intervals<T: Time>(pred: impl Fn(&T) -> bool, horizon: &T, end: &T) -> IntervalSet<T> {
+    let mut spans = Vec::new();
+    let mut run_start: Option<T> = None;
+    let mut t = T::zero();
+    loop {
+        if pred(&t) {
+            if run_start.is_none() {
+                run_start = Some(t.clone());
+            }
+        } else if let Some(start) = run_start.take() {
+            spans.push((start, t.clone()));
+        }
+        if t == *horizon {
+            break;
+        }
+        t = t.succ();
+    }
+    if let Some(start) = run_start {
+        spans.push((start, end.clone()));
+    }
+    IntervalSet::from_spans(spans)
 }
 
 /// Returns `i` such that `t = pⁱ·qⁱ⁻¹` with `i > 1`, if it exists.
@@ -268,6 +455,20 @@ impl<T: Time> Latency<T> {
     #[must_use]
     pub fn arrival(&self, t: &T) -> Option<T> {
         t.checked_add(&self.at(t)?)
+    }
+
+    /// Whether the *arrival* `t + ζ(t)` is known to be non-decreasing in
+    /// the departure `t` — the property that lets a search take only the
+    /// earliest departure of an edge instead of trying every one.
+    ///
+    /// Conservative: `true` only for shapes where monotonicity is a
+    /// theorem (`Const`: `t + c`; `Affine`: `(1 + mul)·t + add`).
+    /// `Custom` is opaque and `Dilated` can regress between multiples of
+    /// the factor (floor division in the wrapper), so both report
+    /// `false` and callers must scan the window.
+    #[must_use]
+    pub fn arrival_is_monotone(&self) -> bool {
+        matches!(self, Latency::Const(_) | Latency::Affine { .. })
     }
 
     /// Wraps the latency in a time dilation by `factor` (Theorem 2.3).
@@ -438,6 +639,16 @@ mod tests {
     }
 
     #[test]
+    fn arrival_monotonicity_is_conservative() {
+        assert!(Latency::<u64>::Const(3).arrival_is_monotone());
+        assert!(Latency::Affine { mul: 2, add: 1u64 }.arrival_is_monotone());
+        assert!(!Latency::<u64>::from_fn(|t| 100u64.saturating_sub(*t)).arrival_is_monotone());
+        // Dilated regresses between factor multiples (floor division in
+        // the wrapper), so it must not claim monotonicity.
+        assert!(!Latency::Const(5u64).dilate(4).arrival_is_monotone());
+    }
+
+    #[test]
     fn latency_overflow_is_none() {
         let zeta = Latency::Affine { mul: 2, add: 0u64 };
         assert_eq!(zeta.at(&(u64::MAX / 2 + 1)), None);
@@ -485,6 +696,141 @@ mod tests {
             format!("{:?}", Presence::<u64>::from_fn(|_| true)),
             "Custom(<fn>)"
         );
+    }
+
+    /// Exhaustive agreement between the compiled interval set and the
+    /// closure evaluation, on and beyond the horizon.
+    fn assert_compiles_exactly(rho: &Presence<u64>, horizon: u64) {
+        let set = rho.intervals(&horizon);
+        for t in 0..=horizon {
+            assert_eq!(
+                set.contains(&t),
+                rho.is_present(&t),
+                "{rho:?} at t={t} (horizon {horizon})"
+            );
+        }
+        for t in horizon + 1..horizon + 5 {
+            assert!(!set.contains(&t), "{rho:?} beyond horizon at t={t}");
+        }
+    }
+
+    #[test]
+    fn intervals_match_closures_structurally() {
+        let h = 40u64;
+        assert_compiles_exactly(&Presence::Always, h);
+        assert_compiles_exactly(&Presence::Never, h);
+        assert_compiles_exactly(&Presence::At(7), h);
+        assert_compiles_exactly(&Presence::At(41), h);
+        assert_compiles_exactly(&Presence::After(10), h);
+        assert_compiles_exactly(&Presence::After(40), h);
+        assert_compiles_exactly(&Presence::Before(12), h);
+        assert_compiles_exactly(&Presence::Window { from: 5, until: 9 }, h);
+        assert_compiles_exactly(
+            &Presence::Window {
+                from: 38,
+                until: 90,
+            },
+            h,
+        );
+        // Regression: a window ending at the largest representable
+        // instant must clamp to the horizon, not overflow on succ.
+        assert_compiles_exactly(
+            &Presence::Window {
+                from: 3,
+                until: u64::MAX,
+            },
+            h,
+        );
+        assert_compiles_exactly(&Presence::FiniteSet(BTreeSet::from([1, 2, 3, 17, 99])), h);
+        assert_compiles_exactly(
+            &Presence::Periodic {
+                period: 6,
+                phases: BTreeSet::from([0, 1, 4]),
+            },
+            h,
+        );
+        assert_compiles_exactly(&Presence::PqPower { p: 2, q: 3 }, 3000);
+    }
+
+    #[test]
+    fn intervals_match_closures_combinators() {
+        let h = 50u64;
+        let periodic = Presence::Periodic {
+            period: 4,
+            phases: BTreeSet::from([1, 2]),
+        };
+        assert_compiles_exactly(&Presence::Not(Box::new(periodic.clone())), h);
+        assert_compiles_exactly(
+            &Presence::And(Box::new(periodic.clone()), Box::new(Presence::After(13))),
+            h,
+        );
+        assert_compiles_exactly(
+            &Presence::Or(Box::new(periodic.clone()), Box::new(Presence::At(3))),
+            h,
+        );
+        assert_compiles_exactly(&periodic.clone().dilate(3), h);
+        assert_compiles_exactly(&Presence::from_fn(|t: &u64| t.is_power_of_two()), h);
+        assert_compiles_exactly(&Presence::from_fn(|_| true), h);
+    }
+
+    #[test]
+    fn periodic_intervals_merge_runs_across_blocks() {
+        // All phases present: one contiguous span, not horizon/period many.
+        let rho = Presence::Periodic {
+            period: 3,
+            phases: BTreeSet::from([0u64, 1, 2]),
+        };
+        let set = rho.intervals(&29u64);
+        assert_eq!(set.num_spans(), 1);
+        assert_eq!(set.spans(), &[(0, 30)]);
+        // Out-of-range phases never match `t mod period`.
+        let bogus = Presence::Periodic {
+            period: 3,
+            phases: BTreeSet::from([1u64, 7]),
+        };
+        assert_compiles_exactly(&bogus, 20);
+    }
+
+    #[test]
+    fn intervals_at_the_top_of_the_domain_clamp_instead_of_wrapping() {
+        // u64::MAX has no representable half-open span end; a sentinel
+        // "unbounded" horizon must compile the predecessor window, not
+        // wrap to an empty (or panicking) one.
+        let always = Presence::<u64>::Always.intervals(&u64::MAX);
+        assert_eq!(always.spans(), &[(0, u64::MAX)]);
+        assert!(always.contains(&(u64::MAX - 1)));
+        let window = Presence::Window {
+            from: 10u64,
+            until: u64::MAX,
+        }
+        .intervals(&u64::MAX);
+        assert_eq!(window.spans(), &[(10, u64::MAX)]);
+        let late = Presence::At(u64::MAX - 1).intervals(&u64::MAX);
+        assert!(late.contains(&(u64::MAX - 1)));
+    }
+
+    #[test]
+    fn intervals_on_bigint_times() {
+        let rho = Presence::PqPower { p: 2, q: 3 };
+        let horizon = Nat::from(3000u64);
+        let set = rho.intervals(&horizon);
+        let expected: Vec<(Nat, Nat)> = [12u64, 72, 432, 2592]
+            .iter()
+            .map(|&t| (Nat::from(t), Nat::from(t + 1)))
+            .collect();
+        assert_eq!(set.spans(), &expected[..]);
+    }
+
+    #[test]
+    fn interval_next_within_matches_scan() {
+        let rho = Presence::Periodic {
+            period: 5,
+            phases: BTreeSet::from([3u64]),
+        };
+        let set = rho.intervals(&12u64);
+        assert_eq!(set.next_within(&0, &10), rho.next_present_within(&0, &10));
+        assert_eq!(set.next_within(&4, &10), rho.next_present_within(&4, &10));
+        assert_eq!(set.next_within(&9, &12), rho.next_present_within(&9, &12));
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`oracles`] — reference language deciders (`is_anbn`, regular
 //!   deciders from regexes/DFAs, `Σ*`, the empty language) that theorem
 //!   tests compare constructions against.
+//! * [`tickscan`] — the pre-index tick-scan journey searches, preserved
+//!   as the reference oracle the compiled single-source engine is
+//!   checked against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +33,7 @@ pub mod gen;
 pub mod oracles;
 pub mod prop;
 pub mod rng;
+pub mod tickscan;
 
 pub use prop::{check, check_with, Config};
 pub use rng::{case_rng, rng_for, seed_for};

@@ -1,0 +1,120 @@
+//! Property tests for the compiled interval layer: on every fixture and
+//! on random schedule ASTs, `Presence::intervals` must agree with the
+//! closure evaluation instant for instant, and the compiled
+//! `next_within` must agree with the scanning `next_present_within`.
+//!
+//! These pin the satellite contract of the temporal index: compilation
+//! is a pure change of representation, never of semantics.
+
+use rand::Rng;
+use tvg_model::{Time, Tvg, TvgIndex};
+use tvg_testkit::fixtures;
+use tvg_testkit::gen;
+
+/// Asserts closure/compiled agreement for every edge of `g` over
+/// `[0, horizon]`, both membership and next-present queries.
+fn assert_index_matches_closures<T: Time>(g: &Tvg<T>, horizon: u64, label: &str) {
+    let h = T::from_u64(horizon);
+    let index = TvgIndex::compile(g, h.clone());
+    for e in g.edges() {
+        let rho = g.edge(e).presence();
+        let set = index.presence(e);
+        let mut t = T::zero();
+        loop {
+            assert_eq!(
+                set.contains(&t),
+                rho.is_present(&t),
+                "{label}: edge {e} membership at t={t}"
+            );
+            // next_within from t to the horizon vs. the linear scan.
+            assert_eq!(
+                set.next_within(&t, &h),
+                rho.next_present_within(&t, &h),
+                "{label}: edge {e} next-present from t={t}"
+            );
+            if t == h {
+                break;
+            }
+            t = t.succ();
+        }
+    }
+}
+
+#[test]
+fn periodic_fixtures_compile_exactly() {
+    let params = fixtures::small_periodic_params(4);
+    for seed in 0..8u64 {
+        let g = fixtures::periodic_family_tvg(&params, seed);
+        assert_index_matches_closures(&g, 40, &format!("periodic seed {seed}"));
+    }
+    assert_index_matches_closures(&fixtures::ring_bus(5, 4), 32, "ring bus");
+}
+
+#[test]
+fn commuter_line_compiles_exactly() {
+    assert_index_matches_closures(&fixtures::commuter_line(), 30, "commuter line");
+}
+
+#[test]
+fn figure1_schedules_compile_exactly() {
+    // The paper's Figure-1 automaton runs on Nat time with the Table-1
+    // schedules (including the prime-power predicate). A small horizon
+    // covers the first witnesses (p²q = 12 for p=2, q=3).
+    let aut = fixtures::figure1();
+    let g = aut.automaton().tvg();
+    assert_index_matches_closures(g, 200, "figure 1 (p=2, q=3)");
+    let aut53 = fixtures::figure1_pq(5, 3);
+    assert_index_matches_closures(aut53.automaton().tvg(), 200, "figure 1 (p=5, q=3)");
+}
+
+#[test]
+fn random_presence_asts_compile_exactly() {
+    tvg_testkit::check("random_presence_asts_compile_exactly", |rng, _| {
+        let rho = gen::presence(rng, 3);
+        let horizon: u64 = rng.gen_range(0..70);
+        let set = rho.intervals(&horizon);
+        for t in 0..=horizon {
+            assert_eq!(
+                set.contains(&t),
+                rho.is_present(&t),
+                "{rho:?} at t={t} (horizon {horizon})"
+            );
+        }
+        for t in horizon + 1..horizon + 4 {
+            assert!(!set.contains(&t), "{rho:?} beyond horizon at t={t}");
+        }
+        // Windows with arbitrary bounds, including empty and clipped ones.
+        for _ in 0..8 {
+            let from = rng.gen_range(0..=horizon);
+            let until = rng.gen_range(0..=horizon);
+            assert_eq!(
+                set.next_within(&from, &until),
+                rho.next_present_within(&from, &until),
+                "{rho:?} next in [{from}, {until}]"
+            );
+        }
+    });
+}
+
+#[test]
+fn compilation_is_consistent_across_horizons() {
+    // Compiling further out never changes what happens below a shorter
+    // horizon: intervals(h₂) restricted to [0, h₁] equals intervals(h₁).
+    tvg_testkit::check_with(
+        tvg_testkit::Config::named_with_cases("compilation_is_consistent_across_horizons", 32),
+        |rng, _| {
+            let rho = gen::presence(rng, 3);
+            let h1 = rng.gen_range(0..40u64);
+            let h2 = h1 + rng.gen_range(0..30u64);
+            let near = rho.intervals(&h1);
+            let far = rho.intervals(&h2);
+            for t in 0..=h1 {
+                assert_eq!(
+                    near.contains(&t),
+                    far.contains(&t),
+                    "{rho:?} at t={t} (h1={h1}, h2={h2})"
+                );
+            }
+        },
+    );
+}
