@@ -1,0 +1,89 @@
+//! Canonical reachability/delivery dump for the batch determinism gate.
+//!
+//! Prints, in a fixed textual format, the complete output of every
+//! batch-runtime consumer on deterministic workloads: reachability
+//! matrices (arrivals and engine-run counts), delivery ratios, and
+//! all-sources broadcast sweeps. The batch thread count follows
+//! `TVG_BATCH_THREADS` (via `Batch::auto`), so CI runs this binary at
+//! `=1` and `=4` and diffs the outputs byte for byte — any parallel
+//! nondeterminism in the fan-out/merge path fails the build.
+//!
+//! Usage: `TVG_BATCH_THREADS=4 cargo run --release -p tvg-bench --bin matrix_dump`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tvg_dynnet::broadcast::{broadcast_sweep, ForwardingMode};
+use tvg_dynnet::markovian::{edge_markovian_trace, EdgeMarkovianParams};
+use tvg_dynnet::routing::delivery_ratio;
+use tvg_journeys::{Batch, ReachabilityMatrix, SearchLimits, WaitingPolicy};
+use tvg_model::generators::{ring_bus_tvg, scale_free_temporal};
+use tvg_model::Tvg;
+
+fn policies() -> [WaitingPolicy<u64>; 3] {
+    [
+        WaitingPolicy::NoWait,
+        WaitingPolicy::Bounded(3),
+        WaitingPolicy::Unbounded,
+    ]
+}
+
+fn dump_matrix(name: &str, g: &Tvg<u64>, start: u64, limits: &SearchLimits<u64>) {
+    for policy in policies() {
+        let m = ReachabilityMatrix::compute(g, &start, &policy, limits);
+        println!(
+            "matrix {name} policy={policy} runs={} ratio={:.12}",
+            m.stats().runs,
+            m.reachability_ratio()
+        );
+        for src in g.nodes() {
+            let row: Vec<String> = g
+                .nodes()
+                .map(|dst| match m.arrival(src, dst) {
+                    Some(t) => t.to_string(),
+                    None => "-".to_string(),
+                })
+                .collect();
+            println!("  {src}: {}", row.join(","));
+        }
+    }
+}
+
+fn main() {
+    // Stderr, not stdout: the dump itself must be canonical so CI can
+    // `diff` two runs at different thread counts byte for byte.
+    eprintln!("batch threads: {}", Batch::auto().num_threads());
+
+    let sf = scale_free_temporal(60, 48, 17);
+    dump_matrix("scale_free(60,48,17)", &sf, 0, &SearchLimits::new(48, 10));
+
+    let ring = ring_bus_tvg(8, 8, 'r');
+    dump_matrix("ring_bus(8,8)", &ring, 0, &SearchLimits::new(64, 16));
+
+    let params = EdgeMarkovianParams {
+        num_nodes: 14,
+        p_birth: 0.06,
+        p_death: 0.45,
+        steps: 40,
+    };
+    for seed in 0..3u64 {
+        let trace = edge_markovian_trace(&mut StdRng::seed_from_u64(seed), &params);
+        for policy in policies() {
+            println!(
+                "delivery seed={seed} policy={policy} ratio={:.12}",
+                delivery_ratio(&trace, 0, &policy)
+            );
+        }
+        let sweep = broadcast_sweep(&trace, ForwardingMode::BoundedBuffer(2), true);
+        for (source, outcome) in sweep.iter().enumerate() {
+            let informed: Vec<String> = outcome
+                .informed_at
+                .iter()
+                .map(|t| match t {
+                    Some(t) => t.to_string(),
+                    None => "-".to_string(),
+                })
+                .collect();
+            println!("broadcast seed={seed} src={source}: {}", informed.join(","));
+        }
+    }
+}

@@ -17,8 +17,7 @@
 
 use crate::metrics::DeliveryStats;
 use crate::EvolvingTrace;
-use tvg_journeys::engine::foremost_tree_multi;
-use tvg_journeys::{SearchLimits, WaitingPolicy};
+use tvg_journeys::{Batch, BatchRunner, SearchLimits, WaitingPolicy};
 use tvg_model::{NodeId, TvgIndex};
 
 /// Relay discipline of a broadcast.
@@ -90,10 +89,36 @@ impl BroadcastOutcome {
 /// Panics if `config.source` is out of range.
 #[must_use]
 pub fn run_broadcast(trace: &EvolvingTrace, config: &BroadcastConfig) -> BroadcastOutcome {
+    assert!(config.source < trace.num_nodes(), "source out of range");
+    let mut outcomes = broadcast_batch(trace, config.mode, config.source_beacons, &[config.source]);
+    outcomes.pop().expect("one source, one outcome")
+}
+
+/// Runs one broadcast *per node* of the trace — the full dissemination
+/// profile the rumor-spreading analyses are judged on — as a single
+/// batch: the trace-TVG is compiled once and the n multi-seed engine
+/// runs fan out over the batch runtime's worker threads. `sweep[s]` is
+/// bit-identical to `run_broadcast` from source `s`.
+#[must_use]
+pub fn broadcast_sweep(
+    trace: &EvolvingTrace,
+    mode: ForwardingMode,
+    source_beacons: bool,
+) -> Vec<BroadcastOutcome> {
+    let sources: Vec<usize> = (0..trace.num_nodes()).collect();
+    broadcast_batch(trace, mode, source_beacons, &sources)
+}
+
+/// Shared driver: one compile, one batched engine pass per source.
+fn broadcast_batch(
+    trace: &EvolvingTrace,
+    mode: ForwardingMode,
+    source_beacons: bool,
+    sources: &[usize],
+) -> Vec<BroadcastOutcome> {
     let n = trace.num_nodes();
-    assert!(config.source < n, "source out of range");
     let horizon = trace.len() as u64;
-    let policy = match config.mode {
+    let policy = match mode {
         ForwardingMode::StoreCarryForward => WaitingPolicy::Unbounded,
         ForwardingMode::NoWaitRelay => WaitingPolicy::NoWait,
         // A buffer outlasting the trace is unbounded within it (and the
@@ -101,30 +126,44 @@ pub fn run_broadcast(trace: &EvolvingTrace, config: &BroadcastConfig) -> Broadca
         ForwardingMode::BoundedBuffer(d) if d >= horizon => WaitingPolicy::Unbounded,
         ForwardingMode::BoundedBuffer(d) => WaitingPolicy::Bounded(d),
     };
-    let source = NodeId::from_index(config.source);
     // A beaconing source re-emits at every step: seed one configuration
     // per instant. Under unbounded waiting a single seed already departs
     // whenever it likes (the source always beacons under SCF).
-    let seeds: Vec<(NodeId, u64)> =
-        if matches!(policy, WaitingPolicy::Unbounded) || !config.source_beacons {
-            vec![(source, 0)]
-        } else {
-            (0..=horizon).map(|t| (source, t)).collect()
-        };
-    let g = trace.to_tvg();
-    let index = TvgIndex::compile(&g, horizon);
-    let limits = SearchLimits::new(horizon, trace.len());
-    let tree = foremost_tree_multi(&index, &seeds, &policy, &limits);
-    let informed_at = (0..n)
-        .map(|node| {
-            if node == config.source {
-                Some(0)
+    let seed_sets: Vec<Vec<(NodeId, u64)>> = sources
+        .iter()
+        .map(|&source| {
+            let source = NodeId::from_index(source);
+            if matches!(policy, WaitingPolicy::Unbounded) || !source_beacons {
+                vec![(source, 0)]
             } else {
-                tree.arrival(NodeId::from_index(node)).copied()
+                (0..=horizon).map(|t| (source, t)).collect()
             }
         })
         .collect();
-    BroadcastOutcome { informed_at }
+    let g = trace.to_tvg();
+    let index = TvgIndex::compile(&g, horizon);
+    let limits = SearchLimits::new(horizon, trace.len());
+    // Worker-side reduction: each tree collapses to its informed_at
+    // vector inside the worker (a sweep holds outcomes, not trees).
+    let (outcomes, _stats) = BatchRunner::new(&index, Batch::auto()).map_seed_sets(
+        &seed_sets,
+        &policy,
+        &limits,
+        |seeds, tree| {
+            let source = seeds[0].0.index();
+            let informed_at = (0..n)
+                .map(|node| {
+                    if node == source {
+                        Some(0)
+                    } else {
+                        tree.arrival(NodeId::from_index(node)).copied()
+                    }
+                })
+                .collect();
+            BroadcastOutcome { informed_at }
+        },
+    );
+    outcomes
 }
 
 #[cfg(test)]
@@ -304,6 +343,40 @@ mod tests {
                 }
             }
             assert!(s.stats().delivery_ratio >= nw.stats().delivery_ratio);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_per_source_broadcasts() {
+        // The batched all-sources profile must be exactly the n
+        // independent runs, in source order, under every mode.
+        let params = EdgeMarkovianParams {
+            num_nodes: 9,
+            p_birth: 0.08,
+            p_death: 0.45,
+            steps: 30,
+        };
+        let tr = edge_markovian_trace(&mut StdRng::seed_from_u64(4), &params);
+        for mode in [
+            ForwardingMode::StoreCarryForward,
+            ForwardingMode::NoWaitRelay,
+            ForwardingMode::BoundedBuffer(3),
+        ] {
+            for beacons in [false, true] {
+                let sweep = broadcast_sweep(&tr, mode, beacons);
+                assert_eq!(sweep.len(), 9);
+                for (source, outcome) in sweep.iter().enumerate() {
+                    let single = run_broadcast(
+                        &tr,
+                        &BroadcastConfig {
+                            source,
+                            mode,
+                            source_beacons: beacons,
+                        },
+                    );
+                    assert_eq!(outcome, &single, "{mode:?} beacons={beacons} src={source}");
+                }
+            }
         }
     }
 

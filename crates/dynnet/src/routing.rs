@@ -7,8 +7,7 @@
 //! the unicast face of experiment E5.
 
 use crate::EvolvingTrace;
-use tvg_journeys::engine::{foremost_to, foremost_tree};
-use tvg_journeys::{SearchLimits, WaitingPolicy};
+use tvg_journeys::{Batch, BatchRunner, SearchLimits, WaitingPolicy};
 use tvg_model::{NodeId, TvgIndex};
 
 /// Outcome of routing one message.
@@ -52,16 +51,12 @@ pub fn route(
     let horizon = trace.len() as u64;
     let index = TvgIndex::compile(&g, horizon);
     let limits = SearchLimits::new(horizon, trace.len() + 1);
-    // Targeted per-pair query: the engine early-exits at dst's first
+    // Targeted per-pair query through the batch runtime (a singleton
+    // batch runs inline): the engine early-exits at dst's first
     // (already foremost) settle.
-    match foremost_to(
-        &index,
-        NodeId::from_index(src),
-        NodeId::from_index(dst),
-        &start,
-        policy,
-        &limits,
-    ) {
+    let queries = [(NodeId::from_index(src), NodeId::from_index(dst), start)];
+    let outcome = BatchRunner::new(&index, Batch::auto()).run_pairs(&queries, policy, &limits);
+    match outcome.into_journeys().pop().flatten() {
         Some(j) => RouteReport {
             delivered: true,
             arrival: j.arrival().copied().or(Some(start)),
@@ -76,8 +71,9 @@ pub fn route(
 }
 
 /// Fraction of ordered `(src, dst)` pairs deliverable under `policy`:
-/// one compiled index, `n` single-source engine runs — not `n²` pairwise
-/// searches.
+/// one compiled index, `n` single-source engine runs fanned out over the
+/// batch runtime — not `n²` pairwise searches. Bit-identical at every
+/// thread count.
 #[must_use]
 pub fn delivery_ratio(trace: &EvolvingTrace, start: u64, policy: &WaitingPolicy<u64>) -> f64 {
     let n = trace.num_nodes();
@@ -88,15 +84,19 @@ pub fn delivery_ratio(trace: &EvolvingTrace, start: u64, policy: &WaitingPolicy<
     let horizon = trace.len() as u64;
     let index = TvgIndex::compile(&g, horizon);
     let limits = SearchLimits::new(horizon, trace.len() + 1);
-    let mut delivered = 0usize;
-    for src in 0..n {
-        let tree = foremost_tree(&index, NodeId::from_index(src), &start, policy, &limits);
-        // Reached nodes include the source itself; ordered pairs exclude it.
-        delivered += tree
-            .reached_nodes()
-            .filter(|node| node.index() != src)
-            .count();
-    }
+    let sources: Vec<NodeId> = g.nodes().collect();
+    // Worker-side reduction: each tree collapses to its reached-count
+    // immediately (only counts survive the batch, never n trees).
+    let (counts, _stats) = BatchRunner::new(&index, Batch::auto()).map_sources(
+        &sources,
+        &start,
+        policy,
+        &limits,
+        // Reached nodes include the source itself; ordered pairs
+        // exclude it.
+        |src, tree| tree.reached_nodes().filter(|node| *node != src).count(),
+    );
+    let delivered: usize = counts.into_iter().sum();
     delivered as f64 / (n * (n - 1)) as f64
 }
 

@@ -1,0 +1,497 @@
+//! The batch-query runtime: independent single-source engine runs fanned
+//! out over scoped worker threads that share one compiled [`TvgIndex`].
+//!
+//! Every aggregate consumer in the workspace — `ReachabilityMatrix`
+//! (all-pairs reachability), `delivery_ratio` (all-sources delivery),
+//! broadcast sweeps — is "one compile, n independent engine runs". The
+//! runs share the index immutably (`TvgIndex` is `Send + Sync` whenever
+//! its time domain is) and touch nothing else, so the layer is
+//! embarrassingly parallel:
+//!
+//! ```text
+//! queries ──▶ atomic claim ──▶ worker₀ ─ engine run ─┐
+//!                         ├──▶ worker₁ ─ engine run ─┼─▶ merge by input
+//!                         └──▶ workerₖ ─ engine run ─┘   index (stable)
+//! ```
+//!
+//! Workers claim queries from an atomic counter (no static chunking, so
+//! a straggler query cannot idle the other workers) and return
+//! `(input index, result)` pairs; the merge step reorders results into
+//! **input order**, which makes the output bit-identical to the serial
+//! path at every thread count. [`Batch::serial`] keeps a canonical
+//! single-threaded reference for deterministic tests, and the CI
+//! determinism job diffs a canonical dump between `TVG_BATCH_THREADS=1`
+//! and `=4` so parallel nondeterminism can never land silently.
+//!
+//! Work accounting survives the fan-out because [`EngineStats`] are
+//! values carried by each run's tree, summed at the merge — "n sources ⇒
+//! exactly n runs" holds at any thread count.
+//!
+//! Consumers that keep less than a full tree per query (a matrix row, a
+//! count) should use the `map_*` variants: the reduction runs inside
+//! the worker and the tree is dropped there, so peak memory is
+//! O(workers) trees instead of O(batch).
+
+use crate::engine::{self, EngineStats, ForemostTree};
+use crate::{Journey, SearchLimits, WaitingPolicy};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tvg_model::{NodeId, Time, TvgIndex};
+
+/// Environment variable overriding [`Batch::auto`]'s thread count.
+/// `0`, unset, or unparsable means "use the machine's parallelism".
+pub const THREADS_ENV: &str = "TVG_BATCH_THREADS";
+
+/// Thread-count policy of a batch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batch {
+    threads: NonZeroUsize,
+}
+
+impl Batch {
+    /// The canonical single-threaded reference: every query runs inline
+    /// on the calling thread, in input order. Deterministic tests and
+    /// the CI determinism diff pin against this.
+    #[must_use]
+    pub fn serial() -> Self {
+        Batch {
+            threads: NonZeroUsize::MIN,
+        }
+    }
+
+    /// Exactly `n` worker threads (clamped up to 1; a zero-thread batch
+    /// is the serial one).
+    #[must_use]
+    pub fn threads(n: usize) -> Self {
+        Batch {
+            threads: NonZeroUsize::new(n).unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// The deployment default: the `TVG_BATCH_THREADS` environment
+    /// variable if set to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`].
+    #[must_use]
+    pub fn auto() -> Self {
+        let from_env = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .and_then(NonZeroUsize::new);
+        let threads = from_env
+            .or_else(|| std::thread::available_parallelism().ok())
+            .unwrap_or(NonZeroUsize::MIN);
+        Batch { threads }
+    }
+
+    /// Number of worker threads this batch will use.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.threads.get()
+    }
+}
+
+/// The results of a batch of all-destinations queries: one
+/// [`ForemostTree`] per input query, **in input order**, plus the summed
+/// work counters.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome<T> {
+    trees: Vec<ForemostTree<T>>,
+    stats: EngineStats,
+}
+
+impl<T: Time> BatchOutcome<T> {
+    /// The per-query trees, index-aligned with the input slice.
+    #[must_use]
+    pub fn trees(&self) -> &[ForemostTree<T>] {
+        &self.trees
+    }
+
+    /// Consumes the outcome into its index-aligned trees.
+    #[must_use]
+    pub fn into_trees(self) -> Vec<ForemostTree<T>> {
+        self.trees
+    }
+
+    /// Summed [`EngineStats`] over every run in the batch
+    /// (`stats().runs` equals the number of input queries).
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+/// The results of a batch of targeted (single-destination) queries: one
+/// optional witness [`Journey`] per input query, in input order.
+#[derive(Debug, Clone)]
+pub struct BatchJourneys<T> {
+    journeys: Vec<Option<Journey<T>>>,
+    stats: EngineStats,
+}
+
+impl<T: Time> BatchJourneys<T> {
+    /// The per-query journeys, index-aligned with the input slice
+    /// (`None` where the destination is unreachable within the limits).
+    #[must_use]
+    pub fn journeys(&self) -> &[Option<Journey<T>>] {
+        &self.journeys
+    }
+
+    /// Consumes the outcome into its index-aligned journeys.
+    #[must_use]
+    pub fn into_journeys(self) -> Vec<Option<Journey<T>>> {
+        self.journeys
+    }
+
+    /// Summed [`EngineStats`] over every run in the batch.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+/// Shares one compiled index across a batch of engine runs.
+///
+/// ```
+/// use tvg_journeys::{Batch, BatchRunner, SearchLimits, WaitingPolicy};
+/// use tvg_model::{generators::ring_bus_tvg, TvgIndex};
+///
+/// let g = ring_bus_tvg(4, 4, 'r');
+/// let index = TvgIndex::compile(&g, 40);
+/// let runner = BatchRunner::new(&index, Batch::auto());
+/// let sources: Vec<_> = g.nodes().collect();
+/// let limits = SearchLimits::new(40, 12);
+/// let out = runner.run_sources(&sources, &0, &WaitingPolicy::Unbounded, &limits);
+/// assert_eq!(out.stats().runs, 4); // one engine run per source
+/// assert!(out.trees().iter().all(|t| t.num_reached() == 4));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRunner<'i, 'g, T> {
+    index: &'i TvgIndex<'g, T>,
+    batch: Batch,
+}
+
+impl<'i, 'g, T: Time + Send + Sync> BatchRunner<'i, 'g, T> {
+    /// A runner over `index` with the given thread-count policy.
+    #[must_use]
+    pub fn new(index: &'i TvgIndex<'g, T>, batch: Batch) -> Self {
+        BatchRunner { index, batch }
+    }
+
+    /// The thread-count policy of this runner.
+    #[must_use]
+    pub fn batch(&self) -> Batch {
+        self.batch
+    }
+
+    /// One all-destinations foremost run per source, all starting at
+    /// `start` — the `ReachabilityMatrix` / `delivery_ratio` workload.
+    #[must_use]
+    pub fn run_sources(
+        &self,
+        sources: &[NodeId],
+        start: &T,
+        policy: &WaitingPolicy<T>,
+        limits: &SearchLimits<T>,
+    ) -> BatchOutcome<T> {
+        self.collect(fan_out(self.batch.num_threads(), sources, |&src| {
+            engine::foremost_tree(self.index, src, start, policy, limits)
+        }))
+    }
+
+    /// One all-destinations foremost run per seed *set* (multi-seed runs
+    /// model re-emitting sources, e.g. beaconing broadcasts).
+    #[must_use]
+    pub fn run_seed_sets(
+        &self,
+        seed_sets: &[Vec<(NodeId, T)>],
+        policy: &WaitingPolicy<T>,
+        limits: &SearchLimits<T>,
+    ) -> BatchOutcome<T> {
+        self.collect(fan_out(self.batch.num_threads(), seed_sets, |seeds| {
+            engine::foremost_tree_multi(self.index, seeds, policy, limits)
+        }))
+    }
+
+    /// [`BatchRunner::run_sources`] with worker-side reduction: `reduce`
+    /// distills each tree into whatever the consumer keeps (a matrix
+    /// row, a reached-count), and the tree — parent maps included — is
+    /// dropped inside the worker. A batch of n queries therefore holds
+    /// O(workers) trees in flight instead of n, which is what lets the
+    /// aggregate consumers run at graph scale. Results stay in input
+    /// order; the summed stats still count one run per query.
+    #[must_use]
+    pub fn map_sources<R: Send>(
+        &self,
+        sources: &[NodeId],
+        start: &T,
+        policy: &WaitingPolicy<T>,
+        limits: &SearchLimits<T>,
+        reduce: impl Fn(NodeId, &ForemostTree<T>) -> R + Sync,
+    ) -> (Vec<R>, EngineStats) {
+        split_stats(fan_out(self.batch.num_threads(), sources, |&src| {
+            let tree = engine::foremost_tree(self.index, src, start, policy, limits);
+            (reduce(src, &tree), tree.stats())
+        }))
+    }
+
+    /// [`BatchRunner::run_seed_sets`] with worker-side reduction (see
+    /// [`BatchRunner::map_sources`]); `reduce` also receives the seed
+    /// set its tree answers for.
+    #[must_use]
+    pub fn map_seed_sets<R: Send>(
+        &self,
+        seed_sets: &[Vec<(NodeId, T)>],
+        policy: &WaitingPolicy<T>,
+        limits: &SearchLimits<T>,
+        reduce: impl Fn(&[(NodeId, T)], &ForemostTree<T>) -> R + Sync,
+    ) -> (Vec<R>, EngineStats) {
+        split_stats(fan_out(self.batch.num_threads(), seed_sets, |seeds| {
+            let tree = engine::foremost_tree_multi(self.index, seeds, policy, limits);
+            (reduce(seeds, &tree), tree.stats())
+        }))
+    }
+
+    /// One targeted `(src, dst, start)` query per entry, each with the
+    /// engine's early exit at the destination's first (already foremost)
+    /// settle — the unicast `route` workload.
+    #[must_use]
+    pub fn run_pairs(
+        &self,
+        queries: &[(NodeId, NodeId, T)],
+        policy: &WaitingPolicy<T>,
+        limits: &SearchLimits<T>,
+    ) -> BatchJourneys<T> {
+        let (journeys, stats) = split_stats(fan_out(
+            self.batch.num_threads(),
+            queries,
+            |(src, dst, start): &(NodeId, NodeId, T)| {
+                let tree = engine::run(
+                    self.index,
+                    &[(*src, start.clone())],
+                    policy,
+                    limits,
+                    Some(*dst),
+                );
+                (tree.journey_to(*dst), tree.stats())
+            },
+        ));
+        BatchJourneys { journeys, stats }
+    }
+
+    fn collect(&self, trees: Vec<ForemostTree<T>>) -> BatchOutcome<T> {
+        let stats = trees.iter().map(ForemostTree::stats).sum();
+        BatchOutcome { trees, stats }
+    }
+}
+
+/// Splits worker `(result, per-run stats)` pairs into the ordered
+/// results and their summed stats.
+fn split_stats<R>(results: Vec<(R, EngineStats)>) -> (Vec<R>, EngineStats) {
+    let stats = results.iter().map(|(_, s)| *s).sum();
+    (results.into_iter().map(|(r, _)| r).collect(), stats)
+}
+
+/// Runs `f` over every job and returns the results in input order.
+///
+/// With one thread (or at most one job) everything runs inline on the
+/// calling thread — the serial escape hatch costs no spawn. Otherwise
+/// `min(threads, jobs)` scoped workers claim job indices from a shared
+/// atomic counter, each collecting `(index, result)` pairs; the join
+/// loop writes results back by index. Every index is claimed exactly
+/// once, so the merged vector is a permutation-free image of the serial
+/// output — bit-identical at every thread count.
+fn fan_out<J, R, F>(threads: usize, jobs: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(f).collect();
+    }
+    let workers = threads.min(jobs.len());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs.len());
+    slots.resize_with(jobs.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, f) = (&next, &f);
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else {
+                            return done;
+                        };
+                        done.push((i, f(job)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("batch worker panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every claimed job produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvg_model::generators::{ring_bus_tvg, scale_free_temporal};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn policies() -> [WaitingPolicy<u64>; 3] {
+        [
+            WaitingPolicy::NoWait,
+            WaitingPolicy::Bounded(2),
+            WaitingPolicy::Unbounded,
+        ]
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let g = scale_free_temporal(40, 32, 5);
+        let index = TvgIndex::compile(&g, 32);
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let limits = SearchLimits::new(32, 8);
+        for policy in policies() {
+            let serial = BatchRunner::new(&index, Batch::serial())
+                .run_sources(&sources, &0, &policy, &limits);
+            for threads in [2, 4, 7] {
+                let parallel = BatchRunner::new(&index, Batch::threads(threads))
+                    .run_sources(&sources, &0, &policy, &limits);
+                assert_eq!(parallel.stats(), serial.stats(), "{policy} x{threads}");
+                for (i, (s, p)) in serial.trees().iter().zip(parallel.trees()).enumerate() {
+                    for dst in g.nodes() {
+                        assert_eq!(
+                            s.arrival(dst),
+                            p.arrival(dst),
+                            "{policy} x{threads}: source #{i} → {dst}"
+                        );
+                        assert_eq!(
+                            s.journey_to(dst),
+                            p.journey_to(dst),
+                            "{policy} x{threads}: witness #{i} → {dst}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let g = ring_bus_tvg(6, 6, 'r');
+        let index = TvgIndex::compile(&g, 36);
+        let limits = SearchLimits::new(36, 12);
+        // Deliberately scrambled source order: tree i must belong to
+        // sources[i], not to the completion order of the workers.
+        let sources = [n(3), n(0), n(5), n(1), n(4), n(2)];
+        let out = BatchRunner::new(&index, Batch::threads(4)).run_sources(
+            &sources,
+            &0,
+            &WaitingPolicy::Unbounded,
+            &limits,
+        );
+        assert_eq!(out.stats().runs, sources.len() as u64);
+        for (tree, src) in out.trees().iter().zip(sources) {
+            assert_eq!(tree.arrival(src), Some(&0), "seed of {src} is itself");
+            assert!(tree.journey_to(src).expect("seed journey").is_empty());
+        }
+    }
+
+    #[test]
+    fn seed_sets_and_pairs_match_their_serial_engines() {
+        let g = ring_bus_tvg(5, 5, 'r');
+        let index = TvgIndex::compile(&g, 30);
+        let limits = SearchLimits::new(30, 10);
+        let seed_sets: Vec<Vec<(NodeId, u64)>> = (0..5)
+            .map(|i| (0..3u64).map(|t| (n(i), t)).collect())
+            .collect();
+        for policy in policies() {
+            let serial = BatchRunner::new(&index, Batch::serial())
+                .run_seed_sets(&seed_sets, &policy, &limits);
+            let parallel = BatchRunner::new(&index, Batch::threads(3))
+                .run_seed_sets(&seed_sets, &policy, &limits);
+            for (s, p) in serial.trees().iter().zip(parallel.trees()) {
+                for dst in g.nodes() {
+                    assert_eq!(s.arrival(dst), p.arrival(dst), "{policy}");
+                }
+            }
+
+            let pairs: Vec<(NodeId, NodeId, u64)> =
+                (0..5).map(|i| (n(i), n((i + 2) % 5), 0u64)).collect();
+            let sj = BatchRunner::new(&index, Batch::serial()).run_pairs(&pairs, &policy, &limits);
+            let pj =
+                BatchRunner::new(&index, Batch::threads(4)).run_pairs(&pairs, &policy, &limits);
+            assert_eq!(sj.journeys(), pj.journeys(), "{policy}");
+            assert_eq!(sj.stats().runs, pairs.len() as u64);
+            assert_eq!(pj.stats(), sj.stats(), "{policy}");
+        }
+    }
+
+    #[test]
+    fn map_variants_match_the_full_tree_path() {
+        let g = scale_free_temporal(25, 24, 3);
+        let index = TvgIndex::compile(&g, 24);
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let limits = SearchLimits::new(24, 6);
+        for policy in policies() {
+            for threads in [1usize, 4] {
+                let runner = BatchRunner::new(&index, Batch::threads(threads));
+                let full = runner.run_sources(&sources, &0, &policy, &limits);
+                let (counts, stats) =
+                    runner
+                        .map_sources(&sources, &0, &policy, &limits, |_, tree| tree.num_reached());
+                assert_eq!(stats, full.stats(), "{policy} x{threads}");
+                let expected: Vec<usize> =
+                    full.trees().iter().map(ForemostTree::num_reached).collect();
+                assert_eq!(counts, expected, "{policy} x{threads}");
+
+                let seed_sets: Vec<Vec<(NodeId, u64)>> =
+                    sources.iter().map(|&s| vec![(s, 0u64)]).collect();
+                let (arrivals, _) =
+                    runner.map_seed_sets(&seed_sets, &policy, &limits, |seeds, tree| {
+                        tree.arrival(seeds[0].0).cloned()
+                    });
+                assert!(
+                    arrivals.iter().all(|a| a == &Some(0)),
+                    "{policy} x{threads}: every seed reaches itself at its seed time"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_thread_policy_clamps_and_reports() {
+        assert_eq!(Batch::serial().num_threads(), 1);
+        assert_eq!(Batch::threads(0).num_threads(), 1);
+        assert_eq!(Batch::threads(8).num_threads(), 8);
+        assert!(Batch::auto().num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let g = ring_bus_tvg(3, 3, 'r');
+        let index = TvgIndex::compile(&g, 9);
+        let limits = SearchLimits::new(9, 3);
+        let out = BatchRunner::new(&index, Batch::threads(4)).run_sources(
+            &[],
+            &0,
+            &WaitingPolicy::Unbounded,
+            &limits,
+        );
+        assert!(out.trees().is_empty());
+        assert_eq!(out.stats(), EngineStats::default());
+    }
+}

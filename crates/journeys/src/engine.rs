@@ -17,29 +17,63 @@
 //!   waiting window is enumerated interval-by-interval instead of
 //!   tick-by-tick.
 //!
-//! Every run increments a thread-local counter ([`engine_runs`]), which
-//! is how tests pin aggregate consumers (e.g. `ReachabilityMatrix`) to
-//! "exactly n single-source runs, no per-pair search".
+//! Every run carries its own [`EngineStats`] (run count, settled
+//! configurations, expanded crossings) inside the returned tree. Stats
+//! are values, not thread-local counters, so they aggregate correctly
+//! when the batch runtime fans runs out over worker threads — summing
+//! per-tree stats is how tests pin aggregate consumers (e.g.
+//! `ReachabilityMatrix`) to "exactly n single-source runs, no per-pair
+//! search", at any thread count.
 
 use crate::{Hop, Journey, SearchLimits, WaitingPolicy};
-use std::cell::Cell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use tvg_model::{EdgeId, NodeId, Time, TvgIndex};
 
-thread_local! {
-    static ENGINE_RUNS: Cell<u64> = const { Cell::new(0) };
+/// Work counters of one single-source engine run — or, summed, of a
+/// whole batch. Returned by value with every [`ForemostTree`], so the
+/// accounting stays exact when runs execute on different worker threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of single-source engine runs (1 per tree; a batch sums).
+    pub runs: u64,
+    /// Configurations (exact explorer) or labels (Pareto explorer)
+    /// settled.
+    pub settled: u64,
+    /// Admissible crossings generated during expansion.
+    pub expanded: u64,
 }
 
-/// Number of single-source engine runs performed by the current thread
-/// since it started. Deterministic within a test thread; used to assert
-/// "compiled once, n engine runs" invariants.
-#[must_use]
-pub fn engine_runs() -> u64 {
-    ENGINE_RUNS.with(Cell::get)
+impl EngineStats {
+    fn one_run() -> Self {
+        EngineStats {
+            runs: 1,
+            ..EngineStats::default()
+        }
+    }
 }
 
-fn record_run() {
-    ENGINE_RUNS.with(|c| c.set(c.get() + 1));
+impl std::ops::AddAssign for EngineStats {
+    fn add_assign(&mut self, rhs: EngineStats) {
+        self.runs += rhs.runs;
+        self.settled += rhs.settled;
+        self.expanded += rhs.expanded;
+    }
+}
+
+impl std::ops::Add for EngineStats {
+    type Output = EngineStats;
+
+    fn add(mut self, rhs: EngineStats) -> EngineStats {
+        self += rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for EngineStats {
+    fn sum<I: Iterator<Item = EngineStats>>(iter: I) -> EngineStats {
+        iter.fold(EngineStats::default(), std::ops::Add::add)
+    }
 }
 
 /// The all-destinations output of one single-source engine run: for each
@@ -51,6 +85,7 @@ fn record_run() {
 pub struct ForemostTree<T> {
     arrival: Vec<Option<T>>,
     repr: TreeRepr<T>,
+    stats: EngineStats,
 }
 
 /// Journey-reconstruction data, explorer-specific. Journeys are rebuilt
@@ -59,8 +94,8 @@ pub struct ForemostTree<T> {
 /// witnesses they never read.
 #[derive(Debug, Clone)]
 enum TreeRepr<T> {
-    /// Exact explorer: parent pointers keyed by `(node, arrival)`.
-    Exact(ParentMap<T>),
+    /// Exact explorer: parent pointers bucketed by dense node id.
+    Exact(ExactParents<T>),
     /// Pareto explorer: the label arena plus, per node, the label id
     /// realizing its foremost arrival.
     Pareto {
@@ -84,7 +119,7 @@ impl<T: Time> ForemostTree<T> {
     pub fn journey_to(&self, n: NodeId) -> Option<Journey<T>> {
         let arrival = self.arrival[n.index()].as_ref()?;
         Some(match &self.repr {
-            TreeRepr::Exact(parents) => rebuild(parents, (n, arrival.clone())),
+            TreeRepr::Exact(parents) => parents.rebuild((n, arrival.clone())),
             TreeRepr::Pareto { arena, best } => rebuild_labels(
                 arena,
                 best[n.index()].expect("reached nodes have a best label"),
@@ -105,6 +140,13 @@ impl<T: Time> ForemostTree<T> {
     #[must_use]
     pub fn num_reached(&self) -> usize {
         self.arrival.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Work counters of the run that produced this tree
+    /// (`stats().runs == 1` for a single engine pass).
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
     }
 }
 
@@ -156,14 +198,13 @@ pub fn foremost_to<T: Time>(
     run(index, &[(src, start.clone())], policy, limits, Some(dst)).journey_to(dst)
 }
 
-fn run<T: Time>(
+pub(crate) fn run<T: Time>(
     index: &TvgIndex<'_, T>,
     seeds: &[(NodeId, T)],
     policy: &WaitingPolicy<T>,
     limits: &SearchLimits<T>,
     target: Option<NodeId>,
 ) -> ForemostTree<T> {
-    record_run();
     match policy {
         WaitingPolicy::Unbounded => pareto_explore(index, seeds, limits, target),
         _ => exact_explore(index, seeds, policy, limits, target),
@@ -175,6 +216,37 @@ fn run<T: Time>(
 /// reference search, so reconstructed journeys match it hop for hop.
 /// Shared with `search::shortest_journey`, which builds the same map.
 pub(crate) type ParentMap<T> = BTreeMap<(NodeId, T), (NodeId, T, EdgeId, T)>;
+
+/// Parent pointers of the exact explorer, bucketed by dense node id: one
+/// small per-node arrival-time map instead of one wide map over every
+/// `(node, time)` pair. Node lookup is an index, not a tree descent —
+/// the dense half of the `(node, time)` key costs nothing.
+#[derive(Debug, Clone)]
+struct ExactParents<T> {
+    per_node: Vec<BTreeMap<T, (NodeId, T, EdgeId, T)>>,
+}
+
+impl<T: Time> ExactParents<T> {
+    fn new(num_nodes: usize) -> Self {
+        ExactParents {
+            per_node: vec![BTreeMap::new(); num_nodes],
+        }
+    }
+
+    fn rebuild(&self, mut state: (NodeId, T)) -> Journey<T> {
+        let mut hops = Vec::new();
+        while let Some((pn, pt, e, dep)) = self.per_node[state.0.index()].get(&state.1).cloned() {
+            hops.push(Hop {
+                edge: e,
+                depart: dep,
+                arrive: state.1.clone(),
+            });
+            state = (pn, pt);
+        }
+        hops.reverse();
+        Journey::from_hops(hops)
+    }
+}
 
 pub(crate) fn rebuild<T: Time>(parents: &ParentMap<T>, mut state: (NodeId, T)) -> Journey<T> {
     let mut hops = Vec::new();
@@ -192,7 +264,9 @@ pub(crate) fn rebuild<T: Time>(parents: &ParentMap<T>, mut state: (NodeId, T)) -
 
 /// Exact `(node, time)` exploration for `NoWait` / `Bounded(d)`:
 /// time-ordered expansion of every reachable configuration, with
-/// interval-driven departure enumeration.
+/// interval-driven departure enumeration. Frontier bookkeeping is
+/// bucketed by dense node id (`Vec` of per-node time sets) — the dense
+/// half of every `(node, time)` key is an index, not a comparison.
 fn exact_explore<T: Time>(
     index: &TvgIndex<'_, T>,
     seeds: &[(NodeId, T)],
@@ -201,19 +275,22 @@ fn exact_explore<T: Time>(
     target: Option<NodeId>,
 ) -> ForemostTree<T> {
     let n = index.tvg().num_nodes();
+    let mut stats = EngineStats::one_run();
     let mut arrival: Vec<Option<T>> = vec![None; n];
-    // (arrival, node, hops); pops in time order, so the first settle of a
-    // node is its foremost arrival.
-    let mut queue: BTreeSet<(T, NodeId, usize)> = seeds
+    // Min-heap on (arrival, node, hops): pops in time order, so the
+    // first settle of a node is its foremost arrival. Duplicate pushes
+    // are deduplicated at pop time against `seen`.
+    let mut queue: BinaryHeap<Reverse<(T, NodeId, usize)>> = seeds
         .iter()
-        .map(|(node, t)| (t.clone(), *node, 0usize))
+        .map(|(node, t)| Reverse((t.clone(), *node, 0usize)))
         .collect();
-    let mut seen: BTreeSet<(NodeId, T)> = BTreeSet::new();
-    let mut parents: ParentMap<T> = BTreeMap::new();
-    while let Some((time, node, hops)) = queue.pop_first() {
-        if !seen.insert((node, time.clone())) {
+    let mut seen: Vec<BTreeSet<T>> = vec![BTreeSet::new(); n];
+    let mut parents: ExactParents<T> = ExactParents::new(n);
+    while let Some(Reverse((time, node, hops))) = queue.pop() {
+        if !seen[node.index()].insert(time.clone()) {
             continue;
         }
+        stats.settled += 1;
         if arrival[node.index()].is_none() {
             arrival[node.index()] = Some(time.clone());
             // The first settle is already foremost: a targeted query is
@@ -229,18 +306,20 @@ fn exact_explore<T: Time>(
             continue;
         };
         for (e, dep, arr) in index.crossings(node, &time, &latest) {
+            stats.expanded += 1;
             let succ = index.tvg().edge(e).dst();
-            if !seen.contains(&(succ, arr.clone())) {
-                parents
-                    .entry((succ, arr.clone()))
+            if !seen[succ.index()].contains(&arr) {
+                parents.per_node[succ.index()]
+                    .entry(arr.clone())
                     .or_insert((node, time.clone(), e, dep));
-                queue.insert((arr, succ, hops + 1));
+                queue.push(Reverse((arr, succ, hops + 1)));
             }
         }
     }
     ForemostTree {
         arrival,
         repr: TreeRepr::Exact(parents),
+        stats,
     }
 }
 
@@ -261,6 +340,7 @@ fn pareto_explore<T: Time>(
     target: Option<NodeId>,
 ) -> ForemostTree<T> {
     let n = index.tvg().num_nodes();
+    let mut stats = EngineStats::one_run();
     let mut arrival: Vec<Option<T>> = vec![None; n];
     let mut best: Vec<Option<usize>> = vec![None; n];
     let mut arena: Vec<Label<T>> = Vec::new();
@@ -283,6 +363,7 @@ fn pareto_explore<T: Time>(
             continue;
         }
         settled[node.index()].push((time.clone(), hops));
+        stats.settled += 1;
         if arrival[node.index()].is_none() {
             arrival[node.index()] = Some(time.clone());
             best[node.index()] = Some(id);
@@ -324,6 +405,7 @@ fn pareto_explore<T: Time>(
             if dominated(&settled[succ.index()], &arr, hops + 1) {
                 continue;
             }
+            stats.expanded += 1;
             arena.push(Label {
                 time: arr.clone(),
                 parent: Some((id, e, dep)),
@@ -334,6 +416,7 @@ fn pareto_explore<T: Time>(
     ForemostTree {
         arrival,
         repr: TreeRepr::Pareto { arena, best },
+        stats,
     }
 }
 
@@ -504,13 +587,19 @@ mod tests {
     }
 
     #[test]
-    fn engine_run_counter_increments_per_run() {
+    fn stats_count_one_run_per_tree() {
         let g = line_gap();
         let idx = TvgIndex::compile(&g, 20);
-        let before = engine_runs();
-        let _ = foremost_tree(&idx, n(0), &0, &WaitingPolicy::Unbounded, &limits());
-        let _ = foremost_tree(&idx, n(0), &0, &WaitingPolicy::NoWait, &limits());
-        assert_eq!(engine_runs(), before + 2);
+        let wait = foremost_tree(&idx, n(0), &0, &WaitingPolicy::Unbounded, &limits());
+        let no = foremost_tree(&idx, n(0), &0, &WaitingPolicy::NoWait, &limits());
+        for tree in [&wait, &no] {
+            assert_eq!(tree.stats().runs, 1);
+            assert!(tree.stats().settled >= 1, "the seed itself settles");
+        }
+        // Stats are values: summing them is the batch aggregation.
+        let total: EngineStats = [wait.stats(), no.stats()].into_iter().sum();
+        assert_eq!(total.runs, 2);
+        assert_eq!(total.settled, wait.stats().settled + no.stats().settled);
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!   under a policy, with typed failure reasons ([`JourneyError`]).
 //! * [`engine`] — the single-source journey engine over a compiled
 //!   [`tvg_model::TvgIndex`]: one label-correcting pass returns foremost
-//!   arrivals (and witness journeys) to *every* node.
+//!   arrivals (and witness journeys) to *every* node, with per-run
+//!   [`EngineStats`] work counters.
+//! * [`batch`] — the batch-query runtime: slices of independent engine
+//!   runs fanned out over scoped worker threads sharing one index, with
+//!   results merged back in input order (bit-identical to the serial
+//!   path at every thread count).
 //! * [`foremost_journey`], [`shortest_journey`], [`fastest_journey`] —
 //!   the classic journey-optimality triple, exact for every policy;
 //!   thin wrappers that compile an index and query the engine.
@@ -51,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod engine;
 mod journey;
 pub mod language;
@@ -58,7 +64,8 @@ mod policy;
 mod reachability;
 pub mod search;
 
-pub use engine::{engine_runs, foremost_to, foremost_tree, foremost_tree_multi, ForemostTree};
+pub use batch::{Batch, BatchJourneys, BatchOutcome, BatchRunner};
+pub use engine::{foremost_to, foremost_tree, foremost_tree_multi, EngineStats, ForemostTree};
 pub use journey::{Hop, Journey, JourneyError};
 pub use policy::WaitingPolicy;
 pub use reachability::ReachabilityMatrix;

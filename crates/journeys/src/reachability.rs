@@ -4,7 +4,8 @@
 //! how much the waiting policy changes the picture — the quantitative
 //! face of the paper's "waiting makes protocol design easier" claim.
 
-use crate::engine::foremost_tree;
+use crate::batch::{Batch, BatchRunner};
+use crate::engine::EngineStats;
 use crate::{SearchLimits, WaitingPolicy};
 use tvg_model::{NodeId, Time, Tvg, TvgIndex};
 
@@ -14,12 +15,16 @@ pub struct ReachabilityMatrix<T> {
     start: T,
     /// `arrivals[src][dst]`: earliest arrival, `None` if unreachable.
     arrivals: Vec<Vec<Option<T>>>,
+    /// Summed engine work over the rows (`stats.runs == n`).
+    stats: EngineStats,
 }
 
-impl<T: Time> ReachabilityMatrix<T> {
+impl<T: Time + Send + Sync> ReachabilityMatrix<T> {
     /// Computes the matrix for `g` with journeys starting at `start`:
     /// the index is compiled once and each row is one single-source
-    /// engine run (n runs total, not n² pairwise searches).
+    /// engine run (n runs total, not n² pairwise searches), fanned out
+    /// over the batch runtime at [`Batch::auto`]'s thread count. The
+    /// result is bit-identical at every thread count.
     ///
     /// The diagonal is the trivial self-journey — every node "reaches"
     /// itself at `start` by the empty journey — modeled explicitly so an
@@ -30,11 +35,29 @@ impl<T: Time> ReachabilityMatrix<T> {
         policy: &WaitingPolicy<T>,
         limits: &SearchLimits<T>,
     ) -> Self {
+        Self::compute_with(g, start, policy, limits, Batch::auto())
+    }
+
+    /// [`ReachabilityMatrix::compute`] with an explicit thread-count
+    /// policy ([`Batch::serial`] is the canonical reference).
+    pub fn compute_with(
+        g: &Tvg<T>,
+        start: &T,
+        policy: &WaitingPolicy<T>,
+        limits: &SearchLimits<T>,
+        batch: Batch,
+    ) -> Self {
         let index = TvgIndex::compile(g, limits.horizon.clone());
-        let arrivals = g
-            .nodes()
-            .map(|src| {
-                let tree = foremost_tree(&index, src, start, policy, limits);
+        let sources: Vec<NodeId> = g.nodes().collect();
+        // Worker-side reduction: each tree collapses to its matrix row
+        // before the next query runs, so peak memory is O(workers)
+        // trees, not n.
+        let (arrivals, stats) = BatchRunner::new(&index, batch).map_sources(
+            &sources,
+            start,
+            policy,
+            limits,
+            |src, tree| {
                 g.nodes()
                     .map(|dst| {
                         if dst == src {
@@ -44,14 +67,24 @@ impl<T: Time> ReachabilityMatrix<T> {
                         }
                     })
                     .collect()
-            })
-            .collect();
+            },
+        );
         ReachabilityMatrix {
             start: start.clone(),
             arrivals,
+            stats,
         }
     }
 
+    /// Summed engine work behind this matrix: exactly one single-source
+    /// run per node, at any thread count.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+impl<T: Time> ReachabilityMatrix<T> {
     /// Earliest arrival from `src` to `dst`, `None` if unreachable.
     #[must_use]
     pub fn arrival(&self, src: NodeId, dst: NodeId) -> Option<&T> {
@@ -225,7 +258,8 @@ mod tests {
     #[test]
     fn compute_is_exactly_n_single_source_runs() {
         // The matrix must not fall back to per-pair searches: one engine
-        // run per source node, measured by the thread-local run counter.
+        // run per source node, measured by the summed per-run stats —
+        // which hold at any worker thread count.
         let g = ring_bus_tvg(5, 5, 'r');
         let limits = SearchLimits::new(30, 10);
         for policy in [
@@ -233,12 +267,29 @@ mod tests {
             WaitingPolicy::Bounded(2),
             WaitingPolicy::Unbounded,
         ] {
-            let before = crate::engine::engine_runs();
-            let _ = ReachabilityMatrix::compute(&g, &0, &policy, &limits);
+            let serial = ReachabilityMatrix::compute_with(
+                &g,
+                &0,
+                &policy,
+                &limits,
+                crate::batch::Batch::serial(),
+            );
             assert_eq!(
-                crate::engine::engine_runs() - before,
+                serial.stats().runs,
                 g.num_nodes() as u64,
                 "{policy}: expected one engine run per source"
+            );
+            let parallel = ReachabilityMatrix::compute_with(
+                &g,
+                &0,
+                &policy,
+                &limits,
+                crate::batch::Batch::threads(4),
+            );
+            assert_eq!(parallel.stats(), serial.stats(), "{policy}");
+            assert_eq!(
+                parallel, serial,
+                "{policy}: thread count changed the matrix"
             );
         }
     }

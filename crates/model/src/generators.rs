@@ -82,6 +82,76 @@ pub fn random_periodic_tvg<R: Rng + ?Sized>(
     b.build().expect("at least one node")
 }
 
+/// A scale-free temporal contact network: preferential attachment
+/// (Barabási–Albert, 2 attachments per node) decides *who* meets whom,
+/// and every undirected contact pair gets a finite set of meeting
+/// instants drawn uniformly below `horizon` (both edge orientations
+/// share the instants, as in a contact trace).
+///
+/// Node *contact degrees* — the number of contact events a node
+/// participates in — follow the attachment process's power law: a few
+/// hubs carry most of the timeline while most nodes meet rarely. This is
+/// the large-scale batch/bench workload (experiment E8): at `n` in the
+/// tens of thousands the compiled timeline holds millions of edge
+/// events, a different regime from the commuter-line and ring fixtures.
+///
+/// Fully determined by `(n, horizon, seed)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `horizon == 0`.
+pub fn scale_free_temporal(n: usize, horizon: u64, seed: u64) -> Tvg<u64> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    assert!(n > 0, "need at least one node");
+    assert!(horizon > 0, "contacts need a nonempty time window");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TvgBuilder::new();
+    let nodes = b.nodes(n);
+    // Attachment endpoint pool: every accepted contact pair pushes both
+    // endpoints, so sampling the pool is sampling proportional to degree.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(4 * n);
+    let contact = |b: &mut TvgBuilder<u64>, rng: &mut StdRng, u: usize, v: usize| {
+        let count = 1 + rng.gen_range(0..6usize);
+        let instants: BTreeSet<u64> = (0..count).map(|_| rng.gen_range(0..horizon)).collect();
+        let rho = Presence::FiniteSet(instants);
+        for (src, dst) in [(u, v), (v, u)] {
+            b.edge(nodes[src], nodes[dst], 's', rho.clone(), Latency::unit())
+                .expect("nodes come from this builder");
+        }
+    };
+    // Seed clique over the first min(n, 3) nodes.
+    let m0 = n.min(3);
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            contact(&mut b, &mut rng, u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for u in m0..n {
+        let mut targets: BTreeSet<usize> = BTreeSet::new();
+        // Two attachments per arriving node (fewer when the pool is
+        // smaller than that, e.g. right after a 1- or 2-node seed).
+        while targets.len() < 2.min(u) {
+            let t = if endpoints.is_empty() {
+                rng.gen_range(0..u)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if t != u {
+                targets.insert(t);
+            }
+        }
+        for v in targets {
+            contact(&mut b, &mut rng, u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    b.build().expect("at least one node")
+}
+
 /// A directed ring of `n` nodes whose edge `i → i+1` is present at phase
 /// `i mod period` — a "circular bus line" where a traveler must wait one
 /// period between consecutive hops unless departures are aligned.
@@ -269,6 +339,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn scale_free_is_reproducible_and_heavy_tailed() {
+        let g1 = scale_free_temporal(60, 64, 11);
+        let g2 = scale_free_temporal(60, 64, 11);
+        assert_eq!(g1.num_nodes(), 60);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for (e1, e2) in g1.edges().zip(g2.edges()) {
+            assert_eq!(g1.edge(e1).src(), g2.edge(e2).src());
+            assert_eq!(g1.edge(e1).dst(), g2.edge(e2).dst());
+            for t in 0..64u64 {
+                assert_eq!(g1.is_present(e1, &t), g2.is_present(e2, &t), "{e1} t={t}");
+            }
+        }
+        // Preferential attachment concentrates degree: the busiest node
+        // must carry several times the median out-degree.
+        let mut degrees: Vec<usize> = g1.nodes().map(|v| g1.out_edges(v).len()).collect();
+        degrees.sort_unstable();
+        let median = degrees[degrees.len() / 2];
+        let max = *degrees.last().expect("nonempty");
+        assert!(
+            max >= 3 * median.max(1),
+            "expected a hub: max degree {max}, median {median}"
+        );
+        // Contacts are symmetric: u→v present iff v→u present.
+        for e in g1.edges() {
+            let (src, dst) = (g1.edge(e).src(), g1.edge(e).dst());
+            let reverse = g1
+                .edges()
+                .find(|&r| g1.edge(r).src() == dst && g1.edge(r).dst() == src)
+                .expect("both orientations exist");
+            for t in 0..64u64 {
+                assert_eq!(g1.is_present(e, &t), g1.is_present(reverse, &t));
+            }
+        }
+    }
+
+    #[test]
+    fn scale_free_small_n_degenerate_cases() {
+        assert_eq!(scale_free_temporal(1, 8, 0).num_edges(), 0);
+        let two = scale_free_temporal(2, 8, 0);
+        assert_eq!(two.num_nodes(), 2);
+        assert_eq!(two.num_edges(), 2); // one contact pair, both orientations
     }
 
     #[test]

@@ -23,6 +23,20 @@
 use crate::interval::{Instants, IntervalSet};
 use crate::{EdgeId, NodeId, Time, Tvg};
 
+/// Compile-time contract: a compiled index (and the graph it borrows) is
+/// shareable across threads whenever its time domain is. `&TvgIndex` is
+/// the cheap borrowed view the batch-query workers hold — schedules
+/// carry `Send + Sync` closures by construction, so no part of the index
+/// needs cloning per worker. This function is never called; it exists so
+/// that losing the guarantee is a compile error here rather than a
+/// confusing one in `tvg-journeys::batch`.
+#[allow(dead_code)]
+fn assert_index_is_shareable<T: Time + Send + Sync + 'static>() {
+    fn shareable<X: Send + Sync>() {}
+    shareable::<Tvg<T>>();
+    shareable::<TvgIndex<'static, T>>();
+}
+
 /// Whether an edge appears or disappears at an event instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum EdgeEventKind {

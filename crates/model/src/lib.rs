@@ -65,4 +65,4 @@ pub use index::{EdgeEvent, EdgeEventKind, TvgIndex};
 pub use interval::{Instants, IntervalSet};
 pub use schedule::{pq_power_index, Latency, Presence};
 pub use time::Time;
-pub use tvg::{Edge, Tvg, TvgBuilder, TvgError};
+pub use tvg::{Edge, NameTable, Tvg, TvgBuilder, TvgError};

@@ -8,7 +8,54 @@ use crate::graph::Digraph;
 use crate::{EdgeId, Latency, NodeId, Presence, Time};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use tvg_langs::Letter;
+
+/// The node name table of a graph, shared structurally.
+///
+/// Names are assigned at build time and immutable afterwards; the table
+/// is reference-counted so cloning a graph (or deriving one, as
+/// [`Tvg::dilate`] does) shares one allocation instead of copying every
+/// `String` — which also keeps per-worker views in the batch-query
+/// runtime allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct NameTable {
+    names: Arc<Vec<String>>,
+}
+
+impl NameTable {
+    /// Number of named nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` iff no node has been named yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The display name of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range for this table.
+    #[must_use]
+    pub fn name(&self, n: NodeId) -> &str {
+        &self.names[n.index()]
+    }
+
+    /// Appends a name, returning the id it names. Only the builder
+    /// mutates the table; once a graph is built the `Arc` is shared and
+    /// further pushes would copy-on-write, which never happens in
+    /// practice (builders are consumed by [`TvgBuilder::build`]).
+    fn push(&mut self, name: String) -> NodeId {
+        let names = Arc::make_mut(&mut self.names);
+        names.push(name);
+        NodeId::from_index(names.len() - 1)
+    }
+}
 
 /// A labeled edge with its schedules.
 #[derive(Debug, Clone)]
@@ -93,7 +140,7 @@ impl Error for TvgError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tvg<T> {
-    node_names: Vec<String>,
+    names: NameTable,
     edges: Vec<Edge<T>>,
     /// Outgoing edge ids per node.
     out: Vec<Vec<EdgeId>>,
@@ -103,7 +150,7 @@ impl<T: Time> Tvg<T> {
     /// Number of nodes.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
-        self.node_names.len()
+        self.names.len()
     }
 
     /// Number of edges.
@@ -114,7 +161,7 @@ impl<T: Time> Tvg<T> {
 
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.node_names.len()).map(NodeId::from_index)
+        (0..self.names.len()).map(NodeId::from_index)
     }
 
     /// Iterator over all edge ids.
@@ -129,7 +176,13 @@ impl<T: Time> Tvg<T> {
     /// Panics if `n` is out of range for this graph.
     #[must_use]
     pub fn node_name(&self, n: NodeId) -> &str {
-        &self.node_names[n.index()]
+        self.names.name(n)
+    }
+
+    /// The shared node name table (cheap to clone: reference-counted).
+    #[must_use]
+    pub fn names(&self) -> &NameTable {
+        &self.names
     }
 
     /// Full edge record for `e`.
@@ -225,7 +278,7 @@ impl<T: Time> Tvg<T> {
             })
             .collect();
         Tvg {
-            node_names: self.node_names.clone(),
+            names: self.names.clone(),
             edges,
             out: self.out.clone(),
         }
@@ -235,7 +288,7 @@ impl<T: Time> Tvg<T> {
 /// Incremental builder for [`Tvg`].
 #[derive(Debug, Clone)]
 pub struct TvgBuilder<T> {
-    node_names: Vec<String>,
+    names: NameTable,
     edges: Vec<Edge<T>>,
 }
 
@@ -244,22 +297,21 @@ impl<T: Time> TvgBuilder<T> {
     #[must_use]
     pub fn new() -> Self {
         TvgBuilder {
-            node_names: Vec::new(),
+            names: NameTable::default(),
             edges: Vec::new(),
         }
     }
 
     /// Adds a node with a display name, returning its id.
     pub fn node(&mut self, name: &str) -> NodeId {
-        self.node_names.push(name.to_string());
-        NodeId::from_index(self.node_names.len() - 1)
+        self.names.push(name.to_string())
     }
 
     /// Adds `count` nodes named `v0, v1, …`, returning their ids.
     pub fn nodes(&mut self, count: usize) -> Vec<NodeId> {
         (0..count)
             .map(|_| {
-                let i = self.node_names.len();
+                let i = self.names.len();
                 self.node(&format!("v{i}"))
             })
             .collect()
@@ -280,7 +332,7 @@ impl<T: Time> TvgBuilder<T> {
         latency: Latency<T>,
     ) -> Result<EdgeId, TvgError> {
         for n in [src, dst] {
-            if n.index() >= self.node_names.len() {
+            if n.index() >= self.names.len() {
                 return Err(TvgError::UnknownNode(n));
             }
         }
@@ -301,15 +353,15 @@ impl<T: Time> TvgBuilder<T> {
     ///
     /// Returns [`TvgError::NoNodes`] for an empty node set.
     pub fn build(self) -> Result<Tvg<T>, TvgError> {
-        if self.node_names.is_empty() {
+        if self.names.is_empty() {
             return Err(TvgError::NoNodes);
         }
-        let mut out = vec![Vec::new(); self.node_names.len()];
+        let mut out = vec![Vec::new(); self.names.len()];
         for (i, e) in self.edges.iter().enumerate() {
             out[e.src.index()].push(EdgeId::from_index(i));
         }
         Ok(Tvg {
-            node_names: self.node_names,
+            names: self.names,
             edges: self.edges,
             out,
         })
@@ -429,6 +481,21 @@ mod tests {
         for t in [1u64, 2, 3, 5, 6, 7, 9, 10, 11] {
             assert_eq!(dilated.traverse(e0, &t), None, "t={t} not a multiple of 4");
         }
+    }
+
+    #[test]
+    fn name_table_is_shared_not_copied() {
+        let g = simple();
+        // Deriving and cloning graphs must share the one name allocation
+        // (batch workers hold views of the same graph; per-worker name
+        // copies would defeat the zero-clone design).
+        let dilated = g.dilate(3);
+        assert!(Arc::ptr_eq(&g.names.names, &dilated.names.names));
+        let cloned = g.clone();
+        assert!(Arc::ptr_eq(&g.names.names, &cloned.names.names));
+        assert_eq!(g.names().len(), 3);
+        assert_eq!(g.names().name(NodeId::from_index(2)), "v2");
+        assert!(!g.names().is_empty());
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! The parallel-vs-serial equivalence oracle for the batch-query
+//! runtime.
+//!
+//! `tvg_journeys::batch` promises that output is **bit-identical to the
+//! serial path at every thread count** — that promise is what lets every
+//! aggregate consumer adopt the parallel runtime without touching its
+//! determinism contract. This module is the single assertion that
+//! enforces it: run the same batch at one thread and at several, and
+//! compare *everything* — foremost arrivals, witness journeys hop by
+//! hop, and the summed work counters.
+//!
+//! Like `tickscan`, this lives in the testkit so every crate's suite can
+//! apply the same oracle to its own fixtures.
+
+use tvg_journeys::{Batch, BatchRunner, SearchLimits, WaitingPolicy};
+use tvg_model::{NodeId, Time, TvgIndex};
+
+/// Thread counts the oracle exercises beyond the serial reference.
+/// Chosen to cover "fewer workers than jobs", "about as many", and
+/// "more workers than jobs" on the small fixture batches.
+pub const THREAD_SWEEP: [usize; 3] = [2, 4, 8];
+
+/// Asserts that running `seed_sets` through [`BatchRunner`] at every
+/// thread count in [`THREAD_SWEEP`] reproduces the serial reference
+/// exactly: per-tree foremost arrivals, per-tree witness journeys, and
+/// summed [`tvg_journeys::EngineStats`] (which also pins "n seed sets ⇒
+/// exactly n engine runs").
+///
+/// # Panics
+///
+/// Panics (with `label` in the message) on the first divergence.
+pub fn assert_batch_matches_serial<T: Time + Send + Sync>(
+    index: &TvgIndex<'_, T>,
+    seed_sets: &[Vec<(NodeId, T)>],
+    policy: &WaitingPolicy<T>,
+    limits: &SearchLimits<T>,
+    label: &str,
+) {
+    let serial = BatchRunner::new(index, Batch::serial()).run_seed_sets(seed_sets, policy, limits);
+    assert_eq!(
+        serial.stats().runs,
+        seed_sets.len() as u64,
+        "{label}: serial batch must run exactly once per seed set"
+    );
+    for threads in THREAD_SWEEP {
+        let parallel = BatchRunner::new(index, Batch::threads(threads))
+            .run_seed_sets(seed_sets, policy, limits);
+        assert_eq!(
+            parallel.stats(),
+            serial.stats(),
+            "{label}: stats diverge at {threads} threads under {policy}"
+        );
+        for (i, (s, p)) in serial.trees().iter().zip(parallel.trees()).enumerate() {
+            for dst in index.tvg().nodes() {
+                assert_eq!(
+                    s.arrival(dst),
+                    p.arrival(dst),
+                    "{label}: arrival of query #{i} → {dst} diverges at \
+                     {threads} threads under {policy}"
+                );
+                assert_eq!(
+                    s.journey_to(dst),
+                    p.journey_to(dst),
+                    "{label}: witness journey of query #{i} → {dst} diverges at \
+                     {threads} threads under {policy}"
+                );
+            }
+        }
+    }
+}
+
+/// [`assert_batch_matches_serial`] for the common all-sources shape:
+/// one single-seed query per node of the graph, all starting at `start`
+/// (the `ReachabilityMatrix` / `delivery_ratio` workload).
+pub fn assert_all_sources_batch_matches_serial<T: Time + Send + Sync>(
+    index: &TvgIndex<'_, T>,
+    start: &T,
+    policy: &WaitingPolicy<T>,
+    limits: &SearchLimits<T>,
+    label: &str,
+) {
+    let seed_sets: Vec<Vec<(NodeId, T)>> = index
+        .tvg()
+        .nodes()
+        .map(|src| vec![(src, start.clone())])
+        .collect();
+    assert_batch_matches_serial(index, &seed_sets, policy, limits, label);
+}

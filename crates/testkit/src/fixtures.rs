@@ -6,7 +6,8 @@ use tvg_expressivity::anbn::AnbnAutomaton;
 use tvg_expressivity::TvgAutomaton;
 use tvg_langs::Alphabet;
 use tvg_model::generators::{
-    line_timetable_tvg, random_periodic_tvg, ring_bus_tvg, RandomPeriodicParams,
+    line_timetable_tvg, random_periodic_tvg, ring_bus_tvg, scale_free_temporal,
+    RandomPeriodicParams,
 };
 use tvg_model::{NodeId, Tvg};
 
@@ -46,6 +47,19 @@ pub fn commuter_line() -> Tvg<u64> {
 #[must_use]
 pub fn ring_bus(n: usize, period: u64) -> Tvg<u64> {
     ring_bus_tvg(n, period, 'r')
+}
+
+/// Horizon the [`scale_free`] fixture's contacts are drawn below (and
+/// the natural index/search horizon for it).
+pub const SCALE_FREE_HORIZON: u64 = 48;
+
+/// The standard scale-free temporal contact fixture at `n` nodes:
+/// preferential-attachment topology, contact instants below
+/// [`SCALE_FREE_HORIZON`], fixed seed. The test-scale face of the E8
+/// batch workload (the bench regenerates it at much larger `n`).
+#[must_use]
+pub fn scale_free(n: usize) -> Tvg<u64> {
+    scale_free_temporal(n, SCALE_FREE_HORIZON, 17)
 }
 
 /// The standard small random-periodic family at a given period —

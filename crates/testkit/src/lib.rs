@@ -24,10 +24,14 @@
 //! * [`tickscan`] — the pre-index tick-scan journey searches, preserved
 //!   as the reference oracle the compiled single-source engine is
 //!   checked against.
+//! * [`batchcheck`] — the parallel-vs-serial oracle: a batch run at
+//!   several thread counts must reproduce the serial reference exactly
+//!   (arrivals, witness journeys, and work counters).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batchcheck;
 pub mod fixtures;
 pub mod gen;
 pub mod oracles;
