@@ -18,7 +18,7 @@
 use crate::metrics::DeliveryStats;
 use crate::EvolvingTrace;
 use tvg_journeys::{Batch, BatchRunner, SearchLimits, WaitingPolicy};
-use tvg_model::{NodeId, TvgIndex};
+use tvg_model::NodeId;
 
 /// Relay discipline of a broadcast.
 ///
@@ -78,11 +78,13 @@ impl BroadcastOutcome {
 /// These are exactly journey semantics on the trace-TVG: a copy active
 /// for `d` steps after arrival is a traveler allowed to pause at most
 /// `d`, and a beaconing source is a journey allowed to depart the source
-/// at *any* step. The implementation therefore compiles the trace into a
-/// [`TvgIndex`] and runs one multi-seed single-source engine pass — a
-/// node's informing step is its foremost arrival (seeding the source at
-/// every step models beaconing; flood re-activations on re-receipt are
-/// just later `(node, time)` configurations of the same search).
+/// at *any* step. The implementation therefore *streams* the trace into
+/// a live index ([`EvolvingTrace::to_stream`] — one ingest batch per
+/// observed step, new links appended as they first appear) and runs one
+/// multi-seed single-source engine pass on it — a node's informing step
+/// is its foremost arrival (seeding the source at every step models
+/// beaconing; flood re-activations on re-receipt are just later
+/// `(node, time)` configurations of the same search).
 ///
 /// # Panics
 ///
@@ -96,9 +98,10 @@ pub fn run_broadcast(trace: &EvolvingTrace, config: &BroadcastConfig) -> Broadca
 
 /// Runs one broadcast *per node* of the trace — the full dissemination
 /// profile the rumor-spreading analyses are judged on — as a single
-/// batch: the trace-TVG is compiled once and the n multi-seed engine
-/// runs fan out over the batch runtime's worker threads. `sweep[s]` is
-/// bit-identical to `run_broadcast` from source `s`.
+/// batch: the trace is streamed into one live index and the n
+/// multi-seed engine runs fan out over the batch runtime's worker
+/// threads against that snapshot. `sweep[s]` is bit-identical to
+/// `run_broadcast` from source `s`.
 #[must_use]
 pub fn broadcast_sweep(
     trace: &EvolvingTrace,
@@ -140,12 +143,16 @@ fn broadcast_batch(
             }
         })
         .collect();
-    let g = trace.to_tvg();
-    let index = TvgIndex::compile(&g, horizon);
+    // The streaming ingestion path: one ingest batch per trace step,
+    // then the query batch runs against the live-index snapshot (this
+    // is the "ingest tick, query tick" loop of a live feed, with the
+    // whole trace ingested before the single query tick).
+    let stream = trace.to_stream();
+    let index = stream.index();
     let limits = SearchLimits::new(horizon, trace.len());
     // Worker-side reduction: each tree collapses to its informed_at
     // vector inside the worker (a sweep holds outcomes, not trees).
-    let (outcomes, _stats) = BatchRunner::new(&index, Batch::auto()).map_seed_sets(
+    let (outcomes, _stats) = BatchRunner::new(index, Batch::auto()).map_seed_sets(
         &seed_sets,
         &policy,
         &limits,

@@ -36,7 +36,7 @@ use crate::engine::{self, EngineStats, ForemostTree};
 use crate::{Journey, SearchLimits, WaitingPolicy};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use tvg_model::{NodeId, Time, TvgIndex};
+use tvg_model::{NodeId, TemporalIndex, Time};
 
 /// Environment variable overriding [`Batch::auto`]'s thread count.
 /// `0`, unset, or unparsable means "use the machine's parallelism".
@@ -151,6 +151,13 @@ impl<T: Time> BatchJourneys<T> {
 
 /// Shares one compiled index across a batch of engine runs.
 ///
+/// Generic over the index form ([`TemporalIndex`]): a batch-compiled
+/// [`tvg_model::TvgIndex`] and a streaming [`tvg_model::LiveIndex`]
+/// snapshot run identically — a live workload borrows the index between
+/// ingest ticks, fans a query batch out, and returns the borrow before
+/// the next tick mutates the schedule (the borrow checker enforces the
+/// tick discipline: no worker can outlive the snapshot).
+///
 /// ```
 /// use tvg_journeys::{Batch, BatchRunner, SearchLimits, WaitingPolicy};
 /// use tvg_model::{generators::ring_bus_tvg, TvgIndex};
@@ -165,15 +172,15 @@ impl<T: Time> BatchJourneys<T> {
 /// assert!(out.trees().iter().all(|t| t.num_reached() == 4));
 /// ```
 #[derive(Debug, Clone, Copy)]
-pub struct BatchRunner<'i, 'g, T> {
-    index: &'i TvgIndex<'g, T>,
+pub struct BatchRunner<'i, I> {
+    index: &'i I,
     batch: Batch,
 }
 
-impl<'i, 'g, T: Time + Send + Sync> BatchRunner<'i, 'g, T> {
+impl<'i, I> BatchRunner<'i, I> {
     /// A runner over `index` with the given thread-count policy.
     #[must_use]
-    pub fn new(index: &'i TvgIndex<'g, T>, batch: Batch) -> Self {
+    pub fn new(index: &'i I, batch: Batch) -> Self {
         BatchRunner { index, batch }
     }
 
@@ -186,13 +193,16 @@ impl<'i, 'g, T: Time + Send + Sync> BatchRunner<'i, 'g, T> {
     /// One all-destinations foremost run per source, all starting at
     /// `start` — the `ReachabilityMatrix` / `delivery_ratio` workload.
     #[must_use]
-    pub fn run_sources(
+    pub fn run_sources<T: Time + Send + Sync>(
         &self,
         sources: &[NodeId],
         start: &T,
         policy: &WaitingPolicy<T>,
         limits: &SearchLimits<T>,
-    ) -> BatchOutcome<T> {
+    ) -> BatchOutcome<T>
+    where
+        I: TemporalIndex<T> + Sync,
+    {
         self.collect(fan_out(self.batch.num_threads(), sources, |&src| {
             engine::foremost_tree(self.index, src, start, policy, limits)
         }))
@@ -201,12 +211,15 @@ impl<'i, 'g, T: Time + Send + Sync> BatchRunner<'i, 'g, T> {
     /// One all-destinations foremost run per seed *set* (multi-seed runs
     /// model re-emitting sources, e.g. beaconing broadcasts).
     #[must_use]
-    pub fn run_seed_sets(
+    pub fn run_seed_sets<T: Time + Send + Sync>(
         &self,
         seed_sets: &[Vec<(NodeId, T)>],
         policy: &WaitingPolicy<T>,
         limits: &SearchLimits<T>,
-    ) -> BatchOutcome<T> {
+    ) -> BatchOutcome<T>
+    where
+        I: TemporalIndex<T> + Sync,
+    {
         self.collect(fan_out(self.batch.num_threads(), seed_sets, |seeds| {
             engine::foremost_tree_multi(self.index, seeds, policy, limits)
         }))
@@ -220,14 +233,17 @@ impl<'i, 'g, T: Time + Send + Sync> BatchRunner<'i, 'g, T> {
     /// aggregate consumers run at graph scale. Results stay in input
     /// order; the summed stats still count one run per query.
     #[must_use]
-    pub fn map_sources<R: Send>(
+    pub fn map_sources<T: Time + Send + Sync, R: Send>(
         &self,
         sources: &[NodeId],
         start: &T,
         policy: &WaitingPolicy<T>,
         limits: &SearchLimits<T>,
         reduce: impl Fn(NodeId, &ForemostTree<T>) -> R + Sync,
-    ) -> (Vec<R>, EngineStats) {
+    ) -> (Vec<R>, EngineStats)
+    where
+        I: TemporalIndex<T> + Sync,
+    {
         split_stats(fan_out(self.batch.num_threads(), sources, |&src| {
             let tree = engine::foremost_tree(self.index, src, start, policy, limits);
             (reduce(src, &tree), tree.stats())
@@ -238,13 +254,16 @@ impl<'i, 'g, T: Time + Send + Sync> BatchRunner<'i, 'g, T> {
     /// [`BatchRunner::map_sources`]); `reduce` also receives the seed
     /// set its tree answers for.
     #[must_use]
-    pub fn map_seed_sets<R: Send>(
+    pub fn map_seed_sets<T: Time + Send + Sync, R: Send>(
         &self,
         seed_sets: &[Vec<(NodeId, T)>],
         policy: &WaitingPolicy<T>,
         limits: &SearchLimits<T>,
         reduce: impl Fn(&[(NodeId, T)], &ForemostTree<T>) -> R + Sync,
-    ) -> (Vec<R>, EngineStats) {
+    ) -> (Vec<R>, EngineStats)
+    where
+        I: TemporalIndex<T> + Sync,
+    {
         split_stats(fan_out(self.batch.num_threads(), seed_sets, |seeds| {
             let tree = engine::foremost_tree_multi(self.index, seeds, policy, limits);
             (reduce(seeds, &tree), tree.stats())
@@ -255,12 +274,15 @@ impl<'i, 'g, T: Time + Send + Sync> BatchRunner<'i, 'g, T> {
     /// engine's early exit at the destination's first (already foremost)
     /// settle — the unicast `route` workload.
     #[must_use]
-    pub fn run_pairs(
+    pub fn run_pairs<T: Time + Send + Sync>(
         &self,
         queries: &[(NodeId, NodeId, T)],
         policy: &WaitingPolicy<T>,
         limits: &SearchLimits<T>,
-    ) -> BatchJourneys<T> {
+    ) -> BatchJourneys<T>
+    where
+        I: TemporalIndex<T> + Sync,
+    {
         let (journeys, stats) = split_stats(fan_out(
             self.batch.num_threads(),
             queries,
@@ -278,7 +300,7 @@ impl<'i, 'g, T: Time + Send + Sync> BatchRunner<'i, 'g, T> {
         BatchJourneys { journeys, stats }
     }
 
-    fn collect(&self, trees: Vec<ForemostTree<T>>) -> BatchOutcome<T> {
+    fn collect<T: Time>(&self, trees: Vec<ForemostTree<T>>) -> BatchOutcome<T> {
         let stats = trees.iter().map(ForemostTree::stats).sum();
         BatchOutcome { trees, stats }
     }
@@ -345,6 +367,7 @@ where
 mod tests {
     use super::*;
     use tvg_model::generators::{ring_bus_tvg, scale_free_temporal};
+    use tvg_model::TvgIndex;
 
     fn n(i: usize) -> NodeId {
         NodeId::from_index(i)

@@ -27,8 +27,9 @@
 
 use crate::{Hop, Journey, SearchLimits, WaitingPolicy};
 use std::cmp::Reverse;
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
-use tvg_model::{EdgeId, NodeId, Time, TvgIndex};
+use tvg_model::{EdgeId, NodeId, TemporalIndex, Time};
 
 /// Work counters of one single-source engine run — or, summed, of a
 /// whole batch. Returned by value with every [`ForemostTree`], so the
@@ -93,7 +94,7 @@ pub struct ForemostTree<T> {
 /// (reachability rows, delivery ratios, broadcasts) pay nothing for
 /// witnesses they never read.
 #[derive(Debug, Clone)]
-enum TreeRepr<T> {
+pub(crate) enum TreeRepr<T> {
     /// Exact explorer: parent pointers bucketed by dense node id.
     Exact(ExactParents<T>),
     /// Pareto explorer: the label arena plus, per node, the label id
@@ -105,6 +106,20 @@ enum TreeRepr<T> {
 }
 
 impl<T: Time> ForemostTree<T> {
+    /// Assembles a tree from explorer state (the fresh path and the
+    /// incremental repair in [`crate::incremental`] share this).
+    pub(crate) fn from_parts(
+        arrival: Vec<Option<T>>,
+        repr: TreeRepr<T>,
+        stats: EngineStats,
+    ) -> Self {
+        ForemostTree {
+            arrival,
+            repr,
+            stats,
+        }
+    }
+
     /// The foremost arrival at `n`, `None` if unreachable within the
     /// limits.
     #[must_use]
@@ -150,14 +165,15 @@ impl<T: Time> ForemostTree<T> {
     }
 }
 
-/// One single-source foremost run from `(src, start)` over the compiled
-/// index: foremost arrivals to every node in one pass.
+/// One single-source foremost run from `(src, start)` over a compiled
+/// index (batch-compiled or live): foremost arrivals to every node in
+/// one pass.
 ///
 /// Departures are bounded by `limits.horizon` (the index's own horizon
 /// also applies) and journeys by `limits.max_hops` hops.
 #[must_use]
-pub fn foremost_tree<T: Time>(
-    index: &TvgIndex<'_, T>,
+pub fn foremost_tree<T: Time, I: TemporalIndex<T>>(
+    index: &I,
     src: NodeId,
     start: &T,
     policy: &WaitingPolicy<T>,
@@ -172,8 +188,8 @@ pub fn foremost_tree<T: Time>(
 /// seed. Multiple seeds model sources that re-emit over time (e.g. a
 /// beaconing broadcast source is a seed at every step).
 #[must_use]
-pub fn foremost_tree_multi<T: Time>(
-    index: &TvgIndex<'_, T>,
+pub fn foremost_tree_multi<T: Time, I: TemporalIndex<T>>(
+    index: &I,
     seeds: &[(NodeId, T)],
     policy: &WaitingPolicy<T>,
     limits: &SearchLimits<T>,
@@ -187,8 +203,8 @@ pub fn foremost_tree_multi<T: Time>(
 /// `foremost_journey` wrapper uses; all-destinations consumers use
 /// [`foremost_tree`] instead.
 #[must_use]
-pub fn foremost_to<T: Time>(
-    index: &TvgIndex<'_, T>,
+pub fn foremost_to<T: Time, I: TemporalIndex<T>>(
+    index: &I,
     src: NodeId,
     dst: NodeId,
     start: &T,
@@ -198,8 +214,8 @@ pub fn foremost_to<T: Time>(
     run(index, &[(src, start.clone())], policy, limits, Some(dst)).journey_to(dst)
 }
 
-pub(crate) fn run<T: Time>(
-    index: &TvgIndex<'_, T>,
+pub(crate) fn run<T: Time, I: TemporalIndex<T>>(
+    index: &I,
     seeds: &[(NodeId, T)],
     policy: &WaitingPolicy<T>,
     limits: &SearchLimits<T>,
@@ -222,8 +238,8 @@ pub(crate) type ParentMap<T> = BTreeMap<(NodeId, T), (NodeId, T, EdgeId, T)>;
 /// `(node, time)` pair. Node lookup is an index, not a tree descent —
 /// the dense half of the `(node, time)` key costs nothing.
 #[derive(Debug, Clone)]
-struct ExactParents<T> {
-    per_node: Vec<BTreeMap<T, (NodeId, T, EdgeId, T)>>,
+pub(crate) struct ExactParents<T> {
+    pub(crate) per_node: Vec<BTreeMap<T, (NodeId, T, EdgeId, T)>>,
 }
 
 impl<T: Time> ExactParents<T> {
@@ -233,7 +249,7 @@ impl<T: Time> ExactParents<T> {
         }
     }
 
-    fn rebuild(&self, mut state: (NodeId, T)) -> Journey<T> {
+    pub(crate) fn rebuild(&self, mut state: (NodeId, T)) -> Journey<T> {
         let mut hops = Vec::new();
         while let Some((pn, pt, e, dep)) = self.per_node[state.0.index()].get(&state.1).cloned() {
             hops.push(Hop {
@@ -262,63 +278,176 @@ pub(crate) fn rebuild<T: Time>(parents: &ParentMap<T>, mut state: (NodeId, T)) -
     Journey::from_hops(hops)
 }
 
+/// Resumable state of the exact `(node, time)` explorer — the fresh run
+/// drives it from empty seeds; [`crate::incremental`] prunes and
+/// replays it when the underlying schedule grows at the right edge.
+///
+/// `settled` records the hop count each configuration first settled
+/// with (the minimal hops to reach it, since the heap pops ties in hop
+/// order). The incremental repair needs those hop counts to re-expand
+/// surviving configurations exactly as a fresh run would.
+#[derive(Debug, Clone)]
+pub(crate) struct ExactCore<T> {
+    pub(crate) arrival: Vec<Option<T>>,
+    pub(crate) settled: Vec<BTreeMap<T, usize>>,
+    pub(crate) parents: ExactParents<T>,
+    // Min-heap on (arrival, node, hops): pops in time order, so the
+    // first settle of a node is its foremost arrival. Duplicate pushes
+    // are deduplicated at pop time against `settled`.
+    queue: BinaryHeap<Reverse<(T, NodeId, usize)>>,
+}
+
+impl<T: Time> ExactCore<T> {
+    pub(crate) fn new(num_nodes: usize) -> Self {
+        ExactCore {
+            arrival: vec![None; num_nodes],
+            settled: vec![BTreeMap::new(); num_nodes],
+            parents: ExactParents::new(num_nodes),
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Grows the per-node state after streamed topology growth.
+    pub(crate) fn resize(&mut self, num_nodes: usize) {
+        self.arrival.resize(num_nodes, None);
+        self.settled.resize(num_nodes, BTreeMap::new());
+        self.parents.per_node.resize(num_nodes, BTreeMap::new());
+    }
+
+    /// Enqueues seed configurations (hop count zero).
+    pub(crate) fn seed<'s>(&mut self, seeds: impl IntoIterator<Item = &'s (NodeId, T)>)
+    where
+        T: 's,
+    {
+        for (node, t) in seeds {
+            self.queue.push(Reverse((t.clone(), *node, 0)));
+        }
+    }
+
+    /// Discards every conclusion at or after `t0`: settles, parent
+    /// pointers, and foremost arrivals from `t0` on may all be
+    /// invalidated by schedule changes at `t0`, while everything
+    /// strictly earlier is untouchable (a crossing departing at or
+    /// after `t0` arrives at or after it — latencies are non-negative).
+    pub(crate) fn prune(&mut self, t0: &T) {
+        self.queue.clear();
+        for map in &mut self.settled {
+            map.split_off(t0);
+        }
+        for map in &mut self.parents.per_node {
+            map.split_off(t0);
+        }
+        for slot in &mut self.arrival {
+            if slot.as_ref().is_some_and(|t| t >= t0) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Re-expands every surviving configuration in global settle order
+    /// (time, node, hops) — the order a fresh run would have expanded
+    /// them in. Crossings arriving before the prune watermark find
+    /// their targets already settled and are skipped; crossings into
+    /// the repaired region re-enter the queue, so the subsequent
+    /// [`ExactCore::drain`] reproduces a fresh run's conclusions there.
+    pub(crate) fn replay<I: TemporalIndex<T>>(
+        &mut self,
+        index: &I,
+        policy: &WaitingPolicy<T>,
+        limits: &SearchLimits<T>,
+        stats: &mut EngineStats,
+    ) {
+        let mut survivors: Vec<(T, NodeId, usize)> = Vec::new();
+        for (i, map) in self.settled.iter().enumerate() {
+            let node = NodeId::from_index(i);
+            survivors.extend(map.iter().map(|(t, &h)| (t.clone(), node, h)));
+        }
+        survivors.sort();
+        for (time, node, hops) in survivors {
+            if hops == limits.max_hops {
+                continue;
+            }
+            self.expand(index, policy, limits, node, &time, hops, stats);
+        }
+    }
+
+    /// Runs the exploration to exhaustion (or to `target`'s first,
+    /// already-foremost settle).
+    pub(crate) fn drain<I: TemporalIndex<T>>(
+        &mut self,
+        index: &I,
+        policy: &WaitingPolicy<T>,
+        limits: &SearchLimits<T>,
+        target: Option<NodeId>,
+        stats: &mut EngineStats,
+    ) {
+        while let Some(Reverse((time, node, hops))) = self.queue.pop() {
+            match self.settled[node.index()].entry(time.clone()) {
+                Entry::Occupied(_) => continue,
+                Entry::Vacant(slot) => slot.insert(hops),
+            };
+            stats.settled += 1;
+            if self.arrival[node.index()].is_none() {
+                self.arrival[node.index()] = Some(time.clone());
+                // The first settle is already foremost: a targeted query
+                // is done here.
+                if target == Some(node) {
+                    break;
+                }
+            }
+            if hops == limits.max_hops {
+                continue;
+            }
+            self.expand(index, policy, limits, node, &time, hops, stats);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // one settled configuration, spelled out
+    fn expand<I: TemporalIndex<T>>(
+        &mut self,
+        index: &I,
+        policy: &WaitingPolicy<T>,
+        limits: &SearchLimits<T>,
+        node: NodeId,
+        time: &T,
+        hops: usize,
+        stats: &mut EngineStats,
+    ) {
+        let Some(latest) = policy.latest_departure(time, &limits.horizon) else {
+            return;
+        };
+        for (e, dep, arr) in index.crossings(node, time, &latest) {
+            stats.expanded += 1;
+            let succ = index.tvg().edge(e).dst();
+            if !self.settled[succ.index()].contains_key(&arr) {
+                self.parents.per_node[succ.index()]
+                    .entry(arr.clone())
+                    .or_insert((node, time.clone(), e, dep));
+                self.queue.push(Reverse((arr, succ, hops + 1)));
+            }
+        }
+    }
+}
+
 /// Exact `(node, time)` exploration for `NoWait` / `Bounded(d)`:
 /// time-ordered expansion of every reachable configuration, with
 /// interval-driven departure enumeration. Frontier bookkeeping is
-/// bucketed by dense node id (`Vec` of per-node time sets) — the dense
+/// bucketed by dense node id (`Vec` of per-node time maps) — the dense
 /// half of every `(node, time)` key is an index, not a comparison.
-fn exact_explore<T: Time>(
-    index: &TvgIndex<'_, T>,
+fn exact_explore<T: Time, I: TemporalIndex<T>>(
+    index: &I,
     seeds: &[(NodeId, T)],
     policy: &WaitingPolicy<T>,
     limits: &SearchLimits<T>,
     target: Option<NodeId>,
 ) -> ForemostTree<T> {
-    let n = index.tvg().num_nodes();
     let mut stats = EngineStats::one_run();
-    let mut arrival: Vec<Option<T>> = vec![None; n];
-    // Min-heap on (arrival, node, hops): pops in time order, so the
-    // first settle of a node is its foremost arrival. Duplicate pushes
-    // are deduplicated at pop time against `seen`.
-    let mut queue: BinaryHeap<Reverse<(T, NodeId, usize)>> = seeds
-        .iter()
-        .map(|(node, t)| Reverse((t.clone(), *node, 0usize)))
-        .collect();
-    let mut seen: Vec<BTreeSet<T>> = vec![BTreeSet::new(); n];
-    let mut parents: ExactParents<T> = ExactParents::new(n);
-    while let Some(Reverse((time, node, hops))) = queue.pop() {
-        if !seen[node.index()].insert(time.clone()) {
-            continue;
-        }
-        stats.settled += 1;
-        if arrival[node.index()].is_none() {
-            arrival[node.index()] = Some(time.clone());
-            // The first settle is already foremost: a targeted query is
-            // done here.
-            if target == Some(node) {
-                break;
-            }
-        }
-        if hops == limits.max_hops {
-            continue;
-        }
-        let Some(latest) = policy.latest_departure(&time, &limits.horizon) else {
-            continue;
-        };
-        for (e, dep, arr) in index.crossings(node, &time, &latest) {
-            stats.expanded += 1;
-            let succ = index.tvg().edge(e).dst();
-            if !seen[succ.index()].contains(&arr) {
-                parents.per_node[succ.index()]
-                    .entry(arr.clone())
-                    .or_insert((node, time.clone(), e, dep));
-                queue.push(Reverse((arr, succ, hops + 1)));
-            }
-        }
-    }
+    let mut core = ExactCore::new(index.tvg().num_nodes());
+    core.seed(seeds);
+    core.drain(index, policy, limits, target, &mut stats);
     ForemostTree {
-        arrival,
-        repr: TreeRepr::Exact(parents),
+        arrival: core.arrival,
+        repr: TreeRepr::Exact(core.parents),
         stats,
     }
 }
@@ -326,54 +455,147 @@ fn exact_explore<T: Time>(
 /// A label of the Pareto explorer: one arrival instant plus the parent
 /// pointer that realizes it (the node lives in the queue key).
 #[derive(Debug, Clone)]
-struct Label<T> {
-    time: T,
-    parent: Option<(usize, EdgeId, T)>,
+pub(crate) struct Label<T> {
+    pub(crate) time: T,
+    pub(crate) parent: Option<(usize, EdgeId, T)>,
 }
 
-/// Label-correcting exploration for unbounded waiting with Pareto
-/// `(arrival, hops)` dominance.
-fn pareto_explore<T: Time>(
-    index: &TvgIndex<'_, T>,
-    seeds: &[(NodeId, T)],
-    limits: &SearchLimits<T>,
-    target: Option<NodeId>,
-) -> ForemostTree<T> {
-    let n = index.tvg().num_nodes();
-    let mut stats = EngineStats::one_run();
-    let mut arrival: Vec<Option<T>> = vec![None; n];
-    let mut best: Vec<Option<usize>> = vec![None; n];
-    let mut arena: Vec<Label<T>> = Vec::new();
+/// A settled Pareto frontier entry: `(arrival, hops, label id)`.
+pub(crate) type ParetoEntry<T> = (T, usize, usize);
+
+fn dominated<T: Time>(frontier: &[ParetoEntry<T>], time: &T, hops: usize) -> bool {
+    frontier.iter().any(|(a, h, _)| a <= time && *h <= hops)
+}
+
+/// Resumable state of the Pareto label-correcting explorer (unbounded
+/// waiting), the counterpart of [`ExactCore`]. Pruning keeps the label
+/// arena intact — labels in the repaired region become unreachable
+/// garbage, which costs memory proportional to the churn but keeps
+/// every surviving parent chain valid by construction.
+#[derive(Debug, Clone)]
+pub(crate) struct ParetoCore<T> {
+    pub(crate) arrival: Vec<Option<T>>,
+    pub(crate) best: Vec<Option<usize>>,
+    pub(crate) arena: Vec<Label<T>>,
+    /// Settled Pareto frontier per node.
+    pub(crate) settled: Vec<Vec<ParetoEntry<T>>>,
     // (arrival, hops, node, label id); pops in (time, hops) order.
-    let mut queue: BTreeSet<(T, usize, NodeId, usize)> = BTreeSet::new();
-    // Settled Pareto frontier per node.
-    let mut settled: Vec<Vec<(T, usize)>> = vec![Vec::new(); n];
-    for (node, t) in seeds {
-        arena.push(Label {
-            time: t.clone(),
-            parent: None,
-        });
-        queue.insert((t.clone(), 0, *node, arena.len() - 1));
-    }
-    let dominated = |frontier: &[(T, usize)], time: &T, hops: usize| {
-        frontier.iter().any(|(a, h)| a <= time && *h <= hops)
-    };
-    while let Some((time, hops, node, id)) = queue.pop_first() {
-        if dominated(&settled[node.index()], &time, hops) {
-            continue;
+    queue: BTreeSet<(T, usize, NodeId, usize)>,
+}
+
+impl<T: Time> ParetoCore<T> {
+    pub(crate) fn new(num_nodes: usize) -> Self {
+        ParetoCore {
+            arrival: vec![None; num_nodes],
+            best: vec![None; num_nodes],
+            arena: Vec::new(),
+            settled: vec![Vec::new(); num_nodes],
+            queue: BTreeSet::new(),
         }
-        settled[node.index()].push((time.clone(), hops));
-        stats.settled += 1;
-        if arrival[node.index()].is_none() {
-            arrival[node.index()] = Some(time.clone());
-            best[node.index()] = Some(id);
-            if target == Some(node) {
-                break;
+    }
+
+    /// Grows the per-node state after streamed topology growth.
+    pub(crate) fn resize(&mut self, num_nodes: usize) {
+        self.arrival.resize(num_nodes, None);
+        self.best.resize(num_nodes, None);
+        self.settled.resize(num_nodes, Vec::new());
+    }
+
+    /// Enqueues seed labels (hop count zero, no parent).
+    pub(crate) fn seed<'s>(&mut self, seeds: impl IntoIterator<Item = &'s (NodeId, T)>)
+    where
+        T: 's,
+    {
+        for (node, t) in seeds {
+            self.arena.push(Label {
+                time: t.clone(),
+                parent: None,
+            });
+            self.queue
+                .insert((t.clone(), 0, *node, self.arena.len() - 1));
+        }
+    }
+
+    /// Discards every conclusion at or after `t0` (see
+    /// [`ExactCore::prune`] for the soundness argument).
+    pub(crate) fn prune(&mut self, t0: &T) {
+        self.queue.clear();
+        for frontier in &mut self.settled {
+            frontier.retain(|(t, _, _)| t < t0);
+        }
+        for (slot, best) in self.arrival.iter_mut().zip(&mut self.best) {
+            if slot.as_ref().is_some_and(|t| t >= t0) {
+                *slot = None;
+                *best = None;
             }
         }
-        if hops == limits.max_hops || time > limits.horizon {
-            continue;
+    }
+
+    /// Re-expands every surviving settled label in global settle order
+    /// (time, hops, node, id). Crossings whose best arrival lands
+    /// before the prune watermark are dominated by surviving frontier
+    /// entries and skipped; crossings into the repaired region re-enter
+    /// the queue for [`ParetoCore::drain`].
+    pub(crate) fn replay<I: TemporalIndex<T>>(
+        &mut self,
+        index: &I,
+        limits: &SearchLimits<T>,
+        stats: &mut EngineStats,
+    ) {
+        let mut survivors: Vec<(T, usize, NodeId, usize)> = Vec::new();
+        for (i, frontier) in self.settled.iter().enumerate() {
+            let node = NodeId::from_index(i);
+            survivors.extend(frontier.iter().map(|(t, h, id)| (t.clone(), *h, node, *id)));
         }
+        survivors.sort();
+        for (time, hops, node, id) in survivors {
+            if hops == limits.max_hops || time > limits.horizon {
+                continue;
+            }
+            self.expand(index, limits, node, &time, hops, id, stats);
+        }
+    }
+
+    /// Runs the exploration to exhaustion (or to `target`'s first,
+    /// already-foremost settle).
+    pub(crate) fn drain<I: TemporalIndex<T>>(
+        &mut self,
+        index: &I,
+        limits: &SearchLimits<T>,
+        target: Option<NodeId>,
+        stats: &mut EngineStats,
+    ) {
+        while let Some((time, hops, node, id)) = self.queue.pop_first() {
+            if dominated(&self.settled[node.index()], &time, hops) {
+                continue;
+            }
+            self.settled[node.index()].push((time.clone(), hops, id));
+            stats.settled += 1;
+            if self.arrival[node.index()].is_none() {
+                self.arrival[node.index()] = Some(time.clone());
+                self.best[node.index()] = Some(id);
+                if target == Some(node) {
+                    break;
+                }
+            }
+            if hops == limits.max_hops || time > limits.horizon {
+                continue;
+            }
+            self.expand(index, limits, node, &time, hops, id, stats);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // one settled label, spelled out
+    fn expand<I: TemporalIndex<T>>(
+        &mut self,
+        index: &I,
+        limits: &SearchLimits<T>,
+        node: NodeId,
+        time: &T,
+        hops: usize,
+        id: usize,
+        stats: &mut EngineStats,
+    ) {
         for &e in index.out_edges(node) {
             let succ = index.tvg().edge(e).dst();
             // All crossings of `e` from this label cost the same hops, so
@@ -383,12 +605,12 @@ fn pareto_explore<T: Time>(
             // opaque latency needs the full window scanned.
             let best_crossing: Option<(T, T)> = if index.arrival_is_monotone(e) {
                 index
-                    .departures_within(e, &time, &limits.horizon)
+                    .departures_within(e, time, &limits.horizon)
                     .next()
                     .and_then(|dep| Some((index.arrival(e, &dep)?, dep)))
             } else {
                 let mut best: Option<(T, T)> = None;
-                for dep in index.departures_within(e, &time, &limits.horizon) {
+                for dep in index.departures_within(e, time, &limits.horizon) {
                     let Some(arr) = index.arrival(e, &dep) else {
                         continue;
                     };
@@ -402,25 +624,43 @@ fn pareto_explore<T: Time>(
             let Some((arr, dep)) = best_crossing else {
                 continue;
             };
-            if dominated(&settled[succ.index()], &arr, hops + 1) {
+            if dominated(&self.settled[succ.index()], &arr, hops + 1) {
                 continue;
             }
             stats.expanded += 1;
-            arena.push(Label {
+            self.arena.push(Label {
                 time: arr.clone(),
                 parent: Some((id, e, dep)),
             });
-            queue.insert((arr, hops + 1, succ, arena.len() - 1));
+            self.queue
+                .insert((arr, hops + 1, succ, self.arena.len() - 1));
         }
     }
+}
+
+/// Label-correcting exploration for unbounded waiting with Pareto
+/// `(arrival, hops)` dominance.
+fn pareto_explore<T: Time, I: TemporalIndex<T>>(
+    index: &I,
+    seeds: &[(NodeId, T)],
+    limits: &SearchLimits<T>,
+    target: Option<NodeId>,
+) -> ForemostTree<T> {
+    let mut stats = EngineStats::one_run();
+    let mut core = ParetoCore::new(index.tvg().num_nodes());
+    core.seed(seeds);
+    core.drain(index, limits, target, &mut stats);
     ForemostTree {
-        arrival,
-        repr: TreeRepr::Pareto { arena, best },
+        arrival: core.arrival,
+        repr: TreeRepr::Pareto {
+            arena: core.arena,
+            best: core.best,
+        },
         stats,
     }
 }
 
-fn rebuild_labels<T: Time>(arena: &[Label<T>], mut id: usize) -> Journey<T> {
+pub(crate) fn rebuild_labels<T: Time>(arena: &[Label<T>], mut id: usize) -> Journey<T> {
     let mut hops = Vec::new();
     while let Some((prev, e, dep)) = &arena[id].parent {
         hops.push(Hop {
@@ -437,7 +677,7 @@ fn rebuild_labels<T: Time>(arena: &[Label<T>], mut id: usize) -> Journey<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tvg_model::{Latency, Presence, Tvg, TvgBuilder};
+    use tvg_model::{Latency, Presence, Tvg, TvgBuilder, TvgIndex};
 
     fn n(i: usize) -> NodeId {
         NodeId::from_index(i)

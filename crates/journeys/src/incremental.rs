@@ -1,0 +1,459 @@
+//! Incremental repair of foremost trees as a streamed schedule grows.
+//!
+//! A [`crate::ForemostTree`] answers "when does every node first hear
+//! from the source?" against one fixed schedule. Under streaming
+//! ingestion ([`tvg_model::stream`]) the schedule changes after every
+//! batch of edge events, and rerunning [`crate::foremost_tree`] from
+//! scratch repeats all the work the batch could not have invalidated.
+//! [`IncrementalForemost`] keeps the explorer's internal state alive
+//! between batches and repairs it instead:
+//!
+//! 1. **Prune.** Every accepted stream event changes presence only at
+//!    or after its own instant, and the earliest such instant `t₀`
+//!    arrives with the batch's
+//!    [`tvg_model::stream::IngestReport::earliest_change`]. Because
+//!    latencies are non-negative, a crossing departing at or after `t₀`
+//!    also *arrives* at or after `t₀` — so every settled conclusion with
+//!    arrival before `t₀` is untouchable, and everything at or after it
+//!    is discarded (additions can improve those arrivals, a `Down`
+//!    closing an open span can invalidate them; discarding handles
+//!    both).
+//! 2. **Replay.** Surviving configurations are re-expanded against the
+//!    *new* schedule, in the exact global order a fresh run would have
+//!    expanded them. Crossings landing before `t₀` find their targets
+//!    already settled and are skipped; crossings into the repaired
+//!    region re-enter the queue.
+//! 3. **Drain.** The ordinary exploration loop finishes the repaired
+//!    region.
+//!
+//! For the exact explorers (`NoWait` / `Bounded`) this reproduces a
+//! fresh run's arrivals *and* parent structure bit for bit — the
+//! `streamcheck` differential oracle in `tvg-testkit` asserts witness
+//! journeys hop by hop. The Pareto explorer (`Unbounded`) reproduces
+//! arrivals and witness hop counts exactly; on exact ties between
+//! equally-foremost routes the surviving witness may differ from the
+//! fresh run's pick (label ids — the final tiebreak — are allocation
+//! order, which repair does not replay), so the oracle checks those
+//! witnesses semantically: same arrival, same hops, validates.
+//!
+//! The work saved is the point, stated precisely: per refresh, the
+//! *settling* work is bounded by the repaired region (the churn), and
+//! what remains of the history's cost is one re-expansion sweep over
+//! the surviving settled frontier — no schedule recompilation, no
+//! re-settling, no witness reconstruction. A refresh therefore costs
+//! `O(frontier + churn)` where the recompute baseline pays
+//! `O(accumulated schedule + full exploration)` every tick; the
+//! `stream_props` work-reuse property pins the settle ratio, and
+//! `benches/stream_ingest.rs` (experiment E9) measures the end-to-end
+//! gap on the scale-free feed.
+
+use crate::engine::{rebuild_labels, EngineStats, ExactCore, ForemostTree, ParetoCore, TreeRepr};
+use crate::{Journey, SearchLimits, WaitingPolicy};
+use tvg_model::stream::IngestReport;
+use tvg_model::{NodeId, TemporalIndex, Time};
+
+/// A foremost tree that stays current across ingest batches by
+/// repairing itself instead of recomputing.
+///
+/// ```
+/// use tvg_journeys::{IncrementalForemost, SearchLimits, WaitingPolicy};
+/// use tvg_model::stream::{StreamEvent, TvgStream};
+/// use tvg_model::Latency;
+///
+/// let mut s = TvgStream::<u64>::new(10);
+/// let (u, v) = (s.add_node("u"), s.add_node("v"));
+/// let e = s.add_edge(u, v, 'a', Latency::unit())?;
+/// let limits = SearchLimits::new(10, 5);
+/// let mut inc = IncrementalForemost::new(
+///     s.index(), &[(u, 0)], WaitingPolicy::Unbounded, limits);
+/// assert_eq!(inc.arrival(v), None);
+///
+/// let report = s.ingest(&[StreamEvent::Up { edge: e, at: 3 }])?;
+/// inc.refresh(s.index(), &report);
+/// assert_eq!(inc.arrival(v), Some(&4));
+/// # Ok::<(), tvg_model::stream::StreamError<u64>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalForemost<T> {
+    seeds: Vec<(NodeId, T)>,
+    policy: WaitingPolicy<T>,
+    limits: SearchLimits<T>,
+    state: State<T>,
+    stats: EngineStats,
+}
+
+#[derive(Debug, Clone)]
+enum State<T> {
+    Exact(ExactCore<T>),
+    Pareto(ParetoCore<T>),
+}
+
+impl<T: Time> IncrementalForemost<T> {
+    /// Runs the initial full exploration from `seeds` and keeps the
+    /// explorer state for later repairs.
+    #[must_use]
+    pub fn new<I: TemporalIndex<T>>(
+        index: &I,
+        seeds: &[(NodeId, T)],
+        policy: WaitingPolicy<T>,
+        limits: SearchLimits<T>,
+    ) -> Self {
+        let n = index.tvg().num_nodes();
+        let mut stats = EngineStats {
+            runs: 1,
+            ..EngineStats::default()
+        };
+        let state = match &policy {
+            WaitingPolicy::Unbounded => {
+                let mut core = ParetoCore::new(n);
+                core.seed(seeds);
+                core.drain(index, &limits, None, &mut stats);
+                State::Pareto(core)
+            }
+            _ => {
+                let mut core = ExactCore::new(n);
+                core.seed(seeds);
+                core.drain(index, &policy, &limits, None, &mut stats);
+                State::Exact(core)
+            }
+        };
+        IncrementalForemost {
+            seeds: seeds.to_vec(),
+            policy,
+            limits,
+            state,
+            stats,
+        }
+    }
+
+    /// Brings the tree up to date after one ingested batch, repairing
+    /// only from the batch's earliest presence change onward (a pure
+    /// topology batch just grows the per-node state).
+    pub fn refresh<I: TemporalIndex<T>>(&mut self, index: &I, report: &IngestReport<T>) {
+        match &report.earliest_change {
+            Some(t0) => self.refresh_since(index, t0),
+            None => self.resize(index),
+        }
+    }
+
+    /// [`IncrementalForemost::refresh`] from an explicit repair
+    /// watermark: every conclusion with arrival `>= since` is discarded
+    /// and recomputed against the current index. Passing a watermark
+    /// earlier than the true earliest change is always sound (it merely
+    /// repairs more); passing a later one is not.
+    pub fn refresh_since<I: TemporalIndex<T>>(&mut self, index: &I, since: &T) {
+        self.resize(index);
+        self.stats.runs += 1;
+        let seeds = &self.seeds;
+        match &mut self.state {
+            State::Exact(core) => {
+                core.prune(since);
+                core.replay(index, &self.policy, &self.limits, &mut self.stats);
+                core.seed(seeds.iter().filter(|(_, t)| t >= since));
+                core.drain(index, &self.policy, &self.limits, None, &mut self.stats);
+            }
+            State::Pareto(core) => {
+                core.prune(since);
+                core.replay(index, &self.limits, &mut self.stats);
+                core.seed(seeds.iter().filter(|(_, t)| t >= since));
+                core.drain(index, &self.limits, None, &mut self.stats);
+            }
+        }
+    }
+
+    fn resize<I: TemporalIndex<T>>(&mut self, index: &I) {
+        let n = index.tvg().num_nodes();
+        match &mut self.state {
+            State::Exact(core) => core.resize(n),
+            State::Pareto(core) => core.resize(n),
+        }
+    }
+
+    /// The seed configurations the tree answers for.
+    #[must_use]
+    pub fn seeds(&self) -> &[(NodeId, T)] {
+        &self.seeds
+    }
+
+    /// The waiting policy of the exploration.
+    #[must_use]
+    pub fn policy(&self) -> &WaitingPolicy<T> {
+        &self.policy
+    }
+
+    /// The search limits of the exploration.
+    #[must_use]
+    pub fn limits(&self) -> &SearchLimits<T> {
+        &self.limits
+    }
+
+    /// The foremost arrival at `n` under the current schedule, `None`
+    /// if unreachable within the limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range for the indexed graph.
+    #[must_use]
+    pub fn arrival(&self, n: NodeId) -> Option<&T> {
+        match &self.state {
+            State::Exact(core) => core.arrival[n.index()].as_ref(),
+            State::Pareto(core) => core.arrival[n.index()].as_ref(),
+        }
+    }
+
+    /// A foremost witness journey to `n` (empty for a seed node),
+    /// rebuilt on demand from the repaired parent structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range for the indexed graph.
+    #[must_use]
+    pub fn journey_to(&self, n: NodeId) -> Option<Journey<T>> {
+        match &self.state {
+            State::Exact(core) => {
+                let arrival = core.arrival[n.index()].as_ref()?;
+                Some(core.parents.rebuild((n, arrival.clone())))
+            }
+            State::Pareto(core) => {
+                core.arrival[n.index()].as_ref()?;
+                let id = core.best[n.index()].expect("reached nodes have a best label");
+                Some(rebuild_labels(&core.arena, id))
+            }
+        }
+    }
+
+    /// Number of nodes currently reached (seeds included).
+    #[must_use]
+    pub fn num_reached(&self) -> usize {
+        let arrival = match &self.state {
+            State::Exact(core) => &core.arrival,
+            State::Pareto(core) => &core.arrival,
+        };
+        arrival.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Cumulative work counters: `runs` counts the initial run plus one
+    /// per repairing refresh; `settled`/`expanded` accumulate, so the
+    /// total is directly comparable against the recompute strategy's
+    /// sum of fresh runs (the E9 benchmark's accounting).
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// A snapshot of the current answers as an ordinary
+    /// [`ForemostTree`] (cloned out of the live state).
+    #[must_use]
+    pub fn tree(&self) -> ForemostTree<T> {
+        match &self.state {
+            State::Exact(core) => ForemostTree::from_parts(
+                core.arrival.clone(),
+                TreeRepr::Exact(core.parents.clone()),
+                self.stats,
+            ),
+            State::Pareto(core) => ForemostTree::from_parts(
+                core.arrival.clone(),
+                TreeRepr::Pareto {
+                    arena: core.arena.clone(),
+                    best: core.best.clone(),
+                },
+                self.stats,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::foremost_tree_multi;
+    use tvg_model::stream::{StreamEvent, TvgStream};
+    use tvg_model::{Latency, TvgIndex};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn policies() -> [WaitingPolicy<u64>; 3] {
+        [
+            WaitingPolicy::NoWait,
+            WaitingPolicy::Bounded(2),
+            WaitingPolicy::Unbounded,
+        ]
+    }
+
+    /// Repaired answers must match a fresh run on the recompiled
+    /// accumulated schedule (the in-crate smoke version of the testkit
+    /// streamcheck oracle).
+    fn assert_matches_fresh(stream: &TvgStream<u64>, inc: &IncrementalForemost<u64>, label: &str) {
+        let g = stream.to_tvg();
+        let index = TvgIndex::compile(&g, *stream.index().horizon());
+        let fresh = foremost_tree_multi(&index, inc.seeds(), inc.policy(), inc.limits());
+        for node in g.nodes() {
+            assert_eq!(
+                inc.arrival(node),
+                fresh.arrival(node),
+                "{label}: arrival at {node} under {}",
+                inc.policy()
+            );
+            let (i, f) = (inc.journey_to(node), fresh.journey_to(node));
+            match inc.policy() {
+                WaitingPolicy::Unbounded => match (&i, &f) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.num_hops(), b.num_hops(), "{label}: hops to {node}");
+                        assert_eq!(a.arrival(), b.arrival(), "{label}: witness arrival {node}");
+                    }
+                    (None, None) => {}
+                    _ => panic!("{label}: witness existence diverges at {node}"),
+                },
+                // Exact explorers: the repair replays the fresh run's
+                // expansion order, so parents are identical.
+                _ => assert_eq!(i, f, "{label}: witness to {node} under {}", inc.policy()),
+            }
+        }
+    }
+
+    fn line_stream() -> (TvgStream<u64>, Vec<tvg_model::EdgeId>) {
+        let mut s = TvgStream::new(30);
+        let v: Vec<NodeId> = (0..4).map(|i| s.add_node(&format!("v{i}"))).collect();
+        let edges = (0..3)
+            .map(|i| {
+                s.add_edge(v[i], v[i + 1], 'a', Latency::unit())
+                    .expect("ok")
+            })
+            .collect();
+        (s, edges)
+    }
+
+    #[test]
+    fn growth_extends_reach_incrementally() {
+        for policy in policies() {
+            let (mut s, e) = line_stream();
+            let limits = SearchLimits::new(30, 10);
+            // Seed at t=1 so the chain is live even under NoWait.
+            let mut inc = IncrementalForemost::new(s.index(), &[(n(0), 1)], policy, limits);
+            assert_eq!(inc.num_reached(), 1);
+            let report = s
+                .ingest(&[
+                    StreamEvent::Up { edge: e[0], at: 1 },
+                    StreamEvent::Down { edge: e[0], at: 2 },
+                ])
+                .expect("ok");
+            inc.refresh(s.index(), &report);
+            assert_matches_fresh(&s, &inc, "hop 1");
+            let report = s
+                .ingest(&[
+                    StreamEvent::Up { edge: e[1], at: 2 },
+                    StreamEvent::Down { edge: e[1], at: 3 },
+                    StreamEvent::Up { edge: e[2], at: 6 },
+                ])
+                .expect("ok");
+            inc.refresh(s.index(), &report);
+            assert_matches_fresh(&s, &inc, "hops 2-3");
+            assert_eq!(inc.arrival(n(2)), Some(&3));
+        }
+    }
+
+    #[test]
+    fn a_down_can_retract_an_arrival() {
+        // While e1 is open it is presumed present through the horizon,
+        // so v2 looks reachable; the Down closes the span *before* any
+        // usable departure, and the repair must take the arrival back.
+        let (mut s, e) = line_stream();
+        let limits = SearchLimits::new(30, 10);
+        let report = s
+            .ingest(&[
+                StreamEvent::Up { edge: e[0], at: 1 },
+                StreamEvent::Down { edge: e[0], at: 2 },
+                StreamEvent::Up { edge: e[1], at: 4 },
+            ])
+            .expect("ok");
+        for policy in [WaitingPolicy::Bounded(5), WaitingPolicy::Unbounded] {
+            let mut s = s.clone();
+            let mut inc = IncrementalForemost::new(s.index(), &[(n(0), 0)], policy, limits.clone());
+            let _ = report; // initial state built after the first batch
+            assert_eq!(inc.arrival(n(2)), Some(&5), "{}", inc.policy());
+            let report = s
+                .ingest(&[StreamEvent::Down { edge: e[1], at: 4 }])
+                .expect("zero-length close is valid");
+            inc.refresh(s.index(), &report);
+            assert_eq!(inc.arrival(n(2)), None, "{}", inc.policy());
+            assert_matches_fresh(&s, &inc, "retraction");
+        }
+    }
+
+    #[test]
+    fn horizon_extension_repairs_open_edges() {
+        let (mut s, e) = line_stream();
+        let limits = SearchLimits::new(100, 10);
+        s.ingest(&[StreamEvent::Up { edge: e[0], at: 1 }])
+            .expect("ok");
+        for policy in policies() {
+            let mut s = s.clone();
+            let mut inc = IncrementalForemost::new(s.index(), &[(n(0), 0)], policy, limits.clone());
+            let report = s
+                .ingest(&[StreamEvent::ExtendHorizon { to: 60 }])
+                .expect("ok");
+            inc.refresh(s.index(), &report);
+            assert_matches_fresh(&s, &inc, "extension");
+        }
+    }
+
+    #[test]
+    fn new_edges_and_nodes_enter_the_tree() {
+        for policy in policies() {
+            let (mut s, e) = line_stream();
+            let limits = SearchLimits::new(30, 10);
+            let report = s
+                .ingest(&[
+                    StreamEvent::Up { edge: e[0], at: 1 },
+                    StreamEvent::Down { edge: e[0], at: 2 },
+                ])
+                .expect("ok");
+            let mut inc = IncrementalForemost::new(s.index(), &[(n(0), 1)], policy, limits.clone());
+            let _ = report;
+            let fresh_node = s.add_node("late");
+            let report = s
+                .ingest(&[StreamEvent::NewEdge {
+                    src: n(1),
+                    dst: fresh_node,
+                    label: 'z',
+                    latency: Latency::unit(),
+                }])
+                .expect("ok");
+            assert_eq!(report.earliest_change, None);
+            inc.refresh(s.index(), &report);
+            assert_eq!(inc.arrival(fresh_node), None);
+            let late_edge = tvg_model::EdgeId::from_index(3);
+            let report = s
+                .ingest(&[StreamEvent::Up {
+                    edge: late_edge,
+                    at: 2,
+                }])
+                .expect("ok");
+            inc.refresh(s.index(), &report);
+            assert_matches_fresh(&s, &inc, "late edge");
+            assert!(inc.arrival(fresh_node).is_some(), "{}", inc.policy());
+        }
+    }
+
+    #[test]
+    fn refresh_since_zero_equals_fresh_everything() {
+        let (mut s, e) = line_stream();
+        let limits = SearchLimits::new(30, 10);
+        s.ingest(&[
+            StreamEvent::Up { edge: e[0], at: 1 },
+            StreamEvent::Down { edge: e[0], at: 3 },
+            StreamEvent::Up { edge: e[1], at: 3 },
+            StreamEvent::Down { edge: e[1], at: 7 },
+        ])
+        .expect("ok");
+        for policy in policies() {
+            let mut inc = IncrementalForemost::new(s.index(), &[(n(0), 1)], policy, limits.clone());
+            // Repairing from t=0 discards everything: still correct.
+            inc.refresh_since(s.index(), &0);
+            assert_matches_fresh(&s, &inc, "from zero");
+            assert_eq!(inc.stats().runs, 2);
+        }
+    }
+}

@@ -19,7 +19,14 @@
 //! * [`batch`] — the batch-query runtime: slices of independent engine
 //!   runs fanned out over scoped worker threads sharing one index, with
 //!   results merged back in input order (bit-identical to the serial
-//!   path at every thread count).
+//!   path at every thread count). Generic over
+//!   [`tvg_model::TemporalIndex`], so batches run against a
+//!   batch-compiled index or a streaming [`tvg_model::LiveIndex`]
+//!   snapshot between ingest ticks.
+//! * [`incremental`] — [`IncrementalForemost`]: a foremost tree that
+//!   repairs itself after each ingested event batch (re-relaxing only
+//!   labels at or after the batch's earliest change) instead of
+//!   rerunning the engine from scratch.
 //! * [`foremost_journey`], [`shortest_journey`], [`fastest_journey`] —
 //!   the classic journey-optimality triple, exact for every policy;
 //!   thin wrappers that compile an index and query the engine.
@@ -58,6 +65,7 @@
 
 pub mod batch;
 pub mod engine;
+pub mod incremental;
 mod journey;
 pub mod language;
 mod policy;
@@ -66,6 +74,7 @@ pub mod search;
 
 pub use batch::{Batch, BatchJourneys, BatchOutcome, BatchRunner};
 pub use engine::{foremost_to, foremost_tree, foremost_tree_multi, EngineStats, ForemostTree};
+pub use incremental::IncrementalForemost;
 pub use journey::{Hop, Journey, JourneyError};
 pub use policy::WaitingPolicy;
 pub use reachability::ReachabilityMatrix;

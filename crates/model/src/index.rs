@@ -37,6 +37,97 @@ fn assert_index_is_shareable<T: Time + Send + Sync + 'static>() {
     shareable::<TvgIndex<'static, T>>();
 }
 
+/// The query interface shared by every compiled temporal index.
+///
+/// Two implementations exist: the batch-compiled [`TvgIndex`] (one
+/// [`TvgIndex::compile`] against a fixed schedule) and the streaming
+/// [`crate::stream::LiveIndex`] (maintained event by event as a schedule
+/// *arrives*). The single-source journey engine, the batch-query
+/// runtime, and the protocol simulators are all generic over this trait,
+/// so a workload can move from offline recompute to live ingestion
+/// without touching a consumer.
+///
+/// Only five primitives are required; every derived query (presence
+/// tests, next-departure search, window enumeration, crossings) is
+/// provided on top of them and behaves identically for every
+/// implementation.
+pub trait TemporalIndex<T: Time> {
+    /// The graph this index answers for.
+    fn tvg(&self) -> &Tvg<T>;
+
+    /// The inclusive departure horizon the index covers.
+    fn horizon(&self) -> &T;
+
+    /// The compiled presence intervals of `e`.
+    fn presence(&self, e: EdgeId) -> &IntervalSet<T>;
+
+    /// Whether `e`'s arrival is known to be non-decreasing in its
+    /// departure (cached [`crate::Latency::arrival_is_monotone`]).
+    fn arrival_is_monotone(&self, e: EdgeId) -> bool;
+
+    /// Outgoing edges of `n` as one contiguous slice (builder order).
+    fn out_edges(&self, n: NodeId) -> &[EdgeId];
+
+    /// The earliest departure of `e` at or after `from` (within the
+    /// horizon), by binary search.
+    fn next_departure(&self, e: EdgeId, from: &T) -> Option<T> {
+        self.presence(e).next_at_or_after(from)
+    }
+
+    /// Enumerates the departures of `e` within the inclusive window
+    /// `[from, until]`, skipping absent stretches.
+    fn departures_within<'a>(&'a self, e: EdgeId, from: &T, until: &T) -> Instants<'a, T> {
+        let until = until.min(self.horizon());
+        self.presence(e).instants_within(from, until)
+    }
+
+    /// Whether `e` is present at `t` (binary search; always `false`
+    /// beyond the horizon).
+    fn is_present(&self, e: EdgeId, t: &T) -> bool {
+        self.presence(e).contains(t)
+    }
+
+    /// Attempts to traverse `e` departing at `t` (presence by binary
+    /// search, latency through the schedule).
+    fn traverse(&self, e: EdgeId, t: &T) -> Option<T> {
+        if !self.is_present(e, t) {
+            return None;
+        }
+        self.tvg().edge(e).latency().arrival(t)
+    }
+
+    /// Arrival of a crossing of `e` known to depart at a present instant
+    /// `t` (skips the presence test; `None` only on latency overflow).
+    fn arrival(&self, e: EdgeId, t: &T) -> Option<T> {
+        self.tvg().edge(e).latency().arrival(t)
+    }
+
+    /// Every admissible crossing from `node` departing within the
+    /// inclusive window `[from, until]`: `(edge, depart, arrive)` triples
+    /// in out-edge order, departures ascending per edge, absent
+    /// stretches skipped and latency overflows dropped.
+    fn crossings<'a>(
+        &'a self,
+        node: NodeId,
+        from: &T,
+        until: &T,
+    ) -> impl Iterator<Item = (EdgeId, T, T)> + use<'a, Self, T>
+    where
+        Self: Sized,
+        T: 'a,
+    {
+        let from = from.clone();
+        let until = until.clone();
+        self.out_edges(node).iter().flat_map(move |&e| {
+            self.departures_within(e, &from, &until)
+                .filter_map(move |dep| {
+                    let arr = self.arrival(e, &dep)?;
+                    Some((e, dep, arr))
+                })
+        })
+    }
+}
+
 /// Whether an edge appears or disappears at an event instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum EdgeEventKind {
@@ -173,24 +264,28 @@ impl<'g, T: Time> TvgIndex<'g, T> {
     /// The earliest departure of `e` at or after `from` (within the
     /// horizon), by binary search — the compiled counterpart of
     /// `Presence::next_present_within(from, horizon)`.
+    ///
+    /// Convenience delegation to the [`TemporalIndex`] default (as are
+    /// all the derived queries below): the trait's provided methods are
+    /// the single source of truth, so a live index and a compiled one
+    /// can never drift apart.
     #[must_use]
     pub fn next_departure(&self, e: EdgeId, from: &T) -> Option<T> {
-        self.presence[e.index()].next_at_or_after(from)
+        TemporalIndex::next_departure(self, e, from)
     }
 
     /// Enumerates the departures of `e` within the inclusive window
     /// `[from, until]`, skipping absent stretches.
     #[must_use]
     pub fn departures_within<'a>(&'a self, e: EdgeId, from: &T, until: &T) -> Instants<'a, T> {
-        let until = until.min(&self.horizon);
-        self.presence[e.index()].instants_within(from, until)
+        TemporalIndex::departures_within(self, e, from, until)
     }
 
     /// Whether `e` is present at `t` (binary search; agrees with
     /// [`Tvg::is_present`] for `t <= horizon`, always `false` beyond).
     #[must_use]
     pub fn is_present(&self, e: EdgeId, t: &T) -> bool {
-        self.presence[e.index()].contains(t)
+        TemporalIndex::is_present(self, e, t)
     }
 
     /// Attempts to traverse `e` departing at `t`: the compiled
@@ -198,17 +293,14 @@ impl<'g, T: Time> TvgIndex<'g, T> {
     /// latency through the schedule as before).
     #[must_use]
     pub fn traverse(&self, e: EdgeId, t: &T) -> Option<T> {
-        if !self.is_present(e, t) {
-            return None;
-        }
-        self.g.edge(e).latency().arrival(t)
+        TemporalIndex::traverse(self, e, t)
     }
 
     /// Arrival of a crossing of `e` known to depart at a present instant
     /// `t` (skips the presence test; `None` only on latency overflow).
     #[must_use]
     pub fn arrival(&self, e: EdgeId, t: &T) -> Option<T> {
-        self.g.edge(e).latency().arrival(t)
+        TemporalIndex::arrival(self, e, t)
     }
 
     /// Whether `e`'s arrival is known to be non-decreasing in its
@@ -216,7 +308,7 @@ impl<'g, T: Time> TvgIndex<'g, T> {
     /// the earliest departure in a window is also the earliest arrival.
     #[must_use]
     pub fn arrival_is_monotone(&self, e: EdgeId) -> bool {
-        self.arrival_monotone[e.index()]
+        TemporalIndex::arrival_is_monotone(self, e)
     }
 
     /// Every admissible crossing from `node` departing within the
@@ -232,15 +324,7 @@ impl<'g, T: Time> TvgIndex<'g, T> {
         from: &T,
         until: &T,
     ) -> impl Iterator<Item = (EdgeId, T, T)> + 'a {
-        let from = from.clone();
-        let until = until.clone();
-        self.out_edges(node).iter().flat_map(move |&e| {
-            self.departures_within(e, &from, &until)
-                .filter_map(move |dep| {
-                    let arr = self.arrival(e, &dep)?;
-                    Some((e, dep, arr))
-                })
-        })
+        TemporalIndex::crossings(self, node, from, until)
     }
 
     /// The global edge-event timeline, sorted by time: every appearance
@@ -255,6 +339,28 @@ impl<'g, T: Time> TvgIndex<'g, T> {
     #[must_use]
     pub fn num_edge_events(&self) -> usize {
         self.events.len()
+    }
+}
+
+impl<T: Time> TemporalIndex<T> for TvgIndex<'_, T> {
+    fn tvg(&self) -> &Tvg<T> {
+        self.g
+    }
+
+    fn horizon(&self) -> &T {
+        &self.horizon
+    }
+
+    fn presence(&self, e: EdgeId) -> &IntervalSet<T> {
+        &self.presence[e.index()]
+    }
+
+    fn arrival_is_monotone(&self, e: EdgeId) -> bool {
+        self.arrival_monotone[e.index()]
+    }
+
+    fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.csr_edges[self.csr_offsets[n.index()]..self.csr_offsets[n.index() + 1]]
     }
 }
 

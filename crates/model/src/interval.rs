@@ -153,6 +153,84 @@ impl<T: Time> IntervalSet<T> {
         IntervalSet::from_spans(out)
     }
 
+    /// The last (rightmost) span, if any.
+    #[must_use]
+    pub fn last_span(&self) -> Option<&(T, T)> {
+        self.spans.last()
+    }
+
+    /// Appends a span at the right end of the set, preserving
+    /// normalization: an empty span is dropped, a span starting at or
+    /// before the current last end is merged into it (streaming
+    /// reopenings land exactly at the previous close).
+    ///
+    /// This is the maintenance primitive of the live (streaming) index:
+    /// contact events arrive in time order, so presence only ever grows
+    /// at the right edge and the whole set never needs re-sorting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` precedes the start of the current last span —
+    /// that would be an out-of-order append, which the stream layer
+    /// rejects with a typed error before ever reaching this point.
+    pub fn append_span(&mut self, start: T, end: T) {
+        if start >= end {
+            return;
+        }
+        match self.spans.last_mut() {
+            Some((last_start, last_end)) => {
+                assert!(
+                    start >= *last_start,
+                    "append_span out of order: span starts before the current last span"
+                );
+                if start <= *last_end {
+                    if end > *last_end {
+                        *last_end = end;
+                    }
+                } else {
+                    self.spans.push((start, end));
+                }
+            }
+            None => self.spans.push((start, end)),
+        }
+    }
+
+    /// Truncates the last span to end at `end`, dropping it entirely if
+    /// that leaves it empty. The inverse maintenance primitive of
+    /// [`IntervalSet::append_span`]: a streaming `Down` event rewrites
+    /// the provisional right edge (open through the horizon) to the
+    /// observed close instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty or `end` exceeds the current last end
+    /// (truncation never extends; use [`IntervalSet::append_span`] /
+    /// [`IntervalSet::extend_last_span`] for growth).
+    pub fn truncate_last_span(&mut self, end: &T) {
+        let (start, last_end) = self.spans.last_mut().expect("truncate on an empty set");
+        assert!(
+            *end <= *last_end,
+            "truncate_last_span would extend the span"
+        );
+        if *end <= *start {
+            self.spans.pop();
+        } else {
+            *last_end = end.clone();
+        }
+    }
+
+    /// Extends the last span's end to `end` (a horizon extension moving
+    /// an open edge's provisional close further out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty or `end` precedes the current last end.
+    pub fn extend_last_span(&mut self, end: &T) {
+        let (_, last_end) = self.spans.last_mut().expect("extend on an empty set");
+        assert!(*end >= *last_end, "extend_last_span would shrink the span");
+        *last_end = end.clone();
+    }
+
     /// Complement within `[0, end)`.
     #[must_use]
     pub fn complement_within(&self, end: &T) -> Self {
@@ -286,6 +364,47 @@ mod tests {
             assert_eq!(i.contains(&t), a.contains(&t) && b.contains(&t), "i t={t}");
             assert_eq!(c.contains(&t), t < 25 && !a.contains(&t), "c t={t}");
         }
+    }
+
+    #[test]
+    fn append_span_grows_at_the_right_edge() {
+        let mut s = IntervalSet::<u64>::empty();
+        s.append_span(2, 5);
+        s.append_span(5, 5); // empty: dropped
+        assert_eq!(s.spans(), &[(2, 5)]);
+        s.append_span(5, 7); // adjacent: merged
+        assert_eq!(s.spans(), &[(2, 7)]);
+        s.append_span(9, 12); // gap: new span
+        assert_eq!(s.spans(), &[(2, 7), (9, 12)]);
+        s.append_span(10, 11); // contained: absorbed
+        assert_eq!(s.spans(), &[(2, 7), (9, 12)]);
+        assert_eq!(s.last_span(), Some(&(9, 12)));
+    }
+
+    #[test]
+    fn truncate_and_extend_rewrite_the_open_edge() {
+        let mut s = set(&[(1, 4), (6, 20)]);
+        s.truncate_last_span(&9);
+        assert_eq!(s.spans(), &[(1, 4), (6, 9)]);
+        s.extend_last_span(&15);
+        assert_eq!(s.spans(), &[(1, 4), (6, 15)]);
+        // Truncating to the start drops the span entirely.
+        s.truncate_last_span(&6);
+        assert_eq!(s.spans(), &[(1, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn append_span_rejects_out_of_order() {
+        let mut s = set(&[(5, 9)]);
+        s.append_span(2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "would extend")]
+    fn truncate_never_extends() {
+        let mut s = set(&[(1, 4)]);
+        s.truncate_last_span(&9);
     }
 
     #[test]

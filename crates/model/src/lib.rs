@@ -19,6 +19,12 @@
 //!   presence materialized as sorted half-open intervals over a horizon
 //!   (binary-search next-presence, gap-skipping departure enumeration),
 //!   CSR out-edge adjacency, and a global sorted edge-event timeline.
+//! * [`stream`] — streaming ingestion: a [`TvgStream`] validates
+//!   appended edge events (up/down, new edges, horizon extensions) and
+//!   maintains a [`LiveIndex`] — the same compiled structures as
+//!   [`TvgIndex`], mutated in place per event instead of recompiled.
+//!   Both index forms answer queries through the [`TemporalIndex`]
+//!   trait, so every consumer runs on either.
 //! * [`Digraph`] — a minimal static digraph for snapshots and protocols.
 //! * [`generators`] — reproducible random/structured TVG families for the
 //!   experiment sweeps.
@@ -56,13 +62,15 @@ mod ids;
 mod index;
 mod interval;
 mod schedule;
+pub mod stream;
 mod time;
 mod tvg;
 
 pub use graph::Digraph;
 pub use ids::{EdgeId, NodeId};
-pub use index::{EdgeEvent, EdgeEventKind, TvgIndex};
+pub use index::{EdgeEvent, EdgeEventKind, TemporalIndex, TvgIndex};
 pub use interval::{Instants, IntervalSet};
 pub use schedule::{pq_power_index, Latency, Presence};
+pub use stream::{LiveIndex, StreamError, StreamEvent, TvgStream};
 pub use time::Time;
 pub use tvg::{Edge, NameTable, Tvg, TvgBuilder, TvgError};

@@ -1,0 +1,943 @@
+//! Streaming TVG ingestion: schedules that *arrive* instead of being
+//! known up front.
+//!
+//! [`TvgIndex::compile`] is batch-only: it materializes a complete
+//! schedule against a horizon, so a single new contact event forces a
+//! full recompile. Real deployments of the paper's model — DTN traces,
+//! contact loggers, link-state feeds — observe their schedule as a
+//! stream of *edge events*: a link comes up at `t`, goes down at `t'`, a
+//! previously unseen link appears, the observation window extends. This
+//! module is that regime:
+//!
+//! * [`TvgStream`] is the ingestion layer. It validates appended
+//!   [`StreamEvent`]s (monotone in time, `Down` only after `Up`, within
+//!   the horizon) with typed [`StreamError`]s instead of panics, and
+//!   applies each accepted event to a [`LiveIndex`].
+//! * [`LiveIndex`] is the incrementally-maintained counterpart of
+//!   [`TvgIndex`]: the same per-edge [`IntervalSet`] presence, CSR
+//!   adjacency, and sorted edge-event timeline — but mutated at the
+//!   right edge per event instead of recompiled. It implements
+//!   [`TemporalIndex`], so the journey engine, the batch-query runtime,
+//!   and the protocol simulators run on it unchanged.
+//!
+//! The maintenance contract, which the `tvg-testkit` `streamcheck`
+//! differential oracle enforces after every ingested batch: a
+//! [`LiveIndex`] is **structurally identical** to
+//! `TvgIndex::compile(&stream.to_tvg(), horizon)` — same presence spans,
+//! same adjacency, same event timeline. An edge whose last `Up` has no
+//! `Down` yet is *open*: it is presumed present through the horizon
+//! (provisional close at `horizon + 1`), and a later `Down` or horizon
+//! extension rewrites that provisional close in place.
+//!
+//! Every accepted event changes presence only at or after its own
+//! instant (the [`IngestReport::earliest_change`] watermark), which is
+//! exactly the property the incremental journey repair in
+//! `tvg_journeys::incremental` relies on to re-relax only the labels it
+//! must.
+
+use crate::interval::IntervalSet;
+use crate::{
+    EdgeEvent, EdgeEventKind, EdgeId, Latency, NodeId, Presence, TemporalIndex, Time, Tvg,
+    TvgBuilder, TvgIndex,
+};
+use std::error::Error;
+use std::fmt;
+use tvg_langs::Letter;
+
+/// One appended observation of an evolving schedule.
+#[derive(Debug, Clone)]
+pub enum StreamEvent<T> {
+    /// Edge `edge` becomes present at instant `at` (and stays present
+    /// until its `Down`, provisionally through the horizon).
+    Up {
+        /// The edge coming up.
+        edge: EdgeId,
+        /// The instant it comes up.
+        at: T,
+    },
+    /// Edge `edge` becomes absent at instant `at` (exclusive span end:
+    /// the edge was last present at `at - 1`).
+    Down {
+        /// The edge going down.
+        edge: EdgeId,
+        /// The instant it goes down.
+        at: T,
+    },
+    /// A previously unseen edge joins the graph, initially absent; its
+    /// presence is driven entirely by subsequent `Up`/`Down` events.
+    NewEdge {
+        /// Source node (must already exist).
+        src: NodeId,
+        /// Destination node (must already exist).
+        dst: NodeId,
+        /// Edge label (printable ASCII).
+        label: char,
+        /// Latency schedule of the new edge.
+        latency: Latency<T>,
+    },
+    /// The observation window extends: departures up to `to` (inclusive)
+    /// are now covered, and open edges are presumed present through it.
+    ExtendHorizon {
+        /// The new inclusive horizon (must not regress).
+        to: T,
+    },
+}
+
+/// Typed rejection of an invalid [`StreamEvent`]. The stream never
+/// panics on bad input — out-of-order feeds, double-ups, and
+/// down-before-up are data errors, not bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError<T> {
+    /// The event references an edge the stream has never seen.
+    UnknownEdge(EdgeId),
+    /// A `NewEdge` references a node the stream has never seen.
+    UnknownNode(NodeId),
+    /// A `NewEdge` label is not printable ASCII.
+    BadLabel(char),
+    /// The event's instant precedes an already-ingested event.
+    OutOfOrder {
+        /// The offending event instant.
+        at: T,
+        /// The stream's watermark (latest accepted event instant).
+        watermark: T,
+    },
+    /// The event's instant exceeds the current horizon (extend first).
+    BeyondHorizon {
+        /// The offending event instant.
+        at: T,
+        /// The current inclusive horizon.
+        horizon: T,
+    },
+    /// `Up` on an edge that is already up.
+    AlreadyUp {
+        /// The edge.
+        edge: EdgeId,
+        /// When its open span started.
+        since: T,
+    },
+    /// `Down` on an edge that is not up — the out-of-order shape the
+    /// paper's contact feeds actually produce, rejected typed.
+    DownBeforeUp {
+        /// The edge.
+        edge: EdgeId,
+        /// The offending instant.
+        at: T,
+    },
+    /// `ExtendHorizon` to an instant before the current horizon.
+    HorizonRegression {
+        /// The requested horizon.
+        to: T,
+        /// The current inclusive horizon.
+        horizon: T,
+    },
+    /// The requested horizon has no representable successor (half-open
+    /// provisional closes need `horizon + 1`).
+    HorizonUnrepresentable {
+        /// The requested horizon.
+        to: T,
+    },
+}
+
+impl<T: fmt::Display> fmt::Display for StreamError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::UnknownEdge(e) => write!(f, "stream event references unknown edge {e}"),
+            StreamError::UnknownNode(n) => write!(f, "new edge references unknown node {n}"),
+            StreamError::BadLabel(c) => write!(f, "new edge label {c:?} is not printable ascii"),
+            StreamError::OutOfOrder { at, watermark } => {
+                write!(f, "event at {at} precedes watermark {watermark}")
+            }
+            StreamError::BeyondHorizon { at, horizon } => {
+                write!(f, "event at {at} beyond horizon {horizon} (extend first)")
+            }
+            StreamError::AlreadyUp { edge, since } => {
+                write!(f, "edge {edge} is already up since {since}")
+            }
+            StreamError::DownBeforeUp { edge, at } => {
+                write!(f, "down at {at} on edge {edge} that is not up")
+            }
+            StreamError::HorizonRegression { to, horizon } => {
+                write!(f, "horizon extension to {to} regresses below {horizon}")
+            }
+            StreamError::HorizonUnrepresentable { to } => {
+                write!(f, "horizon {to} has no representable successor")
+            }
+        }
+    }
+}
+
+impl<T: fmt::Display + fmt::Debug> Error for StreamError<T> {}
+
+/// What one [`TvgStream::ingest`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestReport<T> {
+    /// Number of events applied (the whole batch on success).
+    pub applied: usize,
+    /// The earliest instant at which presence changed since the last
+    /// *successful* report, if it did: no journey arriving strictly
+    /// before it is affected, which is the repair watermark
+    /// `tvg_journeys::incremental` uses. Changes applied by the prefix
+    /// of a previously *failed* batch are carried into this report, so
+    /// repairing from every successful report misses nothing. `None`
+    /// for batches of pure topology growth (`NewEdge`) or no-op
+    /// horizon extensions.
+    pub earliest_change: Option<T>,
+}
+
+/// The incrementally-maintained counterpart of [`TvgIndex`].
+///
+/// Owns its graph (the stream grows it) and the same compiled structures
+/// a batch index holds: per-edge presence intervals, CSR adjacency, the
+/// sorted edge-event timeline. Every query runs through the shared
+/// [`TemporalIndex`] trait, so consumers cannot tell a live index from a
+/// recompiled one — and the `streamcheck` oracle asserts they never
+/// could (structural identity after every batch).
+///
+/// The presence ASTs inside the owned graph are `Presence::Never`
+/// placeholders: in the streaming regime the *index* is the schedule of
+/// record (there is no closed-form schedule to compile from until
+/// [`TvgStream::to_tvg`] materializes one).
+#[derive(Debug, Clone)]
+pub struct LiveIndex<T> {
+    g: Tvg<T>,
+    horizon: T,
+    /// `horizon + 1`: the provisional close of open spans.
+    end: T,
+    presence: Vec<IntervalSet<T>>,
+    arrival_monotone: Vec<bool>,
+    csr_offsets: Vec<usize>,
+    csr_edges: Vec<EdgeId>,
+    events: Vec<EdgeEvent<T>>,
+}
+
+impl<T: Time> LiveIndex<T> {
+    fn new(horizon: T) -> Self {
+        let end = horizon
+            .checked_add(&T::one())
+            .expect("stream horizon must have a representable successor");
+        LiveIndex {
+            g: Tvg::empty(),
+            horizon,
+            end,
+            presence: Vec::new(),
+            arrival_monotone: Vec::new(),
+            csr_offsets: vec![0],
+            csr_edges: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The global edge-event timeline, sorted by time — maintained in
+    /// place, identical to the recompiled [`TvgIndex::edge_events`]
+    /// (open edges carry their provisional close at `horizon + 1`).
+    #[must_use]
+    pub fn edge_events(&self) -> &[EdgeEvent<T>] {
+        &self.events
+    }
+
+    /// Total number of edge events (twice the span count).
+    #[must_use]
+    pub fn num_edge_events(&self) -> usize {
+        self.events.len()
+    }
+
+    fn insert_event(&mut self, ev: EdgeEvent<T>) {
+        let pos = self.events.partition_point(|e| *e < ev);
+        self.events.insert(pos, ev);
+    }
+
+    fn remove_event(&mut self, ev: &EdgeEvent<T>) {
+        let pos = self
+            .events
+            .binary_search(ev)
+            .expect("timeline bookkeeping lost an event");
+        self.events.remove(pos);
+    }
+}
+
+impl<T: Time> TemporalIndex<T> for LiveIndex<T> {
+    fn tvg(&self) -> &Tvg<T> {
+        &self.g
+    }
+
+    fn horizon(&self) -> &T {
+        &self.horizon
+    }
+
+    fn presence(&self, e: EdgeId) -> &IntervalSet<T> {
+        &self.presence[e.index()]
+    }
+
+    fn arrival_is_monotone(&self, e: EdgeId) -> bool {
+        self.arrival_monotone[e.index()]
+    }
+
+    fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.csr_edges[self.csr_offsets[n.index()]..self.csr_offsets[n.index() + 1]]
+    }
+}
+
+/// The ingestion layer: validates appended events and maintains a
+/// [`LiveIndex`] plus the open-span state needed to interpret them.
+///
+/// ```
+/// use tvg_model::stream::{StreamEvent, TvgStream};
+/// use tvg_model::{Latency, TemporalIndex};
+///
+/// let mut s = TvgStream::<u64>::new(10);
+/// let (u, v) = (s.add_node("u"), s.add_node("v"));
+/// let e = s.add_edge(u, v, 'a', Latency::unit())?;
+/// let report = s.ingest(&[
+///     StreamEvent::Up { edge: e, at: 2 },
+///     StreamEvent::Down { edge: e, at: 5 },
+/// ])?;
+/// assert_eq!(report.earliest_change, Some(2));
+/// assert!(s.index().is_present(e, &4));
+/// assert!(!s.index().is_present(e, &5));
+/// # Ok::<(), tvg_model::stream::StreamError<u64>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TvgStream<T> {
+    live: LiveIndex<T>,
+    watermark: Option<T>,
+    /// Per edge: the start instant of its currently open span's `Up`.
+    open_since: Vec<Option<T>>,
+    /// Earliest presence change not yet handed out in a successful
+    /// [`IngestReport`] — the applied prefix of a failed batch parks
+    /// its changes here for the next report.
+    unreported_change: Option<T>,
+}
+
+impl<T: Time> TvgStream<T> {
+    /// An empty stream (no nodes, no edges, no events) covering
+    /// departures in `[0, horizon]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon + 1` overflows the time representation (open
+    /// spans need a representable provisional close).
+    #[must_use]
+    pub fn new(horizon: T) -> Self {
+        TvgStream {
+            live: LiveIndex::new(horizon),
+            watermark: None,
+            open_since: Vec::new(),
+            unreported_change: None,
+        }
+    }
+
+    /// The live index this stream maintains. Borrow it between ingest
+    /// ticks to run queries — the engine, the batch runtime, and the
+    /// simulators all accept it wherever a compiled index goes.
+    #[must_use]
+    pub fn index(&self) -> &LiveIndex<T> {
+        &self.live
+    }
+
+    /// The latest accepted event instant, if any event was accepted.
+    #[must_use]
+    pub fn watermark(&self) -> Option<&T> {
+        self.watermark.as_ref()
+    }
+
+    /// Whether `e` is currently up (its last `Up` has no `Down` yet),
+    /// and since when.
+    #[must_use]
+    pub fn open_since(&self, e: EdgeId) -> Option<&T> {
+        self.open_since.get(e.index()).and_then(Option::as_ref)
+    }
+
+    /// Adds a node, returning its id. Topology growth carries no
+    /// timestamp and never affects existing presence.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        self.live.csr_offsets.push(self.live.csr_edges.len());
+        self.live.g.push_node(name)
+    }
+
+    /// Adds an edge (initially absent), returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownNode`] / [`StreamError::BadLabel`] on
+    /// invalid endpoints or label.
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        label: char,
+        latency: Latency<T>,
+    ) -> Result<EdgeId, StreamError<T>> {
+        for n in [src, dst] {
+            if n.index() >= self.live.g.num_nodes() {
+                return Err(StreamError::UnknownNode(n));
+            }
+        }
+        let letter = Letter::new(label).map_err(|_| StreamError::BadLabel(label))?;
+        self.live
+            .arrival_monotone
+            .push(latency.arrival_is_monotone());
+        let e = self
+            .live
+            .g
+            .push_edge(src, dst, letter, Presence::Never, latency);
+        self.live.presence.push(IntervalSet::empty());
+        self.open_since.push(None);
+        // CSR insert: the new edge has the maximal id, so it lands at the
+        // end of its source's slice; only later nodes' offsets shift.
+        let pos = self.live.csr_offsets[src.index() + 1];
+        self.live.csr_edges.insert(pos, e);
+        for offset in &mut self.live.csr_offsets[src.index() + 1..] {
+            *offset += 1;
+        }
+        Ok(e)
+    }
+
+    /// Applies a batch of events in order.
+    ///
+    /// Events must be globally non-decreasing in time (the watermark
+    /// advances with each accepted event). On the first invalid event
+    /// the batch stops and the typed error is returned; *earlier* events
+    /// of the batch remain applied, and their presence changes carry
+    /// over into the **next successful** ingest's
+    /// [`IngestReport::earliest_change`] — so an incremental consumer
+    /// that repairs from each successful report never misses the
+    /// applied prefix of a failed batch.
+    ///
+    /// # Errors
+    ///
+    /// The first [`StreamError`] encountered, with everything before it
+    /// applied (and accounted to the next successful report).
+    pub fn ingest(&mut self, events: &[StreamEvent<T>]) -> Result<IngestReport<T>, StreamError<T>> {
+        let mut applied = 0;
+        for ev in events {
+            let changed_at = self.apply(ev)?;
+            applied += 1;
+            if let Some(t) = changed_at {
+                if self.unreported_change.as_ref().is_none_or(|cur| t < *cur) {
+                    self.unreported_change = Some(t);
+                }
+            }
+        }
+        Ok(IngestReport {
+            applied,
+            earliest_change: self.unreported_change.take(),
+        })
+    }
+
+    /// Applies one event; returns the instant at which presence changed
+    /// (if it did).
+    fn apply(&mut self, ev: &StreamEvent<T>) -> Result<Option<T>, StreamError<T>> {
+        match ev {
+            StreamEvent::Up { edge, at } => self.apply_up(*edge, at).map(Some),
+            StreamEvent::Down { edge, at } => self.apply_down(*edge, at).map(Some),
+            StreamEvent::NewEdge {
+                src,
+                dst,
+                label,
+                latency,
+            } => {
+                self.add_edge(*src, *dst, *label, latency.clone())?;
+                Ok(None)
+            }
+            StreamEvent::ExtendHorizon { to } => self.apply_extend(to),
+        }
+    }
+
+    fn check_time(&self, at: &T) -> Result<(), StreamError<T>> {
+        if let Some(w) = &self.watermark {
+            if at < w {
+                return Err(StreamError::OutOfOrder {
+                    at: at.clone(),
+                    watermark: w.clone(),
+                });
+            }
+        }
+        if *at > self.live.horizon {
+            return Err(StreamError::BeyondHorizon {
+                at: at.clone(),
+                horizon: self.live.horizon.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_edge(&self, e: EdgeId) -> Result<(), StreamError<T>> {
+        if e.index() >= self.live.g.num_edges() {
+            return Err(StreamError::UnknownEdge(e));
+        }
+        Ok(())
+    }
+
+    fn apply_up(&mut self, e: EdgeId, at: &T) -> Result<T, StreamError<T>> {
+        self.check_edge(e)?;
+        self.check_time(at)?;
+        if let Some(since) = &self.open_since[e.index()] {
+            return Err(StreamError::AlreadyUp {
+                edge: e,
+                since: since.clone(),
+            });
+        }
+        // Reopening exactly at the previous close merges spans (the
+        // normalized form has no adjacent spans), which also retracts
+        // the close event the earlier `Down` recorded.
+        let merges = self.live.presence[e.index()]
+            .last_span()
+            .is_some_and(|(_, end)| *end == *at);
+        if merges {
+            self.live.remove_event(&EdgeEvent {
+                time: at.clone(),
+                edge: e,
+                kind: EdgeEventKind::Disappear,
+            });
+        } else {
+            self.live.insert_event(EdgeEvent {
+                time: at.clone(),
+                edge: e,
+                kind: EdgeEventKind::Appear,
+            });
+        }
+        let provisional_end = self.live.end.clone();
+        self.live.insert_event(EdgeEvent {
+            time: provisional_end.clone(),
+            edge: e,
+            kind: EdgeEventKind::Disappear,
+        });
+        self.live.presence[e.index()].append_span(at.clone(), provisional_end);
+        self.open_since[e.index()] = Some(at.clone());
+        self.watermark = Some(at.clone());
+        Ok(at.clone())
+    }
+
+    fn apply_down(&mut self, e: EdgeId, at: &T) -> Result<T, StreamError<T>> {
+        self.check_edge(e)?;
+        self.check_time(at)?;
+        if self.open_since[e.index()].is_none() {
+            return Err(StreamError::DownBeforeUp {
+                edge: e,
+                at: at.clone(),
+            });
+        }
+        self.live.remove_event(&EdgeEvent {
+            time: self.live.end.clone(),
+            edge: e,
+            kind: EdgeEventKind::Disappear,
+        });
+        let span_start = self.live.presence[e.index()]
+            .last_span()
+            .expect("an open edge has a span")
+            .0
+            .clone();
+        if span_start == *at {
+            // Zero-length up/down pair: the span never existed.
+            self.live.remove_event(&EdgeEvent {
+                time: at.clone(),
+                edge: e,
+                kind: EdgeEventKind::Appear,
+            });
+        } else {
+            self.live.insert_event(EdgeEvent {
+                time: at.clone(),
+                edge: e,
+                kind: EdgeEventKind::Disappear,
+            });
+        }
+        self.live.presence[e.index()].truncate_last_span(at);
+        self.open_since[e.index()] = None;
+        self.watermark = Some(at.clone());
+        Ok(at.clone())
+    }
+
+    fn apply_extend(&mut self, to: &T) -> Result<Option<T>, StreamError<T>> {
+        if *to < self.live.horizon {
+            return Err(StreamError::HorizonRegression {
+                to: to.clone(),
+                horizon: self.live.horizon.clone(),
+            });
+        }
+        if *to == self.live.horizon {
+            return Ok(None);
+        }
+        let Some(new_end) = to.checked_add(&T::one()) else {
+            return Err(StreamError::HorizonUnrepresentable { to: to.clone() });
+        };
+        let old_end = std::mem::replace(&mut self.live.end, new_end.clone());
+        self.live.horizon = to.clone();
+        // Open edges were presumed present through the old horizon; the
+        // presumption now extends. Their provisional closes live in a
+        // contiguous tail of the timeline (nothing is later than the old
+        // end), so the rewrite preserves sort order.
+        let mut any_open = false;
+        for (i, since) in self.open_since.iter().enumerate() {
+            if since.is_some() {
+                any_open = true;
+                self.live.presence[i].extend_last_span(&new_end);
+            }
+        }
+        let tail = self.live.events.partition_point(|ev| ev.time < old_end);
+        for ev in &mut self.live.events[tail..] {
+            debug_assert_eq!(ev.time, old_end);
+            ev.time = new_end.clone();
+        }
+        Ok(any_open.then_some(old_end))
+    }
+
+    /// Materializes the accumulated schedule as an ordinary batch
+    /// [`Tvg`]: same nodes, edges, labels, and latencies, with each
+    /// edge's presence written as the disjunction of its observed spans
+    /// (open edges run through the horizon). Recompiling this graph with
+    /// [`TvgIndex::compile`] at the stream's horizon reproduces the
+    /// [`LiveIndex`] structure exactly — the differential contract the
+    /// testkit's `streamcheck` oracle enforces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has no nodes yet (an empty graph has no
+    /// batch form).
+    #[must_use]
+    pub fn to_tvg(&self) -> Tvg<T> {
+        let mut b = TvgBuilder::new();
+        for n in self.live.g.nodes() {
+            b.node(self.live.g.node_name(n));
+        }
+        for e in self.live.g.edges() {
+            let edge = self.live.g.edge(e);
+            let presence = spans_to_presence(self.live.presence[e.index()].spans());
+            b.edge(
+                edge.src(),
+                edge.dst(),
+                edge.label().as_char(),
+                presence,
+                edge.latency().clone(),
+            )
+            .expect("live edges are pre-validated");
+        }
+        b.build()
+            .expect("a streamed schedule needs at least one node")
+    }
+
+    /// Mirrors an existing batch graph into a stream: same nodes and
+    /// edges (initially all absent) plus the event list that replays
+    /// `g`'s compiled schedule up to `horizon`, in timeline order.
+    /// Ingesting every returned event reproduces `TvgIndex::compile(g,
+    /// horizon)` structurally; chopping the list into batches is how the
+    /// test harness (and the replay benchmarks) drive live workloads
+    /// from batch fixtures.
+    ///
+    /// Provisional closes (spans still open at the horizon) are *not*
+    /// replayed as `Down` events — the stream keeps those edges open,
+    /// exactly as the compiled index presumes them present through the
+    /// horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon + 1` overflows the time representation.
+    #[must_use]
+    pub fn replay_of(g: &Tvg<T>, horizon: &T) -> (TvgStream<T>, Vec<StreamEvent<T>>) {
+        let index = TvgIndex::compile(g, horizon.clone());
+        let mut stream = TvgStream::new(horizon.clone());
+        for n in g.nodes() {
+            stream.add_node(g.node_name(n));
+        }
+        for e in g.edges() {
+            let edge = g.edge(e);
+            stream
+                .add_edge(
+                    edge.src(),
+                    edge.dst(),
+                    edge.label().as_char(),
+                    edge.latency().clone(),
+                )
+                .expect("mirrored edges are valid");
+        }
+        let events = index
+            .edge_events()
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                EdgeEventKind::Appear => Some(StreamEvent::Up {
+                    edge: ev.edge,
+                    at: ev.time.clone(),
+                }),
+                EdgeEventKind::Disappear if ev.time <= *horizon => Some(StreamEvent::Down {
+                    edge: ev.edge,
+                    at: ev.time.clone(),
+                }),
+                // A close beyond the horizon is the compiled form of "still
+                // open": the stream expresses it by not closing at all.
+                EdgeEventKind::Disappear => None,
+            })
+            .collect();
+        (stream, events)
+    }
+}
+
+/// The disjunction-of-windows presence AST for a normalized span list.
+fn spans_to_presence<T: Time>(spans: &[(T, T)]) -> Presence<T> {
+    let mut acc: Option<Presence<T>> = None;
+    for (start, end) in spans {
+        let until = end
+            .checked_sub(&T::one())
+            .expect("normalized spans are non-empty");
+        let window = Presence::Window {
+            from: start.clone(),
+            until,
+        };
+        acc = Some(match acc {
+            None => window,
+            Some(prev) => Presence::Or(Box::new(prev), Box::new(window)),
+        });
+    }
+    acc.unwrap_or(Presence::Never)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_stream() -> (TvgStream<u64>, EdgeId) {
+        let mut s = TvgStream::new(20);
+        let u = s.add_node("u");
+        let v = s.add_node("v");
+        let e = s.add_edge(u, v, 'a', Latency::unit()).expect("valid");
+        (s, e)
+    }
+
+    /// Structural identity with a from-scratch recompile of the
+    /// accumulated schedule — the module's core contract (the testkit
+    /// oracle applies this after every generated batch; this is the
+    /// in-crate smoke version).
+    fn assert_matches_recompile(s: &TvgStream<u64>) {
+        let g = s.to_tvg();
+        let compiled = TvgIndex::compile(&g, *s.index().horizon());
+        for e in g.edges() {
+            assert_eq!(
+                s.index().presence(e).spans(),
+                TemporalIndex::presence(&compiled, e).spans(),
+                "{e} presence"
+            );
+        }
+        for n in g.nodes() {
+            assert_eq!(
+                TemporalIndex::out_edges(s.index(), n),
+                TemporalIndex::out_edges(&compiled, n),
+                "{n} adjacency"
+            );
+        }
+        assert_eq!(s.index().edge_events(), compiled.edge_events(), "timeline");
+    }
+
+    #[test]
+    fn up_down_builds_spans() {
+        let (mut s, e) = two_node_stream();
+        s.ingest(&[
+            StreamEvent::Up { edge: e, at: 2 },
+            StreamEvent::Down { edge: e, at: 5 },
+            StreamEvent::Up { edge: e, at: 9 },
+        ])
+        .expect("valid feed");
+        assert_eq!(s.index().presence(e).spans(), &[(2, 5), (9, 21)]);
+        assert_eq!(s.watermark(), Some(&9));
+        assert_eq!(s.open_since(e), Some(&9));
+        assert_matches_recompile(&s);
+    }
+
+    #[test]
+    fn reopening_at_the_close_merges() {
+        let (mut s, e) = two_node_stream();
+        s.ingest(&[
+            StreamEvent::Up { edge: e, at: 2 },
+            StreamEvent::Down { edge: e, at: 5 },
+            StreamEvent::Up { edge: e, at: 5 },
+            StreamEvent::Down { edge: e, at: 8 },
+        ])
+        .expect("valid feed");
+        assert_eq!(s.index().presence(e).spans(), &[(2, 8)]);
+        assert_eq!(s.index().num_edge_events(), 2);
+        assert_matches_recompile(&s);
+    }
+
+    #[test]
+    fn zero_length_pair_leaves_no_trace() {
+        let (mut s, e) = two_node_stream();
+        s.ingest(&[
+            StreamEvent::Up { edge: e, at: 4 },
+            StreamEvent::Down { edge: e, at: 4 },
+        ])
+        .expect("valid feed");
+        assert!(s.index().presence(e).is_empty());
+        assert_eq!(s.index().num_edge_events(), 0);
+        assert_eq!(s.watermark(), Some(&4));
+        assert_matches_recompile(&s);
+    }
+
+    #[test]
+    fn event_exactly_at_horizon() {
+        let (mut s, e) = two_node_stream();
+        s.ingest(&[StreamEvent::Up { edge: e, at: 20 }])
+            .expect("the horizon itself is within the window");
+        assert_eq!(s.index().presence(e).spans(), &[(20, 21)]);
+        assert!(s.index().is_present(e, &20));
+        assert_matches_recompile(&s);
+        let err = s
+            .ingest(&[StreamEvent::Down { edge: e, at: 21 }])
+            .expect_err("beyond the horizon");
+        assert_eq!(
+            err,
+            StreamError::BeyondHorizon {
+                at: 21,
+                horizon: 20
+            }
+        );
+    }
+
+    #[test]
+    fn typed_errors_cover_bad_feeds() {
+        let (mut s, e) = two_node_stream();
+        assert_eq!(
+            s.ingest(&[StreamEvent::Down { edge: e, at: 3 }]),
+            Err(StreamError::DownBeforeUp { edge: e, at: 3 })
+        );
+        s.ingest(&[StreamEvent::Up { edge: e, at: 5 }]).expect("ok");
+        assert_eq!(
+            s.ingest(&[StreamEvent::Up { edge: e, at: 7 }]),
+            Err(StreamError::AlreadyUp { edge: e, since: 5 })
+        );
+        assert_eq!(
+            s.ingest(&[StreamEvent::Down { edge: e, at: 3 }]),
+            Err(StreamError::OutOfOrder {
+                at: 3,
+                watermark: 5
+            })
+        );
+        let ghost = EdgeId::from_index(9);
+        assert_eq!(
+            s.ingest(&[StreamEvent::Up { edge: ghost, at: 6 }]),
+            Err(StreamError::UnknownEdge(ghost))
+        );
+        assert_eq!(
+            s.ingest(&[StreamEvent::ExtendHorizon { to: 10 }]),
+            Err(StreamError::HorizonRegression {
+                to: 10,
+                horizon: 20
+            })
+        );
+        assert_eq!(
+            s.ingest(&[StreamEvent::ExtendHorizon { to: u64::MAX }]),
+            Err(StreamError::HorizonUnrepresentable { to: u64::MAX })
+        );
+        assert_eq!(
+            s.add_edge(
+                NodeId::from_index(0),
+                NodeId::from_index(7),
+                'a',
+                Latency::unit()
+            ),
+            Err(StreamError::UnknownNode(NodeId::from_index(7)))
+        );
+        // Errors are values with readable diagnostics, not panics.
+        assert!(StreamError::DownBeforeUp { edge: e, at: 3u64 }
+            .to_string()
+            .contains("not up"));
+    }
+
+    #[test]
+    fn horizon_extension_moves_provisional_closes() {
+        let (mut s, e) = two_node_stream();
+        let report = s
+            .ingest(&[
+                StreamEvent::Up { edge: e, at: 3 },
+                StreamEvent::ExtendHorizon { to: 30 },
+            ])
+            .expect("valid feed");
+        assert_eq!(s.index().presence(e).spans(), &[(3, 31)]);
+        assert_eq!(s.index().horizon(), &30);
+        // The batch's earliest change is the Up itself (3), not the
+        // extension (21).
+        assert_eq!(report.earliest_change, Some(3));
+        assert_matches_recompile(&s);
+        // A pure extension with open edges changes presence just beyond
+        // the old horizon; with no open edges it changes nothing.
+        let report = s
+            .ingest(&[StreamEvent::ExtendHorizon { to: 40 }])
+            .expect("valid");
+        assert_eq!(report.earliest_change, Some(31));
+        s.ingest(&[StreamEvent::Down { edge: e, at: 35 }])
+            .expect("ok");
+        let report = s
+            .ingest(&[StreamEvent::ExtendHorizon { to: 50 }])
+            .expect("valid");
+        assert_eq!(report.earliest_change, None);
+        assert_matches_recompile(&s);
+    }
+
+    #[test]
+    fn new_edges_grow_the_csr_in_place() {
+        let mut s = TvgStream::<u64>::new(10);
+        let a = s.add_node("a");
+        let b = s.add_node("b");
+        let e0 = s.add_edge(a, b, 'x', Latency::unit()).expect("valid");
+        s.ingest(&[StreamEvent::Up { edge: e0, at: 1 }])
+            .expect("ok");
+        let report = s
+            .ingest(&[StreamEvent::NewEdge {
+                src: a,
+                dst: b,
+                label: 'y',
+                latency: Latency::Const(2),
+            }])
+            .expect("valid");
+        assert_eq!(report.earliest_change, None);
+        let e1 = EdgeId::from_index(1);
+        assert_eq!(TemporalIndex::out_edges(s.index(), a), &[e0, e1]);
+        s.ingest(&[
+            StreamEvent::Up { edge: e1, at: 4 },
+            StreamEvent::Down { edge: e1, at: 6 },
+        ])
+        .expect("ok");
+        assert_eq!(s.index().traverse(e1, &4), Some(6));
+        assert_matches_recompile(&s);
+    }
+
+    #[test]
+    fn replay_reproduces_a_batch_fixture() {
+        use crate::generators::ring_bus_tvg;
+        let g = ring_bus_tvg(5, 5, 'r');
+        let (mut s, events) = TvgStream::replay_of(&g, &24);
+        assert!(!events.is_empty());
+        s.ingest(&events).expect("replay is a valid feed");
+        let compiled = TvgIndex::compile(&g, 24);
+        for e in g.edges() {
+            assert_eq!(
+                s.index().presence(e).spans(),
+                compiled.presence(e).spans(),
+                "{e}"
+            );
+        }
+        assert_eq!(s.index().edge_events(), compiled.edge_events());
+        assert_eq!(s.index().num_edge_events(), compiled.num_edge_events());
+        assert_matches_recompile(&s);
+    }
+
+    #[test]
+    fn failed_batches_stop_at_the_offender() {
+        let (mut s, e) = two_node_stream();
+        let err = s.ingest(&[
+            StreamEvent::Up { edge: e, at: 2 },
+            StreamEvent::Up { edge: e, at: 4 },
+            StreamEvent::Down { edge: e, at: 6 },
+        ]);
+        assert_eq!(err, Err(StreamError::AlreadyUp { edge: e, since: 2 }));
+        // The valid prefix is applied; the rest is not.
+        assert_eq!(s.index().presence(e).spans(), &[(2, 21)]);
+        assert_eq!(s.watermark(), Some(&2));
+        // The prefix's presence change was never reported (the batch
+        // errored); the next successful ingest must carry it, so a
+        // repair driven by successful reports misses nothing.
+        let report = s
+            .ingest(&[StreamEvent::Down { edge: e, at: 6 }])
+            .expect("valid");
+        assert_eq!(report.earliest_change, Some(2));
+        // Once reported, the carry-over is consumed.
+        let report = s.ingest(&[]).expect("empty batch is valid");
+        assert_eq!(report.earliest_change, None);
+    }
+}

@@ -252,6 +252,49 @@ impl<T: Time> Tvg<T> {
         g
     }
 
+    /// An empty graph: no nodes, no edges. Only the streaming layer
+    /// starts here ([`TvgBuilder::build`] rejects empty node sets because
+    /// a *finished* graph without nodes is useless; a stream grows its
+    /// node set event by event).
+    pub(crate) fn empty() -> Self {
+        Tvg {
+            names: NameTable::default(),
+            edges: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Appends a node (streaming growth path).
+    pub(crate) fn push_node(&mut self, name: &str) -> NodeId {
+        let id = self.names.push(name.to_string());
+        self.out.push(Vec::new());
+        id
+    }
+
+    /// Appends an edge with pre-validated endpoints (streaming growth
+    /// path; the stream layer rejects unknown nodes with a typed error
+    /// before calling this).
+    pub(crate) fn push_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        label: Letter,
+        presence: Presence<T>,
+        latency: Latency<T>,
+    ) -> EdgeId {
+        debug_assert!(src.index() < self.names.len() && dst.index() < self.names.len());
+        self.edges.push(Edge {
+            src,
+            dst,
+            label,
+            presence,
+            latency,
+        });
+        let e = EdgeId::from_index(self.edges.len() - 1);
+        self.out[src.index()].push(e);
+        e
+    }
+
     /// Time-dilates every schedule by `d + 1` (Theorem 2.3).
     ///
     /// Presences move to multiples of `d+1`; latencies scale by `d+1`.

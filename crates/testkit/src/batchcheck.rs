@@ -13,7 +13,7 @@
 //! apply the same oracle to its own fixtures.
 
 use tvg_journeys::{Batch, BatchRunner, SearchLimits, WaitingPolicy};
-use tvg_model::{NodeId, Time, TvgIndex};
+use tvg_model::{NodeId, TemporalIndex, Time};
 
 /// Thread counts the oracle exercises beyond the serial reference.
 /// Chosen to cover "fewer workers than jobs", "about as many", and
@@ -29,8 +29,8 @@ pub const THREAD_SWEEP: [usize; 3] = [2, 4, 8];
 /// # Panics
 ///
 /// Panics (with `label` in the message) on the first divergence.
-pub fn assert_batch_matches_serial<T: Time + Send + Sync>(
-    index: &TvgIndex<'_, T>,
+pub fn assert_batch_matches_serial<T: Time + Send + Sync, I: TemporalIndex<T> + Sync>(
+    index: &I,
     seed_sets: &[Vec<(NodeId, T)>],
     policy: &WaitingPolicy<T>,
     limits: &SearchLimits<T>,
@@ -72,8 +72,11 @@ pub fn assert_batch_matches_serial<T: Time + Send + Sync>(
 /// [`assert_batch_matches_serial`] for the common all-sources shape:
 /// one single-seed query per node of the graph, all starting at `start`
 /// (the `ReachabilityMatrix` / `delivery_ratio` workload).
-pub fn assert_all_sources_batch_matches_serial<T: Time + Send + Sync>(
-    index: &TvgIndex<'_, T>,
+pub fn assert_all_sources_batch_matches_serial<
+    T: Time + Send + Sync,
+    I: TemporalIndex<T> + Sync,
+>(
+    index: &I,
     start: &T,
     policy: &WaitingPolicy<T>,
     limits: &SearchLimits<T>,

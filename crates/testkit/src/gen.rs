@@ -13,7 +13,8 @@ use tvg_dynnet::EvolvingTrace;
 use tvg_expressivity::TvgAutomaton;
 use tvg_journeys::WaitingPolicy;
 use tvg_langs::{Alphabet, Dfa, Word};
-use tvg_model::generators::{random_periodic_tvg, RandomPeriodicParams};
+use tvg_model::generators::{random_periodic_tvg, scale_free_temporal, RandomPeriodicParams};
+use tvg_model::stream::{StreamEvent, TvgStream};
 use tvg_model::{Latency, NodeId, Presence, Tvg};
 
 /// A uniform `u128` (the `rand` shim's `gen` covers only one machine
@@ -161,6 +162,136 @@ pub fn periodic_automaton<R: Rng + ?Sized>(rng: &mut R) -> (TvgAutomaton<u64>, u
     )
     .expect("generated automaton is structurally valid");
     (aut, params.period)
+}
+
+/// A deterministic streamed-ingestion script: a prepared [`TvgStream`]
+/// (nodes and edges declared, no events yet) plus the ordered batches
+/// to feed it. Produced by [`event_stream`]; consumed by the
+/// `stream_props` differential property suite, which re-checks the
+/// live-vs-recompile oracle after every batch.
+#[derive(Debug, Clone)]
+pub struct EventScript {
+    /// Which fixture family the base schedule came from.
+    pub label: &'static str,
+    /// The stream, at its *initial* horizon, before any batch.
+    pub stream: TvgStream<u64>,
+    /// Event batches in feed order (may include `NewEdge` injections
+    /// and one mid-script `ExtendHorizon`).
+    pub batches: Vec<Vec<StreamEvent<u64>>>,
+    /// The horizon after all batches (equals the initial horizon when
+    /// no extension was generated).
+    pub final_horizon: u64,
+}
+
+/// A random streamed-ingestion script over one of the standard fixture
+/// families (commuter line, random-periodic, scale-free temporal).
+///
+/// The base schedule is compiled once and replayed as interleaved
+/// up/down events chopped into randomly-sized batches; with the base
+/// events the script interleaves a few never-before-seen edges
+/// (`NewEdge` followed by their own up/down, possibly a zero-length
+/// pair, possibly left open) and, usually, starts at a reduced horizon
+/// with a mid-script `ExtendHorizon` once the feed reaches it.
+pub fn event_stream<R: Rng + ?Sized>(rng: &mut R) -> EventScript {
+    let (label, base, full_horizon): (&'static str, Tvg<u64>, u64) = match rng.gen_range(0..3u32) {
+        0 => ("commuter", crate::fixtures::commuter_line(), 24),
+        1 => {
+            let params = periodic_params(rng);
+            let g = random_periodic_tvg(&mut StdRng::seed_from_u64(rng.gen::<u64>()), &params);
+            ("periodic", g, 4 * params.period + rng.gen_range(0..4))
+        }
+        _ => {
+            let n = rng.gen_range(5..10);
+            let horizon = rng.gen_range(16..28);
+            let g = scale_free_temporal(n, horizon, rng.gen::<u64>());
+            ("scale_free", g, horizon)
+        }
+    };
+    // Base feed: the compiled schedule replayed in timeline order.
+    let (_, base_events) = TvgStream::replay_of(&base, &full_horizon);
+    // Keyed merge list: (event time, generation seq). The stable key
+    // order keeps per-edge causality (NewEdge before Up before Down).
+    let mut keyed: Vec<(u64, usize, StreamEvent<u64>)> = Vec::new();
+    for ev in base_events {
+        let key = match &ev {
+            StreamEvent::Up { at, .. } | StreamEvent::Down { at, .. } => *at,
+            _ => unreachable!("replay emits only up/down"),
+        };
+        keyed.push((key, keyed.len(), ev));
+    }
+    // Injected fresh edges: ids continue after the base graph's, in the
+    // sorted order their NewEdge events will be ingested.
+    let num_nodes = base.num_nodes();
+    let mut injections: Vec<(u64, NodeId, NodeId, Option<u64>)> = (0..rng.gen_range(0..3u32))
+        .map(|_| {
+            let up = rng.gen_range(0..=full_horizon);
+            let src = NodeId::from_index(rng.gen_range(0..num_nodes));
+            let dst = NodeId::from_index(rng.gen_range(0..num_nodes));
+            // Down at the same instant (zero-length), later, or never.
+            let down = match rng.gen_range(0..4u32) {
+                0 => Some(up),
+                1 | 2 => Some(rng.gen_range(up..=full_horizon)),
+                _ => None,
+            };
+            (up, src, dst, down)
+        })
+        .collect();
+    injections.sort_by_key(|(up, ..)| *up);
+    for (i, (up, src, dst, down)) in injections.into_iter().enumerate() {
+        let edge = tvg_model::EdgeId::from_index(base.num_edges() + i);
+        let seq = keyed.len();
+        keyed.push((
+            up,
+            seq,
+            StreamEvent::NewEdge {
+                src,
+                dst,
+                label: 'z',
+                latency: Latency::unit(),
+            },
+        ));
+        keyed.push((up, seq + 1, StreamEvent::Up { edge, at: up }));
+        if let Some(down) = down {
+            keyed.push((down, seq + 2, StreamEvent::Down { edge, at: down }));
+        }
+    }
+    keyed.sort_by_key(|entry| (entry.0, entry.1));
+
+    // Usually start below the full horizon and extend mid-feed.
+    let initial_horizon = if rng.gen_bool(0.7) && full_horizon > 2 {
+        rng.gen_range(full_horizon / 2..full_horizon)
+    } else {
+        full_horizon
+    };
+    let (stream, _) = TvgStream::replay_of(&base, &initial_horizon);
+    let mut batches: Vec<Vec<StreamEvent<u64>>> = Vec::new();
+    let mut batch: Vec<StreamEvent<u64>> = Vec::new();
+    let mut extended = initial_horizon == full_horizon;
+    for (key, _, ev) in keyed {
+        if !extended && key > initial_horizon {
+            if !batch.is_empty() {
+                batches.push(std::mem::take(&mut batch));
+            }
+            batches.push(vec![StreamEvent::ExtendHorizon { to: full_horizon }]);
+            extended = true;
+        }
+        batch.push(ev);
+        if rng.gen_bool(0.3) {
+            batches.push(std::mem::take(&mut batch));
+        }
+    }
+    if !batch.is_empty() {
+        batches.push(batch);
+    }
+    if !extended {
+        batches.push(vec![StreamEvent::ExtendHorizon { to: full_horizon }]);
+    }
+    EventScript {
+        label,
+        stream,
+        batches,
+        final_horizon: full_horizon,
+    }
 }
 
 /// Random edge-Markovian trace parameters (small, fast regime).

@@ -26,7 +26,13 @@
 //!   checked against.
 //! * [`batchcheck`] — the parallel-vs-serial oracle: a batch run at
 //!   several thread counts must reproduce the serial reference exactly
-//!   (arrivals, witness journeys, and work counters).
+//!   (arrivals, witness journeys, and work counters) — against
+//!   batch-compiled and live (streaming) indexes alike.
+//! * [`streamcheck`] — the live-vs-recompile differential oracle: after
+//!   every ingested event batch, the streaming `LiveIndex` must be
+//!   structurally identical to a from-scratch recompile of the
+//!   accumulated schedule, and a repaired `IncrementalForemost` must
+//!   answer exactly like a fresh engine run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +43,7 @@ pub mod gen;
 pub mod oracles;
 pub mod prop;
 pub mod rng;
+pub mod streamcheck;
 pub mod tickscan;
 
 pub use prop::{check, check_with, Config};

@@ -118,3 +118,100 @@ fn compilation_is_consistent_across_horizons() {
         },
     );
 }
+
+#[test]
+fn streamed_appends_equal_batch_normalization() {
+    // The streaming maintenance primitives (append at the right edge,
+    // truncate the provisional close) must land on exactly the set that
+    // batch normalization (`from_spans`) produces from the same closed
+    // spans — for any monotone up/down sequence, adjacency merges and
+    // zero-length pairs included.
+    use tvg_model::IntervalSet;
+    tvg_testkit::check_with(
+        tvg_testkit::Config::named_with_cases("streamed_appends_equal_batch_normalization", 64),
+        |rng, _| {
+            let horizon = 40u64;
+            let end = horizon + 1;
+            let mut live = IntervalSet::empty();
+            let mut closed: Vec<(u64, u64)> = Vec::new();
+            let mut t = 0u64;
+            let mut open: Option<u64> = None;
+            for _ in 0..rng.gen_range(1..12usize) {
+                // Monotone clock; steps of zero exercise same-instant
+                // transitions (zero-length pairs, reopen-at-close).
+                t = (t + rng.gen_range(0..6u64)).min(horizon);
+                match open {
+                    None => {
+                        live.append_span(t, end);
+                        open = Some(t);
+                    }
+                    Some(up) => {
+                        live.truncate_last_span(&t);
+                        closed.push((up, t));
+                        open = None;
+                    }
+                }
+            }
+            if let Some(up) = open {
+                closed.push((up, end));
+            }
+            let batch = IntervalSet::from_spans(closed.clone());
+            assert_eq!(
+                live.spans(),
+                batch.spans(),
+                "closed spans {closed:?} (open tail {open:?})"
+            );
+        },
+    );
+}
+
+#[test]
+fn append_at_boundary_edge_cases() {
+    use tvg_model::stream::{StreamError, StreamEvent, TvgStream};
+    use tvg_model::{Latency, TemporalIndex};
+
+    // Event exactly at the horizon: a single-instant open span.
+    let mut s = TvgStream::<u64>::new(8);
+    let u = s.add_node("u");
+    let v = s.add_node("v");
+    let e = s.add_edge(u, v, 'a', Latency::unit()).expect("valid");
+    s.ingest(&[StreamEvent::Up { edge: e, at: 8 }])
+        .expect("the horizon is inside the window");
+    assert_eq!(s.index().presence(e).spans(), &[(8, 9)]);
+    assert!(s.index().is_present(e, &8));
+
+    // One past the horizon is a typed rejection, not a panic.
+    let mut s2 = TvgStream::<u64>::new(8);
+    let u2 = s2.add_node("u");
+    let v2 = s2.add_node("v");
+    let e2 = s2.add_edge(u2, v2, 'a', Latency::unit()).expect("valid");
+    assert_eq!(
+        s2.ingest(&[StreamEvent::Up { edge: e2, at: 9 }]),
+        Err(StreamError::BeyondHorizon { at: 9, horizon: 8 })
+    );
+
+    // Zero-length up/down pair: accepted, leaves no presence, no events.
+    s2.ingest(&[
+        StreamEvent::Up { edge: e2, at: 3 },
+        StreamEvent::Down { edge: e2, at: 3 },
+    ])
+    .expect("zero-length pairs are dropped, not rejected");
+    assert!(s2.index().presence(e2).is_empty());
+    assert_eq!(s2.index().num_edge_events(), 0);
+
+    // Down before any up: typed error, stream state untouched.
+    assert_eq!(
+        s2.ingest(&[StreamEvent::Down { edge: e2, at: 5 }]),
+        Err(StreamError::DownBeforeUp { edge: e2, at: 5 })
+    );
+    assert!(s2.index().presence(e2).is_empty());
+
+    // Out-of-order (before the watermark): typed error.
+    assert_eq!(
+        s2.ingest(&[StreamEvent::Up { edge: e2, at: 1 }]),
+        Err(StreamError::OutOfOrder {
+            at: 1,
+            watermark: 3
+        })
+    );
+}

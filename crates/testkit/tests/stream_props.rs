@@ -1,0 +1,156 @@
+//! Differential properties of streaming ingestion: after *every*
+//! ingested batch of every generated event script,
+//!
+//! * the live index must be structurally identical to a from-scratch
+//!   recompile of the accumulated schedule ([`streamcheck`]);
+//! * repaired incremental foremost trees must answer exactly like
+//!   fresh engine runs, across all three waiting policies;
+//! * query batches against the live snapshot must be thread-count
+//!   invariant (the [`batchcheck`] oracle, here applied to a live
+//!   index for the first time).
+//!
+//! Plus targeted coverage the generator cannot guarantee to hit:
+//! `Nat`-domain streaming of the Figure-1 schedule, and the
+//! append-at-boundary edge cases of the stream layer.
+
+use tvg_bigint::Nat;
+use tvg_journeys::{IncrementalForemost, SearchLimits, WaitingPolicy};
+use tvg_model::stream::TvgStream;
+use tvg_model::{NodeId, TemporalIndex, Time};
+use tvg_testkit::{batchcheck, gen, streamcheck, Config};
+
+fn policies() -> [WaitingPolicy<u64>; 3] {
+    [
+        WaitingPolicy::NoWait,
+        WaitingPolicy::Bounded(2),
+        WaitingPolicy::Unbounded,
+    ]
+}
+
+#[test]
+fn live_index_and_incremental_trees_match_recompile_after_every_batch() {
+    tvg_testkit::check_with(
+        Config::named_with_cases("stream::differential", 32),
+        |rng, case| {
+            let script = gen::event_stream(rng);
+            let mut stream = script.stream;
+            let limits = SearchLimits::new(script.final_horizon, 12);
+            let seeds = vec![(NodeId::from_index(0), 0u64)];
+            let mut incs: Vec<IncrementalForemost<u64>> = policies()
+                .into_iter()
+                .map(|policy| {
+                    IncrementalForemost::new(stream.index(), &seeds, policy, limits.clone())
+                })
+                .collect();
+            for (i, batch) in script.batches.iter().enumerate() {
+                let report = stream
+                    .ingest(batch)
+                    .expect("generated scripts are valid feeds");
+                let label = format!("{} case {case} batch {i}", script.label);
+                streamcheck::assert_live_matches_recompile(&stream, &label);
+                for inc in &mut incs {
+                    inc.refresh(stream.index(), &report);
+                }
+                for inc in &incs {
+                    streamcheck::assert_incremental_matches_fresh(&stream, inc, &label);
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn live_snapshot_query_batches_are_thread_invariant() {
+    tvg_testkit::check_with(
+        Config::named_with_cases("stream::batch_threads", 6),
+        |rng, case| {
+            let script = gen::event_stream(rng);
+            let mut stream = script.stream;
+            // Query the snapshot mid-feed (after the first batch) and at
+            // the end — the "ingest tick, query tick" loop.
+            let checkpoints = [0, script.batches.len() - 1];
+            let limits = SearchLimits::new(script.final_horizon, 10);
+            for (i, batch) in script.batches.iter().enumerate() {
+                stream.ingest(batch).expect("valid feed");
+                if !checkpoints.contains(&i) {
+                    continue;
+                }
+                for policy in policies() {
+                    batchcheck::assert_all_sources_batch_matches_serial(
+                        stream.index(),
+                        &0,
+                        &policy,
+                        &limits,
+                        &format!("{} case {case} batch {i}", script.label),
+                    );
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn figure1_nat_schedule_streams_identically() {
+    // The theorem constructions run over `Nat`; the stream layer is
+    // generic over the time domain, and the Figure-1 automaton's
+    // schedule (prime-power presence included) must replay exactly.
+    let aut = tvg_testkit::fixtures::figure1();
+    let g = aut.automaton().tvg();
+    let horizon = Nat::from_u64(60);
+    let (mut stream, events) = TvgStream::replay_of(g, &horizon);
+    assert!(!events.is_empty(), "figure-1 has presence below 60");
+    // One event per batch: the oracle holds at every prefix.
+    for ev in &events {
+        stream.ingest(std::slice::from_ref(ev)).expect("valid feed");
+        streamcheck::assert_live_matches_recompile(&stream, "figure1-nat");
+    }
+    for e in g.edges() {
+        for t in 0u64..=60 {
+            let t = Nat::from_u64(t);
+            assert_eq!(
+                stream.index().is_present(e, &t),
+                g.is_present(e, &t),
+                "{e} at {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_repair_really_reuses_work() {
+    // The repair must not silently degenerate into a full re-run: on a
+    // long feed, total incremental work (settles across the initial run
+    // plus every refresh) must stay well below the recompute strategy's
+    // total (a fresh run per batch).
+    use tvg_journeys::foremost_tree;
+    use tvg_model::generators::scale_free_temporal;
+    use tvg_model::TvgIndex;
+    let g = scale_free_temporal(16, 48, 3);
+    let (mut stream, events) = TvgStream::replay_of(&g, &48);
+    let limits = SearchLimits::new(48, 12);
+    let src = NodeId::from_index(0);
+    let mut inc = IncrementalForemost::new(
+        stream.index(),
+        &[(src, 0u64)],
+        WaitingPolicy::Bounded(3),
+        limits.clone(),
+    );
+    let mut recompute_settled = 0u64;
+    let mut ticks = 0u64;
+    for batch in events.chunks(8) {
+        let report = stream.ingest(batch).expect("valid feed");
+        inc.refresh(stream.index(), &report);
+        let batch_tvg = stream.to_tvg();
+        let index = TvgIndex::compile(&batch_tvg, *stream.index().horizon());
+        let fresh = foremost_tree(&index, src, &0, &WaitingPolicy::Bounded(3), &limits);
+        recompute_settled += fresh.stats().settled;
+        ticks += 1;
+    }
+    assert!(ticks > 5, "workload must span several ticks, got {ticks}");
+    let incremental_settled = inc.stats().settled;
+    assert!(
+        incremental_settled * 2 < recompute_settled,
+        "repair must reuse work: incremental settled {incremental_settled} \
+         vs recompute total {recompute_settled}"
+    );
+}

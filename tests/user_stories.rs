@@ -70,6 +70,85 @@ fn ring_bus_story() {
 }
 
 #[test]
+fn live_commuter_feed_story() {
+    // The commuter timetable, but arriving as a live feed: each "day"
+    // (8 ticks) streams in as one batch of up/down contact events plus a
+    // horizon extension, and a traveler standing at stop 0 since t=4
+    // (just after the day-0 bus has left) re-plans after every day with
+    // an incrementally repaired foremost tree.
+    use tvg_suite::journeys::{foremost_tree, IncrementalForemost};
+    use tvg_suite::model::stream::{StreamEvent, TvgStream};
+    use tvg_suite::model::{Latency, TemporalIndex, TvgIndex};
+
+    // The commuter_line() timetable, one departure set per hop.
+    let timetable: [&[u64]; 3] = [&[2, 10, 18], &[5, 13, 21], &[6, 14, 22]];
+    let mut feed = TvgStream::<u64>::new(7);
+    let stops: Vec<_> = (0..4).map(|i| feed.add_node(&format!("stop{i}"))).collect();
+    let hops: Vec<_> = (0..3)
+        .map(|i| {
+            feed.add_edge(stops[i], stops[i + 1], 't', Latency::unit())
+                .expect("valid")
+        })
+        .collect();
+
+    let (src, policy) = (stops[0], WaitingPolicy::Unbounded);
+    let limits = SearchLimits::new(23, 8);
+    let mut planner = IncrementalForemost::new(feed.index(), &[(src, 4)], policy, limits.clone());
+    let mut delivered_by_day = Vec::new();
+    for day in 0u64..3 {
+        let mut batch: Vec<StreamEvent<u64>> = Vec::new();
+        if day > 0 {
+            batch.push(StreamEvent::ExtendHorizon { to: 8 * day + 7 });
+        }
+        let mut events: Vec<(u64, usize)> = Vec::new();
+        for (i, departures) in timetable.iter().enumerate() {
+            for &dep in departures.iter().filter(|d| **d / 8 == day) {
+                events.push((dep, i));
+            }
+        }
+        events.sort_unstable();
+        for (dep, i) in events {
+            batch.push(StreamEvent::Up {
+                edge: hops[i],
+                at: dep,
+            });
+            batch.push(StreamEvent::Down {
+                edge: hops[i],
+                at: dep + 1,
+            });
+        }
+        let report = feed.ingest(&batch).expect("the timetable is a valid feed");
+        planner.refresh(feed.index(), &report);
+
+        // The live answer after each day must equal the batch answer on
+        // the schedule accumulated so far (recompile + fresh run).
+        let batch_tvg = feed.to_tvg();
+        let batch_index = TvgIndex::compile(&batch_tvg, *feed.index().horizon());
+        let fresh = foremost_tree(&batch_index, src, &4, &policy, &limits);
+        for &stop in &stops {
+            assert_eq!(
+                planner.arrival(stop),
+                fresh.arrival(stop),
+                "day {day} {stop}"
+            );
+        }
+        delivered_by_day.push(planner.num_reached() as f64 / 4.0);
+    }
+    // Day 0 the traveler has missed every bus; day 1 delivers everywhere;
+    // delivery never regresses as more schedule streams in.
+    assert_eq!(delivered_by_day, vec![0.25, 1.0, 1.0]);
+    assert!(delivered_by_day.windows(2).all(|w| w[0] <= w[1]));
+    // And the final live answer equals the all-batch fixture answer.
+    let all = commuter_line();
+    let final_index = TvgIndex::compile(&all, 23);
+    let batch_final = foremost_tree(&final_index, src, &4, &policy, &limits);
+    for &stop in &stops {
+        assert_eq!(planner.arrival(stop), batch_final.arrival(stop), "{stop}");
+    }
+    assert_eq!(planner.arrival(stops[3]), Some(&15)); // 10→11, 13→14, 14→15
+}
+
+#[test]
 fn snapshots_and_footprint_story() {
     let ring = ring_bus(4, 4);
     // At any instant exactly one ring edge is up (phases are staggered).
