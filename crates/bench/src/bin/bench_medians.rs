@@ -1,0 +1,262 @@
+//! The bench-regression gate: median wall times of the E7 (compiled
+//! index) and E9 (streaming ingest) hot paths, emitted as machine-
+//! readable JSON and compared against checked-in baselines.
+//!
+//! Unlike the criterion benches (scaling shapes, human-read), this
+//! binary exists to *fail CI* when a hot path rots by an order of
+//! magnitude. Medians over several repetitions make the numbers robust
+//! to scheduler noise; the comparison tolerance is deliberately
+//! generous (default 3× for same-machine checks; CI passes
+//! `--tolerance 10.0` because its runners are a different machine class
+//! than the one that emitted the baselines) and baselines below
+//! [`NOISE_FLOOR_US`] are floored before the ratio is taken, so only
+//! genuine regressions — not machine variance — trip the gate.
+//! Speedups never fail: the gate is one-sided.
+//!
+//! Usage:
+//! * `bench_medians emit [dir]` — write `BENCH_E7.json` and
+//!   `BENCH_E9.json` under `dir` (default `.`), print them to stdout.
+//! * `bench_medians check <baseline-dir> [--tolerance X]` — re-measure
+//!   and fail (exit 1) if any metric exceeds `X ×` its baseline in
+//!   `<baseline-dir>/BENCH_E7.json` / `BENCH_E9.json`.
+//!
+//! The workloads deliberately mirror `benches/temporal_index.rs` (E7)
+//! and `benches/stream_ingest.rs` (E9) at CI-friendly sizes; the
+//! reference numbers live in `EXPERIMENTS.md`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use tvg_dynnet::json::{parse, Json};
+use tvg_journeys::engine::{foremost_to, foremost_tree};
+use tvg_journeys::{IncrementalForemost, SearchLimits, WaitingPolicy};
+use tvg_model::generators::{random_periodic_tvg, scale_free_temporal, RandomPeriodicParams};
+use tvg_model::stream::{StreamEvent, TvgStream};
+use tvg_model::{NodeId, TemporalIndex, Tvg, TvgIndex};
+
+/// Metrics are compared against at least this many microseconds of
+/// baseline: sub-millisecond medians (the 30 µs pair queries) are
+/// dominated by scheduler and machine variance on shared CI runners,
+/// and must not flake the gate red without a genuine order-of-magnitude
+/// regression.
+const NOISE_FLOOR_US: u64 = 200;
+
+/// Median wall time of `reps` runs of `f`, in whole microseconds
+/// (clamped up to 1 so ratios never divide by zero).
+fn median_us<R>(reps: usize, mut f: impl FnMut() -> R) -> u64 {
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_micros()
+        })
+        .collect();
+    samples.sort_unstable();
+    u64::try_from(samples[samples.len() / 2])
+        .unwrap_or(u64::MAX)
+        .max(1)
+}
+
+/// The E7 workload: the ≥10k-edge-event random periodic TVG of
+/// `benches/temporal_index.rs`.
+fn e7_workload() -> (Tvg<u64>, u64) {
+    let params = RandomPeriodicParams {
+        num_nodes: 64,
+        num_edges: 256,
+        period: 16,
+        phase_density: 0.5,
+        alphabet: tvg_langs::Alphabet::ab(),
+    };
+    let g = random_periodic_tvg(&mut StdRng::seed_from_u64(7), &params);
+    (g, 512)
+}
+
+fn e7_metrics() -> BTreeMap<String, u64> {
+    let (g, horizon) = e7_workload();
+    let limits = SearchLimits::new(horizon, 24);
+    let index = TvgIndex::compile(&g, horizon);
+    let src = NodeId::from_index(0);
+    let dst = NodeId::from_index(g.num_nodes() - 1);
+    let mut m = BTreeMap::new();
+    m.insert(
+        "compile_us".to_string(),
+        median_us(5, || TvgIndex::compile(&g, horizon).num_edge_events()),
+    );
+    m.insert(
+        "pair_unbounded_us".to_string(),
+        median_us(5, || {
+            foremost_to(&index, src, dst, &0, &WaitingPolicy::Unbounded, &limits).is_some()
+        }),
+    );
+    m.insert(
+        "all_dest_unbounded_us".to_string(),
+        median_us(5, || {
+            foremost_tree(&index, src, &0, &WaitingPolicy::Unbounded, &limits).num_reached()
+        }),
+    );
+    m.insert(
+        "all_dest_bounded4_us".to_string(),
+        median_us(3, || {
+            foremost_tree(&index, src, &0, &WaitingPolicy::Bounded(4), &limits).num_reached()
+        }),
+    );
+    m
+}
+
+/// The E9 workload: the n=200 scale-free feed of
+/// `benches/stream_ingest.rs`, 64-event ingest ticks, `wait[3]`.
+fn e9_workload() -> (TvgStream<u64>, Vec<StreamEvent<u64>>) {
+    let g = scale_free_temporal(200, 64, 17);
+    TvgStream::replay_of(&g, &64)
+}
+
+fn e9_metrics() -> BTreeMap<String, u64> {
+    const BATCH: usize = 64;
+    let (base, events) = e9_workload();
+    let limits = SearchLimits::new(64, 16);
+    let src = NodeId::from_index(0);
+    let incremental = || {
+        let mut stream = base.clone();
+        let mut inc = IncrementalForemost::new(
+            stream.index(),
+            &[(src, 0u64)],
+            WaitingPolicy::Bounded(3),
+            limits.clone(),
+        );
+        for batch in events.chunks(BATCH) {
+            let report = stream.ingest(batch).expect("replay is valid");
+            inc.refresh(stream.index(), &report);
+        }
+        inc.num_reached()
+    };
+    let recompile = || {
+        let mut stream = base.clone();
+        let mut reached = 0usize;
+        for batch in events.chunks(BATCH) {
+            stream.ingest(batch).expect("replay is valid");
+            let g = stream.to_tvg();
+            let index = TvgIndex::compile(&g, *stream.index().horizon());
+            reached =
+                foremost_tree(&index, src, &0, &WaitingPolicy::Bounded(3), &limits).num_reached();
+        }
+        reached
+    };
+    let mut m = BTreeMap::new();
+    m.insert("incremental_us".to_string(), median_us(3, incremental));
+    m.insert("recompile_us".to_string(), median_us(3, recompile));
+    m
+}
+
+fn to_json(metrics: &BTreeMap<String, u64>) -> String {
+    let obj: BTreeMap<String, Json> = metrics
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Int(*v)))
+        .collect();
+    format!("{}\n", Json::Obj(obj))
+}
+
+fn from_json(path: &Path) -> Result<BTreeMap<String, u64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let Json::Obj(map) = parse(text.trim()).map_err(|e| format!("{}: {e}", path.display()))? else {
+        return Err(format!("{}: expected a JSON object", path.display()));
+    };
+    map.into_iter()
+        .map(|(k, v)| match v {
+            Json::Int(n) => Ok((k, n)),
+            other => Err(format!(
+                "{}: metric {k:?} is not an integer ({other})",
+                path.display()
+            )),
+        })
+        .collect()
+}
+
+fn measure_all() -> Vec<(&'static str, BTreeMap<String, u64>)> {
+    vec![
+        ("BENCH_E7.json", e7_metrics()),
+        ("BENCH_E9.json", e9_metrics()),
+    ]
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("emit") => {
+            let dir = PathBuf::from(args.get(1).map_or(".", String::as_str));
+            for (file, metrics) in measure_all() {
+                let text = to_json(&metrics);
+                let path = dir.join(file);
+                if let Err(e) = std::fs::write(&path, &text) {
+                    eprintln!("error: {}: {e}", path.display());
+                    return std::process::ExitCode::FAILURE;
+                }
+                print!("{file}: {text}");
+            }
+            std::process::ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let Some(baseline_dir) = args.get(1).map(PathBuf::from) else {
+                eprintln!("usage: bench_medians check <baseline-dir> [--tolerance X]");
+                return std::process::ExitCode::FAILURE;
+            };
+            let tolerance: f64 = match args.get(2).map(String::as_str) {
+                Some("--tolerance") => match args.get(3).and_then(|t| t.parse().ok()) {
+                    Some(t) if t >= 1.0 => t,
+                    _ => {
+                        eprintln!("error: --tolerance needs a number >= 1.0");
+                        return std::process::ExitCode::FAILURE;
+                    }
+                },
+                None => 3.0,
+                Some(other) => {
+                    eprintln!("error: unknown flag {other:?}");
+                    return std::process::ExitCode::FAILURE;
+                }
+            };
+            let mut failed = false;
+            for (file, current) in measure_all() {
+                let baseline = match from_json(&baseline_dir.join(file)) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return std::process::ExitCode::FAILURE;
+                    }
+                };
+                for metric in current.keys() {
+                    if !baseline.contains_key(metric) {
+                        eprintln!(
+                            "FAIL {file} {metric}: no baseline (re-run `bench_medians emit` over the baseline dir)"
+                        );
+                        failed = true;
+                    }
+                }
+                for (metric, &base) in &baseline {
+                    let Some(&now) = current.get(metric) else {
+                        eprintln!("FAIL {file} {metric}: metric vanished from the bench");
+                        failed = true;
+                        continue;
+                    };
+                    let floor = base.max(NOISE_FLOOR_US);
+                    let ratio = now as f64 / floor as f64;
+                    let verdict = if ratio <= tolerance { "ok" } else { "FAIL" };
+                    println!(
+                        "{verdict} {file} {metric}: {now} µs vs baseline {base} µs (floored to {floor}; {ratio:.2}x, tolerance {tolerance:.1}x)"
+                    );
+                    failed |= ratio > tolerance;
+                }
+            }
+            if failed {
+                eprintln!("bench-regression gate FAILED (order-of-magnitude rot; re-baseline only if intended)");
+                std::process::ExitCode::FAILURE
+            } else {
+                std::process::ExitCode::SUCCESS
+            }
+        }
+        _ => {
+            eprintln!("usage: bench_medians <emit [dir] | check <baseline-dir> [--tolerance X]>");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

@@ -1,23 +1,27 @@
-//! Canonical reachability/delivery dump for the batch determinism gate.
+//! Canonical reachability/delivery dump for the batch determinism gate,
+//! driven by the bundled scenario specs.
 //!
-//! Prints, in a fixed textual format, the complete output of every
-//! batch-runtime consumer on deterministic workloads: reachability
-//! matrices (arrivals and engine-run counts), delivery ratios, and
-//! all-sources broadcast sweeps. The batch thread count follows
-//! `TVG_BATCH_THREADS` (via `Batch::auto`), so CI runs this binary at
-//! `=1` and `=4` and diffs the outputs byte for byte — any parallel
-//! nondeterminism in the fan-out/merge path fails the build.
+//! The workloads are no longer bespoke setup code: every batch-side
+//! spec under `scenarios/` (discovered through the same
+//! `tvg_cli::spec_files` walk the golden gates use, so a newly added
+//! spec joins this gate automatically; streaming plans are covered by
+//! `stream_dump`). The dump prints, in a fixed textual format, each
+//! scenario's canonical report plus the *complete* underlying
+//! matrices/broadcast rows across all three waiting policies — deeper
+//! than the report itself, so the gate catches nondeterminism the
+//! aggregated numbers could mask. The batch
+//! thread count follows `TVG_BATCH_THREADS` (via `Batch::auto`), so CI
+//! runs this binary at `=1` and `=4` and diffs the outputs byte for
+//! byte — any parallel nondeterminism in the fan-out/merge path fails
+//! the build.
 //!
 //! Usage: `TVG_BATCH_THREADS=4 cargo run --release -p tvg-bench --bin matrix_dump`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use tvg_dynnet::broadcast::{broadcast_sweep, ForwardingMode};
-use tvg_dynnet::markovian::{edge_markovian_trace, EdgeMarkovianParams};
-use tvg_dynnet::routing::delivery_ratio;
-use tvg_journeys::{Batch, ReachabilityMatrix, SearchLimits, WaitingPolicy};
-use tvg_model::generators::{ring_bus_tvg, scale_free_temporal};
-use tvg_model::Tvg;
+use tvg_bench::fmt_arrival;
+use tvg_dynnet::broadcast::broadcast_plan;
+use tvg_journeys::{Batch, ReachabilityMatrix, WaitingPolicy};
+use tvg_model::TvgIndex;
+use tvg_scenarios::{Plan, Scenario};
 
 fn policies() -> [WaitingPolicy<u64>; 3] {
     [
@@ -27,23 +31,56 @@ fn policies() -> [WaitingPolicy<u64>; 3] {
     ]
 }
 
-fn dump_matrix(name: &str, g: &Tvg<u64>, start: u64, limits: &SearchLimits<u64>) {
+/// Full per-pair arrivals of the scenario's graph under every policy —
+/// the same depth the pre-scenario dump had, now spec-driven.
+fn dump_matrix(s: &Scenario) {
+    let g = s.build_graph();
+    let limits = s.limits();
+    let start = match s.plan() {
+        Plan::SingleSource { start, .. } | Plan::Matrix { start, .. } => *start,
+        _ => 0,
+    };
+    let index = TvgIndex::compile(&g, limits.horizon);
     for policy in policies() {
-        let m = ReachabilityMatrix::compute(g, &start, &policy, limits);
+        let m = ReachabilityMatrix::compute_on(&index, &start, &policy, &limits, Batch::auto());
         println!(
-            "matrix {name} policy={policy} runs={} ratio={:.12}",
+            "matrix {} policy={policy} runs={} ratio={:.12}",
+            s.name(),
             m.stats().runs,
             m.reachability_ratio()
         );
         for src in g.nodes() {
             let row: Vec<String> = g
                 .nodes()
-                .map(|dst| match m.arrival(src, dst) {
-                    Some(t) => t.to_string(),
-                    None => "-".to_string(),
-                })
+                .map(|dst| fmt_arrival(m.arrival(src, dst)))
                 .collect();
             println!("  {src}: {}", row.join(","));
+        }
+    }
+}
+
+/// Full per-source informed_at rows for broadcast scenarios, sweeping
+/// every node as a source regardless of the plan's own source choice.
+fn dump_broadcast(s: &Scenario, beacons: bool) {
+    let g = s.build_graph();
+    let limits = s.limits();
+    let index = TvgIndex::compile(&g, limits.horizon);
+    let sources: Vec<usize> = (0..g.num_nodes()).collect();
+    for policy in policies() {
+        let (outcomes, stats) =
+            broadcast_plan(&index, &policy, beacons, &sources, &limits, Batch::auto());
+        println!(
+            "broadcast {} policy={policy} beacons={beacons} runs={}",
+            s.name(),
+            stats.runs
+        );
+        for (source, outcome) in outcomes.iter().enumerate() {
+            let informed: Vec<String> = outcome
+                .informed_at
+                .iter()
+                .map(|t| fmt_arrival(t.as_ref()))
+                .collect();
+            println!("  src={source}: {}", informed.join(","));
         }
     }
 }
@@ -53,37 +90,21 @@ fn main() {
     // `diff` two runs at different thread counts byte for byte.
     eprintln!("batch threads: {}", Batch::auto().num_threads());
 
-    let sf = scale_free_temporal(60, 48, 17);
-    dump_matrix("scale_free(60,48,17)", &sf, 0, &SearchLimits::new(48, 10));
-
-    let ring = ring_bus_tvg(8, 8, 'r');
-    dump_matrix("ring_bus(8,8)", &ring, 0, &SearchLimits::new(64, 16));
-
-    let params = EdgeMarkovianParams {
-        num_nodes: 14,
-        p_birth: 0.06,
-        p_death: 0.45,
-        steps: 40,
-    };
-    for seed in 0..3u64 {
-        let trace = edge_markovian_trace(&mut StdRng::seed_from_u64(seed), &params);
-        for policy in policies() {
-            println!(
-                "delivery seed={seed} policy={policy} ratio={:.12}",
-                delivery_ratio(&trace, 0, &policy)
-            );
-        }
-        let sweep = broadcast_sweep(&trace, ForwardingMode::BoundedBuffer(2), true);
-        for (source, outcome) in sweep.iter().enumerate() {
-            let informed: Vec<String> = outcome
-                .informed_at
-                .iter()
-                .map(|t| match t {
-                    Some(t) => t.to_string(),
-                    None => "-".to_string(),
-                })
-                .collect();
-            println!("broadcast seed={seed} src={source}: {}", informed.join(","));
+    for (spec, _) in tvg_cli::spec_files(&tvg_cli::bundled_scenarios_dir()).expect("bundled specs")
+    {
+        for scenario in tvg_cli::load_specs(&spec).expect("bundled specs are valid") {
+            match scenario.plan() {
+                Plan::Matrix { .. } | Plan::SingleSource { .. } => {
+                    println!("report {}", scenario.run().canonical_json());
+                    dump_matrix(&scenario);
+                }
+                Plan::Broadcast { beacons, .. } => {
+                    println!("report {}", scenario.run().canonical_json());
+                    dump_broadcast(&scenario, *beacons);
+                }
+                // Streaming plans dump through `stream_dump`.
+                Plan::Streaming { .. } => {}
+            }
         }
     }
 }

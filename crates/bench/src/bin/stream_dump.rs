@@ -1,23 +1,27 @@
-//! Canonical streaming-ingestion dump for the determinism gate.
+//! Canonical streaming-ingestion dump for the determinism gate, driven
+//! by the bundled streaming scenario specs.
 //!
-//! Replays deterministic workloads through the streaming path — trace
-//! replay, batched ingest ticks, incremental foremost repair, and
-//! batched queries against the live-index snapshot — and prints every
-//! answer in a fixed textual format. The batch thread count follows
-//! `TVG_BATCH_THREADS` (via `Batch::auto`), so CI runs this binary at
-//! `=1` and `=4` and diffs the outputs byte for byte: any parallel
-//! nondeterminism on the live-snapshot query path, and any divergence
-//! of the incremental repair across runs, fails the build.
+//! The workloads come from the `plan streaming` specs under `scenarios/`
+//! (discovered through the same `tvg_cli::spec_files` walk the golden
+//! gates use, so a newly added streaming spec joins this gate
+//! automatically; batch-side plans are covered by `matrix_dump`): each
+//! scenario's generator and batch size define the feed, which is then
+//! replayed through the streaming path — batched ingest ticks,
+//! incremental foremost repair per tick, and a batched all-sources query
+//! against the live snapshot — across all three waiting policies, every
+//! answer printed in a fixed textual format. The batch thread count
+//! follows `TVG_BATCH_THREADS` (via `Batch::auto`), so CI runs this
+//! binary at `=1` and `=4` and diffs the outputs byte for byte: any
+//! parallel nondeterminism on the live-snapshot query path, and any
+//! divergence of the incremental repair across runs, fails the build.
 //!
 //! Usage: `TVG_BATCH_THREADS=4 cargo run --release -p tvg-bench --bin stream_dump`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use tvg_dynnet::markovian::{edge_markovian_trace, EdgeMarkovianParams};
-use tvg_journeys::{Batch, BatchRunner, IncrementalForemost, SearchLimits, WaitingPolicy};
-use tvg_model::generators::scale_free_temporal;
+use tvg_bench::fmt_arrival;
+use tvg_journeys::{Batch, BatchRunner, IncrementalForemost, WaitingPolicy};
 use tvg_model::stream::TvgStream;
 use tvg_model::{NodeId, TemporalIndex};
+use tvg_scenarios::{Plan, Scenario};
 
 fn policies() -> [WaitingPolicy<u64>; 3] {
     [
@@ -27,24 +31,26 @@ fn policies() -> [WaitingPolicy<u64>; 3] {
     ]
 }
 
-fn fmt_arrival(a: Option<&u64>) -> String {
-    a.map_or_else(|| "-".to_string(), u64::to_string)
-}
-
-/// Streams `g`'s schedule in `ticks` batches; after each tick, dumps
-/// the repaired incremental tree per policy and one batched all-sources
-/// query against the live snapshot (auto thread count).
-fn dump_streamed(name: &str, g: &tvg_model::Tvg<u64>, horizon: u64, ticks: usize) {
-    let (mut stream, events) = TvgStream::replay_of(g, &horizon);
-    let limits = SearchLimits::new(horizon, 16);
-    let src = NodeId::from_index(0);
+/// Replays the scenario's schedule in its spec-declared batch size;
+/// after each tick, dumps the repaired incremental tree per policy, then
+/// one batched all-sources query against the final live snapshot.
+fn dump_streamed(s: &Scenario) {
+    let Plan::Streaming {
+        src, start, batch, ..
+    } = s.plan()
+    else {
+        unreachable!("stream_dump only embeds streaming specs");
+    };
+    let g = s.build_graph();
+    let limits = s.limits();
+    let (mut stream, events) = TvgStream::replay_of(&g, &limits.horizon);
+    let source = NodeId::from_index(*src);
     let mut incs: Vec<IncrementalForemost<u64>> = policies()
         .into_iter()
-        .map(|p| IncrementalForemost::new(stream.index(), &[(src, 0u64)], p, limits.clone()))
+        .map(|p| IncrementalForemost::new(stream.index(), &[(source, *start)], p, limits.clone()))
         .collect();
-    let chunk = events.len().div_ceil(ticks).max(1);
-    for (tick, batch) in events.chunks(chunk).enumerate() {
-        let report = stream.ingest(batch).expect("replay is a valid feed");
+    for (tick, chunk) in events.chunks(*batch).enumerate() {
+        let report = stream.ingest(chunk).expect("replay is a valid feed");
         for inc in &mut incs {
             inc.refresh(stream.index(), &report);
             let arrivals: Vec<String> = stream
@@ -54,7 +60,8 @@ fn dump_streamed(name: &str, g: &tvg_model::Tvg<u64>, horizon: u64, ticks: usize
                 .map(|n| fmt_arrival(inc.arrival(n)))
                 .collect();
             println!(
-                "stream {name} tick={tick} policy={} events={} inc: {}",
+                "stream {} tick={tick} policy={} events={} inc: {}",
+                s.name(),
                 inc.policy(),
                 stream.index().num_edge_events(),
                 arrivals.join(",")
@@ -66,14 +73,15 @@ fn dump_streamed(name: &str, g: &tvg_model::Tvg<u64>, horizon: u64, ticks: usize
     for policy in policies() {
         let (reached, stats) = BatchRunner::new(stream.index(), Batch::auto()).map_sources(
             &sources,
-            &0,
+            start,
             &policy,
             &limits,
             |_, tree| tree.num_reached(),
         );
         let row: Vec<String> = reached.iter().map(usize::to_string).collect();
         println!(
-            "stream {name} snapshot policy={policy} runs={} reached: {}",
+            "stream {} snapshot policy={policy} runs={} reached: {}",
+            s.name(),
             stats.runs,
             row.join(",")
         );
@@ -85,38 +93,13 @@ fn main() {
     // `diff` two runs at different thread counts byte for byte.
     eprintln!("batch threads: {}", Batch::auto().num_threads());
 
-    dump_streamed(
-        "scale_free(40,32,17)",
-        &scale_free_temporal(40, 32, 17),
-        32,
-        6,
-    );
-
-    let params = EdgeMarkovianParams {
-        num_nodes: 12,
-        p_birth: 0.07,
-        p_death: 0.45,
-        steps: 36,
-    };
-    for seed in 0..2u64 {
-        let trace = edge_markovian_trace(&mut StdRng::seed_from_u64(seed), &params);
-        // The trace-native streaming path (one ingest batch per step).
-        let stream = trace.to_stream();
-        let limits = SearchLimits::new(trace.len() as u64, trace.len());
-        let sources: Vec<NodeId> = stream.index().tvg().nodes().collect();
-        for policy in policies() {
-            let out = BatchRunner::new(stream.index(), Batch::auto())
-                .run_sources(&sources, &0, &policy, &limits);
-            for (src, tree) in sources.iter().zip(out.trees()) {
-                let row: Vec<String> = sources
-                    .iter()
-                    .map(|&dst| fmt_arrival(tree.arrival(dst)))
-                    .collect();
-                println!(
-                    "trace seed={seed} policy={policy} src={}: {}",
-                    src.index(),
-                    row.join(",")
-                );
+    for (spec, _) in tvg_cli::spec_files(&tvg_cli::bundled_scenarios_dir()).expect("bundled specs")
+    {
+        for scenario in tvg_cli::load_specs(&spec).expect("bundled specs are valid") {
+            // Batch-side plans dump through `matrix_dump`.
+            if matches!(scenario.plan(), Plan::Streaming { .. }) {
+                println!("report {}", scenario.run().canonical_json());
+                dump_streamed(&scenario);
             }
         }
     }

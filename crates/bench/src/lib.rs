@@ -13,3 +13,11 @@ pub mod experiments;
 pub mod table;
 
 pub use table::Table;
+
+/// Renders an optional arrival instant for the canonical dump binaries
+/// (`-` means unreachable). Shared so the two determinism-gate dumps
+/// can never drift apart on the sentinel.
+#[must_use]
+pub fn fmt_arrival(a: Option<&u64>) -> String {
+    a.map_or_else(|| "-".to_string(), u64::to_string)
+}

@@ -1,0 +1,276 @@
+//! The library behind the `tvg-cli` binary: spec-file handling, report
+//! emission, and golden verification, kept out of `main.rs` so the
+//! integration tests drive exactly the code the binary runs.
+//!
+//! Commands (see [`run_command`]):
+//!
+//! * `run <spec>...` — execute every scenario in the files, print one
+//!   canonical JSON report per line to stdout (wall times go to stderr:
+//!   they are real but not canonical).
+//! * `check <spec>...` — parse and fully validate, run nothing.
+//! * `verify <dir>` — run every `*.tvgs` spec under `<dir>` and
+//!   byte-compare the output with the checked-in golden
+//!   `<dir>/golden/<stem>.json`; any difference is a failure. This is
+//!   the CI golden gate (run at `TVG_BATCH_THREADS=1` and `=4`).
+//! * `bless <dir>` — regenerate the goldens `verify` compares against.
+//!
+//! Every failure is reported with its file; the process-level exit code
+//! is nonzero iff anything failed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use tvg_scenarios::{parse_specs, Scenario};
+
+/// A CLI failure: what went wrong, tied to the file it happened in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// No command or an unknown command was given.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error, stringified.
+        error: String,
+    },
+    /// A spec failed to parse/validate.
+    BadSpec {
+        /// The spec file.
+        path: PathBuf,
+        /// The typed parse error, stringified for display.
+        error: String,
+    },
+    /// One or more golden comparisons failed (`verify` checks every
+    /// spec before failing, so all drifted goldens are listed at once).
+    GoldenMismatch {
+        /// Every spec whose report diverged, paired with the first line
+        /// at which report and golden differ (1-based).
+        mismatches: Vec<(PathBuf, usize)>,
+    },
+    /// `verify` found no spec files at all (an empty gate must fail
+    /// loudly, not pass vacuously).
+    NoSpecs {
+        /// The directory searched.
+        dir: PathBuf,
+    },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            CliError::BadSpec { path, error } => write!(f, "{}: {error}", path.display()),
+            CliError::GoldenMismatch { mismatches } => {
+                for (path, line) in mismatches {
+                    writeln!(
+                        f,
+                        "{}: report differs from golden at line {line}",
+                        path.display()
+                    )?;
+                }
+                write!(f, "run `tvg-cli bless` to accept intended drift")
+            }
+            CliError::NoSpecs { dir } => {
+                write!(f, "{}: no *.tvgs specs found", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage string printed on argument errors.
+pub const USAGE: &str = "usage: tvg-cli <command> [args]
+  run <spec>...     run scenarios, print canonical JSON reports to stdout
+  check <spec>...   parse and validate specs without running them
+  verify <dir>      run every <dir>/*.tvgs and diff against <dir>/golden/
+  bless <dir>       regenerate <dir>/golden/ from the current reports";
+
+/// Output of a successful command: what to print to stdout and stderr.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Output {
+    /// Canonical output (reports, verification summary).
+    pub stdout: String,
+    /// Human commentary (wall times, per-file progress).
+    pub stderr: String,
+}
+
+/// Parses and runs one CLI invocation (`args` excludes the binary name).
+///
+/// # Errors
+///
+/// Returns the first [`CliError`] encountered; the caller maps any error
+/// to a nonzero exit code.
+pub fn run_command(args: &[String]) -> Result<Output, CliError> {
+    let (command, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError::Usage("missing command".to_string()))?;
+    match command.as_str() {
+        "run" => {
+            if rest.is_empty() {
+                return Err(CliError::Usage("run: need at least one spec file".into()));
+            }
+            let mut out = Output::default();
+            for path in rest.iter().map(Path::new) {
+                let scenarios = load_specs(path)?;
+                for scenario in &scenarios {
+                    let report = scenario.run();
+                    writeln!(out.stdout, "{}", report.canonical_json()).expect("string write");
+                    writeln!(
+                        out.stderr,
+                        "ran {} ({}) in {} µs",
+                        scenario.name(),
+                        path.display(),
+                        report.wall_micros()
+                    )
+                    .expect("string write");
+                }
+            }
+            Ok(out)
+        }
+        "check" => {
+            if rest.is_empty() {
+                return Err(CliError::Usage("check: need at least one spec file".into()));
+            }
+            let mut out = Output::default();
+            for path in rest.iter().map(Path::new) {
+                let scenarios = load_specs(path)?;
+                writeln!(
+                    out.stdout,
+                    "ok {} ({} scenario{})",
+                    path.display(),
+                    scenarios.len(),
+                    if scenarios.len() == 1 { "" } else { "s" }
+                )
+                .expect("string write");
+            }
+            Ok(out)
+        }
+        "verify" => {
+            let dir = single_dir(rest, "verify")?;
+            let mut out = Output::default();
+            let mut mismatches = Vec::new();
+            for (spec_path, golden_path) in spec_files(&dir)? {
+                let report = render_reports(&spec_path)?;
+                // A missing golden is drift (the spec was never
+                // blessed), folded into the same mismatch list so one
+                // verify run reports every failing spec; any other read
+                // failure is a real I/O problem and surfaces as such.
+                let golden = match std::fs::read_to_string(&golden_path) {
+                    Ok(text) => text,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                    Err(e) => {
+                        return Err(CliError::Io {
+                            path: golden_path.clone(),
+                            error: e.to_string(),
+                        })
+                    }
+                };
+                if report != golden {
+                    let line = tvg_scenarios::first_divergent_line(&report, &golden);
+                    mismatches.push((spec_path, line));
+                    continue;
+                }
+                writeln!(out.stdout, "verified {}", spec_path.display()).expect("string write");
+            }
+            if mismatches.is_empty() {
+                Ok(out)
+            } else {
+                Err(CliError::GoldenMismatch { mismatches })
+            }
+        }
+        "bless" => {
+            let dir = single_dir(rest, "bless")?;
+            let golden_dir = dir.join("golden");
+            std::fs::create_dir_all(&golden_dir).map_err(|e| CliError::Io {
+                path: golden_dir.clone(),
+                error: e.to_string(),
+            })?;
+            let mut out = Output::default();
+            for (spec_path, golden_path) in spec_files(&dir)? {
+                let report = render_reports(&spec_path)?;
+                std::fs::write(&golden_path, &report).map_err(|e| CliError::Io {
+                    path: golden_path.clone(),
+                    error: e.to_string(),
+                })?;
+                writeln!(out.stdout, "blessed {}", golden_path.display()).expect("string write");
+            }
+            Ok(out)
+        }
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn single_dir(rest: &[String], command: &str) -> Result<PathBuf, CliError> {
+    match rest {
+        [dir] => Ok(PathBuf::from(dir)),
+        _ => Err(CliError::Usage(format!(
+            "{command}: need exactly one directory"
+        ))),
+    }
+}
+
+/// The workspace's bundled `scenarios/` directory, resolved relative to
+/// this crate so every gate that consumes the bundle (the CLI tests,
+/// the dump binaries, the root user stories) agrees on one location.
+#[must_use]
+pub fn bundled_scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+/// Loads and fully validates a spec file.
+pub fn load_specs(path: &Path) -> Result<Vec<Scenario>, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.to_path_buf(),
+        error: e.to_string(),
+    })?;
+    parse_specs(&text).map_err(|e| CliError::BadSpec {
+        path: path.to_path_buf(),
+        error: e.to_string(),
+    })
+}
+
+/// Runs every scenario in a spec file and concatenates the canonical
+/// report lines — the exact bytes `verify` diffs and `bless` writes.
+pub fn render_reports(path: &Path) -> Result<String, CliError> {
+    let mut out = String::new();
+    for scenario in load_specs(path)? {
+        out.push_str(&scenario.run().canonical_json());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// The `(spec, golden)` path pairs of a scenario directory, sorted by
+/// file name so runs are order-deterministic.
+pub fn spec_files(dir: &Path) -> Result<Vec<(PathBuf, PathBuf)>, CliError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| CliError::Io {
+        path: dir.to_path_buf(),
+        error: e.to_string(),
+    })?;
+    let mut specs: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "tvgs"))
+        .collect();
+    specs.sort();
+    if specs.is_empty() {
+        return Err(CliError::NoSpecs {
+            dir: dir.to_path_buf(),
+        });
+    }
+    Ok(specs
+        .into_iter()
+        .map(|spec| {
+            let stem = spec.file_stem().expect("tvgs files have stems");
+            let golden = dir
+                .join("golden")
+                .join(format!("{}.json", stem.to_string_lossy()));
+            (spec, golden)
+        })
+        .collect())
+}

@@ -1,0 +1,20 @@
+//! `tvg-cli` — run declarative TVG scenarios and verify their goldens.
+//!
+//! See [`tvg_cli::USAGE`] or run without arguments for the command list.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match tvg_cli::run_command(&args) {
+        Ok(output) => {
+            print!("{}", output.stdout);
+            eprint!("{}", output.stderr);
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,8 +17,8 @@
 
 use crate::metrics::DeliveryStats;
 use crate::EvolvingTrace;
-use tvg_journeys::{Batch, BatchRunner, SearchLimits, WaitingPolicy};
-use tvg_model::NodeId;
+use tvg_journeys::{Batch, BatchRunner, EngineStats, SearchLimits, WaitingPolicy};
+use tvg_model::{NodeId, TemporalIndex};
 
 /// Relay discipline of a broadcast.
 ///
@@ -119,7 +119,6 @@ fn broadcast_batch(
     source_beacons: bool,
     sources: &[usize],
 ) -> Vec<BroadcastOutcome> {
-    let n = trace.num_nodes();
     let horizon = trace.len() as u64;
     let policy = match mode {
         ForwardingMode::StoreCarryForward => WaitingPolicy::Unbounded,
@@ -129,34 +128,71 @@ fn broadcast_batch(
         ForwardingMode::BoundedBuffer(d) if d >= horizon => WaitingPolicy::Unbounded,
         ForwardingMode::BoundedBuffer(d) => WaitingPolicy::Bounded(d),
     };
+    // The streaming ingestion path: one ingest batch per trace step,
+    // then the query batch runs against the live-index snapshot (this
+    // is the "ingest tick, query tick" loop of a live feed, with the
+    // whole trace ingested before the single query tick).
+    let stream = trace.to_stream();
+    let limits = SearchLimits::new(horizon, trace.len());
+    let (outcomes, _stats) = broadcast_plan(
+        stream.index(),
+        &policy,
+        source_beacons,
+        sources,
+        &limits,
+        Batch::auto(),
+    );
+    outcomes
+}
+
+/// Runs one broadcast per listed source over any compiled index — the
+/// plan-level entry point the scenario runtime (`tvg-scenarios`) calls
+/// on generator-built TVGs, and the driver the trace-based
+/// [`run_broadcast`]/[`broadcast_sweep`] delegate to.
+///
+/// The waiting policy *is* the relay discipline (`Unbounded` ↔
+/// store-carry-forward, `Bounded(d)` ↔ a `d`-step buffer, `NoWait` ↔
+/// relay-in-arrival-step-only). A beaconing source re-emits at every
+/// instant up to the limits' horizon: it is seeded once per instant
+/// (under unbounded waiting a single seed already departs whenever it
+/// likes, so one seed suffices). Each outcome's `informed_at[source]`
+/// is pinned to `Some(0)`.
+///
+/// Returns the outcomes in source order plus the summed engine work
+/// (one multi-seed engine run per source, at any thread count).
+///
+/// # Panics
+///
+/// Panics if a source is out of range for the index's graph.
+#[must_use]
+pub fn broadcast_plan<I: TemporalIndex<u64> + Sync>(
+    index: &I,
+    policy: &WaitingPolicy<u64>,
+    source_beacons: bool,
+    sources: &[usize],
+    limits: &SearchLimits<u64>,
+    batch: Batch,
+) -> (Vec<BroadcastOutcome>, EngineStats) {
+    let n = index.tvg().num_nodes();
     // A beaconing source re-emits at every step: seed one configuration
     // per instant. Under unbounded waiting a single seed already departs
     // whenever it likes (the source always beacons under SCF).
     let seed_sets: Vec<Vec<(NodeId, u64)>> = sources
         .iter()
         .map(|&source| {
+            assert!(source < n, "source out of range");
             let source = NodeId::from_index(source);
             if matches!(policy, WaitingPolicy::Unbounded) || !source_beacons {
                 vec![(source, 0)]
             } else {
-                (0..=horizon).map(|t| (source, t)).collect()
+                (0..=limits.horizon).map(|t| (source, t)).collect()
             }
         })
         .collect();
-    // The streaming ingestion path: one ingest batch per trace step,
-    // then the query batch runs against the live-index snapshot (this
-    // is the "ingest tick, query tick" loop of a live feed, with the
-    // whole trace ingested before the single query tick).
-    let stream = trace.to_stream();
-    let index = stream.index();
-    let limits = SearchLimits::new(horizon, trace.len());
     // Worker-side reduction: each tree collapses to its informed_at
     // vector inside the worker (a sweep holds outcomes, not trees).
-    let (outcomes, _stats) = BatchRunner::new(index, Batch::auto()).map_seed_sets(
-        &seed_sets,
-        &policy,
-        &limits,
-        |seeds, tree| {
+    let (outcomes, stats) =
+        BatchRunner::new(index, batch).map_seed_sets(&seed_sets, policy, limits, |seeds, tree| {
             let source = seeds[0].0.index();
             let informed_at = (0..n)
                 .map(|node| {
@@ -168,9 +204,8 @@ fn broadcast_batch(
                 })
                 .collect();
             BroadcastOutcome { informed_at }
-        },
-    );
-    outcomes
+        });
+    (outcomes, stats)
 }
 
 #[cfg(test)]
@@ -383,6 +418,43 @@ mod tests {
                     );
                     assert_eq!(outcome, &single, "{mode:?} beacons={beacons} src={source}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_plan_on_batch_index_matches_trace_path() {
+        // The generic plan entry point over a batch-compiled TvgIndex
+        // must agree with the trace-streaming path outcome for outcome,
+        // and report exactly one engine run per source.
+        use tvg_model::TvgIndex;
+        let params = EdgeMarkovianParams {
+            num_nodes: 8,
+            p_birth: 0.09,
+            p_death: 0.4,
+            steps: 28,
+        };
+        let tr = edge_markovian_trace(&mut StdRng::seed_from_u64(11), &params);
+        let g = tr.to_tvg();
+        let horizon = tr.len() as u64;
+        let index = TvgIndex::compile(&g, horizon);
+        let limits = SearchLimits::new(horizon, tr.len());
+        let sources: Vec<usize> = (0..tr.num_nodes()).collect();
+        for (mode, policy) in [
+            (ForwardingMode::StoreCarryForward, WaitingPolicy::Unbounded),
+            (ForwardingMode::NoWaitRelay, WaitingPolicy::NoWait),
+            (ForwardingMode::BoundedBuffer(3), WaitingPolicy::Bounded(3)),
+        ] {
+            for beacons in [false, true] {
+                let (planned, stats) =
+                    broadcast_plan(&index, &policy, beacons, &sources, &limits, Batch::auto());
+                assert_eq!(
+                    stats.runs,
+                    sources.len() as u64,
+                    "{policy} beacons={beacons}"
+                );
+                let swept = broadcast_sweep(&tr, mode, beacons);
+                assert_eq!(planned, swept, "{policy} beacons={beacons}");
             }
         }
     }

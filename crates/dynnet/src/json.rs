@@ -3,8 +3,10 @@
 //! The workspace builds fully offline, so `serde`/`serde_json` are not
 //! available; experiment sweeps still want to log configurations and
 //! results in a machine-readable form. This module hand-rolls the tiny
-//! subset of JSON those flat types need: objects, strings, numbers,
-//! booleans, and `null`.
+//! subset of JSON those flat types need: objects, arrays, strings,
+//! numbers, booleans, and `null`. The scenario runtime (`tvg-scenarios`)
+//! reuses it for its canonical reports, which is where the arrays come
+//! in (histograms, per-source rows).
 //!
 //! Every type implements [`ToJson`] and [`FromJson`], and
 //! `from_json(to_json(x)) == x` is property-tested in
@@ -32,6 +34,8 @@ pub enum Json {
     Num(f64),
     /// A string (no escapes are needed by this crate's types).
     Str(String),
+    /// An array (scenario reports carry histograms and per-source rows).
+    Arr(Vec<Json>),
     /// An object with string keys.
     Obj(BTreeMap<String, Json>),
 }
@@ -93,6 +97,16 @@ impl fmt::Display for Json {
                 }
             }
             Json::Str(s) => write!(f, "\"{s}\""),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
             Json::Obj(map) => {
                 write!(f, "{{")?;
                 for (i, (k, v)) in map.iter().enumerate() {
@@ -107,8 +121,8 @@ impl fmt::Display for Json {
     }
 }
 
-/// Parses JSON text (objects, strings without escapes, numbers, booleans,
-/// `null`).
+/// Parses JSON text (objects, arrays, strings without escapes, numbers,
+/// booleans, `null`).
 pub fn parse(text: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
@@ -177,6 +191,7 @@ impl Parser<'_> {
     fn value_inner(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
             Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -205,6 +220,26 @@ impl Parser<'_> {
                     return Ok(Json::Obj(map));
                 }
                 _ => return err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return err(format!("expected ',' or ']' at byte {}", self.pos)),
             }
         }
     }
@@ -549,6 +584,28 @@ mod tests {
             r#"{"num_nodes":-1,"p_birth":0,"p_death":0,"steps":0}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let v = Json::Arr(vec![
+            Json::Int(1),
+            Json::Arr(vec![Json::Int(2), Json::Int(3)]),
+            Json::Str("x".into()),
+            Json::Null,
+        ]);
+        let text = v.to_string();
+        assert_eq!(text, r#"[1,[2,3],"x",null]"#);
+        assert_eq!(parse(&text).unwrap(), v);
+        assert_eq!(parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(
+            parse(" [ 1 , 2 ] ").unwrap(),
+            Json::Arr(vec![Json::Int(1), Json::Int(2)])
+        );
+        assert!(parse("[1,").is_err());
+        assert!(parse("[1 2]").is_err());
+        let bomb = "[".repeat(100_000);
+        assert!(parse(&bomb).is_err(), "deep arrays hit the depth guard");
     }
 
     #[test]

@@ -48,11 +48,25 @@ impl<T: Time + Send + Sync> ReachabilityMatrix<T> {
         batch: Batch,
     ) -> Self {
         let index = TvgIndex::compile(g, limits.horizon.clone());
+        Self::compute_on(&index, start, policy, limits, batch)
+    }
+
+    /// [`ReachabilityMatrix::compute_with`] on an already-compiled
+    /// index, for callers (like the scenario runtime) that hold one —
+    /// avoids paying index compilation a second time.
+    pub fn compute_on(
+        index: &TvgIndex<'_, T>,
+        start: &T,
+        policy: &WaitingPolicy<T>,
+        limits: &SearchLimits<T>,
+        batch: Batch,
+    ) -> Self {
+        let g = index.tvg();
         let sources: Vec<NodeId> = g.nodes().collect();
         // Worker-side reduction: each tree collapses to its matrix row
         // before the next query runs, so peak memory is O(workers)
         // trees, not n.
-        let (arrivals, stats) = BatchRunner::new(&index, batch).map_sources(
+        let (arrivals, stats) = BatchRunner::new(index, batch).map_sources(
             &sources,
             start,
             policy,

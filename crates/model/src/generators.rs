@@ -290,6 +290,201 @@ pub fn grid_two_phase_tvg(rows: usize, cols: usize, label: char) -> Tvg<u64> {
     b.build().expect("at least one node")
 }
 
+/// An edge-Markovian contact TVG: every unordered node pair evolves as an
+/// independent two-state Markov chain over instants `0..horizon` — an
+/// absent contact appears with probability `p_birth` per instant, a
+/// present one disappears with probability `p_death` — starting from the
+/// stationary distribution `p_birth / (p_birth + p_death)`. Both edge
+/// orientations of a pair share the contact instants (label `'m'`, unit
+/// latency); pairs never in contact get no edge at all.
+///
+/// This is the TVG-native face of the edge-Markovian *trace* model in
+/// `tvg-dynnet` (the standard model of highly dynamic, possibly
+/// always-disconnected networks), packaged as a generator so declarative
+/// scenarios can run matrix/broadcast/streaming plans on it without a
+/// trace detour. Fully determined by its parameters and `seed`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `horizon == 0`, or a probability is outside `[0, 1]`.
+pub fn edge_markovian_contacts(
+    n: usize,
+    horizon: u64,
+    p_birth: f64,
+    p_death: f64,
+    seed: u64,
+) -> Tvg<u64> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    assert!(n >= 2, "need at least two nodes");
+    assert!(horizon > 0, "contacts need a nonempty time window");
+    for p in [p_birth, p_death] {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TvgBuilder::new();
+    let nodes = b.nodes(n);
+    let denom = p_birth + p_death;
+    let density = if denom == 0.0 { 0.0 } else { p_birth / denom };
+    for a in 0..n {
+        for c in (a + 1)..n {
+            let mut present = rng.gen_bool(density);
+            let mut instants: BTreeSet<u64> = BTreeSet::new();
+            for t in 0..horizon {
+                if present {
+                    instants.insert(t);
+                    present = !rng.gen_bool(p_death);
+                } else {
+                    present = rng.gen_bool(p_birth);
+                }
+            }
+            if instants.is_empty() {
+                continue;
+            }
+            let rho = Presence::FiniteSet(instants);
+            for (src, dst) in [(a, c), (c, a)] {
+                b.edge(nodes[src], nodes[dst], 'm', rho.clone(), Latency::unit())
+                    .expect("nodes come from this builder");
+            }
+        }
+    }
+    b.build().expect("at least one node")
+}
+
+/// A random-waypoint mobility contact TVG on a `rows × cols` grid:
+/// `walkers` agents each pick a random waypoint cell, step one cell per
+/// instant toward it (along the axis with the larger remaining distance,
+/// rows on ties), and pick a fresh waypoint on arrival. Two walkers
+/// sharing a cell at an instant are in contact then; contacts become
+/// edges in both orientations (label `'w'`, unit latency) whose presence
+/// is the exact meeting instants below `horizon`.
+///
+/// The nodes of the TVG are the *walkers*, not the grid cells — this is
+/// the classic mobility-model contact workload (sparse, bursty,
+/// position-correlated) as opposed to the memoryless edge-Markovian one.
+/// Fully determined by its parameters and `seed`.
+///
+/// # Panics
+///
+/// Panics if `walkers == 0`, `rows == 0`, `cols == 0`, or `horizon == 0`.
+pub fn waypoint_grid_contacts(
+    walkers: usize,
+    rows: usize,
+    cols: usize,
+    horizon: u64,
+    seed: u64,
+) -> Tvg<u64> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    assert!(walkers > 0, "need at least one walker");
+    assert!(rows > 0 && cols > 0, "grid must be nonempty");
+    assert!(horizon > 0, "contacts need a nonempty time window");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cell = |rng: &mut StdRng| (rng.gen_range(0..rows), rng.gen_range(0..cols));
+    let mut pos: Vec<(usize, usize)> = (0..walkers).map(|_| cell(&mut rng)).collect();
+    let mut goal: Vec<(usize, usize)> = (0..walkers).map(|_| cell(&mut rng)).collect();
+    let mut meetings: std::collections::BTreeMap<(usize, usize), BTreeSet<u64>> =
+        std::collections::BTreeMap::new();
+    for t in 0..horizon {
+        // Contacts at t come from positions at t; walkers move afterward.
+        for u in 0..walkers {
+            for v in (u + 1)..walkers {
+                if pos[u] == pos[v] {
+                    meetings.entry((u, v)).or_default().insert(t);
+                }
+            }
+        }
+        for w in 0..walkers {
+            if pos[w] == goal[w] {
+                goal[w] = cell(&mut rng);
+            }
+            let (r, c) = pos[w];
+            let (gr, gc) = goal[w];
+            let dr = gr.abs_diff(r);
+            let dc = gc.abs_diff(c);
+            if dr >= dc && dr > 0 {
+                pos[w].0 = if gr > r { r + 1 } else { r - 1 };
+            } else if dc > 0 {
+                pos[w].1 = if gc > c { c + 1 } else { c - 1 };
+            }
+        }
+    }
+    let mut b = TvgBuilder::new();
+    let nodes = b.nodes(walkers);
+    for ((u, v), instants) in meetings {
+        let rho = Presence::FiniteSet(instants);
+        for (src, dst) in [(u, v), (v, u)] {
+            b.edge(nodes[src], nodes[dst], 'w', rho.clone(), Latency::unit())
+                .expect("nodes come from this builder");
+        }
+    }
+    b.build().expect("at least one node")
+}
+
+/// A shift-scheduled commuter fleet: `lines` bus lines, each a chain of
+/// `stops` outer stops feeding one shared hub (node 0). Line `l` runs
+/// `runs` services in each direction; service `k` leaves its terminus at
+/// `shift · l + headway · k` and crosses one hop per instant (unit
+/// latency, label `'f'`), so the lines' timetables are staggered against
+/// each other by `shift` — transfers at the hub only connect when the
+/// shifts happen to chain, which is exactly the waiting-vs-not workload
+/// at fleet scale.
+///
+/// Node layout: hub `0`, then line `l`'s stops `1 + l·stops ..` ordered
+/// outward from the hub. Inbound services run terminus → hub, outbound
+/// services hub → terminus, with identical departure instants.
+/// Deterministic (no randomness).
+///
+/// # Panics
+///
+/// Panics if `lines`, `stops`, or `runs` is zero, or `headway == 0`.
+pub fn commuter_fleet(
+    lines: usize,
+    stops: usize,
+    headway: u64,
+    shift: u64,
+    runs: usize,
+) -> Tvg<u64> {
+    assert!(lines > 0, "need at least one line");
+    assert!(stops > 0, "need at least one stop per line");
+    assert!(runs > 0, "need at least one service per line");
+    assert!(headway > 0, "headway must be nonzero");
+    let mut b = TvgBuilder::new();
+    let nodes = b.nodes(1 + lines * stops);
+    for l in 0..lines {
+        // The chain hub = n₀ — n₁ — … — n_stops for this line.
+        let chain: Vec<_> = std::iter::once(nodes[0])
+            .chain((0..stops).map(|s| nodes[1 + l * stops + s]))
+            .collect();
+        let bases: Vec<u64> = (0..runs)
+            .map(|k| shift * l as u64 + headway * k as u64)
+            .collect();
+        // Hop i of an inbound service departs `i` instants after its
+        // base (the bus crosses one hop per instant); outbound mirrors.
+        for i in 0..stops {
+            let inbound: BTreeSet<u64> = bases.iter().map(|base| base + i as u64).collect();
+            let outbound = inbound.clone();
+            b.edge(
+                chain[stops - i],
+                chain[stops - i - 1],
+                'f',
+                Presence::FiniteSet(inbound),
+                Latency::unit(),
+            )
+            .expect("nodes come from this builder");
+            b.edge(
+                chain[i],
+                chain[i + 1],
+                'f',
+                Presence::FiniteSet(outbound),
+                Latency::unit(),
+            )
+            .expect("nodes come from this builder");
+        }
+    }
+    b.build().expect("at least one node")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +637,127 @@ mod tests {
             assert_eq!(g.is_present(e, &0), same_row, "{e} at t=0");
             assert_eq!(g.is_present(e, &1), !same_row, "{e} at t=1");
         }
+    }
+
+    #[test]
+    fn edge_markovian_contacts_reproducible_and_symmetric() {
+        let g1 = edge_markovian_contacts(10, 30, 0.1, 0.4, 7);
+        let g2 = edge_markovian_contacts(10, 30, 0.1, 0.4, 7);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for (e1, e2) in g1.edges().zip(g2.edges()) {
+            assert_eq!(g1.edge(e1).src(), g2.edge(e2).src());
+            for t in 0..30u64 {
+                assert_eq!(g1.is_present(e1, &t), g2.is_present(e2, &t));
+            }
+        }
+        // Contacts are symmetric and within the horizon.
+        for e in g1.edges() {
+            let (src, dst) = (g1.edge(e).src(), g1.edge(e).dst());
+            let reverse = g1
+                .edges()
+                .find(|&r| g1.edge(r).src() == dst && g1.edge(r).dst() == src)
+                .expect("both orientations exist");
+            let mut ever = false;
+            for t in 0..40u64 {
+                assert_eq!(g1.is_present(e, &t), g1.is_present(reverse, &t));
+                if g1.is_present(e, &t) {
+                    assert!(t < 30, "contact beyond horizon");
+                    ever = true;
+                }
+            }
+            assert!(ever, "never-present pairs get no edge");
+        }
+    }
+
+    #[test]
+    fn edge_markovian_contacts_extreme_rates() {
+        // p_birth=1, p_death=0: every pair present at every instant.
+        let always = edge_markovian_contacts(4, 5, 1.0, 0.0, 1);
+        assert_eq!(always.num_edges(), 12); // C(4,2) pairs × 2 orientations
+        for e in always.edges() {
+            for t in 0..5u64 {
+                assert!(always.is_present(e, &t));
+            }
+        }
+        // p_birth=0: nothing ever appears, no edges at all.
+        let never = edge_markovian_contacts(4, 5, 0.0, 1.0, 1);
+        assert_eq!(never.num_edges(), 0);
+    }
+
+    #[test]
+    fn waypoint_walkers_meet_only_when_colocated() {
+        let g = waypoint_grid_contacts(6, 3, 3, 40, 5);
+        assert_eq!(g.num_nodes(), 6);
+        // Reproducible.
+        let g2 = waypoint_grid_contacts(6, 3, 3, 40, 5);
+        assert_eq!(g.num_edges(), g2.num_edges());
+        // On a 3×3 grid with 6 walkers over 40 instants, somebody meets.
+        assert!(g.num_edges() > 0, "expected at least one contact");
+        // Symmetric orientations.
+        for e in g.edges() {
+            let (src, dst) = (g.edge(e).src(), g.edge(e).dst());
+            let reverse = g
+                .edges()
+                .find(|&r| g.edge(r).src() == dst && g.edge(r).dst() == src)
+                .expect("both orientations exist");
+            for t in 0..40u64 {
+                assert_eq!(g.is_present(e, &t), g.is_present(reverse, &t));
+            }
+        }
+    }
+
+    #[test]
+    fn waypoint_single_cell_grid_is_a_clique_at_every_instant() {
+        // Everyone is stuck in the one cell: all pairs in contact always.
+        let g = waypoint_grid_contacts(4, 1, 1, 6, 0);
+        assert_eq!(g.num_edges(), 12);
+        for e in g.edges() {
+            for t in 0..6u64 {
+                assert!(g.is_present(e, &t));
+            }
+        }
+    }
+
+    #[test]
+    fn commuter_fleet_services_chain_toward_the_hub() {
+        // One line, two stops, one run leaving the terminus at 0:
+        // terminus →(0) mid →(1) hub, and hub →(0) mid →(1) terminus.
+        let g = commuter_fleet(1, 2, 4, 0, 1);
+        assert_eq!(g.num_nodes(), 3); // hub + 2 stops
+        assert_eq!(g.num_edges(), 4);
+        let find = |src: usize, dst: usize| {
+            g.edges()
+                .find(|&e| g.edge(e).src().index() == src && g.edge(e).dst().index() == dst)
+                .expect("edge exists")
+        };
+        // Inbound: terminus (node 2) departs at 0, mid (node 1) at 1.
+        assert_eq!(g.traverse(find(2, 1), &0), Some(1));
+        assert_eq!(g.traverse(find(1, 0), &1), Some(2));
+        assert_eq!(g.traverse(find(1, 0), &0), None);
+        // Outbound mirrors the instants.
+        assert_eq!(g.traverse(find(0, 1), &0), Some(1));
+        assert_eq!(g.traverse(find(1, 2), &1), Some(2));
+    }
+
+    #[test]
+    fn commuter_fleet_shift_staggers_lines() {
+        // Two lines, shift 3: line 1's services depart 3 instants after
+        // line 0's. Line 1's terminus is node 1 + 1*2 + 1 = 4.
+        let g = commuter_fleet(2, 2, 8, 3, 2);
+        assert_eq!(g.num_nodes(), 5);
+        let find = |src: usize, dst: usize| {
+            g.edges()
+                .find(|&e| g.edge(e).src().index() == src && g.edge(e).dst().index() == dst)
+                .expect("edge exists")
+        };
+        // Line 0 terminus = node 2: departures at 0 and 8.
+        assert_eq!(g.traverse(find(2, 1), &0), Some(1));
+        assert_eq!(g.traverse(find(2, 1), &8), Some(9));
+        assert_eq!(g.traverse(find(2, 1), &3), None);
+        // Line 1 terminus = node 4: departures at 3 and 11.
+        assert_eq!(g.traverse(find(4, 3), &3), Some(4));
+        assert_eq!(g.traverse(find(4, 3), &11), Some(12));
+        assert_eq!(g.traverse(find(4, 3), &0), None);
     }
 
     #[test]

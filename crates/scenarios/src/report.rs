@@ -1,0 +1,144 @@
+//! Canonical scenario reports.
+//!
+//! A [`Report`] is the complete observable outcome of one scenario run.
+//! Its [`Report::canonical_json`] rendering is **deterministic to the
+//! byte**: object keys are sorted (`BTreeMap`), integers stay exact
+//! (`Json::Int`), floats use Rust's shortest round-trip formatting, and
+//! nothing machine- or run-dependent (wall-clock, thread count actually
+//! used) is included — which is what lets CI byte-diff reports against
+//! checked-in goldens at `TVG_BATCH_THREADS=1` and `=4` alike. Wall time
+//! is measured and carried alongside ([`Report::wall_micros`]) for
+//! humans and benches, outside the canonical bytes.
+
+use std::collections::BTreeMap;
+use tvg_dynnet::json::Json;
+use tvg_journeys::EngineStats;
+
+/// The outcome of running one [`crate::Scenario`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    pub(crate) scenario: String,
+    pub(crate) generator: &'static str,
+    pub(crate) generator_params: Json,
+    pub(crate) policy: String,
+    pub(crate) plan: &'static str,
+    pub(crate) threads: String,
+    pub(crate) nodes: usize,
+    pub(crate) edges: usize,
+    pub(crate) edge_events: usize,
+    pub(crate) results: Json,
+    pub(crate) engine: EngineStats,
+    pub(crate) wall_micros: u128,
+}
+
+impl Report {
+    /// The scenario name this report answers for.
+    #[must_use]
+    pub fn scenario(&self) -> &str {
+        &self.scenario
+    }
+
+    /// Summed engine work counters behind the plan's queries.
+    #[must_use]
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine
+    }
+
+    /// The plan-specific results object.
+    #[must_use]
+    pub fn results(&self) -> &Json {
+        &self.results
+    }
+
+    /// Wall-clock microseconds of the run (measured, **not** part of the
+    /// canonical bytes — goldens must not depend on machine speed).
+    #[must_use]
+    pub fn wall_micros(&self) -> u128 {
+        self.wall_micros
+    }
+
+    /// The canonical single-line JSON rendering (see module docs).
+    #[must_use]
+    pub fn canonical_json(&self) -> String {
+        obj([
+            ("engine", engine_json(&self.engine)),
+            (
+                "generator",
+                obj([
+                    ("name", Json::Str(self.generator.to_string())),
+                    ("params", self.generator_params.clone()),
+                ]),
+            ),
+            (
+                "graph",
+                obj([
+                    ("edge_events", Json::Int(self.edge_events as u64)),
+                    ("edges", Json::Int(self.edges as u64)),
+                    ("nodes", Json::Int(self.nodes as u64)),
+                ]),
+            ),
+            ("plan", Json::Str(self.plan.to_string())),
+            ("policy", Json::Str(self.policy.clone())),
+            ("results", self.results.clone()),
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("threads", Json::Str(self.threads.clone())),
+        ])
+        .to_string()
+    }
+}
+
+/// The 1-based first line at which two report texts differ, used by
+/// every golden gate (`tvg-cli verify`, the testkit oracle) so they all
+/// name the same line for the same drift. When one text is a strict
+/// prefix of the other, this is the first line past the shorter text.
+#[must_use]
+pub fn first_divergent_line(a: &str, b: &str) -> usize {
+    a.lines()
+        .zip(b.lines())
+        .position(|(x, y)| x != y)
+        .map_or_else(|| a.lines().count().min(b.lines().count()) + 1, |i| i + 1)
+}
+
+/// Builds a JSON object from `(key, value)` pairs.
+pub(crate) fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+pub(crate) fn engine_json(stats: &EngineStats) -> Json {
+    obj([
+        ("expanded", Json::Int(stats.expanded)),
+        ("runs", Json::Int(stats.runs)),
+        ("settled", Json::Int(stats.settled)),
+    ])
+}
+
+/// An arrival histogram: how many entries arrived at each instant, plus
+/// how many never arrived. Rendered as sorted `[instant, count]` pairs
+/// so the encoding is canonical regardless of input order.
+pub(crate) fn histogram<'a>(values: impl Iterator<Item = Option<&'a u64>>) -> Json {
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut unreached = 0u64;
+    for v in values {
+        match v {
+            Some(&t) => *counts.entry(t).or_default() += 1,
+            None => unreached += 1,
+        }
+    }
+    obj([
+        (
+            "arrivals",
+            Json::Arr(
+                counts
+                    .into_iter()
+                    .map(|(t, c)| Json::Arr(vec![Json::Int(t), Json::Int(c)]))
+                    .collect(),
+            ),
+        ),
+        ("unreached", Json::Int(unreached)),
+    ])
+}

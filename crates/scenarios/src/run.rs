@@ -1,0 +1,259 @@
+//! Plan execution: one scenario in, one canonical [`Report`] out.
+//!
+//! Every plan runs on the workspace's standard pipeline — compile the
+//! generated TVG into a [`TvgIndex`] (or replay it through a
+//! [`TvgStream`] for the streaming plan), then fan engine runs out over
+//! the [`BatchRunner`] at the scenario's thread policy. The batch
+//! runtime's thread-count invariance is what makes reports reproducible
+//! bytes rather than approximate numbers.
+
+use crate::report::{engine_json, histogram, obj, Report};
+use crate::spec::{Plan, Scenario, Threads};
+use tvg_dynnet::broadcast::broadcast_plan;
+use tvg_dynnet::json::{Json, ToJson};
+use tvg_dynnet::metrics::{AggregateStats, DeliveryStats};
+use tvg_journeys::{
+    Batch, BatchRunner, EngineStats, IncrementalForemost, ReachabilityMatrix, SearchLimits,
+};
+use tvg_model::stream::TvgStream;
+use tvg_model::{NodeId, TemporalIndex, Tvg, TvgIndex};
+
+impl Scenario {
+    /// Builds the scenario's TVG (deterministic; see
+    /// [`crate::GeneratorSpec::build`]).
+    #[must_use]
+    pub fn build_graph(&self) -> Tvg<u64> {
+        self.generator.build()
+    }
+
+    /// The [`Batch`] thread policy this scenario runs at.
+    #[must_use]
+    pub fn batch(&self) -> Batch {
+        match self.threads() {
+            Threads::Auto => Batch::auto(),
+            Threads::Fixed(n) => Batch::threads(n),
+        }
+    }
+
+    /// The plan's search limits.
+    #[must_use]
+    pub fn limits(&self) -> SearchLimits<u64> {
+        SearchLimits::new(self.plan().horizon(), self.plan().max_hops())
+    }
+
+    /// Runs the scenario end to end and returns its report.
+    #[must_use]
+    pub fn run(&self) -> Report {
+        let started = std::time::Instant::now();
+        let g = self.build_graph();
+        let limits = self.limits();
+        let batch = self.batch();
+        let ((results, engine), edge_events) = match self.plan() {
+            Plan::Streaming {
+                src,
+                start,
+                batch: batch_size,
+                ..
+            } => {
+                let (outcome, events) =
+                    run_streaming(&g, &limits, batch, self, *src, *start, *batch_size);
+                (outcome, events)
+            }
+            plan => {
+                let index = TvgIndex::compile(&g, limits.horizon);
+                let events = index.num_edge_events();
+                let outcome = match plan {
+                    Plan::SingleSource { src, start, .. } => {
+                        run_single_source(&index, batch, self, *src, *start, &limits)
+                    }
+                    Plan::Matrix { start, .. } => run_matrix(&index, batch, self, *start, &limits),
+                    Plan::Broadcast {
+                        source, beacons, ..
+                    } => run_broadcast_plan(&index, batch, self, *source, *beacons, &limits),
+                    Plan::Streaming { .. } => unreachable!("handled above"),
+                };
+                (outcome, events)
+            }
+        };
+        Report {
+            scenario: self.name().to_string(),
+            generator: self.generator().name(),
+            generator_params: self.generator().params_json(),
+            policy: self.policy().to_string(),
+            plan: self.plan().name(),
+            threads: self.threads().to_string(),
+            nodes: g.num_nodes(),
+            edges: g.num_edges(),
+            edge_events,
+            results,
+            engine,
+            wall_micros: started.elapsed().as_micros(),
+        }
+    }
+}
+
+fn run_single_source(
+    index: &TvgIndex<'_, u64>,
+    batch: Batch,
+    scenario: &Scenario,
+    src: usize,
+    start: u64,
+    limits: &SearchLimits<u64>,
+) -> (Json, EngineStats) {
+    let g = index.tvg();
+    let out = BatchRunner::new(index, batch).run_sources(
+        &[NodeId::from_index(src)],
+        &start,
+        scenario.policy(),
+        limits,
+    );
+    let tree = &out.trees()[0];
+    let results = obj([
+        ("histogram", histogram(g.nodes().map(|n| tree.arrival(n)))),
+        ("reached", Json::Int(tree.num_reached() as u64)),
+    ]);
+    (results, out.stats())
+}
+
+fn run_matrix(
+    index: &TvgIndex<'_, u64>,
+    batch: Batch,
+    scenario: &Scenario,
+    start: u64,
+    limits: &SearchLimits<u64>,
+) -> (Json, EngineStats) {
+    let g = index.tvg();
+    let m = ReachabilityMatrix::compute_on(index, &start, scenario.policy(), limits, batch);
+    let mut off_diagonal = Vec::new();
+    for src in g.nodes() {
+        for dst in g.nodes() {
+            if dst != src {
+                off_diagonal.push(m.arrival(src, dst));
+            }
+        }
+    }
+    let results = obj([
+        (
+            "diameter",
+            m.temporal_diameter().map_or(Json::Null, Json::Int),
+        ),
+        ("histogram", histogram(off_diagonal.into_iter())),
+        ("ratio", Json::Num(m.reachability_ratio())),
+        ("temporal_sinks", Json::Int(m.temporal_sinks().len() as u64)),
+        (
+            "temporal_sources",
+            Json::Int(m.temporal_sources().len() as u64),
+        ),
+    ]);
+    (results, m.stats())
+}
+
+fn run_broadcast_plan(
+    index: &TvgIndex<'_, u64>,
+    batch: Batch,
+    scenario: &Scenario,
+    source: Option<usize>,
+    beacons: bool,
+    limits: &SearchLimits<u64>,
+) -> (Json, EngineStats) {
+    let n = index.tvg().num_nodes();
+    let sources: Vec<usize> = match source {
+        Some(s) => vec![s],
+        None => (0..n).collect(),
+    };
+    let (outcomes, stats) =
+        broadcast_plan(index, scenario.policy(), beacons, &sources, limits, batch);
+    let per_run: Vec<DeliveryStats> = outcomes.iter().map(|o| o.stats()).collect();
+    let results = match source {
+        Some(_) => {
+            let outcome = &outcomes[0];
+            obj([
+                ("delivery", per_run[0].to_json_value()),
+                (
+                    "histogram",
+                    histogram(outcome.informed_at.iter().map(Option::as_ref)),
+                ),
+            ])
+        }
+        None => {
+            let aggregate = AggregateStats::from_runs(&per_run);
+            obj([
+                ("aggregate", aggregate.to_json_value()),
+                (
+                    "histogram",
+                    histogram(
+                        outcomes
+                            .iter()
+                            .flat_map(|o| o.informed_at.iter().map(Option::as_ref)),
+                    ),
+                ),
+                (
+                    "per_source_reached",
+                    Json::Arr(
+                        outcomes
+                            .iter()
+                            .map(|o| Json::Int(o.informed_at.iter().flatten().count() as u64))
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+    };
+    (results, stats)
+}
+
+/// The streaming plan: replay the generated schedule through a
+/// [`TvgStream`] in `batch_size`-event ingest ticks, repairing one
+/// incremental foremost tree per tick, then run one batched all-sources
+/// query against the final live snapshot. Returns the plan outcome plus
+/// the final live index's edge-event count (the graph summary of what
+/// was actually ingested).
+#[allow(clippy::too_many_arguments)]
+fn run_streaming(
+    g: &Tvg<u64>,
+    limits: &SearchLimits<u64>,
+    batch: Batch,
+    scenario: &Scenario,
+    src: usize,
+    start: u64,
+    batch_size: usize,
+) -> ((Json, EngineStats), usize) {
+    let (mut stream, events) = TvgStream::replay_of(g, &limits.horizon);
+    let source = NodeId::from_index(src);
+    let mut inc = IncrementalForemost::new(
+        stream.index(),
+        &[(source, start)],
+        *scenario.policy(),
+        limits.clone(),
+    );
+    let mut per_tick_reached: Vec<Json> = Vec::new();
+    for chunk in events.chunks(batch_size) {
+        let report = stream.ingest(chunk).expect("replay is a valid feed");
+        inc.refresh(stream.index(), &report);
+        per_tick_reached.push(Json::Int(inc.num_reached() as u64));
+    }
+    // One batched query tick against the final snapshot: every node as a
+    // source, collapsed to reached-counts inside the workers.
+    let nodes: Vec<NodeId> = stream.index().tvg().nodes().collect();
+    let (snapshot_reached, snapshot_stats) = BatchRunner::new(stream.index(), batch).map_sources(
+        &nodes,
+        &start,
+        scenario.policy(),
+        limits,
+        |_, tree| Json::Int(tree.num_reached() as u64),
+    );
+    let ticks = per_tick_reached.len() as u64;
+    let results = obj([
+        (
+            "final_histogram",
+            histogram(nodes.iter().map(|&n| inc.arrival(n))),
+        ),
+        ("final_reached", Json::Int(inc.num_reached() as u64)),
+        ("per_tick_reached", Json::Arr(per_tick_reached)),
+        ("snapshot", engine_json(&snapshot_stats)),
+        ("snapshot_reached", Json::Arr(snapshot_reached)),
+        ("ticks", Json::Int(ticks)),
+    ]);
+    let edge_events = stream.index().num_edge_events();
+    ((results, inc.stats() + snapshot_stats), edge_events)
+}

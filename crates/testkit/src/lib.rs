@@ -33,6 +33,10 @@
 //!   structurally identical to a from-scratch recompile of the
 //!   accumulated schedule, and a repaired `IncrementalForemost` must
 //!   answer exactly like a fresh engine run.
+//! * [`speccheck`] — the scenario-runtime oracle: spec text
+//!   round-trips through `tvg_scenarios::parse_specs`, reports are
+//!   thread-count invariant, and bundled specs reproduce their
+//!   checked-in goldens byte for byte.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +47,7 @@ pub mod gen;
 pub mod oracles;
 pub mod prop;
 pub mod rng;
+pub mod speccheck;
 pub mod streamcheck;
 pub mod tickscan;
 

@@ -1,0 +1,97 @@
+//! The scenario-runtime oracle: spec round-tripping, report thread
+//! invariance, and golden comparison, shared by the testkit property
+//! suite, the root integration stories, and anything else that wants to
+//! pin a scenario's behavior.
+//!
+//! Three contracts, one per function:
+//!
+//! * a [`Scenario`]'s canonical `Display` text reparses to the same
+//!   scenario ([`assert_roundtrip`]) — the spec format loses nothing;
+//! * a scenario's results and engine accounting are identical at every
+//!   thread count ([`assert_thread_invariant`]) — reports are bytes,
+//!   not approximations;
+//! * a spec's concatenated canonical report lines equal a checked-in
+//!   golden ([`assert_golden`]) — the in-process face of the
+//!   `tvg-cli verify` CI gate.
+
+use tvg_scenarios::{parse_specs, Report, Scenario, Threads};
+
+/// Asserts that `scenario`'s canonical spec text reparses to exactly
+/// `scenario`.
+///
+/// # Panics
+///
+/// Panics if the canonical text fails to parse, parses to a different
+/// scenario, or parses to more than one.
+pub fn assert_roundtrip(scenario: &Scenario) {
+    let text = scenario.to_string();
+    let back = parse_specs(&text).unwrap_or_else(|e| {
+        panic!(
+            "canonical text of {:?} failed to reparse: {e}\n{text}",
+            scenario.name()
+        )
+    });
+    assert_eq!(back.len(), 1, "canonical text holds one scenario\n{text}");
+    assert_eq!(
+        &back[0], scenario,
+        "round-trip changed the scenario\n{text}"
+    );
+}
+
+/// Runs `scenario` at thread counts 1, 2, and 4 and asserts that the
+/// plan results and engine stats are identical; returns the (thread-1)
+/// report for further inspection.
+///
+/// # Panics
+///
+/// Panics if any thread count changes any result byte or counter.
+pub fn assert_thread_invariant(scenario: &Scenario) -> Report {
+    let reference = scenario.with_threads(Threads::Fixed(1)).run();
+    for threads in [2usize, 4] {
+        let other = scenario.with_threads(Threads::Fixed(threads)).run();
+        assert_eq!(
+            reference.results(),
+            other.results(),
+            "{}: results changed at {threads} threads",
+            scenario.name()
+        );
+        assert_eq!(
+            reference.engine_stats(),
+            other.engine_stats(),
+            "{}: engine accounting changed at {threads} threads",
+            scenario.name()
+        );
+    }
+    reference
+}
+
+/// Runs every scenario in `spec_text` and asserts the concatenated
+/// canonical report lines equal `golden` byte for byte, naming the
+/// first divergent line otherwise.
+///
+/// # Panics
+///
+/// Panics if the spec fails to parse or any report byte differs.
+pub fn assert_golden(spec_text: &str, golden: &str) {
+    let scenarios = parse_specs(spec_text).expect("golden spec parses");
+    let mut produced = String::new();
+    for scenario in &scenarios {
+        produced.push_str(&scenario.run().canonical_json());
+        produced.push('\n');
+    }
+    if produced != golden {
+        let line = tvg_scenarios::first_divergent_line(&produced, golden);
+        let a = produced.lines().nth(line - 1);
+        let b = golden.lines().nth(line - 1);
+        if a.is_none() && b.is_none() {
+            // Every line compares equal yet the bytes differ: the texts
+            // diverge only in trailing bytes (a stripped final newline).
+            panic!("report drifted from golden: texts differ only in trailing bytes");
+        }
+        panic!(
+            "report drifted from golden at line {line}\nproduced: {}\ngolden:   {}",
+            a.unwrap_or("<end of text>"),
+            b.unwrap_or("<end of text>"),
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Property suite for the declarative scenario runtime: randomly
+//! assembled specs must round-trip through the parser, run on every
+//! plan, and produce thread-invariant, rerun-identical reports.
+//!
+//! The generators here build *spec text*, not `Scenario` values — the
+//! property enters the runtime through the same front door a user's
+//! `.tvgs` file does, so formatting quirks (defaults, directive order,
+//! comments) are part of what is swept.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tvg_scenarios::{parse_specs, SpecError, Threads};
+use tvg_testkit::speccheck::{assert_roundtrip, assert_thread_invariant};
+
+/// A random generator directive, kept small enough that every property
+/// case runs in milliseconds. Returns `(directive text, node count)`.
+fn random_generator(rng: &mut StdRng) -> (String, usize) {
+    match rng.gen_range(0..8u32) {
+        0 => {
+            let n = rng.gen_range(2..7usize);
+            (
+                format!("ring_bus n={n} period={}", rng.gen_range(1..6u64)),
+                n,
+            )
+        }
+        1 => {
+            let n = rng.gen_range(2..7usize);
+            (format!("star_ferry n={n}"), n)
+        }
+        2 => {
+            let (r, c) = (rng.gen_range(1..4usize), rng.gen_range(1..4usize));
+            (format!("grid_two_phase rows={r} cols={c}"), r * c)
+        }
+        3 => {
+            let n = rng.gen_range(2..6usize);
+            (
+                format!(
+                    "random_periodic nodes={n} edges={} period={} density=0.5 seed={}",
+                    rng.gen_range(1..9usize),
+                    rng.gen_range(1..5u64),
+                    rng.gen_range(0..1000u64)
+                ),
+                n,
+            )
+        }
+        4 => {
+            let n = rng.gen_range(2..9usize);
+            (
+                format!(
+                    "scale_free n={n} horizon={} seed={}",
+                    rng.gen_range(4..16u64),
+                    rng.gen_range(0..1000u64)
+                ),
+                n,
+            )
+        }
+        5 => {
+            let n = rng.gen_range(2..7usize);
+            (
+                format!(
+                    "edge_markovian n={n} horizon={} p_birth=0.25 p_death=0.5 seed={}",
+                    rng.gen_range(4..16u64),
+                    rng.gen_range(0..1000u64)
+                ),
+                n,
+            )
+        }
+        6 => {
+            let w = rng.gen_range(2..6usize);
+            (
+                format!(
+                    "waypoint_grid walkers={w} rows={} cols={} horizon={} seed={}",
+                    rng.gen_range(1..4usize),
+                    rng.gen_range(1..4usize),
+                    rng.gen_range(4..12u64),
+                    rng.gen_range(0..1000u64)
+                ),
+                w,
+            )
+        }
+        _ => {
+            let (lines, stops) = (rng.gen_range(1..3usize), rng.gen_range(1..3usize));
+            (
+                format!(
+                    "commuter_fleet lines={lines} stops={stops} headway={} shift={} runs={}",
+                    rng.gen_range(1..6u64),
+                    rng.gen_range(0..4u64),
+                    rng.gen_range(1..3usize)
+                ),
+                1 + lines * stops,
+            )
+        }
+    }
+}
+
+fn random_policy(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3u32) {
+        0 => "nowait".to_string(),
+        1 => "wait".to_string(),
+        _ => format!("wait[{}]", rng.gen_range(0..5u64)),
+    }
+}
+
+fn random_plan(rng: &mut StdRng, nodes: usize) -> String {
+    let horizon = rng.gen_range(4..20u64);
+    let src = rng.gen_range(0..nodes);
+    match rng.gen_range(0..4u32) {
+        0 => format!("single_source src={src} horizon={horizon}"),
+        1 => format!(
+            "matrix horizon={horizon} max_hops={}",
+            rng.gen_range(1..12usize)
+        ),
+        2 => {
+            let source = if rng.gen_bool(0.5) {
+                format!(" source={src}")
+            } else {
+                String::new()
+            };
+            format!(
+                "broadcast{source} beacons={} horizon={horizon}",
+                rng.gen_bool(0.5)
+            )
+        }
+        _ => format!(
+            "streaming src={src} horizon={horizon} batch={}",
+            rng.gen_range(1..40usize)
+        ),
+    }
+}
+
+fn random_spec(rng: &mut StdRng, name: &str) -> String {
+    let (generator, nodes) = random_generator(rng);
+    let policy = random_policy(rng);
+    let plan = random_plan(rng, nodes);
+    // Shuffle directive order: the format is order-insensitive.
+    let mut directives = vec![
+        format!("generator {generator}"),
+        format!("policy {policy}"),
+        format!("plan {plan}"),
+    ];
+    if rng.gen_bool(0.5) {
+        directives.push(format!("threads {}", rng.gen_range(1..5usize)));
+    }
+    for i in (1..directives.len()).rev() {
+        directives.swap(i, rng.gen_range(0..=i));
+    }
+    let mut text = format!("# generated case\nscenario {name}\n");
+    for d in directives {
+        text.push_str(&d);
+        text.push('\n');
+    }
+    text
+}
+
+#[test]
+fn random_specs_roundtrip_and_run_thread_invariantly() {
+    tvg_testkit::check_with(
+        tvg_testkit::Config::named_with_cases("scenario_props::roundtrip_run", 48),
+        |rng, case| {
+            let text = random_spec(rng, &format!("case-{case}"));
+            let scenarios = parse_specs(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(scenarios.len(), 1, "{text}");
+            let s = &scenarios[0];
+            assert_roundtrip(s);
+            // Reports are identical across thread counts and across
+            // reruns (full determinism, not just stability).
+            let report = assert_thread_invariant(s);
+            let again = s.with_threads(Threads::Fixed(1)).run();
+            assert_eq!(report.canonical_json(), again.canonical_json(), "{text}");
+        },
+    );
+}
+
+#[test]
+fn scenario_engine_accounting_matches_plan_shape() {
+    // The report's run counter is structural: matrix = n runs,
+    // single-source = 1, broadcast sweep = n, targeted broadcast = 1.
+    let text = "\
+scenario m
+generator ring_bus n=5 period=5
+policy wait
+plan matrix horizon=20
+scenario s
+generator ring_bus n=5 period=5
+policy wait
+plan single_source src=0 horizon=20
+scenario b
+generator ring_bus n=5 period=5
+policy wait
+plan broadcast source=2 beacons=true horizon=20
+scenario sweep
+generator ring_bus n=5 period=5
+policy wait
+plan broadcast beacons=true horizon=20
+";
+    let scenarios = parse_specs(text).expect("valid");
+    let runs: Vec<u64> = scenarios
+        .iter()
+        .map(|s| s.run().engine_stats().runs)
+        .collect();
+    assert_eq!(runs, vec![5, 1, 1, 5]);
+}
+
+#[test]
+fn duplicate_names_rejected_across_blocks() {
+    let text = "\
+scenario twin
+generator ring_bus n=3 period=3
+policy wait
+plan matrix horizon=9
+scenario twin
+generator star_ferry n=3
+policy nowait
+plan matrix horizon=9
+";
+    assert_eq!(
+        parse_specs(text).unwrap_err(),
+        SpecError::DuplicateScenario {
+            name: "twin".into()
+        }
+    );
+}
+
+#[test]
+fn corrupting_a_valid_spec_always_fails_typed() {
+    // Property-flavored failure injection: take a valid random spec and
+    // break exactly one facet; the parser must return the matching
+    // typed error, never panic and never silently accept.
+    tvg_testkit::check_with(
+        tvg_testkit::Config::named_with_cases("scenario_props::corruption", 32),
+        |rng, case| {
+            let good = random_spec(rng, &format!("victim-{case}"));
+            assert!(parse_specs(&good).is_ok(), "{good}");
+            let (bad, expect): (String, fn(&SpecError) -> bool) = match rng.gen_range(0..5u32) {
+                0 => (good.replace("generator ", "generator bogus_"), |e| {
+                    matches!(e, SpecError::UnknownGenerator { .. })
+                }),
+                1 => (good.replace("plan ", "plan bogus_"), |e| {
+                    matches!(e, SpecError::UnknownPlan { .. })
+                }),
+                2 => (good.replace("policy ", "policy sleep_"), |e| {
+                    matches!(e, SpecError::BadPolicy { .. })
+                }),
+                3 => (good.replace("horizon=", "horizon=zzz"), |e| {
+                    matches!(e, SpecError::BadParamType { .. })
+                }),
+                _ => (
+                    good.lines()
+                        .filter(|l| !l.starts_with("policy"))
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                    |e| {
+                        matches!(
+                            e,
+                            SpecError::MissingDirective {
+                                directive: "policy",
+                                ..
+                            }
+                        )
+                    },
+                ),
+            };
+            let err = parse_specs(&bad).expect_err(&bad);
+            assert!(expect(&err), "{bad}\nunexpected error: {err}");
+        },
+    );
+}

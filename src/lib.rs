@@ -11,6 +11,8 @@
 //! * [`expressivity`] — the paper's constructions (Figure 1, Theorems
 //!   2.1–2.3).
 //! * [`dynnet`] — dynamic-network protocol simulations.
+//! * [`scenarios`] — the declarative scenario runtime (text specs →
+//!   canonical JSON reports; the `tvg-cli` binary drives it).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,3 +23,4 @@ pub use tvg_expressivity as expressivity;
 pub use tvg_journeys as journeys;
 pub use tvg_langs as langs;
 pub use tvg_model as model;
+pub use tvg_scenarios as scenarios;

@@ -243,6 +243,199 @@ fn json_decode_failures_are_typed() {
 }
 
 #[test]
+fn scenario_spec_failures_are_typed() {
+    use tvg_suite::scenarios::{parse_specs, SpecError};
+    let base = |generator: &str, policy: &str, plan: &str| {
+        format!("scenario s\ngenerator {generator}\npolicy {policy}\nplan {plan}\n")
+    };
+    // Unknown generator.
+    assert_eq!(
+        parse_specs(&base("warp_drive n=3", "wait", "matrix horizon=8")).unwrap_err(),
+        SpecError::UnknownGenerator {
+            scenario: "s".into(),
+            name: "warp_drive".into()
+        }
+    );
+    // Bad parameter types: a float where a count belongs, a word where a
+    // probability belongs, a number where a bool belongs.
+    assert_eq!(
+        parse_specs(&base("ring_bus n=2.5 period=4", "wait", "matrix horizon=8")).unwrap_err(),
+        SpecError::BadParamType {
+            scenario: "s".into(),
+            param: "n".into(),
+            expected: "usize",
+            got: "2.5".into()
+        }
+    );
+    assert_eq!(
+        parse_specs(&base(
+            "edge_markovian n=4 horizon=8 p_birth=high p_death=0.5 seed=1",
+            "wait",
+            "matrix horizon=8"
+        ))
+        .unwrap_err(),
+        SpecError::BadParamType {
+            scenario: "s".into(),
+            param: "p_birth".into(),
+            expected: "f64",
+            got: "high".into()
+        }
+    );
+    assert_eq!(
+        parse_specs(&base(
+            "ring_bus n=4 period=4",
+            "wait",
+            "broadcast source=0 beacons=1 horizon=8"
+        ))
+        .unwrap_err(),
+        SpecError::BadParamType {
+            scenario: "s".into(),
+            param: "beacons".into(),
+            expected: "bool",
+            got: "1".into()
+        }
+    );
+    // Missing policy (and the other required directives).
+    assert_eq!(
+        parse_specs("scenario s\ngenerator ring_bus n=4 period=4\nplan matrix horizon=8\n")
+            .unwrap_err(),
+        SpecError::MissingDirective {
+            scenario: "s".into(),
+            directive: "policy"
+        }
+    );
+    assert_eq!(
+        parse_specs("scenario s\npolicy wait\nplan matrix horizon=8\n").unwrap_err(),
+        SpecError::MissingDirective {
+            scenario: "s".into(),
+            directive: "generator"
+        }
+    );
+    // Duplicate scenario names.
+    let twin = base("ring_bus n=4 period=4", "wait", "matrix horizon=8").repeat(2);
+    assert_eq!(
+        parse_specs(&twin).unwrap_err(),
+        SpecError::DuplicateScenario { name: "s".into() }
+    );
+    // Unknown and missing parameters, named precisely.
+    assert_eq!(
+        parse_specs(&base(
+            "ring_bus n=4 period=4 color=red",
+            "wait",
+            "matrix horizon=8"
+        ))
+        .unwrap_err(),
+        SpecError::UnknownParam {
+            scenario: "s".into(),
+            context: "ring_bus".into(),
+            param: "color".into()
+        }
+    );
+    assert_eq!(
+        parse_specs(&base("ring_bus n=4", "wait", "matrix horizon=8")).unwrap_err(),
+        SpecError::MissingParam {
+            scenario: "s".into(),
+            context: "ring_bus".into(),
+            param: "period"
+        }
+    );
+    // Bad policy text, out-of-range values, out-of-range sources.
+    assert_eq!(
+        parse_specs(&base(
+            "ring_bus n=4 period=4",
+            "procrastinate",
+            "matrix horizon=8"
+        ))
+        .unwrap_err(),
+        SpecError::BadPolicy {
+            scenario: "s".into(),
+            text: "procrastinate".into()
+        }
+    );
+    assert!(matches!(
+        parse_specs(&base(
+            "edge_markovian n=4 horizon=8 p_birth=1.5 p_death=0.5 seed=1",
+            "wait",
+            "matrix horizon=8"
+        ))
+        .unwrap_err(),
+        SpecError::BadParamValue { ref param, .. } if param == "p_birth"
+    ));
+    assert_eq!(
+        parse_specs(&base(
+            "ring_bus n=4 period=4",
+            "wait",
+            "single_source src=9 horizon=8"
+        ))
+        .unwrap_err(),
+        SpecError::SourceOutOfRange {
+            scenario: "s".into(),
+            src: 9,
+            nodes: 4
+        }
+    );
+    // A start past the horizon admits no departures: the typo is caught
+    // at parse time instead of blessing a vacuous all-unreached golden.
+    assert!(matches!(
+        parse_specs(&base(
+            "ring_bus n=4 period=4",
+            "wait",
+            "matrix start=100 horizon=8"
+        ))
+        .unwrap_err(),
+        SpecError::BadParamValue { ref param, .. } if param == "start"
+    ));
+    // A beaconing broadcast seeds one copy per instant: a huge horizon
+    // must be rejected at parse time, not discovered as an allocation
+    // blowup at run time.
+    assert!(matches!(
+        parse_specs(&base(
+            "ring_bus n=4 period=4",
+            "nowait",
+            "broadcast beacons=true horizon=4000000000"
+        ))
+        .unwrap_err(),
+        SpecError::BadParamValue { ref param, .. } if param == "horizon"
+    ));
+    // Surplus arguments are not "missing" ones: `policy wait 2` (meaning
+    // `wait[2]`) must say the directive takes exactly one argument.
+    assert_eq!(
+        parse_specs(&base("ring_bus n=4 period=4", "wait 2", "matrix horizon=8")).unwrap_err(),
+        SpecError::SurplusArgument {
+            line: 3,
+            directive: "policy".into()
+        }
+    );
+    // Structure errors: empty input, stray directives, unknown plans.
+    assert_eq!(
+        parse_specs("# only comments\n").unwrap_err(),
+        SpecError::Empty
+    );
+    assert_eq!(
+        parse_specs("policy wait\n").unwrap_err(),
+        SpecError::StrayDirective { line: 1 }
+    );
+    assert_eq!(
+        parse_specs(&base("ring_bus n=4 period=4", "wait", "teleport horizon=8")).unwrap_err(),
+        SpecError::UnknownPlan {
+            scenario: "s".into(),
+            name: "teleport".into()
+        }
+    );
+    // And a valid spec still parses (the rejections are not vacuous).
+    assert_eq!(
+        parse_specs(&base(
+            "ring_bus n=4 period=4",
+            "wait[2]",
+            "matrix horizon=8"
+        ))
+        .expect("valid spec")
+        .len(),
+        1
+    );
+}
+
+#[test]
 fn degenerate_language_oracles_are_total() {
     // The Σ* and ∅ oracles from the testkit stay total on any alphabet,
     // including the unary edge case.

@@ -149,6 +149,67 @@ fn live_commuter_feed_story() {
 }
 
 #[test]
+fn scenario_runtime_story() {
+    // The workflow the scenario runtime exists for: a workload is a text
+    // file, not a Rust program. Parse a bundled spec, run it, and pin
+    // its headline numbers — then check the canonical bytes against the
+    // same checked-in golden the `tvg-cli verify` CI gate diffs.
+    use tvg_suite::dynnet::json::Json;
+    use tvg_suite::scenarios::parse_specs;
+    use tvg_testkit::speccheck::{assert_golden, assert_roundtrip, assert_thread_invariant};
+
+    let spec_text = include_str!("../scenarios/ring-matrix.tvgs");
+    let golden = include_str!("../scenarios/golden/ring-matrix.json");
+    let scenarios = parse_specs(spec_text).expect("bundled spec parses");
+    assert_eq!(scenarios.len(), 1);
+    let scenario = &scenarios[0];
+    assert_eq!(scenario.name(), "ring-matrix");
+    assert_roundtrip(scenario);
+
+    // Headline numbers: the 8-stop staggered ring under wait[3] — one
+    // engine run per source, and waiting 3 < period 8 only carries a
+    // traveler halfway around before the horizon's hop budget, so
+    // exactly half the ordered pairs connect.
+    let report = assert_thread_invariant(scenario);
+    assert_eq!(report.engine_stats().runs, 8);
+    let Json::Obj(results) = report.results() else {
+        panic!("results is an object");
+    };
+    assert_eq!(results["ratio"], Json::Num(0.5));
+    assert_eq!(results["diameter"], Json::Int(10));
+
+    // The bytes CI diffs are these bytes.
+    assert_golden(spec_text, golden);
+
+    // And the same numbers fall out of the raw library pipeline — the
+    // spec is a description of this code path, not a reimplementation.
+    let m = ReachabilityMatrix::compute(
+        &tvg_suite::model::generators::ring_bus_tvg(8, 8, 'r'),
+        &0,
+        &WaitingPolicy::Bounded(3),
+        &SearchLimits::new(64, 16),
+    );
+    assert_eq!(m.reachability_ratio(), 0.5);
+}
+
+#[test]
+fn every_bundled_scenario_reproduces_its_golden() {
+    // Every bundled spec under scenarios/, against its golden,
+    // discovered from the directory so a new spec is covered the moment
+    // it lands: `cargo test` fails on report drift (or an unblessed
+    // spec) before CI ever sees it.
+    use tvg_testkit::speccheck::assert_golden;
+    let dir = tvg_cli::bundled_scenarios_dir();
+    for (spec, golden) in tvg_cli::spec_files(&dir).expect("bundled specs exist") {
+        let spec_text = std::fs::read_to_string(&spec).expect("spec reads");
+        let golden_text = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+            panic!("{}: {e} (run `tvg-cli bless scenarios`)", golden.display())
+        });
+        assert_golden(&spec_text, &golden_text);
+    }
+}
+
+#[test]
 fn snapshots_and_footprint_story() {
     let ring = ring_bus(4, 4);
     // At any instant exactly one ring edge is up (phases are staggered).
