@@ -1,0 +1,90 @@
+//! Reader-scaling benchmark for the serve runtime (experiment E11).
+//!
+//! The workload is a scale-free temporal contact schedule replayed as a
+//! live feed in 8 ingest ticks while a seeded synthetic client mix
+//! (foremost / matrix / beaconing broadcast, Poisson-style arrivals) is
+//! answered from epoch-pinned lock-free snapshots. The swept knob is
+//! the reader thread count: the logical outcome is asserted identical
+//! at every count before timing starts (the property the golden gate
+//! pins), so the measured spread is pure service parallelism — snapshot
+//! acquisition, grouped engine passes, and epoch waits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tvg_journeys::{SearchLimits, WaitingPolicy};
+use tvg_model::generators::scale_free_temporal;
+use tvg_model::stream::{StreamEvent, TvgStream};
+use tvg_model::Tvg;
+use tvg_serve::{generate_load, serve, LoadSpec, ServeConfig, ServeOutcome, TimedRequest};
+
+const HORIZON: u64 = 48;
+const TICKS: usize = 8;
+const REQUESTS: usize = 256;
+
+fn workload(n: usize) -> (Tvg<u64>, Vec<Vec<StreamEvent<u64>>>, Vec<TimedRequest>) {
+    let g = scale_free_temporal(n, HORIZON, 23);
+    let (_, events) = TvgStream::replay_of(&g, &HORIZON).expect("bench horizons are small");
+    let chunk = events.len().div_ceil(TICKS).max(1);
+    let ticks = events.chunks(chunk).map(<[_]>::to_vec).collect();
+    let requests = generate_load(&LoadSpec {
+        requests: REQUESTS,
+        mean_gap: 1,
+        mix: (4, 2, 1),
+        nodes: g.num_nodes(),
+        seed_instant: 0,
+        seed: 29,
+    });
+    (g, ticks, requests)
+}
+
+fn run_serve(
+    g: &Tvg<u64>,
+    ticks: &[Vec<StreamEvent<u64>>],
+    requests: &[TimedRequest],
+    readers: usize,
+) -> ServeOutcome {
+    let (stream, _) = TvgStream::replay_of(g, &HORIZON).expect("bench horizons are small");
+    serve(
+        stream,
+        ticks,
+        requests,
+        &ServeConfig {
+            readers,
+            policy: WaitingPolicy::Bounded(3),
+            limits: SearchLimits::new(HORIZON, 16),
+            start: 0,
+        },
+    )
+    .expect("replay is a valid feed")
+}
+
+fn bench_serve_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_scaling");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        let (g, ticks, requests) = workload(n);
+        eprintln!(
+            "serve_scaling workload: n={n}, {} ticks, {REQUESTS} requests",
+            ticks.len()
+        );
+        // Reader counts must agree logically before we time them.
+        let reference = run_serve(&g, &ticks, &requests, 1);
+        for readers in [2usize, 4] {
+            let outcome = run_serve(&g, &ticks, &requests, readers);
+            assert_eq!(reference.served, outcome.served, "readers={readers}");
+            assert_eq!(reference.stats, outcome.stats, "readers={readers}");
+        }
+        for readers in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("readers{readers}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| run_serve(&g, &ticks, &requests, readers));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_scaling);
+criterion_main!(benches);

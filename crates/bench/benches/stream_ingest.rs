@@ -27,7 +27,7 @@ const BATCH: usize = 64;
 
 fn workload(n: usize) -> (TvgStream<u64>, Vec<StreamEvent<u64>>) {
     let g = scale_free_temporal(n, HORIZON, 17);
-    TvgStream::replay_of(&g, &HORIZON)
+    TvgStream::replay_of(&g, &HORIZON).expect("bench horizons are small")
 }
 
 fn limits() -> SearchLimits<u64> {

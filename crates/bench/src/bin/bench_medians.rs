@@ -109,7 +109,7 @@ fn e7_metrics() -> BTreeMap<String, u64> {
 /// `benches/stream_ingest.rs`, 64-event ingest ticks, `wait[3]`.
 fn e9_workload() -> (TvgStream<u64>, Vec<StreamEvent<u64>>) {
     let g = scale_free_temporal(200, 64, 17);
-    TvgStream::replay_of(&g, &64)
+    TvgStream::replay_of(&g, &64).expect("64 + 1 is representable")
 }
 
 fn e9_metrics() -> BTreeMap<String, u64> {

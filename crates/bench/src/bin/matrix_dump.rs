@@ -102,8 +102,10 @@ fn main() {
                     println!("report {}", scenario.run().canonical_json());
                     dump_broadcast(&scenario, *beacons);
                 }
-                // Streaming plans dump through `stream_dump`.
-                Plan::Streaming { .. } => {}
+                // Streaming plans dump through `stream_dump`; serve
+                // plans are gated by their own soak step (the report's
+                // canonical section diffed across reader counts).
+                Plan::Streaming { .. } | Plan::Serve { .. } => {}
             }
         }
     }

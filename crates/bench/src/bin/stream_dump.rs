@@ -43,7 +43,8 @@ fn dump_streamed(s: &Scenario) {
     };
     let g = s.build_graph();
     let limits = s.limits();
-    let (mut stream, events) = TvgStream::replay_of(&g, &limits.horizon);
+    let (mut stream, events) =
+        TvgStream::replay_of(&g, &limits.horizon).expect("dump horizons are small");
     let source = NodeId::from_index(*src);
     let mut incs: Vec<IncrementalForemost<u64>> = policies()
         .into_iter()

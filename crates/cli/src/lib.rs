@@ -128,6 +128,11 @@ pub fn run_command(args: &[String]) -> Result<Output, CliError> {
                         report.wall_micros()
                     )
                     .expect("string write");
+                    let timing = report.timing();
+                    if timing != &tvg_scenarios::Json::Null {
+                        writeln!(out.stderr, "timing {} {timing}", scenario.name())
+                            .expect("string write");
+                    }
                 }
             }
             Ok(out)

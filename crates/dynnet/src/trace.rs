@@ -140,7 +140,8 @@ impl EvolvingTrace {
     #[must_use]
     pub fn to_stream(&self) -> TvgStream<u64> {
         assert!(self.num_nodes > 0, "a streamed trace needs nodes");
-        let mut stream = TvgStream::new(self.len() as u64);
+        let mut stream =
+            TvgStream::new(self.len() as u64).expect("trace lengths fit far below u64::MAX");
         for i in 0..self.num_nodes {
             stream.add_node(&format!("v{i}"));
         }

@@ -71,12 +71,28 @@ impl Batch {
     /// The deployment default: the `TVG_BATCH_THREADS` environment
     /// variable if set to a positive integer, otherwise
     /// [`std::thread::available_parallelism`].
+    ///
+    /// A set-but-invalid value (`"four"`, `"-2"`) still falls back to
+    /// machine parallelism, but emits a one-line warning on stderr
+    /// naming the rejected value — a typo in a deployment script should
+    /// not silently change the thread count. `"0"` and unset are the
+    /// documented "ask the machine" spellings and warn nothing.
     #[must_use]
     pub fn auto() -> Self {
-        let from_env = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .and_then(NonZeroUsize::new);
+        let from_env =
+            std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|v| match parse_thread_override(&v) {
+                    ThreadOverride::Fixed(n) => Some(n),
+                    ThreadOverride::Machine => None,
+                    ThreadOverride::Invalid => {
+                        eprintln!(
+                            "warning: ignoring invalid {THREADS_ENV}={v:?} \
+                         (want a non-negative integer); using machine parallelism"
+                        );
+                        None
+                    }
+                });
         let threads = from_env
             .or_else(|| std::thread::available_parallelism().ok())
             .unwrap_or(NonZeroUsize::MIN);
@@ -87,6 +103,32 @@ impl Batch {
     #[must_use]
     pub fn num_threads(&self) -> usize {
         self.threads.get()
+    }
+}
+
+/// What a `TVG_BATCH_THREADS` value means, as three distinct cases so
+/// [`Batch::auto`] can warn on the invalid one without conflating it
+/// with the documented "ask the machine" spellings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadOverride {
+    /// A positive integer: use exactly this many workers.
+    Fixed(NonZeroUsize),
+    /// `"0"` (with optional surrounding whitespace): explicitly defer
+    /// to machine parallelism, same as unset.
+    Machine,
+    /// Anything else (`"four"`, `"-2"`, `""`): a mistake worth a
+    /// warning before falling back.
+    Invalid,
+}
+
+/// The pure classification behind [`Batch::auto`]'s env handling, kept
+/// separate so tests can cover every case without racing on the
+/// process-global environment.
+fn parse_thread_override(v: &str) -> ThreadOverride {
+    match v.trim().parse::<usize>() {
+        Ok(0) => ThreadOverride::Machine,
+        Ok(n) => ThreadOverride::Fixed(NonZeroUsize::new(n).expect("n > 0")),
+        Err(_) => ThreadOverride::Invalid,
     }
 }
 
@@ -322,6 +364,13 @@ fn split_stats<R>(results: Vec<(R, EngineStats)>) -> (Vec<R>, EngineStats) {
 /// loop writes results back by index. Every index is claimed exactly
 /// once, so the merged vector is a permutation-free image of the serial
 /// output — bit-identical at every thread count.
+///
+/// A panicking job does not abort the process: every worker is joined
+/// before the first panic payload is rethrown on the calling thread
+/// (std's scope would abort on a panicking `Drop` of an unjoined
+/// handle, and `join().expect(..)` would double-panic while siblings
+/// are still mid-query). Callers see the original payload via
+/// [`std::panic::resume_unwind`], with no stranded threads behind it.
 fn fan_out<J, R, F>(threads: usize, jobs: &[J], f: F) -> Vec<R>
 where
     J: Sync,
@@ -335,6 +384,7 @@ where
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs.len());
     slots.resize_with(jobs.len(), || None);
+    let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -351,12 +401,24 @@ where
                 })
             })
             .collect();
+        // Join every worker before reacting to any failure: a panic in
+        // one must not strand its siblings mid-scope.
         for handle in handles {
-            for (i, result) in handle.join().expect("batch worker panicked") {
-                slots[i] = Some(result);
+            match handle.join() {
+                Ok(results) => {
+                    for (i, result) in results {
+                        slots[i] = Some(result);
+                    }
+                }
+                Err(payload) => {
+                    panic_payload.get_or_insert(payload);
+                }
             }
         }
     });
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
     slots
         .into_iter()
         .map(|r| r.expect("every claimed job produced a result"))
@@ -501,6 +563,65 @@ mod tests {
         assert_eq!(Batch::threads(0).num_threads(), 1);
         assert_eq!(Batch::threads(8).num_threads(), 8);
         assert!(Batch::auto().num_threads() >= 1);
+    }
+
+    /// The env-override classification behind [`Batch::auto`]: positive
+    /// integers fix the count, `"0"` (like unset) defers to the
+    /// machine, and garbage is a distinct invalid case (which `auto`
+    /// warns about before falling back). The pure function carries the
+    /// coverage so tests never mutate the process-global environment.
+    #[test]
+    fn thread_env_override_classifies_all_spellings() {
+        assert_eq!(
+            parse_thread_override("4"),
+            ThreadOverride::Fixed(NonZeroUsize::new(4).unwrap())
+        );
+        assert_eq!(
+            parse_thread_override(" 12 "),
+            ThreadOverride::Fixed(NonZeroUsize::new(12).unwrap())
+        );
+        // The documented "ask the machine" spelling.
+        assert_eq!(parse_thread_override("0"), ThreadOverride::Machine);
+        // Garbage of every flavor is invalid, never a silent fallback.
+        for garbage in ["four", "-2", "", "3.5", "0x4", "18446744073709551616"] {
+            assert_eq!(
+                parse_thread_override(garbage),
+                ThreadOverride::Invalid,
+                "{garbage:?}"
+            );
+        }
+    }
+
+    /// Regression for the fan-out panic path: a poisoned query must
+    /// unwind cleanly out of the batch (original payload, every sibling
+    /// worker joined) instead of aborting the process from a panicking
+    /// scope-internal `expect`.
+    #[test]
+    fn worker_panic_propagates_without_aborting() {
+        let jobs: Vec<usize> = (0..32).collect();
+        // Silence the default hook while the deliberate panic unwinds
+        // so the test log stays clean; restore it before asserting.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = std::panic::catch_unwind(|| {
+            fan_out(4, &jobs, |&i| {
+                assert!(i != 17, "poisoned query #{i}");
+                i * 2
+            })
+        });
+        std::panic::set_hook(hook);
+        let payload = caught.expect_err("the poisoned job must unwind");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("a formatted assert carries a String payload");
+        assert!(
+            message.contains("poisoned query #17"),
+            "original payload is preserved: {message}"
+        );
+        // The scope has exited, so every sibling is joined; a healthy
+        // batch on the same runner still works afterwards.
+        let healthy = fan_out(4, &jobs, |&i| i * 2);
+        assert_eq!(healthy, (0..64).step_by(2).collect::<Vec<_>>());
     }
 
     #[test]

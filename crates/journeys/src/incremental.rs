@@ -60,7 +60,7 @@ use tvg_model::{NodeId, TemporalIndex, Time};
 /// use tvg_model::stream::{StreamEvent, TvgStream};
 /// use tvg_model::Latency;
 ///
-/// let mut s = TvgStream::<u64>::new(10);
+/// let mut s = TvgStream::<u64>::new(10)?;
 /// let (u, v) = (s.add_node("u"), s.add_node("v"));
 /// let e = s.add_edge(u, v, 'a', Latency::unit())?;
 /// let limits = SearchLimits::new(10, 5);
@@ -314,7 +314,7 @@ mod tests {
     }
 
     fn line_stream() -> (TvgStream<u64>, Vec<tvg_model::EdgeId>) {
-        let mut s = TvgStream::new(30);
+        let mut s = TvgStream::new(30).expect("30 + 1 is representable");
         let v: Vec<NodeId> = (0..4).map(|i| s.add_node(&format!("v{i}"))).collect();
         let edges = (0..3)
             .map(|i| {

@@ -128,6 +128,32 @@ pub trait TemporalIndex<T: Time> {
     }
 }
 
+/// Shared-ownership snapshots answer exactly like the index they wrap:
+/// a query service can publish an `Arc<LiveIndex>` (or any other
+/// implementation) and hand clones to reader threads, and every
+/// consumer generic over [`TemporalIndex`] accepts the `Arc` directly.
+impl<T: Time, I: TemporalIndex<T>> TemporalIndex<T> for std::sync::Arc<I> {
+    fn tvg(&self) -> &Tvg<T> {
+        (**self).tvg()
+    }
+
+    fn horizon(&self) -> &T {
+        (**self).horizon()
+    }
+
+    fn presence(&self, e: EdgeId) -> &IntervalSet<T> {
+        (**self).presence(e)
+    }
+
+    fn arrival_is_monotone(&self, e: EdgeId) -> bool {
+        (**self).arrival_is_monotone(e)
+    }
+
+    fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        (**self).out_edges(n)
+    }
+}
+
 /// Whether an edge appears or disappears at an event instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum EdgeEventKind {

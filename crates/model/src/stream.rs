@@ -130,6 +130,13 @@ pub enum StreamError<T> {
         /// The current inclusive horizon.
         horizon: T,
     },
+    /// A stream constructed at a horizon whose successor overflows the
+    /// time representation (open spans need a representable provisional
+    /// close at `horizon + 1`).
+    HorizonOverflow {
+        /// The unrepresentable horizon.
+        horizon: T,
+    },
     /// The requested horizon has no representable successor (half-open
     /// provisional closes need `horizon + 1`).
     HorizonUnrepresentable {
@@ -158,6 +165,9 @@ impl<T: fmt::Display> fmt::Display for StreamError<T> {
             }
             StreamError::HorizonRegression { to, horizon } => {
                 write!(f, "horizon extension to {to} regresses below {horizon}")
+            }
+            StreamError::HorizonOverflow { horizon } => {
+                write!(f, "horizon {horizon} + 1 overflows the time representation")
             }
             StreamError::HorizonUnrepresentable { to } => {
                 write!(f, "horizon {to} has no representable successor")
@@ -211,11 +221,11 @@ pub struct LiveIndex<T> {
 }
 
 impl<T: Time> LiveIndex<T> {
-    fn new(horizon: T) -> Self {
-        let end = horizon
-            .checked_add(&T::one())
-            .expect("stream horizon must have a representable successor");
-        LiveIndex {
+    /// `None` if `horizon + 1` overflows the time representation (open
+    /// spans need a representable provisional close).
+    fn new(horizon: T) -> Option<Self> {
+        let end = horizon.checked_add(&T::one())?;
+        Some(LiveIndex {
             g: Tvg::empty(),
             horizon,
             end,
@@ -224,7 +234,7 @@ impl<T: Time> LiveIndex<T> {
             csr_offsets: vec![0],
             csr_edges: Vec::new(),
             events: Vec::new(),
-        }
+        })
     }
 
     /// The global edge-event timeline, sorted by time — maintained in
@@ -277,6 +287,11 @@ impl<T: Time> TemporalIndex<T> for LiveIndex<T> {
     }
 }
 
+/// What [`TvgStream::replay_of`] hands back: the mirrored stream (all
+/// edges initially absent) plus the event list that replays the source
+/// schedule in timeline order.
+pub type ReplayFeed<T> = (TvgStream<T>, Vec<StreamEvent<T>>);
+
 /// The ingestion layer: validates appended events and maintains a
 /// [`LiveIndex`] plus the open-span state needed to interpret them.
 ///
@@ -284,7 +299,7 @@ impl<T: Time> TemporalIndex<T> for LiveIndex<T> {
 /// use tvg_model::stream::{StreamEvent, TvgStream};
 /// use tvg_model::{Latency, TemporalIndex};
 ///
-/// let mut s = TvgStream::<u64>::new(10);
+/// let mut s = TvgStream::<u64>::new(10)?;
 /// let (u, v) = (s.add_node("u"), s.add_node("v"));
 /// let e = s.add_edge(u, v, 'a', Latency::unit())?;
 /// let report = s.ingest(&[
@@ -312,18 +327,20 @@ impl<T: Time> TvgStream<T> {
     /// An empty stream (no nodes, no edges, no events) covering
     /// departures in `[0, horizon]`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `horizon + 1` overflows the time representation (open
-    /// spans need a representable provisional close).
-    #[must_use]
-    pub fn new(horizon: T) -> Self {
-        TvgStream {
-            live: LiveIndex::new(horizon),
+    /// [`StreamError::HorizonOverflow`] if `horizon + 1` overflows the
+    /// time representation (open spans need a representable provisional
+    /// close) — e.g. a `u64` stream at `u64::MAX`.
+    pub fn new(horizon: T) -> Result<Self, StreamError<T>> {
+        let live =
+            LiveIndex::new(horizon.clone()).ok_or(StreamError::HorizonOverflow { horizon })?;
+        Ok(TvgStream {
+            live,
             watermark: None,
             open_since: Vec::new(),
             unreported_change: None,
-        }
+        })
     }
 
     /// The live index this stream maintains. Borrow it between ingest
@@ -332,6 +349,16 @@ impl<T: Time> TvgStream<T> {
     #[must_use]
     pub fn index(&self) -> &LiveIndex<T> {
         &self.live
+    }
+
+    /// An owned, immutable copy of the live index as it stands right
+    /// now. This is the publication primitive for snapshot services:
+    /// the writer clones between ingest ticks and hands the copy out
+    /// behind an `Arc`, and readers keep querying it unaffected by
+    /// whatever the stream ingests next.
+    #[must_use]
+    pub fn snapshot(&self) -> LiveIndex<T> {
+        self.live.clone()
     }
 
     /// The latest accepted event instant, if any event was accepted.
@@ -628,13 +655,13 @@ impl<T: Time> TvgStream<T> {
     /// exactly as the compiled index presumes them present through the
     /// horizon.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `horizon + 1` overflows the time representation.
-    #[must_use]
-    pub fn replay_of(g: &Tvg<T>, horizon: &T) -> (TvgStream<T>, Vec<StreamEvent<T>>) {
+    /// [`StreamError::HorizonOverflow`] if `horizon + 1` overflows the
+    /// time representation.
+    pub fn replay_of(g: &Tvg<T>, horizon: &T) -> Result<ReplayFeed<T>, StreamError<T>> {
+        let mut stream = TvgStream::new(horizon.clone())?;
         let index = TvgIndex::compile(g, horizon.clone());
-        let mut stream = TvgStream::new(horizon.clone());
         for n in g.nodes() {
             stream.add_node(g.node_name(n));
         }
@@ -666,7 +693,7 @@ impl<T: Time> TvgStream<T> {
                 EdgeEventKind::Disappear => None,
             })
             .collect();
-        (stream, events)
+        Ok((stream, events))
     }
 }
 
@@ -694,7 +721,7 @@ mod tests {
     use super::*;
 
     fn two_node_stream() -> (TvgStream<u64>, EdgeId) {
-        let mut s = TvgStream::new(20);
+        let mut s = TvgStream::new(20).expect("20 + 1 is representable");
         let u = s.add_node("u");
         let v = s.add_node("v");
         let e = s.add_edge(u, v, 'a', Latency::unit()).expect("valid");
@@ -871,7 +898,7 @@ mod tests {
 
     #[test]
     fn new_edges_grow_the_csr_in_place() {
-        let mut s = TvgStream::<u64>::new(10);
+        let mut s = TvgStream::<u64>::new(10).expect("10 + 1 is representable");
         let a = s.add_node("a");
         let b = s.add_node("b");
         let e0 = s.add_edge(a, b, 'x', Latency::unit()).expect("valid");
@@ -901,7 +928,7 @@ mod tests {
     fn replay_reproduces_a_batch_fixture() {
         use crate::generators::ring_bus_tvg;
         let g = ring_bus_tvg(5, 5, 'r');
-        let (mut s, events) = TvgStream::replay_of(&g, &24);
+        let (mut s, events) = TvgStream::replay_of(&g, &24).expect("24 + 1 is representable");
         assert!(!events.is_empty());
         s.ingest(&events).expect("replay is a valid feed");
         let compiled = TvgIndex::compile(&g, 24);
@@ -939,5 +966,27 @@ mod tests {
         // Once reported, the carry-over is consumed.
         let report = s.ingest(&[]).expect("empty batch is valid");
         assert_eq!(report.earliest_change, None);
+    }
+
+    /// Regression: constructing a stream whose horizon has no
+    /// representable successor used to panic; it is now the typed
+    /// [`StreamError::HorizonOverflow`], mirroring the `ExtendHorizon`
+    /// path's `HorizonUnrepresentable`.
+    #[test]
+    fn max_horizon_is_a_typed_error_not_a_panic() {
+        assert_eq!(
+            TvgStream::<u64>::new(u64::MAX).unwrap_err(),
+            StreamError::HorizonOverflow { horizon: u64::MAX }
+        );
+        assert!(LiveIndex::<u64>::new(u64::MAX).is_none());
+        use crate::generators::ring_bus_tvg;
+        let g = ring_bus_tvg(3, 3, 'r');
+        assert_eq!(
+            TvgStream::replay_of(&g, &u64::MAX).unwrap_err(),
+            StreamError::HorizonOverflow { horizon: u64::MAX }
+        );
+        // One below the ceiling still constructs: only the true
+        // boundary is rejected.
+        assert!(TvgStream::<u64>::new(u64::MAX - 1).is_ok());
     }
 }

@@ -49,6 +49,10 @@ mod spec;
 pub use registry::GeneratorSpec;
 pub use report::{first_divergent_line, Report};
 pub use spec::{parse_specs, Plan, Scenario, SpecError, Threads};
+/// Re-exported so `Report` consumers (the CLI above all) can inspect
+/// [`Report::results`] / [`Report::timing`] without a direct
+/// `tvg-dynnet` dependency.
+pub use tvg_dynnet::json::Json;
 
 #[cfg(test)]
 mod tests {
@@ -224,6 +228,55 @@ plan streaming src=1 horizon=16 batch=32
             tvg_dynnet::json::parse(&json).expect("canonical json parses");
             assert_eq!(json, s.run().canonical_json(), "{}", s.name());
         }
+    }
+
+    #[test]
+    fn serve_plan_roundtrips_and_runs_with_mid_run_epochs() {
+        let text = "\
+scenario sv
+generator scale_free n=12 horizon=24 seed=5
+policy wait
+plan serve horizon=24 requests=32 gap=2 foremost=3 matrix=2 broadcast=1 ticks=4 seed=11
+";
+        let s = one(text);
+        // Canonical text reparses to the same scenario.
+        let back = parse_specs(&s.to_string()).expect("canonical text is valid");
+        assert_eq!(&back[0], &s);
+
+        let report = s.run();
+        assert!(report.engine_stats().runs > 0);
+        let json = report.canonical_json();
+        tvg_dynnet::json::parse(&json).expect("canonical json parses");
+        // The writer published the pre-ingest epoch plus one per tick,
+        // concurrently with the readers — asserted in the report.
+        assert!(json.contains("\"epochs_published\":5"), "{json}");
+        assert!(json.contains("\"requests\":32"), "{json}");
+        // Timing is measured and carried, but stays OUT of the
+        // canonical bytes.
+        assert_ne!(report.timing(), &tvg_dynnet::json::Json::Null);
+        assert!(!json.contains("micros"), "{json}");
+        assert!(!json.contains("throughput"), "{json}");
+        // The run repeats byte-for-byte.
+        assert_eq!(json, s.run().canonical_json());
+    }
+
+    #[test]
+    fn serve_reports_are_reader_count_invariant() {
+        let text = "\
+scenario svinv
+generator edge_markovian n=10 horizon=20 p_birth=0.3 p_death=0.4 seed=2
+policy wait[3]
+plan serve horizon=20 requests=48 gap=1 foremost=2 matrix=1 broadcast=1 ticks=3 seed=9
+";
+        let s = one(text);
+        let serial = s.with_threads(Threads::Fixed(1)).run().canonical_json();
+        let four = s.with_threads(Threads::Fixed(4)).run().canonical_json();
+        // Reader count changes only the timing metrics, never the
+        // golden-gated logical bytes.
+        assert_eq!(
+            serial.replace("\"threads\":\"1\"", "\"threads\":\"4\""),
+            four
+        );
     }
 
     #[test]

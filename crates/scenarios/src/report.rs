@@ -9,6 +9,13 @@
 //! checked-in goldens at `TVG_BATCH_THREADS=1` and `=4` alike. Wall time
 //! is measured and carried alongside ([`Report::wall_micros`]) for
 //! humans and benches, outside the canonical bytes.
+//!
+//! The serve plan widens this split: its **logical** section (answers,
+//! counts, epochs served) lives in `results` and is canonical, while
+//! its throughput/latency percentiles ride in the non-canonical
+//! [`Report::timing`] field next to `wall_micros`. The rule of thumb:
+//! anything a different machine (or reader count) could change is
+//! timing, everything else is logic — and only logic is golden-gated.
 
 use std::collections::BTreeMap;
 use tvg_dynnet::json::Json;
@@ -29,6 +36,9 @@ pub struct Report {
     pub(crate) results: Json,
     pub(crate) engine: EngineStats,
     pub(crate) wall_micros: u128,
+    /// Plan-specific timing metrics (`Json::Null` for plans without
+    /// any) — measured, **not** canonical.
+    pub(crate) timing: Json,
 }
 
 impl Report {
@@ -55,6 +65,16 @@ impl Report {
     #[must_use]
     pub fn wall_micros(&self) -> u128 {
         self.wall_micros
+    }
+
+    /// Plan-specific timing metrics (the serve plan's throughput and
+    /// latency percentiles; `Json::Null` for plans without any).
+    /// Measured wall-clock data, **not** part of the canonical bytes —
+    /// the logical `results` section is golden-gated, timing is for
+    /// humans, benches, and EXPERIMENTS.md.
+    #[must_use]
+    pub fn timing(&self) -> &Json {
+        &self.timing
     }
 
     /// The canonical single-line JSON rendering (see module docs).

@@ -15,8 +15,9 @@ use tvg_dynnet::metrics::{AggregateStats, DeliveryStats};
 use tvg_journeys::{
     Batch, BatchRunner, EngineStats, IncrementalForemost, ReachabilityMatrix, SearchLimits,
 };
-use tvg_model::stream::TvgStream;
+use tvg_model::stream::{StreamEvent, TvgStream};
 use tvg_model::{NodeId, TemporalIndex, Tvg, TvgIndex};
+use tvg_serve::{generate_load, serve, Answer, LoadSpec, ServeConfig};
 
 impl Scenario {
     /// Builds the scenario's TVG (deterministic; see
@@ -48,16 +49,29 @@ impl Scenario {
         let g = self.build_graph();
         let limits = self.limits();
         let batch = self.batch();
-        let ((results, engine), edge_events) = match self.plan() {
+        let (((results, engine), edge_events), timing) = match self.plan() {
             Plan::Streaming {
                 src,
                 start,
                 batch: batch_size,
                 ..
+            } => (
+                run_streaming(&g, &limits, batch, self, *src, *start, *batch_size),
+                Json::Null,
+            ),
+            Plan::Serve {
+                start,
+                requests,
+                gap,
+                mix,
+                ticks,
+                seed,
+                ..
             } => {
-                let (outcome, events) =
-                    run_streaming(&g, &limits, batch, self, *src, *start, *batch_size);
-                (outcome, events)
+                let (outcome, timing) = run_serve(
+                    &g, &limits, batch, self, *start, *requests, *gap, *mix, *ticks, *seed,
+                );
+                (outcome, timing)
             }
             plan => {
                 let index = TvgIndex::compile(&g, limits.horizon);
@@ -70,9 +84,9 @@ impl Scenario {
                     Plan::Broadcast {
                         source, beacons, ..
                     } => run_broadcast_plan(&index, batch, self, *source, *beacons, &limits),
-                    Plan::Streaming { .. } => unreachable!("handled above"),
+                    Plan::Streaming { .. } | Plan::Serve { .. } => unreachable!("handled above"),
                 };
-                (outcome, events)
+                ((outcome, events), Json::Null)
             }
         };
         Report {
@@ -88,6 +102,7 @@ impl Scenario {
             results,
             engine,
             wall_micros: started.elapsed().as_micros(),
+            timing,
         }
     }
 }
@@ -218,7 +233,8 @@ fn run_streaming(
     start: u64,
     batch_size: usize,
 ) -> ((Json, EngineStats), usize) {
-    let (mut stream, events) = TvgStream::replay_of(g, &limits.horizon);
+    let (mut stream, events) = TvgStream::replay_of(g, &limits.horizon)
+        .expect("spec validation rejects horizons whose successor overflows");
     let source = NodeId::from_index(src);
     let mut inc = IncrementalForemost::new(
         stream.index(),
@@ -256,4 +272,105 @@ fn run_streaming(
     ]);
     let edge_events = stream.index().num_edge_events();
     ((results, inc.stats() + snapshot_stats), edge_events)
+}
+
+/// The serve plan: replay the generated schedule through a live stream
+/// in `ticks` ingest batches while a deterministic synthetic client
+/// load is answered concurrently from epoch-pinned lock-free snapshots
+/// (see `tvg_serve`). Reader parallelism follows the scenario's thread
+/// policy; the logical section returned here is reader-count invariant
+/// and canonical, while throughput/latency percentiles come back in the
+/// separate non-canonical timing object.
+#[allow(clippy::too_many_arguments)]
+fn run_serve(
+    g: &Tvg<u64>,
+    limits: &SearchLimits<u64>,
+    batch: Batch,
+    scenario: &Scenario,
+    start: u64,
+    requests: usize,
+    gap: u64,
+    mix: (u64, u64, u64),
+    ticks: usize,
+    seed: u64,
+) -> (((Json, EngineStats), usize), Json) {
+    let (stream, events) = TvgStream::replay_of(g, &limits.horizon)
+        .expect("spec validation rejects horizons whose successor overflows");
+    // Chop the replay feed into exactly `ticks` ingest batches (the
+    // tail ones may be empty when the feed is short): the epoch count
+    // is part of the spec, not of the generated event volume.
+    let chunk = events.len().div_ceil(ticks).max(1);
+    let mut tick_batches: Vec<Vec<StreamEvent<u64>>> =
+        events.chunks(chunk).map(<[_]>::to_vec).collect();
+    tick_batches.resize(ticks, Vec::new());
+    let load = generate_load(&LoadSpec {
+        requests,
+        mean_gap: gap,
+        mix,
+        nodes: g.num_nodes(),
+        seed_instant: start,
+        seed,
+    });
+    let config = ServeConfig {
+        readers: batch.num_threads(),
+        policy: *scenario.policy(),
+        limits: limits.clone(),
+        start,
+    };
+    let outcome = serve(stream, &tick_batches, &load, &config).expect("replay is a valid feed");
+    assert!(
+        outcome.epochs_published >= 2,
+        "a serve run must publish at least two epochs (got {})",
+        outcome.epochs_published
+    );
+
+    // Canonical logical section: one `[kind, epoch, value]` triple per
+    // request in admission order, plus the aggregate counts.
+    let answers: Vec<Json> = outcome
+        .served
+        .iter()
+        .map(|s| {
+            let value = match s.answer {
+                Answer::Arrival(a) => a.map_or(Json::Null, Json::Int),
+                Answer::Reached(n) | Answer::Informed(n) => Json::Int(n),
+            };
+            Json::Arr(vec![
+                Json::Str(s.request.kind().to_string()),
+                Json::Int(s.epoch),
+                value,
+            ])
+        })
+        .collect();
+    let mut epoch_counts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for s in &outcome.served {
+        *epoch_counts.entry(s.epoch).or_default() += 1;
+    }
+    let results = obj([
+        ("answers", Json::Arr(answers)),
+        ("epochs_published", Json::Int(outcome.epochs_published)),
+        (
+            "epochs_served",
+            Json::Arr(
+                epoch_counts
+                    .into_iter()
+                    .map(|(e, c)| Json::Arr(vec![Json::Int(e), Json::Int(c)]))
+                    .collect(),
+            ),
+        ),
+        ("grouped_runs", Json::Int(outcome.grouped_runs)),
+        ("requests", Json::Int(outcome.served.len() as u64)),
+        ("ticks", Json::Int(ticks as u64)),
+    ]);
+    // The serve run consumed its stream; the ingested schedule is the
+    // full replay, so the compiled index gives the same event count.
+    let edge_events = TvgIndex::compile(g, limits.horizon).num_edge_events();
+    let clamp = |micros: u128| u64::try_from(micros).unwrap_or(u64::MAX);
+    let timing = obj([
+        ("max_micros", Json::Int(clamp(outcome.timing.max_micros))),
+        ("p50_micros", Json::Int(clamp(outcome.timing.p50_micros))),
+        ("p95_micros", Json::Int(clamp(outcome.timing.p95_micros))),
+        ("throughput_rps", Json::Num(outcome.timing.throughput_rps)),
+        ("wall_micros", Json::Int(clamp(outcome.timing.wall_micros))),
+    ]);
+    (((results, outcome.stats), edge_events), timing)
 }

@@ -353,6 +353,31 @@ pub enum Plan {
         /// Events per ingest batch.
         batch: usize,
     },
+    /// Live query service: the generated schedule replays through a
+    /// `TvgStream` in `ticks` ingest batches while a synthetic client
+    /// load (seeded mix of foremost / matrix-row / beaconing-broadcast
+    /// requests under a geometric arrival process) is answered
+    /// concurrently from epoch-pinned lock-free snapshots. The logical
+    /// results are canonical; timing metrics ride outside the
+    /// canonical bytes.
+    Serve {
+        /// Journey start instant shared by every request.
+        start: u64,
+        /// Replay horizon (also the latest admissible departure).
+        horizon: u64,
+        /// Hop bound.
+        max_hops: usize,
+        /// Synthetic requests to generate.
+        requests: usize,
+        /// Mean inter-arrival gap in instants (geometric arrivals).
+        gap: u64,
+        /// Integer mix weights `(foremost, matrix, broadcast)`.
+        mix: (u64, u64, u64),
+        /// Ingest ticks (the writer publishes `ticks + 1` epochs).
+        ticks: usize,
+        /// Load-generator seed.
+        seed: u64,
+    },
 }
 
 impl Plan {
@@ -364,6 +389,7 @@ impl Plan {
             Plan::Matrix { .. } => "matrix",
             Plan::Broadcast { .. } => "broadcast",
             Plan::Streaming { .. } => "streaming",
+            Plan::Serve { .. } => "serve",
         }
     }
 
@@ -374,7 +400,8 @@ impl Plan {
             Plan::SingleSource { horizon, .. }
             | Plan::Matrix { horizon, .. }
             | Plan::Broadcast { horizon, .. }
-            | Plan::Streaming { horizon, .. } => *horizon,
+            | Plan::Streaming { horizon, .. }
+            | Plan::Serve { horizon, .. } => *horizon,
         }
     }
 
@@ -385,7 +412,8 @@ impl Plan {
             Plan::SingleSource { max_hops, .. }
             | Plan::Matrix { max_hops, .. }
             | Plan::Broadcast { max_hops, .. }
-            | Plan::Streaming { max_hops, .. } => *max_hops,
+            | Plan::Streaming { max_hops, .. }
+            | Plan::Serve { max_hops, .. } => *max_hops,
         }
     }
 }
@@ -428,6 +456,21 @@ impl fmt::Display for Plan {
             } => write!(
                 f,
                 "streaming src={src} start={start} horizon={horizon} max_hops={max_hops} batch={batch}"
+            ),
+            Plan::Serve {
+                start,
+                horizon,
+                max_hops,
+                requests,
+                gap,
+                mix: (wf, wm, wb),
+                ticks,
+                seed,
+            } => write!(
+                f,
+                "serve start={start} horizon={horizon} max_hops={max_hops} \
+                 requests={requests} gap={gap} foremost={wf} matrix={wm} broadcast={wb} \
+                 ticks={ticks} seed={seed}"
             ),
         }
     }
@@ -823,7 +866,9 @@ pub fn parse_specs(text: &str) -> Result<Vec<Scenario>, SpecError> {
             let source = match &plan {
                 Plan::SingleSource { src, .. } | Plan::Streaming { src, .. } => Some(*src),
                 Plan::Broadcast { source, .. } => *source,
-                Plan::Matrix { .. } => None,
+                // Serve requests draw sources uniformly from the node
+                // range, so they are in range by construction.
+                Plan::Matrix { .. } | Plan::Serve { .. } => None,
             };
             if let Some(src) = source {
                 if src >= nodes {
@@ -874,6 +919,16 @@ fn resolve_plan(scenario: &str, plan_name: &str, mut p: Params) -> Result<Plan, 
             "start",
             start <= horizon,
             format!("start {start} is past horizon {horizon}"),
+        )
+    };
+    // Stream-backed plans need `horizon + 1` representable (the live
+    // index's provisional close of open spans): reject the overflow at
+    // parse time so the runtime can rely on construction succeeding.
+    let successor_representable = |p: &Params, horizon: u64| {
+        p.guard(
+            "horizon",
+            horizon < u64::MAX,
+            "horizon + 1 must be representable (streams close open spans there)",
         )
     };
     let plan = match plan_name {
@@ -927,6 +982,7 @@ fn resolve_plan(scenario: &str, plan_name: &str, mut p: Params) -> Result<Plan, 
             let start = p.u64_or("start", 0)?;
             let horizon = p.u64("horizon")?;
             start_in_horizon(&p, start, horizon)?;
+            successor_representable(&p, horizon)?;
             let max_hops = default_hops(&mut p, horizon)?;
             let batch = p.usize("batch")?;
             p.guard("batch", batch > 0, "batch size must be positive")?;
@@ -936,6 +992,51 @@ fn resolve_plan(scenario: &str, plan_name: &str, mut p: Params) -> Result<Plan, 
                 horizon,
                 max_hops,
                 batch,
+            }
+        }
+        "serve" => {
+            let start = p.u64_or("start", 0)?;
+            let horizon = p.u64("horizon")?;
+            start_in_horizon(&p, start, horizon)?;
+            successor_representable(&p, horizon)?;
+            let max_hops = default_hops(&mut p, horizon)?;
+            let requests = p.usize("requests")?;
+            p.guard("requests", requests > 0, "a serve run needs requests")?;
+            let gap = p.u64("gap")?;
+            p.guard("gap", gap > 0, "mean arrival gap must be at least 1")?;
+            let mix = (
+                p.u64_or("foremost", 1)?,
+                p.u64_or("matrix", 1)?,
+                p.u64_or("broadcast", 1)?,
+            );
+            p.guard(
+                "foremost",
+                mix.0 + mix.1 + mix.2 > 0,
+                "the request mix needs a positive weight",
+            )?;
+            // Broadcast requests beacon (one seed per instant), so the
+            // same allocation bound as the broadcast plan applies.
+            p.guard(
+                "horizon",
+                mix.2 == 0 || horizon < 65_536,
+                "broadcast requests beacon one seed per instant; horizon must be < 65536",
+            )?;
+            let ticks = p.usize("ticks")?;
+            p.guard(
+                "ticks",
+                ticks > 0,
+                "the writer needs at least one ingest tick (two published epochs)",
+            )?;
+            let seed = p.u64("seed")?;
+            Plan::Serve {
+                start,
+                horizon,
+                max_hops,
+                requests,
+                gap,
+                mix,
+                ticks,
+                seed,
             }
         }
         other => {

@@ -208,7 +208,8 @@ pub fn event_stream<R: Rng + ?Sized>(rng: &mut R) -> EventScript {
         }
     };
     // Base feed: the compiled schedule replayed in timeline order.
-    let (_, base_events) = TvgStream::replay_of(&base, &full_horizon);
+    let (_, base_events) =
+        TvgStream::replay_of(&base, &full_horizon).expect("generated horizons are small");
     // Keyed merge list: (event time, generation seq). The stable key
     // order keeps per-edge causality (NewEdge before Up before Down).
     let mut keyed: Vec<(u64, usize, StreamEvent<u64>)> = Vec::new();
@@ -263,7 +264,8 @@ pub fn event_stream<R: Rng + ?Sized>(rng: &mut R) -> EventScript {
     } else {
         full_horizon
     };
-    let (stream, _) = TvgStream::replay_of(&base, &initial_horizon);
+    let (stream, _) =
+        TvgStream::replay_of(&base, &initial_horizon).expect("generated horizons are small");
     let mut batches: Vec<Vec<StreamEvent<u64>>> = Vec::new();
     let mut batch: Vec<StreamEvent<u64>> = Vec::new();
     let mut extended = initial_horizon == full_horizon;

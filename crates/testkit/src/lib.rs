@@ -37,6 +37,11 @@
 //!   round-trips through `tvg_scenarios::parse_specs`, reports are
 //!   thread-count invariant, and bundled specs reproduce their
 //!   checked-in goldens byte for byte.
+//! * [`servecheck`] — the serve-runtime oracles: a pinned
+//!   `Arc<ServeSnapshot>` answers byte-identically while the writer
+//!   publishes newer epochs, served answers equal from-scratch
+//!   computations on their pinned tick prefix, and the logical outcome
+//!   is reader-count invariant.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +52,7 @@ pub mod gen;
 pub mod oracles;
 pub mod prop;
 pub mod rng;
+pub mod servecheck;
 pub mod speccheck;
 pub mod streamcheck;
 pub mod tickscan;

@@ -1,0 +1,252 @@
+//! The serve-runtime oracles: snapshot pinning, serve-vs-offline
+//! equivalence, and reader-count invariance.
+//!
+//! `tvg_serve` promises three things the `serve_props` suite pins on
+//! generated workloads (extending the `streamcheck` oracle family from
+//! the live index to the publication layer above it):
+//!
+//! 1. **Pinning** — a reader holding an old `Arc<ServeSnapshot>` keeps
+//!    getting byte-identical answers from it while the writer publishes
+//!    arbitrarily many newer epochs ([`assert_pinned_snapshot_is_frozen`]
+//!    checks this *during* real concurrent publication, not after it);
+//! 2. **Offline equivalence** — every served answer equals a
+//!    from-scratch computation on the epoch its timestamp pins: replay
+//!    exactly that prefix of ingest ticks into a fresh stream and run a
+//!    fresh engine pass ([`assert_serve_matches_offline`]);
+//! 3. **Reader-count invariance** — the logical outcome (answers,
+//!    epochs, grouping, work counters) is identical at every reader
+//!    count ([`assert_serve_is_reader_count_invariant`]), which is the
+//!    property that lets serve reports be golden-gated in CI.
+
+use std::sync::Arc;
+use tvg_journeys::{foremost_tree_multi, SearchLimits, WaitingPolicy};
+use tvg_model::stream::{StreamEvent, TvgStream};
+use tvg_model::{NodeId, TemporalIndex, Tvg};
+use tvg_serve::{
+    availability, epoch_of, serve, Answer, EpochRing, Request, ServeConfig, ServeSnapshot,
+    TimedRequest,
+};
+
+/// Replays `g` into a fresh stream and chops the feed into ingest ticks
+/// of `chunk` events (the serve writer's workload shape).
+///
+/// # Panics
+///
+/// Panics if `horizon + 1` is unrepresentable or `chunk` is zero.
+#[must_use]
+pub fn replay_ticks(
+    g: &Tvg<u64>,
+    horizon: u64,
+    chunk: usize,
+) -> (TvgStream<u64>, Vec<Vec<StreamEvent<u64>>>) {
+    assert!(chunk > 0, "tick chunk must be positive");
+    let (stream, events) = TvgStream::replay_of(g, &horizon).expect("representable horizon");
+    let ticks = events.chunks(chunk).map(<[_]>::to_vec).collect();
+    (stream, ticks)
+}
+
+/// The full answer surface of one snapshot for a single-seed query:
+/// every node's foremost arrival, in node order. Two snapshots are
+/// "byte-identical" to a client exactly when these vectors are equal.
+fn answer_surface(
+    snapshot: &Arc<ServeSnapshot<u64>>,
+    src: NodeId,
+    policy: &WaitingPolicy<u64>,
+    limits: &SearchLimits<u64>,
+) -> Vec<Option<u64>> {
+    let tree = foremost_tree_multi(snapshot, &[(src, 0u64)], policy, limits);
+    snapshot
+        .tvg()
+        .nodes()
+        .map(|n| tree.arrival(n).copied())
+        .collect()
+}
+
+/// Asserts the pinning property: a reader that acquired epoch 0 keeps
+/// computing byte-identical answers from it **while** a concurrent
+/// writer ingests every tick and publishes every later epoch.
+///
+/// The reader re-derives its full answer surface on every poll of the
+/// ring — if publication mutated anything reachable from the pinned
+/// `Arc`, some poll would diverge from the pre-publication reference.
+///
+/// # Panics
+///
+/// Panics (with `label` in the message) if any poll's answers diverge
+/// from the reference, or if the writer fails to publish every epoch.
+pub fn assert_pinned_snapshot_is_frozen(
+    g: &Tvg<u64>,
+    horizon: u64,
+    chunk: usize,
+    policy: &WaitingPolicy<u64>,
+    label: &str,
+) {
+    let (stream, ticks) = replay_ticks(g, horizon, chunk);
+    let hops = usize::try_from(horizon.saturating_add(1))
+        .unwrap_or(usize::MAX)
+        .min(64);
+    let limits = SearchLimits::new(horizon, hops);
+    let src = NodeId::from_index(0);
+    let ring: EpochRing<u64> = EpochRing::new(ticks.len() + 1);
+    ring.publish(ServeSnapshot::new(0, stream.snapshot()));
+    let pinned = ring.get(0).expect("epoch 0 just published");
+    let reference = answer_surface(&pinned, src, policy, &limits);
+
+    std::thread::scope(|scope| {
+        let (ring, ticks) = (&ring, &ticks);
+        let writer = scope.spawn(move || {
+            let mut stream = stream;
+            for (i, tick) in ticks.iter().enumerate() {
+                stream.ingest(tick).expect("replay feeds are valid");
+                ring.publish(ServeSnapshot::new(i as u64 + 1, stream.snapshot()));
+            }
+        });
+        // Poll the pinned snapshot throughout the writer's run: every
+        // answer surface must match the pre-publication reference.
+        let mut polls = 0u32;
+        while ring.published() < ring.capacity() {
+            assert_eq!(
+                answer_surface(&pinned, src, policy, &limits),
+                reference,
+                "{label}: pinned epoch-0 answers drifted mid-publication (poll {polls})"
+            );
+            polls += 1;
+        }
+        writer.join().expect("writer does not panic");
+    });
+    assert_eq!(
+        ring.published(),
+        ticks.len() + 1,
+        "{label}: writer published every epoch"
+    );
+    // One final check after all epochs exist: the old Arc still answers
+    // from its frozen world even though the ring has moved on.
+    assert_eq!(
+        answer_surface(&pinned, src, policy, &limits),
+        reference,
+        "{label}: pinned epoch-0 answers drifted after publication finished"
+    );
+    assert_eq!(
+        ring.latest().expect("published").epoch(),
+        ticks.len() as u64,
+        "{label}: latest epoch"
+    );
+}
+
+/// The offline reference answer for one request against one index: the
+/// same seeds and reads the serve runner uses, on a freshly built
+/// prefix of the schedule.
+fn offline_answer<I: TemporalIndex<u64>>(
+    index: &I,
+    request: Request,
+    config: &ServeConfig,
+) -> Answer {
+    let source = NodeId::from_index(request.src());
+    let seeds: Vec<(NodeId, u64)> = match request {
+        Request::Foremost { .. } | Request::Matrix { .. } => vec![(source, config.start)],
+        Request::Broadcast { .. } => (config.start..=config.limits.horizon)
+            .map(|t| (source, t))
+            .collect(),
+    };
+    let tree = foremost_tree_multi(index, &seeds, &config.policy, &config.limits);
+    match request {
+        Request::Foremost { dst, .. } => {
+            Answer::Arrival(tree.arrival(NodeId::from_index(dst)).copied())
+        }
+        Request::Matrix { .. } => Answer::Reached(tree.num_reached() as u64),
+        Request::Broadcast { .. } => Answer::Informed(tree.num_reached() as u64),
+    }
+}
+
+/// Asserts the serve-vs-offline differential: every answer a concurrent
+/// [`serve`] run produced equals a from-scratch computation against a
+/// fresh stream that ingested exactly the tick prefix of the request's
+/// pinned epoch — and the pinned epoch itself equals the
+/// [`epoch_of`]/[`availability`] timestamp arithmetic.
+///
+/// # Panics
+///
+/// Panics (with `label` in the message) on the first diverging epoch or
+/// answer.
+pub fn assert_serve_matches_offline(
+    g: &Tvg<u64>,
+    horizon: u64,
+    chunk: usize,
+    requests: &[TimedRequest],
+    config: &ServeConfig,
+    label: &str,
+) {
+    let (stream, ticks) = replay_ticks(g, horizon, chunk);
+    let outcome = serve(stream, &ticks, requests, config).expect("replay feeds are valid");
+    assert_eq!(
+        outcome.served.len(),
+        requests.len(),
+        "{label}: every request answered"
+    );
+    let avail = availability(&ticks);
+
+    // Build the offline reference worlds once: the index after each
+    // tick prefix, exactly what each epoch's snapshot froze.
+    let (mut fresh, _) = replay_ticks(g, horizon, chunk);
+    let mut worlds = vec![fresh.snapshot()];
+    for tick in &ticks {
+        fresh.ingest(tick).expect("replay feeds are valid");
+        worlds.push(fresh.snapshot());
+    }
+
+    for (i, served) in outcome.served.iter().enumerate() {
+        let expected_epoch = epoch_of(&avail, requests[i].at);
+        assert_eq!(
+            served.epoch, expected_epoch,
+            "{label}: request {i} pinned to the wrong epoch"
+        );
+        let world = &worlds[usize::try_from(expected_epoch).expect("epochs fit in usize")];
+        let expected = offline_answer(world, requests[i].request, config);
+        assert_eq!(
+            served.answer, expected,
+            "{label}: request {i} ({:?} at {}) diverges from the offline epoch-{expected_epoch} reference",
+            requests[i].request, requests[i].at
+        );
+    }
+}
+
+/// Asserts that the logical serve outcome — answers, pinned epochs,
+/// publication count, grouping, and summed work counters — is identical
+/// at every reader count in `readers`.
+///
+/// # Panics
+///
+/// Panics (with `label` in the message) on the first reader count whose
+/// outcome differs from the first one's.
+pub fn assert_serve_is_reader_count_invariant(
+    g: &Tvg<u64>,
+    horizon: u64,
+    chunk: usize,
+    requests: &[TimedRequest],
+    config: &ServeConfig,
+    readers: &[usize],
+    label: &str,
+) {
+    let mut reference = None;
+    for &count in readers {
+        let (stream, ticks) = replay_ticks(g, horizon, chunk);
+        let config = ServeConfig {
+            readers: count,
+            ..config.clone()
+        };
+        let outcome = serve(stream, &ticks, requests, &config).expect("replay feeds are valid");
+        let logical = (
+            outcome.served,
+            outcome.epochs_published,
+            outcome.grouped_runs,
+            outcome.stats,
+        );
+        match &reference {
+            None => reference = Some((readers[0], logical)),
+            Some((first, expected)) => assert_eq!(
+                expected, &logical,
+                "{label}: logical outcome at {count} readers diverges from {first} readers"
+            ),
+        }
+    }
+}

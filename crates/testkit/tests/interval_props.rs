@@ -171,7 +171,7 @@ fn append_at_boundary_edge_cases() {
     use tvg_model::{Latency, TemporalIndex};
 
     // Event exactly at the horizon: a single-instant open span.
-    let mut s = TvgStream::<u64>::new(8);
+    let mut s = TvgStream::<u64>::new(8).expect("8 + 1 is representable");
     let u = s.add_node("u");
     let v = s.add_node("v");
     let e = s.add_edge(u, v, 'a', Latency::unit()).expect("valid");
@@ -181,7 +181,7 @@ fn append_at_boundary_edge_cases() {
     assert!(s.index().is_present(e, &8));
 
     // One past the horizon is a typed rejection, not a panic.
-    let mut s2 = TvgStream::<u64>::new(8);
+    let mut s2 = TvgStream::<u64>::new(8).expect("8 + 1 is representable");
     let u2 = s2.add_node("u");
     let v2 = s2.add_node("v");
     let e2 = s2.add_edge(u2, v2, 'a', Latency::unit()).expect("valid");

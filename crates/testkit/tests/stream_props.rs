@@ -97,7 +97,7 @@ fn figure1_nat_schedule_streams_identically() {
     let aut = tvg_testkit::fixtures::figure1();
     let g = aut.automaton().tvg();
     let horizon = Nat::from_u64(60);
-    let (mut stream, events) = TvgStream::replay_of(g, &horizon);
+    let (mut stream, events) = TvgStream::replay_of(g, &horizon).expect("60 + 1 is representable");
     assert!(!events.is_empty(), "figure-1 has presence below 60");
     // One event per batch: the oracle holds at every prefix.
     for ev in &events {
@@ -126,7 +126,7 @@ fn incremental_repair_really_reuses_work() {
     use tvg_model::generators::scale_free_temporal;
     use tvg_model::TvgIndex;
     let g = scale_free_temporal(16, 48, 3);
-    let (mut stream, events) = TvgStream::replay_of(&g, &48);
+    let (mut stream, events) = TvgStream::replay_of(&g, &48).expect("48 + 1 is representable");
     let limits = SearchLimits::new(48, 12);
     let src = NodeId::from_index(0);
     let mut inc = IncrementalForemost::new(

@@ -11,6 +11,8 @@
 //! * [`expressivity`] — the paper's constructions (Figure 1, Theorems
 //!   2.1–2.3).
 //! * [`dynnet`] — dynamic-network protocol simulations.
+//! * [`serve`] — the always-on query service: lock-free snapshot
+//!   publication over a live stream, epoch-pinned concurrent readers.
 //! * [`scenarios`] — the declarative scenario runtime (text specs →
 //!   canonical JSON reports; the `tvg-cli` binary drives it).
 
@@ -24,3 +26,4 @@ pub use tvg_journeys as journeys;
 pub use tvg_langs as langs;
 pub use tvg_model as model;
 pub use tvg_scenarios as scenarios;
+pub use tvg_serve as serve;

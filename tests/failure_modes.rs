@@ -397,6 +397,35 @@ fn scenario_spec_failures_are_typed() {
         .unwrap_err(),
         SpecError::BadParamValue { ref param, .. } if param == "horizon"
     ));
+    // Serve plans are totally validated too: a run with no requests, a
+    // zero arrival gap, an all-zero request mix, and a tickless writer
+    // are all caught at parse time with the offending parameter named.
+    for (plan, param) in [
+        (
+            "serve horizon=8 requests=0 gap=2 ticks=2 seed=1",
+            "requests",
+        ),
+        ("serve horizon=8 requests=4 gap=0 ticks=2 seed=1", "gap"),
+        (
+            "serve horizon=8 requests=4 gap=2 foremost=0 matrix=0 broadcast=0 ticks=2 seed=1",
+            "foremost",
+        ),
+        ("serve horizon=8 requests=4 gap=2 ticks=0 seed=1", "ticks"),
+        // Broadcast requests beacon one seed per instant, so the serve
+        // plan inherits the broadcast plan's horizon allocation bound.
+        (
+            "serve horizon=4000000000 requests=4 gap=2 ticks=2 seed=1",
+            "horizon",
+        ),
+    ] {
+        assert!(
+            matches!(
+                parse_specs(&base("ring_bus n=4 period=4", "wait", plan)).unwrap_err(),
+                SpecError::BadParamValue { param: ref p, .. } if p == param
+            ),
+            "serve plan {plan:?} must reject {param}"
+        );
+    }
     // Surplus arguments are not "missing" ones: `policy wait 2` (meaning
     // `wait[2]`) must say the directive takes exactly one argument.
     assert_eq!(

@@ -82,7 +82,7 @@ fn live_commuter_feed_story() {
 
     // The commuter_line() timetable, one departure set per hop.
     let timetable: [&[u64]; 3] = [&[2, 10, 18], &[5, 13, 21], &[6, 14, 22]];
-    let mut feed = TvgStream::<u64>::new(7);
+    let mut feed = TvgStream::<u64>::new(7).expect("7 + 1 is representable");
     let stops: Vec<_> = (0..4).map(|i| feed.add_node(&format!("stop{i}"))).collect();
     let hops: Vec<_> = (0..3)
         .map(|i| {
@@ -190,6 +190,58 @@ fn scenario_runtime_story() {
         &SearchLimits::new(64, 16),
     );
     assert_eq!(m.reachability_ratio(), 0.5);
+}
+
+#[test]
+fn live_service_story() {
+    // The serve runtime end to end: a schedule streams in while clients
+    // query it. One writer publishes a lock-free snapshot epoch per
+    // ingest tick; reader threads answer a seeded request mix pinned to
+    // epochs by arrival time.
+    use tvg_suite::model::generators::scale_free_temporal;
+    use tvg_suite::model::stream::TvgStream;
+    use tvg_suite::serve::{generate_load, serve, LoadSpec, ServeConfig};
+
+    let g = scale_free_temporal(16, 32, 7);
+    let (stream, events) = TvgStream::replay_of(&g, &32).expect("representable");
+    let ticks: Vec<_> = events
+        .chunks(events.len().div_ceil(4))
+        .map(<[_]>::to_vec)
+        .collect();
+    let requests = generate_load(&LoadSpec {
+        requests: 48,
+        mean_gap: 2,
+        mix: (3, 2, 1),
+        nodes: g.num_nodes(),
+        seed_instant: 0,
+        seed: 21,
+    });
+    let outcome = serve(
+        stream,
+        &ticks,
+        &requests,
+        &ServeConfig {
+            readers: 4,
+            policy: WaitingPolicy::Unbounded,
+            limits: SearchLimits::new(32, 33),
+            start: 0,
+        },
+    )
+    .expect("replay is a valid feed");
+
+    // The writer really published mid-run epochs (the service answered
+    // from more than one world), every request got an answer, and
+    // grouping amortized shared sources into fewer engine passes.
+    assert!(outcome.epochs_published >= 2, "mid-run epochs");
+    assert_eq!(outcome.served.len(), 48);
+    assert!(
+        outcome.served.iter().any(|s| s.epoch > 0),
+        "late epochs served"
+    );
+    assert!(outcome.grouped_runs <= 48);
+    assert_eq!(outcome.stats.runs, outcome.grouped_runs);
+    // Timing is measured, real, and strictly non-canonical.
+    assert!(outcome.timing.wall_micros > 0);
 }
 
 #[test]
