@@ -11,7 +11,9 @@
 //! than the one that emitted the baselines) and baselines below
 //! [`NOISE_FLOOR_US`] are floored before the ratio is taken, so only
 //! genuine regressions — not machine variance — trip the gate.
-//! Speedups never fail: the gate is one-sided.
+//! Speedups never fail: the gate is one-sided. Metrics named `*_per_sec`
+//! are throughput rates — higher is better, so their check ratio is
+//! inverted (the gate trips when the rate *falls* past tolerance).
 //!
 //! Usage:
 //! * `bench_medians emit [dir]` — write `BENCH_E7.json` and
@@ -34,7 +36,7 @@ use tvg_journeys::engine::{foremost_to, foremost_tree};
 use tvg_journeys::{IncrementalForemost, SearchLimits, WaitingPolicy};
 use tvg_model::generators::{random_periodic_tvg, scale_free_temporal, RandomPeriodicParams};
 use tvg_model::stream::{StreamEvent, TvgStream};
-use tvg_model::{NodeId, TemporalIndex, Tvg, TvgIndex};
+use tvg_model::{narrow_tvg, NodeId, TemporalIndex, Tvg, TvgIndex};
 
 /// Metrics are compared against at least this many microseconds of
 /// baseline: sub-millisecond medians (the 30 µs pair queries) are
@@ -75,8 +77,6 @@ fn e7_workload() -> (Tvg<u64>, u64) {
 
 fn e7_metrics() -> BTreeMap<String, u64> {
     let (g, horizon) = e7_workload();
-    let limits = SearchLimits::new(horizon, 24);
-    let index = TvgIndex::compile(&g, horizon);
     let src = NodeId::from_index(0);
     let dst = NodeId::from_index(g.num_nodes() - 1);
     let mut m = BTreeMap::new();
@@ -84,23 +84,41 @@ fn e7_metrics() -> BTreeMap<String, u64> {
         "compile_us".to_string(),
         median_us(5, || TvgIndex::compile(&g, horizon).num_edge_events()),
     );
+    // Queries run in the narrowed `u32` domain — the domain the scenario
+    // runtime picks for this horizon (512 ≪ 2³²), so the gate watches
+    // the path production traffic actually takes.
+    let narrowed = narrow_tvg(&g, horizon).expect("horizon 512 fits u32");
+    let h32 = u32::try_from(horizon).expect("fits u32");
+    let limits = SearchLimits::new(h32, 24);
+    let index = TvgIndex::compile(&narrowed, h32);
     m.insert(
         "pair_unbounded_us".to_string(),
         median_us(5, || {
-            foremost_to(&index, src, dst, &0, &WaitingPolicy::Unbounded, &limits).is_some()
+            foremost_to(&index, src, dst, &0u32, &WaitingPolicy::Unbounded, &limits).is_some()
         }),
     );
     m.insert(
         "all_dest_unbounded_us".to_string(),
         median_us(5, || {
-            foremost_tree(&index, src, &0, &WaitingPolicy::Unbounded, &limits).num_reached()
+            foremost_tree(&index, src, &0u32, &WaitingPolicy::Unbounded, &limits).num_reached()
         }),
     );
     m.insert(
         "all_dest_bounded4_us".to_string(),
         median_us(3, || {
-            foremost_tree(&index, src, &0, &WaitingPolicy::Bounded(4), &limits).num_reached()
+            foremost_tree(&index, src, &0u32, &WaitingPolicy::Bounded(4), &limits).num_reached()
         }),
+    );
+    // Throughput: settled configurations per second of the bounded-4
+    // all-destinations run — a `_per_sec` metric, so the check gate
+    // inverts the ratio (a *drop* in throughput is the regression).
+    let settled = foremost_tree(&index, src, &0u32, &WaitingPolicy::Bounded(4), &limits)
+        .stats()
+        .settled;
+    let bounded4_us = m["all_dest_bounded4_us"];
+    m.insert(
+        "settles_per_sec".to_string(),
+        settled.saturating_mul(1_000_000) / bounded4_us.max(1),
     );
     m
 }
@@ -238,13 +256,25 @@ fn main() -> std::process::ExitCode {
                         failed = true;
                         continue;
                     };
-                    let floor = base.max(NOISE_FLOOR_US);
-                    let ratio = now as f64 / floor as f64;
-                    let verdict = if ratio <= tolerance { "ok" } else { "FAIL" };
-                    println!(
-                        "{verdict} {file} {metric}: {now} µs vs baseline {base} µs (floored to {floor}; {ratio:.2}x, tolerance {tolerance:.1}x)"
-                    );
-                    failed |= ratio > tolerance;
+                    if metric.ends_with("_per_sec") {
+                        // Throughput: higher is better, so the ratio is
+                        // inverted — the gate trips when the rate falls
+                        // below 1/tolerance of baseline.
+                        let ratio = base as f64 / now.max(1) as f64;
+                        let verdict = if ratio <= tolerance { "ok" } else { "FAIL" };
+                        println!(
+                            "{verdict} {file} {metric}: {now}/s vs baseline {base}/s ({ratio:.2}x slowdown, tolerance {tolerance:.1}x)"
+                        );
+                        failed |= ratio > tolerance;
+                    } else {
+                        let floor = base.max(NOISE_FLOOR_US);
+                        let ratio = now as f64 / floor as f64;
+                        let verdict = if ratio <= tolerance { "ok" } else { "FAIL" };
+                        println!(
+                            "{verdict} {file} {metric}: {now} µs vs baseline {base} µs (floored to {floor}; {ratio:.2}x, tolerance {tolerance:.1}x)"
+                        );
+                        failed |= ratio > tolerance;
+                    }
                 }
             }
             if failed {

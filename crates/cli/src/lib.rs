@@ -8,6 +8,9 @@
 //!   canonical JSON report per line to stdout (wall times go to stderr:
 //!   they are real but not canonical).
 //! * `check <spec>...` — parse and fully validate, run nothing.
+//! * `profile <spec>...` — run every scenario and print one JSON line of
+//!   engine throughput each (queries/sec, settles/sec, time/query) —
+//!   the profiling-first gate's human- and CI-artifact-facing face.
 //! * `verify <dir>` — run every `*.tvgs` spec under `<dir>` and
 //!   byte-compare the output with the checked-in golden
 //!   `<dir>/golden/<stem>.json`; any difference is a failure. This is
@@ -87,6 +90,8 @@ impl std::error::Error for CliError {}
 pub const USAGE: &str = "usage: tvg-cli <command> [args]
   run <spec>...     run scenarios, print canonical JSON reports to stdout
   check <spec>...   parse and validate specs without running them
+  profile <spec>... run scenarios and print engine throughput (queries/sec,
+                    settles/sec, time/query) as one JSON line per scenario
   verify <dir>      run every <dir>/*.tvgs and diff against <dir>/golden/
   bless <dir>       regenerate <dir>/golden/ from the current reports";
 
@@ -155,6 +160,21 @@ pub fn run_command(args: &[String]) -> Result<Output, CliError> {
             }
             Ok(out)
         }
+        "profile" => {
+            if rest.is_empty() {
+                return Err(CliError::Usage(
+                    "profile: need at least one spec file".into(),
+                ));
+            }
+            let mut out = Output::default();
+            for path in rest.iter().map(Path::new) {
+                let scenarios = load_specs(path)?;
+                for scenario in &scenarios {
+                    writeln!(out.stdout, "{}", profile_line(scenario)).expect("string write");
+                }
+            }
+            Ok(out)
+        }
         "verify" => {
             let dir = single_dir(rest, "verify")?;
             let mut out = Output::default();
@@ -208,6 +228,34 @@ pub fn run_command(args: &[String]) -> Result<Output, CliError> {
         }
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
+}
+
+/// Runs one scenario and renders its engine throughput as a single JSON
+/// line: the run/settle/expansion counters from the report's
+/// [`tvg_journeys::EngineStats`], the wall time, and the derived rates
+/// the profiling workflow watches (queries/sec, settles/sec, µs/query).
+///
+/// Counters are deterministic (golden-pinned); the wall time and rates
+/// are real measurements and vary run to run — `profile` output is for
+/// humans and CI artifacts, never for golden comparison.
+#[must_use]
+pub fn profile_line(scenario: &Scenario) -> String {
+    let report = scenario.run();
+    let stats = report.engine_stats();
+    let wall_us = report.wall_micros().max(1);
+    let per_sec = |count: u64| (u128::from(count) * 1_000_000) / wall_us;
+    format!(
+        "{{\"scenario\": \"{}\", \"runs\": {}, \"settled\": {}, \"expanded\": {}, \
+         \"wall_us\": {wall_us}, \"queries_per_sec\": {}, \"settles_per_sec\": {}, \
+         \"us_per_query\": {}}}",
+        scenario.name(),
+        stats.runs,
+        stats.settled,
+        stats.expanded,
+        per_sec(stats.runs),
+        per_sec(stats.settled),
+        wall_us / u128::from(stats.runs.max(1)),
+    )
 }
 
 fn single_dir(rest: &[String], command: &str) -> Result<PathBuf, CliError> {

@@ -135,3 +135,44 @@ fn run_command_emits_one_canonical_line_per_scenario() {
     assert_eq!(out.stdout, golden);
     assert!(out.stderr.contains("ran ring-matrix"));
 }
+
+#[test]
+fn profile_command_reports_throughput_per_scenario() {
+    let dir = scenarios_dir();
+    let spec = dir.join("ring-matrix.tvgs");
+    let out = run_command(&["profile".to_string(), spec.display().to_string()]).expect("profiles");
+    assert_eq!(out.stdout.lines().count(), 1, "one JSON line per scenario");
+    let line = out.stdout.lines().next().expect("one line");
+    // Wall times (and thus the rates) vary run to run; the line's shape
+    // and its deterministic counters must not.
+    for field in [
+        "\"scenario\": \"ring-matrix\"",
+        "\"runs\": ",
+        "\"settled\": ",
+        "\"expanded\": ",
+        "\"wall_us\": ",
+        "\"queries_per_sec\": ",
+        "\"settles_per_sec\": ",
+        "\"us_per_query\": ",
+    ] {
+        assert!(line.contains(field), "missing {field} in {line}");
+    }
+    // The counters agree with what the golden report pinned.
+    let golden =
+        std::fs::read_to_string(dir.join("golden/ring-matrix.json")).expect("golden exists");
+    for counter in ["runs", "settled", "expanded"] {
+        let pinned = golden
+            .split(&format!("\"{counter}\":"))
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .expect("golden pins the counter");
+        assert!(
+            line.contains(&format!("\"{counter}\": {pinned}")),
+            "{counter} drifted from the golden's {pinned}: {line}"
+        );
+    }
+    assert!(
+        run_command(&["profile".to_string()]).is_err(),
+        "profile with no specs is a usage error"
+    );
+}

@@ -18,7 +18,7 @@
 use crate::metrics::DeliveryStats;
 use crate::EvolvingTrace;
 use tvg_journeys::{Batch, BatchRunner, EngineStats, SearchLimits, WaitingPolicy};
-use tvg_model::{NodeId, TemporalIndex};
+use tvg_model::{NodeId, TemporalIndex, Time};
 
 /// Relay discipline of a broadcast.
 ///
@@ -165,32 +165,43 @@ fn broadcast_batch(
 ///
 /// Panics if a source is out of range for the index's graph.
 #[must_use]
-pub fn broadcast_plan<I: TemporalIndex<u64> + Sync>(
+pub fn broadcast_plan<T: Time + Send + Sync, I: TemporalIndex<T> + Sync>(
     index: &I,
-    policy: &WaitingPolicy<u64>,
+    policy: &WaitingPolicy<T>,
     source_beacons: bool,
     sources: &[usize],
-    limits: &SearchLimits<u64>,
+    limits: &SearchLimits<T>,
     batch: Batch,
 ) -> (Vec<BroadcastOutcome>, EngineStats) {
     let n = index.tvg().num_nodes();
     // A beaconing source re-emits at every step: seed one configuration
     // per instant. Under unbounded waiting a single seed already departs
     // whenever it likes (the source always beacons under SCF).
-    let seed_sets: Vec<Vec<(NodeId, u64)>> = sources
+    let seed_sets: Vec<Vec<(NodeId, T)>> = sources
         .iter()
         .map(|&source| {
             assert!(source < n, "source out of range");
             let source = NodeId::from_index(source);
             if matches!(policy, WaitingPolicy::Unbounded) || !source_beacons {
-                vec![(source, 0)]
+                vec![(source, T::zero())]
             } else {
-                (0..=limits.horizon).map(|t| (source, t)).collect()
+                let mut seeds = Vec::new();
+                let mut t = T::zero();
+                loop {
+                    seeds.push((source, t.clone()));
+                    if t >= limits.horizon {
+                        break;
+                    }
+                    t = t.succ();
+                }
+                seeds
             }
         })
         .collect();
     // Worker-side reduction: each tree collapses to its informed_at
     // vector inside the worker (a sweep holds outcomes, not trees).
+    // Informed-at steps are widened back to `u64` so outcomes are
+    // domain-independent (`u32`-narrowed runs report identical bytes).
     let (outcomes, stats) =
         BatchRunner::new(index, batch).map_seed_sets(&seed_sets, policy, limits, |seeds, tree| {
             let source = seeds[0].0.index();
@@ -199,7 +210,8 @@ pub fn broadcast_plan<I: TemporalIndex<u64> + Sync>(
                     if node == source {
                         Some(0)
                     } else {
-                        tree.arrival(NodeId::from_index(node)).copied()
+                        tree.arrival(NodeId::from_index(node))
+                            .and_then(Time::to_u64)
                     }
                 })
                 .collect();

@@ -1,6 +1,6 @@
 //! The single-source journey engine: one pass over a compiled
-//! [`TvgIndex`] computes foremost arrivals (and witness journeys) from a
-//! source to *every* node.
+//! [`TvgIndex`](tvg_model::TvgIndex) computes foremost arrivals (and
+//! witness journeys) from a source to *every* node.
 //!
 //! Two explorers share the [`ForemostTree`] output:
 //!
@@ -17,6 +17,33 @@
 //!   waiting window is enumerated interval-by-interval instead of
 //!   tick-by-tick.
 //!
+//! # Core layout
+//!
+//! Both explorers are built for cache locality:
+//!
+//! * **Label arena.** Every generated configuration/label lives in one
+//!   bump arena of [`Label`]s addressed by `u32` id; parent pointers are
+//!   arena ids, not map keys, so witness reconstruction is a pointer
+//!   walk and the two explorers share one [`TreeRepr`].
+//! * **Flat frontiers.** Each node's frontier is one flat sorted map
+//!   ([`FlatMap`]) from configuration time to a merged generation-and-
+//!   settlement record ([`Conf`]), laid out struct-of-arrays: an
+//!   expanded crossing resolves its target with a single binary search
+//!   over a dense key array, and because settle times per node are
+//!   non-decreasing, fresh settles land at the tail.
+//! * **Monomorphized policies.** The waiting policy is dispatched once
+//!   per drain/replay into loops generic over [`DeparturePolicy`], so
+//!   the per-label policy branch of the old explorer is compiled away.
+//! * **Queue dedup.** The exact explorer pushes a heap entry only when a
+//!   crossing improves the best hop count enqueued for its target
+//!   configuration (a decrease-key emulation); the old explorer pushed
+//!   every admissible crossing and deduplicated at pop time.
+//!
+//! These are representation changes only: arrivals, witnesses, and
+//! [`EngineStats`] are bit-identical to the pre-overhaul explorer,
+//! which `tvg-testkit` keeps alive as a differential oracle
+//! (`refengine`).
+//!
 //! Every run carries its own [`EngineStats`] (run count, settled
 //! configurations, expanded crossings) inside the returned tree. Stats
 //! are values, not thread-local counters, so they aggregate correctly
@@ -27,8 +54,7 @@
 
 use crate::{Hop, Journey, SearchLimits, WaitingPolicy};
 use std::cmp::Reverse;
-use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap};
 use tvg_model::{EdgeId, NodeId, TemporalIndex, Time};
 
 /// Work counters of one single-source engine run — or, summed, of a
@@ -77,6 +103,144 @@ impl std::iter::Sum for EngineStats {
     }
 }
 
+/// The departure-window computation of a waiting policy, as a trait so
+/// the exploration loops monomorphize per policy instead of branching
+/// per label. Implementations mirror
+/// [`WaitingPolicy::latest_departure`] exactly.
+pub(crate) trait DeparturePolicy<T: Time> {
+    /// The latest admissible departure from a node reached at `ready`,
+    /// `None` if the window is empty or overflows the representation.
+    fn latest(&self, ready: &T, horizon: &T) -> Option<T>;
+}
+
+/// Direct journeys: depart exactly at the ready instant.
+struct NoWaitDeparture;
+
+impl<T: Time> DeparturePolicy<T> for NoWaitDeparture {
+    #[inline]
+    fn latest(&self, ready: &T, horizon: &T) -> Option<T> {
+        (*ready <= *horizon).then(|| ready.clone())
+    }
+}
+
+/// Pauses of at most `d`: depart within `[ready, ready + d]`.
+struct BoundedDeparture<T>(T);
+
+impl<T: Time> DeparturePolicy<T> for BoundedDeparture<T> {
+    #[inline]
+    fn latest(&self, ready: &T, horizon: &T) -> Option<T> {
+        let latest = ready.checked_add(&self.0)?.min(horizon.clone());
+        (*ready <= *horizon).then_some(latest)
+    }
+}
+
+/// Arbitrary pauses: the whole remaining horizon is the window.
+struct UnboundedDeparture;
+
+impl<T: Time> DeparturePolicy<T> for UnboundedDeparture {
+    #[inline]
+    fn latest(&self, ready: &T, horizon: &T) -> Option<T> {
+        (*ready <= *horizon).then(|| horizon.clone())
+    }
+}
+
+/// The hop ceiling in the engine's internal `u32` hop arithmetic. A
+/// `max_hops` beyond `u32::MAX` is unreachable anyway: every hop settles
+/// at least one configuration, and the `u32`-indexed arena caps those.
+fn hops_cap<T>(limits: &SearchLimits<T>) -> u32 {
+    u32::try_from(limits.max_hops).unwrap_or(u32::MAX)
+}
+
+/// A sorted flat map laid out struct-of-arrays: binary searches touch
+/// only the dense key array; values live apart. Inserts are
+/// binary-search + shift, appends when the key is maximal — which is
+/// the common case for per-node settle frontiers, whose keys arrive in
+/// non-decreasing pop order.
+#[derive(Debug, Clone)]
+struct FlatMap<K, V> {
+    keys: Vec<K>,
+    vals: Vec<V>,
+}
+
+impl<K: Ord + Clone, V> FlatMap<K, V> {
+    fn new() -> Self {
+        FlatMap {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        self.keys.binary_search(key).ok().map(|i| &self.vals[i])
+    }
+
+    /// Binary search: `Ok(i)` if present, `Err(i)` with the insertion
+    /// point otherwise (the raw handle for insert-or-update call sites).
+    ///
+    /// The tail is probed first: frontier keys arrive in roughly
+    /// non-decreasing order, so the hottest lookups resolve against the
+    /// last entry without a full search.
+    fn search(&self, key: &K) -> Result<usize, usize> {
+        match self.keys.last() {
+            None => Err(0),
+            Some(last) => match key.cmp(last) {
+                std::cmp::Ordering::Greater => Err(self.keys.len()),
+                std::cmp::Ordering::Equal => Ok(self.keys.len() - 1),
+                std::cmp::Ordering::Less => self.keys[..self.keys.len() - 1].binary_search(key),
+            },
+        }
+    }
+
+    fn val_mut(&mut self, i: usize) -> &mut V {
+        &mut self.vals[i]
+    }
+
+    fn insert_at(&mut self, i: usize, key: K, val: V) {
+        self.keys.insert(i, key);
+        self.vals.insert(i, val);
+    }
+
+    /// Discards every entry with key `>= t0` (keys are sorted, so this
+    /// is a truncation).
+    fn truncate_from(&mut self, t0: &K) {
+        let keep = self.keys.partition_point(|k| k < t0);
+        self.keys.truncate(keep);
+        self.vals.truncate(keep);
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.keys.iter().zip(self.vals.iter())
+    }
+}
+
+/// One explored configuration/label: its arrival instant plus the
+/// parent pointer `(parent arena id, edge, departure)` that realizes it
+/// (`None` for seeds). Both explorers allocate these in one bump arena
+/// addressed by `u32` id — witness journeys are rebuilt by walking
+/// parent ids.
+#[derive(Debug, Clone)]
+pub(crate) struct Label<T> {
+    pub(crate) time: T,
+    pub(crate) parent: Option<(u32, EdgeId, T)>,
+}
+
+fn alloc_label<T>(arena: &mut Vec<Label<T>>, time: T, parent: Option<(u32, EdgeId, T)>) -> u32 {
+    let id = u32::try_from(arena.len()).expect("label arena exceeds u32 capacity");
+    arena.push(Label { time, parent });
+    id
+}
+
+/// Journey-reconstruction data shared by both explorers: the label
+/// arena plus, per node, the arena id realizing its foremost arrival.
+/// Journeys are rebuilt lazily in [`ForemostTree::journey_to`] so
+/// arrival-only consumers (reachability rows, delivery ratios,
+/// broadcasts) pay nothing for witnesses they never read.
+#[derive(Debug, Clone)]
+pub(crate) struct TreeRepr<T> {
+    pub(crate) arena: Vec<Label<T>>,
+    pub(crate) best: Vec<Option<u32>>,
+}
+
 /// The all-destinations output of one single-source engine run: for each
 /// node, the foremost (earliest) arrival from the seed configuration(s),
 /// plus the parent structure to rebuild a witness journey on demand.
@@ -87,22 +251,6 @@ pub struct ForemostTree<T> {
     arrival: Vec<Option<T>>,
     repr: TreeRepr<T>,
     stats: EngineStats,
-}
-
-/// Journey-reconstruction data, explorer-specific. Journeys are rebuilt
-/// lazily in [`ForemostTree::journey_to`] so arrival-only consumers
-/// (reachability rows, delivery ratios, broadcasts) pay nothing for
-/// witnesses they never read.
-#[derive(Debug, Clone)]
-pub(crate) enum TreeRepr<T> {
-    /// Exact explorer: parent pointers bucketed by dense node id.
-    Exact(ExactParents<T>),
-    /// Pareto explorer: the label arena plus, per node, the label id
-    /// realizing its foremost arrival.
-    Pareto {
-        arena: Vec<Label<T>>,
-        best: Vec<Option<usize>>,
-    },
 }
 
 impl<T: Time> ForemostTree<T> {
@@ -132,14 +280,11 @@ impl<T: Time> ForemostTree<T> {
     /// structure.
     #[must_use]
     pub fn journey_to(&self, n: NodeId) -> Option<Journey<T>> {
-        let arrival = self.arrival[n.index()].as_ref()?;
-        Some(match &self.repr {
-            TreeRepr::Exact(parents) => parents.rebuild((n, arrival.clone())),
-            TreeRepr::Pareto { arena, best } => rebuild_labels(
-                arena,
-                best[n.index()].expect("reached nodes have a best label"),
-            ),
-        })
+        self.arrival[n.index()].as_ref()?;
+        Some(rebuild_labels(
+            &self.repr.arena,
+            self.repr.best[n.index()].expect("reached nodes have a best label"),
+        ))
     }
 
     /// The reached nodes, in id order.
@@ -222,47 +367,42 @@ pub(crate) fn run<T: Time, I: TemporalIndex<T>>(
     target: Option<NodeId>,
 ) -> ForemostTree<T> {
     match policy {
-        WaitingPolicy::Unbounded => pareto_explore(index, seeds, limits, target),
-        _ => exact_explore(index, seeds, policy, limits, target),
+        WaitingPolicy::Unbounded => {
+            let mut stats = EngineStats::one_run();
+            let mut core = ParetoCore::new(index.tvg().num_nodes());
+            core.seed(seeds);
+            core.drain(index, limits, target, &mut stats);
+            ForemostTree {
+                arrival: core.arrival,
+                repr: TreeRepr {
+                    arena: core.arena,
+                    best: core.best,
+                },
+                stats,
+            }
+        }
+        _ => {
+            let mut stats = EngineStats::one_run();
+            let mut core = ExactCore::new(index.tvg().num_nodes());
+            core.seed(seeds);
+            core.drain(index, policy, limits, target, &mut stats);
+            ForemostTree {
+                arrival: core.arrival,
+                repr: TreeRepr {
+                    arena: core.arena,
+                    best: core.best,
+                },
+                stats,
+            }
+        }
     }
 }
 
 /// Maps an arrival configuration to `(parent node, parent ready time,
 /// edge, departure)` — the same parent structure as the tick-scan
 /// reference search, so reconstructed journeys match it hop for hop.
-/// Shared with `search::shortest_journey`, which builds the same map.
+/// Used by `search::shortest_journey`, which builds the same map.
 pub(crate) type ParentMap<T> = BTreeMap<(NodeId, T), (NodeId, T, EdgeId, T)>;
-
-/// Parent pointers of the exact explorer, bucketed by dense node id: one
-/// small per-node arrival-time map instead of one wide map over every
-/// `(node, time)` pair. Node lookup is an index, not a tree descent —
-/// the dense half of the `(node, time)` key costs nothing.
-#[derive(Debug, Clone)]
-pub(crate) struct ExactParents<T> {
-    pub(crate) per_node: Vec<BTreeMap<T, (NodeId, T, EdgeId, T)>>,
-}
-
-impl<T: Time> ExactParents<T> {
-    fn new(num_nodes: usize) -> Self {
-        ExactParents {
-            per_node: vec![BTreeMap::new(); num_nodes],
-        }
-    }
-
-    pub(crate) fn rebuild(&self, mut state: (NodeId, T)) -> Journey<T> {
-        let mut hops = Vec::new();
-        while let Some((pn, pt, e, dep)) = self.per_node[state.0.index()].get(&state.1).cloned() {
-            hops.push(Hop {
-                edge: e,
-                depart: dep,
-                arrive: state.1.clone(),
-            });
-            state = (pn, pt);
-        }
-        hops.reverse();
-        Journey::from_hops(hops)
-    }
-}
 
 pub(crate) fn rebuild<T: Time>(parents: &ParentMap<T>, mut state: (NodeId, T)) -> Journey<T> {
     let mut hops = Vec::new();
@@ -278,31 +418,56 @@ pub(crate) fn rebuild<T: Time>(parents: &ParentMap<T>, mut state: (NodeId, T)) -
     Journey::from_hops(hops)
 }
 
+/// Per-configuration state in the merged per-node frontier map:
+/// the first-generated witness label (the same first-crossing-wins rule
+/// as the old `or_insert` parent map), the best hop count — the
+/// decrease-key key while enqueued, the settle hops once settled (equal
+/// by the time the first pop happens, since the heap pops hop-minimal
+/// ties first) — and whether the configuration has settled.
+///
+/// Keeping generation and settlement in ONE sorted map means each
+/// expanded crossing resolves its target with a single binary search
+/// where the split `settled`/`gen` layout needed two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Conf {
+    label: u32,
+    hops: u32,
+    settled: bool,
+}
+
 /// Resumable state of the exact `(node, time)` explorer — the fresh run
 /// drives it from empty seeds; [`crate::incremental`] prunes and
 /// replays it when the underlying schedule grows at the right edge.
 ///
-/// `settled` records the hop count each configuration first settled
-/// with (the minimal hops to reach it, since the heap pops ties in hop
-/// order). The incremental repair needs those hop counts to re-expand
-/// surviving configurations exactly as a fresh run would.
+/// `conf` is the merged frontier: per node, a flat sorted map from
+/// configuration time to its [`Conf`] state. Settles flip the flag in
+/// place (pop times per node are non-decreasing, so fresh settles land
+/// at the tail); generation inserts by binary search but lands at the
+/// tail in the common case.
 #[derive(Debug, Clone)]
 pub(crate) struct ExactCore<T> {
     pub(crate) arrival: Vec<Option<T>>,
-    pub(crate) settled: Vec<BTreeMap<T, usize>>,
-    pub(crate) parents: ExactParents<T>,
-    // Min-heap on (arrival, node, hops): pops in time order, so the
-    // first settle of a node is its foremost arrival. Duplicate pushes
-    // are deduplicated at pop time against `settled`.
-    queue: BinaryHeap<Reverse<(T, NodeId, usize)>>,
+    pub(crate) best: Vec<Option<u32>>,
+    pub(crate) arena: Vec<Label<T>>,
+    /// Per node: configuration time → generation/settlement state.
+    conf: Vec<FlatMap<T, Conf>>,
+    /// Seed configurations and their arena slots, for resolving the
+    /// origin label of a settled seed that no crossing generated.
+    seed_slots: Vec<(NodeId, T, u32)>,
+    // Min-heap on (arrival, node, hops, label id): pops in time order,
+    // so the first settle of a node is its foremost arrival. Residual
+    // duplicates are deduplicated at pop time against the settled flag.
+    queue: BinaryHeap<Reverse<(T, NodeId, u32, u32)>>,
 }
 
 impl<T: Time> ExactCore<T> {
     pub(crate) fn new(num_nodes: usize) -> Self {
         ExactCore {
             arrival: vec![None; num_nodes],
-            settled: vec![BTreeMap::new(); num_nodes],
-            parents: ExactParents::new(num_nodes),
+            best: vec![None; num_nodes],
+            arena: Vec::new(),
+            conf: vec![FlatMap::new(); num_nodes],
+            seed_slots: Vec::new(),
             queue: BinaryHeap::new(),
         }
     }
@@ -310,8 +475,8 @@ impl<T: Time> ExactCore<T> {
     /// Grows the per-node state after streamed topology growth.
     pub(crate) fn resize(&mut self, num_nodes: usize) {
         self.arrival.resize(num_nodes, None);
-        self.settled.resize(num_nodes, BTreeMap::new());
-        self.parents.per_node.resize(num_nodes, BTreeMap::new());
+        self.best.resize(num_nodes, None);
+        self.conf.resize(num_nodes, FlatMap::new());
     }
 
     /// Enqueues seed configurations (hop count zero).
@@ -320,26 +485,30 @@ impl<T: Time> ExactCore<T> {
         T: 's,
     {
         for (node, t) in seeds {
-            self.queue.push(Reverse((t.clone(), *node, 0)));
+            let id = alloc_label(&mut self.arena, t.clone(), None);
+            self.seed_slots.push((*node, t.clone(), id));
+            self.queue.push(Reverse((t.clone(), *node, 0, id)));
         }
     }
 
-    /// Discards every conclusion at or after `t0`: settles, parent
-    /// pointers, and foremost arrivals from `t0` on may all be
+    /// Discards every conclusion at or after `t0`: settles, generated
+    /// labels, and foremost arrivals from `t0` on may all be
     /// invalidated by schedule changes at `t0`, while everything
     /// strictly earlier is untouchable (a crossing departing at or
     /// after `t0` arrives at or after it — latencies are non-negative).
+    /// The arena keeps pruned labels as unreachable garbage, which
+    /// costs memory proportional to the churn but keeps every surviving
+    /// parent chain valid by construction.
     pub(crate) fn prune(&mut self, t0: &T) {
         self.queue.clear();
-        for map in &mut self.settled {
-            map.split_off(t0);
+        for map in &mut self.conf {
+            map.truncate_from(t0);
         }
-        for map in &mut self.parents.per_node {
-            map.split_off(t0);
-        }
-        for slot in &mut self.arrival {
+        self.seed_slots.retain(|(_, t, _)| t < t0);
+        for (slot, best) in self.arrival.iter_mut().zip(&mut self.best) {
             if slot.as_ref().is_some_and(|t| t >= t0) {
                 *slot = None;
+                *best = None;
             }
         }
     }
@@ -357,18 +526,69 @@ impl<T: Time> ExactCore<T> {
         limits: &SearchLimits<T>,
         stats: &mut EngineStats,
     ) {
-        let mut survivors: Vec<(T, NodeId, usize)> = Vec::new();
-        for (i, map) in self.settled.iter().enumerate() {
+        match policy {
+            WaitingPolicy::NoWait => self.replay_inner(index, &NoWaitDeparture, limits, stats),
+            WaitingPolicy::Bounded(d) => {
+                self.replay_inner(index, &BoundedDeparture(d.clone()), limits, stats);
+            }
+            WaitingPolicy::Unbounded => {
+                self.replay_inner(index, &UnboundedDeparture, limits, stats);
+            }
+        }
+    }
+
+    fn replay_inner<I: TemporalIndex<T>, P: DeparturePolicy<T>>(
+        &mut self,
+        index: &I,
+        policy: &P,
+        limits: &SearchLimits<T>,
+        stats: &mut EngineStats,
+    ) {
+        let cap = hops_cap(limits);
+        let mut survivors: Vec<(T, NodeId, u32)> = Vec::new();
+        for (i, map) in self.conf.iter().enumerate() {
             let node = NodeId::from_index(i);
-            survivors.extend(map.iter().map(|(t, &h)| (t.clone(), node, h)));
+            survivors.extend(
+                map.iter()
+                    .filter(|(_, c)| c.settled)
+                    .map(|(t, c)| (t.clone(), node, c.hops)),
+            );
         }
         survivors.sort();
+        let mut cursor = vec![0usize; index.tvg().num_edges()];
         for (time, node, hops) in survivors {
-            if hops == limits.max_hops {
+            if hops == cap {
                 continue;
             }
-            self.expand(index, policy, limits, node, &time, hops, stats);
+            let id = self.origin_label(node, &time);
+            self.expand(
+                index,
+                policy,
+                limits,
+                &mut cursor,
+                node,
+                &time,
+                hops,
+                id,
+                stats,
+            );
         }
+    }
+
+    /// The arena id reconstructing the journey of a settled
+    /// configuration: its first-generated label if any crossing reached
+    /// it, otherwise its seed slot.
+    fn origin_label(&self, node: NodeId, time: &T) -> u32 {
+        self.conf[node.index()]
+            .get(time)
+            .map(|c| c.label)
+            .or_else(|| {
+                self.seed_slots
+                    .iter()
+                    .find(|(n, t, _)| *n == node && t == time)
+                    .map(|&(_, _, id)| id)
+            })
+            .expect("settled configuration has an origin label")
     }
 
     /// Runs the exploration to exhaustion (or to `target`'s first,
@@ -381,89 +601,178 @@ impl<T: Time> ExactCore<T> {
         target: Option<NodeId>,
         stats: &mut EngineStats,
     ) {
-        while let Some(Reverse((time, node, hops))) = self.queue.pop() {
-            match self.settled[node.index()].entry(time.clone()) {
-                Entry::Occupied(_) => continue,
-                Entry::Vacant(slot) => slot.insert(hops),
+        match policy {
+            WaitingPolicy::NoWait => {
+                self.drain_inner(index, &NoWaitDeparture, limits, target, stats);
+            }
+            WaitingPolicy::Bounded(d) => {
+                self.drain_inner(index, &BoundedDeparture(d.clone()), limits, target, stats);
+            }
+            WaitingPolicy::Unbounded => {
+                self.drain_inner(index, &UnboundedDeparture, limits, target, stats);
+            }
+        }
+    }
+
+    fn drain_inner<I: TemporalIndex<T>, P: DeparturePolicy<T>>(
+        &mut self,
+        index: &I,
+        policy: &P,
+        limits: &SearchLimits<T>,
+        target: Option<NodeId>,
+        stats: &mut EngineStats,
+    ) {
+        let cap = hops_cap(limits);
+        let mut cursor = vec![0usize; index.tvg().num_edges()];
+        while let Some(Reverse((time, node, hops, id))) = self.queue.pop() {
+            let ni = node.index();
+            // The witness label of this configuration: its
+            // first-generated crossing if one exists (a zero-latency
+            // cycle can generate into a seed configuration before the
+            // seed pops), otherwise the label carried by the queue.
+            let id = match self.conf[ni].search(&time) {
+                Ok(at) => {
+                    let entry = self.conf[ni].val_mut(at);
+                    if entry.settled {
+                        continue;
+                    }
+                    // The heap pops hop-minimal ties first, so the
+                    // popped hops equal the best enqueued hops here.
+                    entry.settled = true;
+                    entry.hops = hops;
+                    entry.label
+                }
+                // A seed configuration no crossing generated into. Pop
+                // times per node are non-decreasing, so this is an
+                // append in all but name.
+                Err(at) => {
+                    let entry = Conf {
+                        label: id,
+                        hops,
+                        settled: true,
+                    };
+                    self.conf[ni].insert_at(at, time.clone(), entry);
+                    id
+                }
             };
             stats.settled += 1;
-            if self.arrival[node.index()].is_none() {
-                self.arrival[node.index()] = Some(time.clone());
+            if self.arrival[ni].is_none() {
+                self.arrival[ni] = Some(time.clone());
+                self.best[ni] = Some(id);
                 // The first settle is already foremost: a targeted query
                 // is done here.
                 if target == Some(node) {
                     break;
                 }
             }
-            if hops == limits.max_hops {
+            if hops == cap {
                 continue;
             }
-            self.expand(index, policy, limits, node, &time, hops, stats);
+            self.expand(
+                index,
+                policy,
+                limits,
+                &mut cursor,
+                node,
+                &time,
+                hops,
+                id,
+                stats,
+            );
         }
     }
 
+    /// Expands every admissible crossing from a settled configuration —
+    /// the same `(edge, depart, arrive)` triples in the same order as
+    /// [`TemporalIndex::crossings`], but enumerated through a per-edge
+    /// span `cursor`: expansion times within one drain/replay are
+    /// non-decreasing, so the span holding the next departure is found
+    /// by walking forward from the last position (amortized O(1) per
+    /// call) instead of a fresh binary search per `(settle, edge)`.
     #[allow(clippy::too_many_arguments)] // one settled configuration, spelled out
-    fn expand<I: TemporalIndex<T>>(
+    fn expand<I: TemporalIndex<T>, P: DeparturePolicy<T>>(
         &mut self,
         index: &I,
-        policy: &WaitingPolicy<T>,
+        policy: &P,
         limits: &SearchLimits<T>,
+        cursor: &mut [usize],
         node: NodeId,
         time: &T,
-        hops: usize,
+        hops: u32,
+        id: u32,
         stats: &mut EngineStats,
     ) {
-        let Some(latest) = policy.latest_departure(time, &limits.horizon) else {
+        let Some(latest) = policy.latest(time, &limits.horizon) else {
             return;
         };
-        for (e, dep, arr) in index.crossings(node, time, &latest) {
-            stats.expanded += 1;
-            let succ = index.tvg().edge(e).dst();
-            if !self.settled[succ.index()].contains_key(&arr) {
-                self.parents.per_node[succ.index()]
-                    .entry(arr.clone())
-                    .or_insert((node, time.clone(), e, dep));
-                self.queue.push(Reverse((arr, succ, hops + 1)));
+        let until = latest.min(limits.horizon.clone());
+        for &e in index.out_edges(node) {
+            let spans = index.presence(e).spans();
+            // Expansion times only grow, so spans ending at or before
+            // `time` can never serve a later call either: skip them for
+            // good by advancing the edge's cursor.
+            let mut i = cursor[e.index()];
+            while i < spans.len() && spans[i].1 <= *time {
+                i += 1;
+            }
+            cursor[e.index()] = i;
+            while i < spans.len() && spans[i].0 <= until {
+                let (start, end) = &spans[i];
+                let mut dep = if *start > *time {
+                    start.clone()
+                } else {
+                    time.clone()
+                };
+                while dep < *end && dep <= until {
+                    let Some(arr) = index.arrival(e, &dep) else {
+                        // Latency overflow: the crossing is dropped
+                        // before it counts as expanded.
+                        dep = dep.succ();
+                        continue;
+                    };
+                    stats.expanded += 1;
+                    let succ = index.dst(e);
+                    let si = succ.index();
+                    match self.conf[si].search(&arr) {
+                        Ok(at) => {
+                            // Already generated: the first crossing keeps
+                            // the witness; re-enqueue only on a strict hop
+                            // improvement into a not-yet-settled
+                            // configuration (decrease-key).
+                            let entry = self.conf[si].val_mut(at);
+                            if !entry.settled && hops + 1 < entry.hops {
+                                entry.hops = hops + 1;
+                                let gen_id = entry.label;
+                                self.queue.push(Reverse((arr, succ, hops + 1, gen_id)));
+                            }
+                        }
+                        Err(at) => {
+                            let new_id = alloc_label(
+                                &mut self.arena,
+                                arr.clone(),
+                                Some((id, e, dep.clone())),
+                            );
+                            let entry = Conf {
+                                label: new_id,
+                                hops: hops + 1,
+                                settled: false,
+                            };
+                            self.conf[si].insert_at(at, arr.clone(), entry);
+                            self.queue.push(Reverse((arr, succ, hops + 1, new_id)));
+                        }
+                    }
+                    dep = dep.succ();
+                }
+                i += 1;
             }
         }
     }
-}
-
-/// Exact `(node, time)` exploration for `NoWait` / `Bounded(d)`:
-/// time-ordered expansion of every reachable configuration, with
-/// interval-driven departure enumeration. Frontier bookkeeping is
-/// bucketed by dense node id (`Vec` of per-node time maps) — the dense
-/// half of every `(node, time)` key is an index, not a comparison.
-fn exact_explore<T: Time, I: TemporalIndex<T>>(
-    index: &I,
-    seeds: &[(NodeId, T)],
-    policy: &WaitingPolicy<T>,
-    limits: &SearchLimits<T>,
-    target: Option<NodeId>,
-) -> ForemostTree<T> {
-    let mut stats = EngineStats::one_run();
-    let mut core = ExactCore::new(index.tvg().num_nodes());
-    core.seed(seeds);
-    core.drain(index, policy, limits, target, &mut stats);
-    ForemostTree {
-        arrival: core.arrival,
-        repr: TreeRepr::Exact(core.parents),
-        stats,
-    }
-}
-
-/// A label of the Pareto explorer: one arrival instant plus the parent
-/// pointer that realizes it (the node lives in the queue key).
-#[derive(Debug, Clone)]
-pub(crate) struct Label<T> {
-    pub(crate) time: T,
-    pub(crate) parent: Option<(usize, EdgeId, T)>,
 }
 
 /// A settled Pareto frontier entry: `(arrival, hops, label id)`.
-pub(crate) type ParetoEntry<T> = (T, usize, usize);
+type ParetoEntry<T> = (T, u32, u32);
 
-fn dominated<T: Time>(frontier: &[ParetoEntry<T>], time: &T, hops: usize) -> bool {
+fn dominated<T: Time>(frontier: &[ParetoEntry<T>], time: &T, hops: u32) -> bool {
     frontier.iter().any(|(a, h, _)| a <= time && *h <= hops)
 }
 
@@ -475,12 +784,15 @@ fn dominated<T: Time>(frontier: &[ParetoEntry<T>], time: &T, hops: usize) -> boo
 #[derive(Debug, Clone)]
 pub(crate) struct ParetoCore<T> {
     pub(crate) arrival: Vec<Option<T>>,
-    pub(crate) best: Vec<Option<usize>>,
+    pub(crate) best: Vec<Option<u32>>,
     pub(crate) arena: Vec<Label<T>>,
-    /// Settled Pareto frontier per node.
-    pub(crate) settled: Vec<Vec<ParetoEntry<T>>>,
-    // (arrival, hops, node, label id); pops in (time, hops) order.
-    queue: BTreeSet<(T, usize, NodeId, usize)>,
+    /// Settled Pareto frontier per node, sorted by arrival (settle
+    /// order is time-ordered and per-node ties are dominated away).
+    settled: Vec<Vec<ParetoEntry<T>>>,
+    // Min-heap on (arrival, hops, node, label id); pops in (time, hops)
+    // order, and label ids make every entry unique, so the pop sequence
+    // is exactly the old ordered-set iteration order.
+    queue: BinaryHeap<Reverse<(T, u32, NodeId, u32)>>,
 }
 
 impl<T: Time> ParetoCore<T> {
@@ -490,7 +802,7 @@ impl<T: Time> ParetoCore<T> {
             best: vec![None; num_nodes],
             arena: Vec::new(),
             settled: vec![Vec::new(); num_nodes],
-            queue: BTreeSet::new(),
+            queue: BinaryHeap::new(),
         }
     }
 
@@ -507,12 +819,8 @@ impl<T: Time> ParetoCore<T> {
         T: 's,
     {
         for (node, t) in seeds {
-            self.arena.push(Label {
-                time: t.clone(),
-                parent: None,
-            });
-            self.queue
-                .insert((t.clone(), 0, *node, self.arena.len() - 1));
+            let id = alloc_label(&mut self.arena, t.clone(), None);
+            self.queue.push(Reverse((t.clone(), 0, *node, id)));
         }
     }
 
@@ -521,7 +829,8 @@ impl<T: Time> ParetoCore<T> {
     pub(crate) fn prune(&mut self, t0: &T) {
         self.queue.clear();
         for frontier in &mut self.settled {
-            frontier.retain(|(t, _, _)| t < t0);
+            let keep = frontier.partition_point(|(t, _, _)| t < t0);
+            frontier.truncate(keep);
         }
         for (slot, best) in self.arrival.iter_mut().zip(&mut self.best) {
             if slot.as_ref().is_some_and(|t| t >= t0) {
@@ -542,14 +851,15 @@ impl<T: Time> ParetoCore<T> {
         limits: &SearchLimits<T>,
         stats: &mut EngineStats,
     ) {
-        let mut survivors: Vec<(T, usize, NodeId, usize)> = Vec::new();
+        let cap = hops_cap(limits);
+        let mut survivors: Vec<(T, u32, NodeId, u32)> = Vec::new();
         for (i, frontier) in self.settled.iter().enumerate() {
             let node = NodeId::from_index(i);
             survivors.extend(frontier.iter().map(|(t, h, id)| (t.clone(), *h, node, *id)));
         }
         survivors.sort();
         for (time, hops, node, id) in survivors {
-            if hops == limits.max_hops || time > limits.horizon {
+            if hops == cap || time > limits.horizon {
                 continue;
             }
             self.expand(index, limits, node, &time, hops, id, stats);
@@ -565,7 +875,8 @@ impl<T: Time> ParetoCore<T> {
         target: Option<NodeId>,
         stats: &mut EngineStats,
     ) {
-        while let Some((time, hops, node, id)) = self.queue.pop_first() {
+        let cap = hops_cap(limits);
+        while let Some(Reverse((time, hops, node, id))) = self.queue.pop() {
             if dominated(&self.settled[node.index()], &time, hops) {
                 continue;
             }
@@ -578,7 +889,7 @@ impl<T: Time> ParetoCore<T> {
                     break;
                 }
             }
-            if hops == limits.max_hops || time > limits.horizon {
+            if hops == cap || time > limits.horizon {
                 continue;
             }
             self.expand(index, limits, node, &time, hops, id, stats);
@@ -592,12 +903,12 @@ impl<T: Time> ParetoCore<T> {
         limits: &SearchLimits<T>,
         node: NodeId,
         time: &T,
-        hops: usize,
-        id: usize,
+        hops: u32,
+        id: u32,
         stats: &mut EngineStats,
     ) {
         for &e in index.out_edges(node) {
-            let succ = index.tvg().edge(e).dst();
+            let succ = index.dst(e);
             // All crossings of `e` from this label cost the same hops, so
             // only the minimal-arrival departure can survive dominance —
             // one label per (label, edge). With a monotone arrival the
@@ -628,45 +939,19 @@ impl<T: Time> ParetoCore<T> {
                 continue;
             }
             stats.expanded += 1;
-            self.arena.push(Label {
-                time: arr.clone(),
-                parent: Some((id, e, dep)),
-            });
-            self.queue
-                .insert((arr, hops + 1, succ, self.arena.len() - 1));
+            let new_id = alloc_label(&mut self.arena, arr.clone(), Some((id, e, dep)));
+            self.queue.push(Reverse((arr, hops + 1, succ, new_id)));
         }
     }
 }
 
-/// Label-correcting exploration for unbounded waiting with Pareto
-/// `(arrival, hops)` dominance.
-fn pareto_explore<T: Time, I: TemporalIndex<T>>(
-    index: &I,
-    seeds: &[(NodeId, T)],
-    limits: &SearchLimits<T>,
-    target: Option<NodeId>,
-) -> ForemostTree<T> {
-    let mut stats = EngineStats::one_run();
-    let mut core = ParetoCore::new(index.tvg().num_nodes());
-    core.seed(seeds);
-    core.drain(index, limits, target, &mut stats);
-    ForemostTree {
-        arrival: core.arrival,
-        repr: TreeRepr::Pareto {
-            arena: core.arena,
-            best: core.best,
-        },
-        stats,
-    }
-}
-
-pub(crate) fn rebuild_labels<T: Time>(arena: &[Label<T>], mut id: usize) -> Journey<T> {
+pub(crate) fn rebuild_labels<T: Time>(arena: &[Label<T>], mut id: u32) -> Journey<T> {
     let mut hops = Vec::new();
-    while let Some((prev, e, dep)) = &arena[id].parent {
+    while let Some((prev, e, dep)) = &arena[id as usize].parent {
         hops.push(Hop {
             edge: *e,
             depart: dep.clone(),
-            arrive: arena[id].time.clone(),
+            arrive: arena[id as usize].time.clone(),
         });
         id = *prev;
     }
@@ -865,5 +1150,20 @@ mod tests {
             let tree = foremost_tree(&idx, n(0), &2, &policy, &SearchLimits::new(5, 4));
             assert_eq!(tree.arrival(n(1)), Some(&2), "{policy}");
         }
+    }
+
+    #[test]
+    fn flat_map_inserts_and_truncates() {
+        let mut m: FlatMap<u64, u32> = FlatMap::new();
+        for k in [4u64, 1, 3] {
+            let at = m.search(&k).expect_err("absent");
+            m.insert_at(at, k, u32::try_from(k).expect("small"));
+        }
+        assert_eq!(m.get(&3), Some(&3));
+        assert_eq!(m.get(&2), None);
+        assert_eq!(m.get(&4), Some(&4));
+        assert_eq!(m.search(&2), Err(1));
+        m.truncate_from(&3);
+        assert_eq!(m.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![1]);
     }
 }

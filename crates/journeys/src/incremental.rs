@@ -209,17 +209,13 @@ impl<T: Time> IncrementalForemost<T> {
     /// Panics if `n` is out of range for the indexed graph.
     #[must_use]
     pub fn journey_to(&self, n: NodeId) -> Option<Journey<T>> {
-        match &self.state {
-            State::Exact(core) => {
-                let arrival = core.arrival[n.index()].as_ref()?;
-                Some(core.parents.rebuild((n, arrival.clone())))
-            }
-            State::Pareto(core) => {
-                core.arrival[n.index()].as_ref()?;
-                let id = core.best[n.index()].expect("reached nodes have a best label");
-                Some(rebuild_labels(&core.arena, id))
-            }
-        }
+        let (arrival, best, arena) = match &self.state {
+            State::Exact(core) => (&core.arrival, &core.best, &core.arena),
+            State::Pareto(core) => (&core.arrival, &core.best, &core.arena),
+        };
+        arrival[n.index()].as_ref()?;
+        let id = best[n.index()].expect("reached nodes have a best label");
+        Some(rebuild_labels(arena, id))
     }
 
     /// Number of nodes currently reached (seeds included).
@@ -245,21 +241,18 @@ impl<T: Time> IncrementalForemost<T> {
     /// [`ForemostTree`] (cloned out of the live state).
     #[must_use]
     pub fn tree(&self) -> ForemostTree<T> {
-        match &self.state {
-            State::Exact(core) => ForemostTree::from_parts(
-                core.arrival.clone(),
-                TreeRepr::Exact(core.parents.clone()),
-                self.stats,
-            ),
-            State::Pareto(core) => ForemostTree::from_parts(
-                core.arrival.clone(),
-                TreeRepr::Pareto {
-                    arena: core.arena.clone(),
-                    best: core.best.clone(),
-                },
-                self.stats,
-            ),
-        }
+        let (arrival, best, arena) = match &self.state {
+            State::Exact(core) => (&core.arrival, &core.best, &core.arena),
+            State::Pareto(core) => (&core.arrival, &core.best, &core.arena),
+        };
+        ForemostTree::from_parts(
+            arrival.clone(),
+            TreeRepr {
+                arena: arena.clone(),
+                best: best.clone(),
+            },
+            self.stats,
+        )
     }
 }
 

@@ -255,7 +255,7 @@ mod tests {
     #[test]
     fn sources_and_sinks() {
         // Chain 0 → 1 → 2 with generous schedules: 0 is a source, 2 a sink.
-        let mut b = TvgBuilder::new();
+        let mut b = TvgBuilder::<u64>::new();
         let v = b.nodes(3);
         b.edge(v[0], v[1], 'a', Presence::Always, Latency::unit())
             .expect("valid");

@@ -21,7 +21,7 @@
 //! using the closure path).
 
 use crate::interval::{Instants, IntervalSet};
-use crate::{EdgeId, NodeId, Time, Tvg};
+use crate::{EdgeId, Latency, NodeId, Time, Tvg};
 
 /// Compile-time contract: a compiled index (and the graph it borrows) is
 /// shareable across threads whenever its time domain is. `&TvgIndex` is
@@ -67,6 +67,15 @@ pub trait TemporalIndex<T: Time> {
 
     /// Outgoing edges of `n` as one contiguous slice (builder order).
     fn out_edges(&self, n: NodeId) -> &[EdgeId];
+
+    /// Destination node of `e`. Semantically just
+    /// [`crate::tvg::Edge::dst`], but on the engine's hottest path —
+    /// implementations override this with a flat `Vec<NodeId>` so each
+    /// expanded crossing reads 4 dense bytes instead of chasing into
+    /// the full AST-carrying edge record.
+    fn dst(&self, e: EdgeId) -> NodeId {
+        self.tvg().edge(e).dst()
+    }
 
     /// The earliest departure of `e` at or after `from` (within the
     /// horizon), by binary search.
@@ -152,6 +161,14 @@ impl<T: Time, I: TemporalIndex<T>> TemporalIndex<T> for std::sync::Arc<I> {
     fn out_edges(&self, n: NodeId) -> &[EdgeId] {
         (**self).out_edges(n)
     }
+
+    fn dst(&self, e: EdgeId) -> NodeId {
+        (**self).dst(e)
+    }
+
+    fn arrival(&self, e: EdgeId, t: &T) -> Option<T> {
+        (**self).arrival(e, t)
+    }
 }
 
 /// Whether an edge appears or disappears at an event instant.
@@ -200,6 +217,8 @@ pub struct TvgIndex<'g, T> {
     arrival_monotone: Vec<bool>,
     csr_offsets: Vec<usize>,
     csr_edges: Vec<EdgeId>,
+    dsts: Vec<NodeId>,
+    const_lat: Vec<Option<T>>,
     events: Vec<EdgeEvent<T>>,
 }
 
@@ -226,7 +245,18 @@ impl<'g, T: Time> TvgIndex<'g, T> {
             csr_edges.extend_from_slice(g.out_edges(n));
             csr_offsets.push(csr_edges.len());
         }
-        let mut events = Vec::new();
+        let dsts: Vec<NodeId> = g.edges().map(|e| g.edge(e).dst()).collect();
+        let const_lat: Vec<Option<T>> = g
+            .edges()
+            .map(|e| match g.edge(e).latency() {
+                Latency::Const(c) => Some(c.clone()),
+                _ => None,
+            })
+            .collect();
+        // Two events per presence span, known up front — size the
+        // timeline exactly so the push loop never reallocates.
+        let total_spans: usize = presence.iter().map(IntervalSet::num_spans).sum();
+        let mut events = Vec::with_capacity(2 * total_spans);
         for (i, set) in presence.iter().enumerate() {
             let edge = EdgeId::from_index(i);
             for (start, end) in set.spans() {
@@ -242,6 +272,11 @@ impl<'g, T: Time> TvgIndex<'g, T> {
                 });
             }
         }
+        debug_assert_eq!(
+            events.len(),
+            events.capacity(),
+            "event timeline presized exactly"
+        );
         events.sort();
         TvgIndex {
             g,
@@ -250,6 +285,8 @@ impl<'g, T: Time> TvgIndex<'g, T> {
             arrival_monotone,
             csr_offsets,
             csr_edges,
+            dsts,
+            const_lat,
             events,
         }
     }
@@ -387,6 +424,17 @@ impl<T: Time> TemporalIndex<T> for TvgIndex<'_, T> {
 
     fn out_edges(&self, n: NodeId) -> &[EdgeId] {
         &self.csr_edges[self.csr_offsets[n.index()]..self.csr_offsets[n.index() + 1]]
+    }
+
+    fn dst(&self, e: EdgeId) -> NodeId {
+        self.dsts[e.index()]
+    }
+
+    fn arrival(&self, e: EdgeId, t: &T) -> Option<T> {
+        match &self.const_lat[e.index()] {
+            Some(c) => t.checked_add(c),
+            None => self.g.edge(e).latency().arrival(t),
+        }
     }
 }
 

@@ -19,6 +19,10 @@
 //!   presence materialized as sorted half-open intervals over a horizon
 //!   (binary-search next-presence, gap-skipping departure enumeration),
 //!   CSR out-edge adjacency, and a global sorted edge-event timeline.
+//! * [`narrow_tvg`] — timeline compression: rebuilds a `u64`-timed TVG
+//!   over `u32` instants when the horizon (and every provable arrival)
+//!   fits, halving the time keys in the engine's hot structures; refusal
+//!   is a typed [`NarrowError`], never a silent truncation.
 //! * [`stream`] — streaming ingestion: a [`TvgStream`] validates
 //!   appended edge events (up/down, new edges, horizon extensions) and
 //!   maintains a [`LiveIndex`] — the same compiled structures as
@@ -61,6 +65,7 @@ mod graph;
 mod ids;
 mod index;
 mod interval;
+pub mod narrow;
 mod schedule;
 pub mod stream;
 mod time;
@@ -70,6 +75,7 @@ pub use graph::Digraph;
 pub use ids::{EdgeId, NodeId};
 pub use index::{EdgeEvent, EdgeEventKind, TemporalIndex, TvgIndex};
 pub use interval::{Instants, IntervalSet};
+pub use narrow::{narrow_tvg, NarrowError};
 pub use schedule::{pq_power_index, Latency, Presence};
 pub use stream::{LiveIndex, StreamError, StreamEvent, TvgStream};
 pub use time::Time;

@@ -217,6 +217,8 @@ pub struct LiveIndex<T> {
     arrival_monotone: Vec<bool>,
     csr_offsets: Vec<usize>,
     csr_edges: Vec<EdgeId>,
+    dsts: Vec<NodeId>,
+    const_lat: Vec<Option<T>>,
     events: Vec<EdgeEvent<T>>,
 }
 
@@ -233,6 +235,8 @@ impl<T: Time> LiveIndex<T> {
             arrival_monotone: Vec::new(),
             csr_offsets: vec![0],
             csr_edges: Vec::new(),
+            dsts: Vec::new(),
+            const_lat: Vec::new(),
             events: Vec::new(),
         })
     }
@@ -284,6 +288,17 @@ impl<T: Time> TemporalIndex<T> for LiveIndex<T> {
 
     fn out_edges(&self, n: NodeId) -> &[EdgeId] {
         &self.csr_edges[self.csr_offsets[n.index()]..self.csr_offsets[n.index() + 1]]
+    }
+
+    fn dst(&self, e: EdgeId) -> NodeId {
+        self.dsts[e.index()]
+    }
+
+    fn arrival(&self, e: EdgeId, t: &T) -> Option<T> {
+        match &self.const_lat[e.index()] {
+            Some(c) => t.checked_add(c),
+            None => self.g.edge(e).latency().arrival(t),
+        }
     }
 }
 
@@ -403,11 +418,16 @@ impl<T: Time> TvgStream<T> {
         self.live
             .arrival_monotone
             .push(latency.arrival_is_monotone());
+        self.live.const_lat.push(match &latency {
+            Latency::Const(c) => Some(c.clone()),
+            _ => None,
+        });
         let e = self
             .live
             .g
             .push_edge(src, dst, letter, Presence::Never, latency);
         self.live.presence.push(IntervalSet::empty());
+        self.live.dsts.push(dst);
         self.open_since.push(None);
         // CSR insert: the new edge has the maximal id, so it lands at the
         // end of its source's slice; only later nodes' offsets shift.
@@ -435,6 +455,10 @@ impl<T: Time> TvgStream<T> {
     /// The first [`StreamError`] encountered, with everything before it
     /// applied (and accounted to the next successful report).
     pub fn ingest(&mut self, events: &[StreamEvent<T>]) -> Result<IngestReport<T>, StreamError<T>> {
+        // Each Up adds at most two timeline entries (appear + provisional
+        // close) and Down/Extend rewrite in place — reserve the batch's
+        // worst case once instead of growing inside the per-event loop.
+        self.live.events.reserve(2 * events.len());
         let mut applied = 0;
         for ev in events {
             let changed_at = self.apply(ev)?;

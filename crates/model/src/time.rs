@@ -1,11 +1,14 @@
 //! The time domain of a time-varying graph.
 //!
 //! The paper studies TVGs over a temporal domain `T` (typically `N`). This
-//! workspace instantiates `T` two ways: [`u64`] for simulation-scale work
-//! (journey search, periodic schedules, dynamic-network protocols) and
-//! [`Nat`] for the theorem constructions, whose schedules reach times like
-//! `pⁿqⁿ` that overflow any machine word. The [`Time`] trait is the small
-//! arithmetic interface both share.
+//! workspace instantiates `T` three ways: [`u64`] for simulation-scale
+//! work (journey search, periodic schedules, dynamic-network protocols),
+//! [`u32`] as the compressed engine-internal domain that
+//! [`crate::narrow::narrow_tvg`] lowers small-horizon workloads into
+//! (halving every time key the explorer's hot loops touch), and [`Nat`]
+//! for the theorem constructions, whose schedules reach times like
+//! `pⁿqⁿ` that overflow any machine word. The [`Time`] trait is the
+//! small arithmetic interface they share.
 //!
 //! All operations that can overflow a machine word are *checked*: callers
 //! treat `None` as "beyond the temporal domain", which makes a `u64`
@@ -53,6 +56,48 @@ pub trait Time: Clone + Ord + Eq + Hash + Debug + Display {
     /// Remainder by a machine-word modulus.
     fn rem_u64(&self, m: u64) -> u64 {
         self.div_rem_u64(m).1
+    }
+}
+
+impl Time for u32 {
+    fn zero() -> Self {
+        0
+    }
+
+    fn one() -> Self {
+        1
+    }
+
+    fn from_u64(v: u64) -> Self {
+        u32::try_from(v).expect("u32 time domain requires instants below 2^32")
+    }
+
+    fn to_u64(&self) -> Option<u64> {
+        Some(u64::from(*self))
+    }
+
+    fn checked_add(&self, rhs: &Self) -> Option<Self> {
+        u32::checked_add(*self, *rhs)
+    }
+
+    fn checked_sub(&self, rhs: &Self) -> Option<Self> {
+        u32::checked_sub(*self, *rhs)
+    }
+
+    fn checked_mul_u64(&self, k: u64) -> Option<Self> {
+        u64::from(*self)
+            .checked_mul(k)
+            .and_then(|v| u32::try_from(v).ok())
+    }
+
+    fn div_rem_u64(&self, m: u64) -> (Self, u64) {
+        assert!(m != 0, "time modulus must be nonzero");
+        let v = u64::from(*self);
+        (u32::try_from(v / m).expect("quotient of a u32 fits"), v % m)
+    }
+
+    fn succ(&self) -> Self {
+        self + 1
     }
 }
 
@@ -162,8 +207,22 @@ mod tests {
     }
 
     #[test]
+    fn u32_satisfies_laws() {
+        laws::<u32>();
+    }
+
+    #[test]
     fn u64_satisfies_laws() {
         laws::<u64>();
+    }
+
+    #[test]
+    fn u32_overflow_is_none() {
+        assert_eq!(Time::checked_add(&u32::MAX, &1), None);
+        assert_eq!(u32::MAX.checked_mul_u64(2), None);
+        // The product can exceed u64 range too; still checked.
+        assert_eq!(2u32.checked_mul_u64(u64::MAX), None);
+        assert_eq!(0u32.checked_mul_u64(u64::MAX), Some(0));
     }
 
     #[test]

@@ -183,3 +183,60 @@ fn time_trait_laws_u64() {
         assert_eq!(a.succ(), a + 1);
     });
 }
+
+/// Failure modes of the `u32` timeline compression: every way a graph
+/// can fail to narrow is a *typed* refusal — never a silent truncation
+/// that would quietly corrupt arrivals.
+#[test]
+fn narrowing_failure_modes_are_typed_errors() {
+    use tvg_model::{narrow_tvg, NarrowError};
+
+    // A horizon beyond what u32 can represent is refused up front, even
+    // on a graph whose schedule would otherwise narrow fine.
+    let mut b = TvgBuilder::<u64>::new();
+    let v = b.nodes(2);
+    b.edge(v[0], v[1], 'a', Presence::Always, Latency::Const(0))
+        .expect("valid");
+    let g = b.build().expect("valid");
+    let horizon = u64::from(u32::MAX);
+    assert_eq!(
+        narrow_tvg(&g, horizon).err(),
+        Some(NarrowError::HorizonExceedsU32 { horizon }),
+        "horizon + 1 must stay representable in u32"
+    );
+
+    // A latency whose arrival can overflow u32 within the horizon is
+    // refused per edge, not clamped.
+    let mut b = TvgBuilder::<u64>::new();
+    let v = b.nodes(2);
+    let e = b
+        .edge(v[0], v[1], 'a', Presence::Always, Latency::Const(1 << 33))
+        .expect("valid");
+    let g = b.build().expect("valid");
+    assert_eq!(
+        narrow_tvg(&g, 100).err(),
+        Some(NarrowError::ArrivalOverflow { edge: e }),
+        "overflowing arrivals are a typed refusal"
+    );
+
+    // An opaque latency cannot be proven to fit, so it is refused too —
+    // and the error names the offending edge.
+    let mut b = TvgBuilder::<u64>::new();
+    let v = b.nodes(2);
+    let e = b
+        .edge(
+            v[0],
+            v[1],
+            'a',
+            Presence::Always,
+            Latency::Custom(std::sync::Arc::new(|_t: &u64| 1)),
+        )
+        .expect("valid");
+    let g = b.build().expect("valid");
+    let err = narrow_tvg(&g, 100).expect_err("custom latency is refused");
+    assert_eq!(err, NarrowError::UnprovableLatency { edge: e });
+    assert!(
+        err.to_string().contains(&e.to_string()),
+        "the refusal names the edge: {err}"
+    );
+}

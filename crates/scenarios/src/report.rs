@@ -20,6 +20,7 @@
 use std::collections::BTreeMap;
 use tvg_dynnet::json::Json;
 use tvg_journeys::EngineStats;
+use tvg_model::Time;
 
 /// The outcome of running one [`crate::Scenario`].
 #[derive(Debug, Clone, PartialEq)]
@@ -139,13 +140,18 @@ pub(crate) fn engine_json(stats: &EngineStats) -> Json {
 
 /// An arrival histogram: how many entries arrived at each instant, plus
 /// how many never arrived. Rendered as sorted `[instant, count]` pairs
-/// so the encoding is canonical regardless of input order.
-pub(crate) fn histogram<'a>(values: impl Iterator<Item = Option<&'a u64>>) -> Json {
+/// so the encoding is canonical regardless of input order. Instants are
+/// widened to `u64` keys, so a `u32`-narrowed run renders the same
+/// bytes as the `u64` run it compresses.
+pub(crate) fn histogram<'a, T: Time + 'a>(values: impl Iterator<Item = Option<&'a T>>) -> Json {
     let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
     let mut unreached = 0u64;
     for v in values {
         match v {
-            Some(&t) => *counts.entry(t).or_default() += 1,
+            Some(t) => {
+                let t = t.to_u64().expect("scenario arrivals fit a machine word");
+                *counts.entry(t).or_default() += 1;
+            }
             None => unreached += 1,
         }
     }

@@ -77,6 +77,14 @@ impl<T: Time> TemporalIndex<T> for ServeSnapshot<T> {
     fn out_edges(&self, n: NodeId) -> &[EdgeId] {
         self.index.out_edges(n)
     }
+
+    fn dst(&self, e: EdgeId) -> NodeId {
+        self.index.dst(e)
+    }
+
+    fn arrival(&self, e: EdgeId, t: &T) -> Option<T> {
+        self.index.arrival(e, t)
+    }
 }
 
 /// The lock-free publication channel between one writer and any number
@@ -224,7 +232,7 @@ mod tests {
 
     #[test]
     fn snapshots_answer_like_their_source() {
-        let mut s = TvgStream::new(10).expect("representable");
+        let mut s = TvgStream::<u64>::new(10).expect("representable");
         let u = s.add_node("u");
         let v = s.add_node("v");
         let e = s.add_edge(u, v, 'a', Latency::unit()).expect("valid");

@@ -24,6 +24,10 @@
 //! * [`tickscan`] — the pre-index tick-scan journey searches, preserved
 //!   as the reference oracle the compiled single-source engine is
 //!   checked against.
+//! * [`refengine`] — the pre-overhaul generic explorer (BTree-based
+//!   frontiers, branchy policy dispatch), preserved as the differential
+//!   oracle the cache-local monomorphized cores are pinned
+//!   bit-identical to (arrivals, witnesses, work counters).
 //! * [`batchcheck`] — the parallel-vs-serial oracle: a batch run at
 //!   several thread counts must reproduce the serial reference exactly
 //!   (arrivals, witness journeys, and work counters) — against
@@ -51,6 +55,7 @@ pub mod fixtures;
 pub mod gen;
 pub mod oracles;
 pub mod prop;
+pub mod refengine;
 pub mod rng;
 pub mod servecheck;
 pub mod speccheck;

@@ -1,0 +1,189 @@
+//! Differential properties for the PR-7 engine overhaul: the
+//! monomorphized, arena-backed production cores must be *bit-identical*
+//! — arrivals, witness journeys, and [`EngineStats`] — to the
+//! pre-overhaul generic explorer preserved in
+//! [`tvg_testkit::refengine`].
+//!
+//! The overhaul is licensed as a pure representation change; any
+//! divergence caught here (an arrival off by one, a different witness,
+//! a settle or expansion miscount) is a correctness bug, not a tuning
+//! regression. The suite sweeps the 3 waiting policies × the Figure-1
+//! (bigint times), random-periodic, and scale-free fixtures, the
+//! narrowed `u32` time domain, the multi-seed and early-exit entry
+//! points, and the resumable core under `IncrementalForemost` replay.
+
+use tvg_bigint::Nat;
+use tvg_journeys::engine::{foremost_tree, foremost_tree_multi};
+use tvg_journeys::{IncrementalForemost, SearchLimits, WaitingPolicy};
+use tvg_model::stream::TvgStream;
+use tvg_model::{narrow_tvg, NodeId, TemporalIndex, Time, Tvg, TvgIndex};
+use tvg_testkit::fixtures;
+use tvg_testkit::refengine::ref_foremost_tree;
+
+/// The three policy regimes over any time domain.
+fn all_policies<T: Time>(bound: u64) -> [WaitingPolicy<T>; 3] {
+    [
+        WaitingPolicy::NoWait,
+        WaitingPolicy::Bounded(T::from_u64(bound)),
+        WaitingPolicy::Unbounded,
+    ]
+}
+
+/// One full-sweep comparison: every source, arrivals + witnesses +
+/// stats, production core vs. reference explorer.
+fn assert_cores_match<T: Time, I: TemporalIndex<T>>(
+    index: &I,
+    start: &T,
+    policy: &WaitingPolicy<T>,
+    limits: &SearchLimits<T>,
+    label: &str,
+) {
+    for src in index.tvg().nodes() {
+        let tree = foremost_tree(index, src, start, policy, limits);
+        let oracle = ref_foremost_tree(index, &[(src, start.clone())], policy, limits, None);
+        assert_eq!(
+            tree.stats(),
+            oracle.stats(),
+            "{label}: stats diverge from {src} under {policy}"
+        );
+        for dst in index.tvg().nodes() {
+            assert_eq!(
+                tree.arrival(dst),
+                oracle.arrival(dst),
+                "{label}: arrival {src}→{dst} under {policy}"
+            );
+            assert_eq!(
+                tree.journey_to(dst),
+                oracle.journey_to(dst),
+                "{label}: witness {src}→{dst} under {policy}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cores_match_oracle_on_figure1_nat_times() {
+    // Bigint times: the overhaul must stay generic in the time domain.
+    let aut = fixtures::figure1();
+    let g = aut.automaton().tvg();
+    let limits = aut.limits_for(6);
+    let index = TvgIndex::compile(g, limits.horizon.clone());
+    for policy in all_policies::<Nat>(2) {
+        assert_cores_match(&index, &Nat::zero(), &policy, &limits, "figure-1");
+    }
+}
+
+#[test]
+fn cores_match_oracle_on_periodic_family() {
+    let params = fixtures::small_periodic_params(8);
+    for seed in [3u64, 17] {
+        let g = fixtures::periodic_family_tvg(&params, seed);
+        let limits = SearchLimits::new(40u64, 10);
+        let index = TvgIndex::compile(&g, limits.horizon);
+        for policy in all_policies(3) {
+            assert_cores_match(
+                &index,
+                &0,
+                &policy,
+                &limits,
+                &format!("periodic seed {seed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn cores_match_oracle_on_scale_free() {
+    let g = fixtures::scale_free(40);
+    let limits = SearchLimits::new(fixtures::SCALE_FREE_HORIZON, 8);
+    let index = TvgIndex::compile(&g, limits.horizon);
+    for policy in all_policies(4) {
+        assert_cores_match(&index, &0, &policy, &limits, "scale-free");
+    }
+}
+
+#[test]
+fn cores_match_oracle_in_the_narrowed_u32_domain() {
+    // The u32 fast path is its own monomorphization — pin it against
+    // the oracle run in the *same* narrowed domain, so any divergence
+    // is the core's fault, not the narrowing's (narrowing itself is
+    // pinned by `tvg-model`'s narrow tests).
+    let g = fixtures::scale_free(40);
+    let narrowed: Tvg<u32> =
+        narrow_tvg(&g, fixtures::SCALE_FREE_HORIZON).expect("fixture horizon fits u32");
+    let limits = SearchLimits::new(
+        u32::try_from(fixtures::SCALE_FREE_HORIZON).expect("fits"),
+        8,
+    );
+    let index = TvgIndex::compile(&narrowed, limits.horizon);
+    for policy in all_policies(4) {
+        assert_cores_match(&index, &0u32, &policy, &limits, "scale-free/u32");
+    }
+}
+
+#[test]
+fn multi_seed_runs_match_oracle() {
+    let g = fixtures::scale_free(40);
+    let limits = SearchLimits::new(fixtures::SCALE_FREE_HORIZON, 8);
+    let index = TvgIndex::compile(&g, limits.horizon);
+    let seeds: Vec<(NodeId, u64)> = vec![
+        (NodeId::from_index(0), 0),
+        (NodeId::from_index(7), 5),
+        (NodeId::from_index(13), 2),
+    ];
+    for policy in all_policies(3) {
+        let tree = foremost_tree_multi(&index, &seeds, &policy, &limits);
+        let oracle = ref_foremost_tree(&index, &seeds, &policy, &limits, None);
+        assert_eq!(
+            tree.stats(),
+            oracle.stats(),
+            "multi-seed stats under {policy}"
+        );
+        for dst in g.nodes() {
+            assert_eq!(
+                tree.arrival(dst),
+                oracle.arrival(dst),
+                "multi-seed arrival →{dst} under {policy}"
+            );
+            assert_eq!(
+                tree.journey_to(dst),
+                oracle.journey_to(dst),
+                "multi-seed witness →{dst} under {policy}"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_replay_matches_a_fresh_oracle_run() {
+    // Stream a fixture in batches; after every refresh, the resumable
+    // core's prune/replay repair must land on exactly the tree a fresh
+    // oracle run over the live index produces.
+    let g = fixtures::scale_free(30);
+    let horizon = fixtures::SCALE_FREE_HORIZON;
+    let (base, events) = TvgStream::replay_of(&g, &horizon).expect("horizon + 1 is representable");
+    let limits = SearchLimits::new(horizon, 8);
+    let src = NodeId::from_index(0);
+    for policy in all_policies(3) {
+        let mut stream = base.clone();
+        let mut inc =
+            IncrementalForemost::new(stream.index(), &[(src, 0u64)], policy, limits.clone());
+        for batch in events.chunks(48) {
+            let report = stream.ingest(batch).expect("replay is valid");
+            inc.refresh(stream.index(), &report);
+            let oracle = ref_foremost_tree(stream.index(), &[(src, 0u64)], &policy, &limits, None);
+            for dst in stream.index().tvg().nodes() {
+                assert_eq!(
+                    inc.arrival(dst),
+                    oracle.arrival(dst),
+                    "incremental arrival →{dst} under {policy}"
+                );
+                assert_eq!(
+                    inc.journey_to(dst),
+                    oracle.journey_to(dst),
+                    "incremental witness →{dst} under {policy}"
+                );
+            }
+        }
+    }
+}
