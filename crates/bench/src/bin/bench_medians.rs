@@ -1,6 +1,7 @@
 //! The bench-regression gate: median wall times of the E7 (compiled
-//! index) and E9 (streaming ingest) hot paths, emitted as machine-
-//! readable JSON and compared against checked-in baselines.
+//! index), E9 (streaming ingest), and E13 (snapshot publication) hot
+//! paths, emitted as machine-readable JSON and compared against
+//! checked-in baselines.
 //!
 //! Unlike the criterion benches (scaling shapes, human-read), this
 //! binary exists to *fail CI* when a hot path rots by an order of
@@ -16,15 +17,18 @@
 //! inverted (the gate trips when the rate *falls* past tolerance).
 //!
 //! Usage:
-//! * `bench_medians emit [dir]` — write `BENCH_E7.json` and
-//!   `BENCH_E9.json` under `dir` (default `.`), print them to stdout.
+//! * `bench_medians emit [dir]` — write `BENCH_E7.json`,
+//!   `BENCH_E9.json`, and `BENCH_E13.json` under `dir` (default `.`),
+//!   print them to stdout.
 //! * `bench_medians check <baseline-dir> [--tolerance X]` — re-measure
 //!   and fail (exit 1) if any metric exceeds `X ×` its baseline in
-//!   `<baseline-dir>/BENCH_E7.json` / `BENCH_E9.json`.
+//!   `<baseline-dir>/BENCH_E7.json` / `BENCH_E9.json` /
+//!   `BENCH_E13.json`.
 //!
-//! The workloads deliberately mirror `benches/temporal_index.rs` (E7)
-//! and `benches/stream_ingest.rs` (E9) at CI-friendly sizes; the
-//! reference numbers live in `EXPERIMENTS.md`.
+//! The workloads deliberately mirror `benches/temporal_index.rs` (E7),
+//! `benches/stream_ingest.rs` (E9), and `benches/snapshot_publish.rs`
+//! (E13) at CI-friendly sizes; the reference numbers live in
+//! `EXPERIMENTS.md`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -167,6 +171,47 @@ fn e9_metrics() -> BTreeMap<String, u64> {
     m
 }
 
+/// The E13 workload: the n=1000 scale-free live feed of
+/// `benches/snapshot_publish.rs`, published as one retained snapshot
+/// per 512-event ingest tick (retention forces the copy-on-write a
+/// serve run's `EpochRing` would). Only the publication wall time is
+/// measured — ingest is E9's job.
+fn e13_metrics() -> BTreeMap<String, u64> {
+    const BATCH: usize = 512;
+    let g = scale_free_temporal(1000, 48, 13);
+    let (base, events) = TvgStream::replay_of(&g, &48).expect("48 + 1 is representable");
+    let epochs = events.chunks(BATCH).len() as u64 + 1;
+    let rep = || {
+        let mut stream = base.clone();
+        let mut retained = Vec::with_capacity(usize::try_from(epochs).expect("small"));
+        retained.push(stream.snapshot());
+        let mut micros = 0u128;
+        for batch in events.chunks(BATCH) {
+            stream.ingest(batch).expect("replay is valid");
+            let t = Instant::now();
+            retained.push(stream.snapshot());
+            micros += t.elapsed().as_micros();
+        }
+        std::hint::black_box(&retained);
+        micros
+    };
+    let mut samples: Vec<u128> = (0..5).map(|_| rep()).collect();
+    samples.sort_unstable();
+    let publish_us = u64::try_from(samples[samples.len() / 2])
+        .unwrap_or(u64::MAX)
+        .max(1);
+    let mut m = BTreeMap::new();
+    m.insert("publish_us".to_string(), publish_us);
+    // Throughput: published epochs per second — a `_per_sec` metric, so
+    // the check gate inverts the ratio (a falling rate is the
+    // regression).
+    m.insert(
+        "publish_per_sec".to_string(),
+        epochs.saturating_mul(1_000_000) / publish_us,
+    );
+    m
+}
+
 fn to_json(metrics: &BTreeMap<String, u64>) -> String {
     let obj: BTreeMap<String, Json> = metrics
         .iter()
@@ -195,6 +240,7 @@ fn measure_all() -> Vec<(&'static str, BTreeMap<String, u64>)> {
     vec![
         ("BENCH_E7.json", e7_metrics()),
         ("BENCH_E9.json", e9_metrics()),
+        ("BENCH_E13.json", e13_metrics()),
     ]
 }
 

@@ -234,20 +234,25 @@ pub fn run_command(args: &[String]) -> Result<Output, CliError> {
 /// line: the run/settle/expansion counters from the report's
 /// [`tvg_journeys::EngineStats`], the wall time, and the derived rates
 /// the profiling workflow watches (queries/sec, settles/sec, µs/query).
+/// A serve scenario additionally reports its publication metrics —
+/// epoch count, mean events per epoch, frozen chunks shared with the
+/// final snapshot, chunk copies forced by snapshot isolation, and the
+/// epochs/sec publication rate.
 ///
-/// Counters are deterministic (golden-pinned); the wall time and rates
-/// are real measurements and vary run to run — `profile` output is for
-/// humans and CI artifacts, never for golden comparison.
+/// Counters (including the publication chunk/event counters) are
+/// deterministic (golden-pinned); the wall time and rates are real
+/// measurements and vary run to run — `profile` output is for humans
+/// and CI artifacts, never for golden comparison.
 #[must_use]
 pub fn profile_line(scenario: &Scenario) -> String {
     let report = scenario.run();
     let stats = report.engine_stats();
     let wall_us = report.wall_micros().max(1);
     let per_sec = |count: u64| (u128::from(count) * 1_000_000) / wall_us;
-    format!(
+    let mut line = format!(
         "{{\"scenario\": \"{}\", \"runs\": {}, \"settled\": {}, \"expanded\": {}, \
          \"wall_us\": {wall_us}, \"queries_per_sec\": {}, \"settles_per_sec\": {}, \
-         \"us_per_query\": {}}}",
+         \"us_per_query\": {}",
         scenario.name(),
         stats.runs,
         stats.settled,
@@ -255,7 +260,47 @@ pub fn profile_line(scenario: &Scenario) -> String {
         per_sec(stats.runs),
         per_sec(stats.settled),
         wall_us / u128::from(stats.runs.max(1)),
-    )
+    );
+    if let Some(publication) = publication_profile(report.timing()) {
+        line.push_str(&publication);
+    }
+    line.push('}');
+    line
+}
+
+/// The serve plan's publication metrics as extra profile-line fields
+/// (`None` for plans without a publication timing section).
+fn publication_profile(timing: &tvg_scenarios::Json) -> Option<String> {
+    use tvg_scenarios::Json;
+    let Json::Obj(map) = timing else { return None };
+    let ints = |key: &str| -> Option<Vec<u64>> {
+        let Some(Json::Arr(items)) = map.get(key) else {
+            return None;
+        };
+        items
+            .iter()
+            .map(|v| match v {
+                Json::Int(n) => Some(*n),
+                _ => None,
+            })
+            .collect()
+    };
+    let events = ints("events_per_epoch")?;
+    let frozen = ints("chunks_frozen")?;
+    let copied = ints("chunks_copied")?;
+    let epochs_per_sec = match map.get("epochs_per_sec") {
+        Some(Json::Num(r)) => *r,
+        _ => 0.0,
+    };
+    let epochs = events.len() as u64;
+    // Epoch 0 precedes any ingest, so the mean is over the ticks.
+    let mean_events = events.iter().sum::<u64>() / epochs.saturating_sub(1).max(1);
+    Some(format!(
+        ", \"epochs\": {epochs}, \"events_per_epoch\": {mean_events}, \
+         \"chunks_frozen\": {}, \"chunks_copied\": {}, \"epochs_per_sec\": {epochs_per_sec}",
+        frozen.last().copied().unwrap_or(0),
+        copied.iter().sum::<u64>(),
+    ))
 }
 
 fn single_dir(rest: &[String], command: &str) -> Result<PathBuf, CliError> {

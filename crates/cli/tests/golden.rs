@@ -13,7 +13,7 @@ use tvg_scenarios::Threads;
 fn bundled_specs_reproduce_their_goldens() {
     let dir = scenarios_dir();
     let pairs = spec_files(&dir).expect("bundled specs exist");
-    assert_eq!(pairs.len(), 9, "nine bundled scenarios ship in-tree");
+    assert_eq!(pairs.len(), 10, "ten bundled scenarios ship in-tree");
     for (spec, golden) in pairs {
         let report = render_reports(&spec).expect("spec runs");
         let golden_text = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
@@ -54,7 +54,7 @@ fn verify_command_passes_on_the_bundled_tree() {
     let dir = scenarios_dir();
     let out = run_command(&["verify".to_string(), dir.display().to_string()])
         .expect("bundled goldens verify");
-    assert_eq!(out.stdout.lines().count(), 9);
+    assert_eq!(out.stdout.lines().count(), 10);
     assert!(out.stdout.lines().all(|l| l.starts_with("verified ")));
 }
 

@@ -916,8 +916,8 @@ impl<T: Time> ParetoCore<T> {
             // opaque latency needs the full window scanned.
             let best_crossing: Option<(T, T)> = if index.arrival_is_monotone(e) {
                 index
-                    .departures_within(e, time, &limits.horizon)
-                    .next()
+                    .next_departure(e, time)
+                    .filter(|dep| dep <= &limits.horizon && dep <= index.horizon())
                     .and_then(|dep| Some((index.arrival(e, &dep)?, dep)))
             } else {
                 let mut best: Option<(T, T)> = None;

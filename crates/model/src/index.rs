@@ -84,8 +84,9 @@ pub trait TemporalIndex<T: Time> {
     }
 
     /// Enumerates the departures of `e` within the inclusive window
-    /// `[from, until]`, skipping absent stretches.
-    fn departures_within<'a>(&'a self, e: EdgeId, from: &T, until: &T) -> Instants<'a, T> {
+    /// `[from, until]`, skipping absent stretches. The endpoints are
+    /// borrowed for the life of the iterator — no clones on the way in.
+    fn departures_within<'a>(&'a self, e: EdgeId, from: &'a T, until: &'a T) -> Instants<'a, T> {
         let until = until.min(self.horizon());
         self.presence(e).instants_within(from, until)
     }
@@ -118,17 +119,15 @@ pub trait TemporalIndex<T: Time> {
     fn crossings<'a>(
         &'a self,
         node: NodeId,
-        from: &T,
-        until: &T,
+        from: &'a T,
+        until: &'a T,
     ) -> impl Iterator<Item = (EdgeId, T, T)> + use<'a, Self, T>
     where
         Self: Sized,
         T: 'a,
     {
-        let from = from.clone();
-        let until = until.clone();
         self.out_edges(node).iter().flat_map(move |&e| {
-            self.departures_within(e, &from, &until)
+            self.departures_within(e, from, until)
                 .filter_map(move |dep| {
                     let arr = self.arrival(e, &dep)?;
                     Some((e, dep, arr))
@@ -340,7 +339,12 @@ impl<'g, T: Time> TvgIndex<'g, T> {
     /// Enumerates the departures of `e` within the inclusive window
     /// `[from, until]`, skipping absent stretches.
     #[must_use]
-    pub fn departures_within<'a>(&'a self, e: EdgeId, from: &T, until: &T) -> Instants<'a, T> {
+    pub fn departures_within<'a>(
+        &'a self,
+        e: EdgeId,
+        from: &'a T,
+        until: &'a T,
+    ) -> Instants<'a, T> {
         TemporalIndex::departures_within(self, e, from, until)
     }
 
@@ -384,8 +388,8 @@ impl<'g, T: Time> TvgIndex<'g, T> {
     pub fn crossings<'a>(
         &'a self,
         node: NodeId,
-        from: &T,
-        until: &T,
+        from: &'a T,
+        until: &'a T,
     ) -> impl Iterator<Item = (EdgeId, T, T)> + 'a {
         TemporalIndex::crossings(self, node, from, until)
     }

@@ -111,14 +111,19 @@ impl<T: Time> IntervalSet<T> {
 
     /// Iterates the members of the inclusive window `[from, until]` in
     /// increasing order, jumping over absent stretches span to span.
+    ///
+    /// The window endpoints are borrowed, not cloned: on time domains
+    /// with owned representations (the generic fallback the narrow u32
+    /// fast path decays to) constructing the iterator allocates nothing.
     #[must_use]
-    pub fn instants_within<'a>(&'a self, from: &T, until: &T) -> Instants<'a, T> {
+    pub fn instants_within<'a>(&'a self, from: &'a T, until: &'a T) -> Instants<'a, T> {
         let idx = self.spans.partition_point(|(_, e)| e <= from);
         Instants {
             spans: &self.spans,
             idx,
-            cur: from.clone(),
-            until: until.clone(),
+            cur: None,
+            from,
+            until,
         }
     }
 
@@ -263,8 +268,12 @@ impl<T: Time> IntervalSet<T> {
 pub struct Instants<'a, T> {
     spans: &'a [(T, T)],
     idx: usize,
-    cur: T,
-    until: T,
+    /// The cursor once stepping has begun; before the first yield the
+    /// borrowed `from` endpoint serves as the cursor, so an iterator
+    /// that is built but never advanced clones no time values at all.
+    cur: Option<T>,
+    from: &'a T,
+    until: &'a T,
 }
 
 impl<T: Time> Iterator for Instants<'_, T> {
@@ -272,16 +281,17 @@ impl<T: Time> Iterator for Instants<'_, T> {
 
     fn next(&mut self) -> Option<T> {
         while let Some((start, end)) = self.spans.get(self.idx) {
-            let candidate = if self.cur >= *start {
-                self.cur.clone()
+            let cursor = self.cur.as_ref().unwrap_or(self.from);
+            let candidate = if cursor >= start {
+                cursor.clone()
             } else {
                 start.clone()
             };
-            if candidate > self.until {
+            if candidate > *self.until {
                 return None;
             }
             if candidate < *end {
-                self.cur = candidate.succ();
+                self.cur = Some(candidate.succ());
                 return Some(candidate);
             }
             self.idx += 1;

@@ -29,6 +29,10 @@
 //!   [`TvgIndex`], mutated in place per event instead of recompiled.
 //!   Both index forms answer queries through the [`TemporalIndex`]
 //!   trait, so every consumer runs on either.
+//! * [`pcol`] — the persistent chunked columns behind the live index:
+//!   fixed-size `Arc` chunks with copy-on-write, so cloning a
+//!   [`LiveIndex`] for snapshot publication costs O(changes) shared
+//!   structure, not an O(index) deep copy.
 //! * [`Digraph`] — a minimal static digraph for snapshots and protocols.
 //! * [`generators`] — reproducible random/structured TVG families for the
 //!   experiment sweeps.
@@ -66,6 +70,7 @@ mod ids;
 mod index;
 mod interval;
 pub mod narrow;
+pub mod pcol;
 mod schedule;
 pub mod stream;
 mod time;

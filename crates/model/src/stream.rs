@@ -36,12 +36,14 @@
 //! must.
 
 use crate::interval::IntervalSet;
+use crate::pcol::{PCol, PLog, COL_CHUNK, LOG_CHUNK};
 use crate::{
     EdgeEvent, EdgeEventKind, EdgeId, Latency, NodeId, Presence, TemporalIndex, Time, Tvg,
     TvgBuilder, TvgIndex,
 };
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use tvg_langs::Letter;
 
 /// One appended observation of an evolving schedule.
@@ -197,11 +199,21 @@ pub struct IngestReport<T> {
 /// The incrementally-maintained counterpart of [`TvgIndex`].
 ///
 /// Owns its graph (the stream grows it) and the same compiled structures
-/// a batch index holds: per-edge presence intervals, CSR adjacency, the
-/// sorted edge-event timeline. Every query runs through the shared
+/// a batch index holds: per-edge presence intervals, out-edge adjacency,
+/// the sorted edge-event timeline. Every query runs through the shared
 /// [`TemporalIndex`] trait, so consumers cannot tell a live index from a
 /// recompiled one — and the `streamcheck` oracle asserts they never
 /// could (structural identity after every batch).
+///
+/// Unlike the batch index's flat allocations, every column here is
+/// *persistent* ([`crate::pcol`]): fixed-size chunks behind `Arc`,
+/// copy-on-write on the chunk a mutation lands in, and the graph itself
+/// behind an `Arc` that only rare topology growth unshares. Cloning a
+/// `LiveIndex` is therefore O(changes since the last clone), not
+/// O(index) — the property the serve runtime's per-tick snapshot
+/// publication is built on. A clone is a true immutable snapshot: later
+/// stream mutations copy the chunks they touch and leave every
+/// outstanding clone byte-identical.
 ///
 /// The presence ASTs inside the owned graph are `Presence::Never`
 /// placeholders: in the streaming regime the *index* is the schedule of
@@ -209,17 +221,23 @@ pub struct IngestReport<T> {
 /// [`TvgStream::to_tvg`] materializes one).
 #[derive(Debug, Clone)]
 pub struct LiveIndex<T> {
-    g: Tvg<T>,
+    g: Arc<Tvg<T>>,
     horizon: T,
     /// `horizon + 1`: the provisional close of open spans.
     end: T,
-    presence: Vec<IntervalSet<T>>,
-    arrival_monotone: Vec<bool>,
-    csr_offsets: Vec<usize>,
-    csr_edges: Vec<EdgeId>,
-    dsts: Vec<NodeId>,
-    const_lat: Vec<Option<T>>,
-    events: Vec<EdgeEvent<T>>,
+    presence: PCol<IntervalSet<T>, COL_CHUNK>,
+    arrival_monotone: PCol<bool, COL_CHUNK>,
+    /// Per-node out-edge lists in edge-id order (the same order the
+    /// batch index's CSR produces).
+    adjacency: PCol<Vec<EdgeId>, COL_CHUNK>,
+    dsts: PCol<NodeId, COL_CHUNK>,
+    const_lat: PCol<Option<T>, COL_CHUNK>,
+    /// The global timeline. Its sealed prefix holds only events
+    /// strictly before the stream watermark, which the watermark
+    /// discipline proves are final (see [`TvgStream::seal_events`]).
+    events: PLog<EdgeEvent<T>, LOG_CHUNK>,
+    /// How often topology growth had to unshare the graph.
+    graph_copies: u64,
 }
 
 impl<T: Time> LiveIndex<T> {
@@ -228,31 +246,68 @@ impl<T: Time> LiveIndex<T> {
     fn new(horizon: T) -> Option<Self> {
         let end = horizon.checked_add(&T::one())?;
         Some(LiveIndex {
-            g: Tvg::empty(),
+            g: Arc::new(Tvg::empty()),
             horizon,
             end,
-            presence: Vec::new(),
-            arrival_monotone: Vec::new(),
-            csr_offsets: vec![0],
-            csr_edges: Vec::new(),
-            dsts: Vec::new(),
-            const_lat: Vec::new(),
-            events: Vec::new(),
+            presence: PCol::new(),
+            arrival_monotone: PCol::new(),
+            adjacency: PCol::new(),
+            dsts: PCol::new(),
+            const_lat: PCol::new(),
+            events: PLog::new(),
+            graph_copies: 0,
         })
     }
 
     /// The global edge-event timeline, sorted by time — maintained in
     /// place, identical to the recompiled [`TvgIndex::edge_events`]
     /// (open edges carry their provisional close at `horizon + 1`).
-    #[must_use]
-    pub fn edge_events(&self) -> &[EdgeEvent<T>] {
-        &self.events
+    /// Chunked storage has no contiguous slice form, so this is an
+    /// iterator where the batch index hands out `&[EdgeEvent<T>]`.
+    pub fn edge_events(&self) -> impl Iterator<Item = &EdgeEvent<T>> {
+        self.events.iter()
     }
 
     /// Total number of edge events (twice the span count).
     #[must_use]
     pub fn num_edge_events(&self) -> usize {
         self.events.len()
+    }
+
+    /// Frozen chunks across all persistent columns (plus the shared
+    /// graph): the structure a snapshot shares instead of copying.
+    #[must_use]
+    pub fn chunks_frozen(&self) -> u64 {
+        self.presence.frozen_chunks()
+            + self.arrival_monotone.frozen_chunks()
+            + self.adjacency.frozen_chunks()
+            + self.dsts.frozen_chunks()
+            + self.const_lat.frozen_chunks()
+            + self.events.frozen_chunks()
+            + 1 // the Arc'd graph
+    }
+
+    /// Cumulative count of shared structures mutations have had to
+    /// copy (chunk copy-on-writes plus graph unsharings). The delta
+    /// between two publishes is the true cost the mutating stream paid
+    /// for snapshot isolation over that tick.
+    #[must_use]
+    pub fn chunks_copied(&self) -> u64 {
+        self.presence.cow_copies()
+            + self.arrival_monotone.cow_copies()
+            + self.adjacency.cow_copies()
+            + self.dsts.cow_copies()
+            + self.const_lat.cow_copies()
+            + self.graph_copies
+    }
+
+    /// Mutable graph access, unsharing (and counting) if snapshots
+    /// currently share it. Only topology growth comes through here.
+    fn g_mut(&mut self) -> &mut Tvg<T> {
+        if Arc::get_mut(&mut self.g).is_none() {
+            self.graph_copies += 1;
+        }
+        Arc::make_mut(&mut self.g)
     }
 
     fn insert_event(&mut self, ev: EdgeEvent<T>) {
@@ -279,23 +334,23 @@ impl<T: Time> TemporalIndex<T> for LiveIndex<T> {
     }
 
     fn presence(&self, e: EdgeId) -> &IntervalSet<T> {
-        &self.presence[e.index()]
+        self.presence.get(e.index())
     }
 
     fn arrival_is_monotone(&self, e: EdgeId) -> bool {
-        self.arrival_monotone[e.index()]
+        *self.arrival_monotone.get(e.index())
     }
 
     fn out_edges(&self, n: NodeId) -> &[EdgeId] {
-        &self.csr_edges[self.csr_offsets[n.index()]..self.csr_offsets[n.index() + 1]]
+        self.adjacency.get(n.index())
     }
 
     fn dst(&self, e: EdgeId) -> NodeId {
-        self.dsts[e.index()]
+        *self.dsts.get(e.index())
     }
 
     fn arrival(&self, e: EdgeId, t: &T) -> Option<T> {
-        match &self.const_lat[e.index()] {
+        match self.const_lat.get(e.index()) {
             Some(c) => t.checked_add(c),
             None => self.g.edge(e).latency().arrival(t),
         }
@@ -366,11 +421,17 @@ impl<T: Time> TvgStream<T> {
         &self.live
     }
 
-    /// An owned, immutable copy of the live index as it stands right
-    /// now. This is the publication primitive for snapshot services:
-    /// the writer clones between ingest ticks and hands the copy out
+    /// An immutable snapshot of the live index as it stands right now.
+    /// This is the publication primitive for snapshot services: the
+    /// writer snapshots between ingest ticks and hands the copy out
     /// behind an `Arc`, and readers keep querying it unaffected by
     /// whatever the stream ingests next.
+    ///
+    /// The snapshot *shares* every frozen chunk and the graph with the
+    /// live index (copying only chunk handles and the small mutable
+    /// tails), so taking one costs O(changes since sealing caught up),
+    /// not O(index) — later mutations copy-on-write the chunks they
+    /// touch and never disturb an outstanding snapshot.
     #[must_use]
     pub fn snapshot(&self) -> LiveIndex<T> {
         self.live.clone()
@@ -392,8 +453,8 @@ impl<T: Time> TvgStream<T> {
     /// Adds a node, returning its id. Topology growth carries no
     /// timestamp and never affects existing presence.
     pub fn add_node(&mut self, name: &str) -> NodeId {
-        self.live.csr_offsets.push(self.live.csr_edges.len());
-        self.live.g.push_node(name)
+        self.live.adjacency.push(Vec::new());
+        self.live.g_mut().push_node(name)
     }
 
     /// Adds an edge (initially absent), returning its id.
@@ -424,18 +485,16 @@ impl<T: Time> TvgStream<T> {
         });
         let e = self
             .live
-            .g
+            .g_mut()
             .push_edge(src, dst, letter, Presence::Never, latency);
         self.live.presence.push(IntervalSet::empty());
         self.live.dsts.push(dst);
         self.open_since.push(None);
-        // CSR insert: the new edge has the maximal id, so it lands at the
-        // end of its source's slice; only later nodes' offsets shift.
-        let pos = self.live.csr_offsets[src.index() + 1];
-        self.live.csr_edges.insert(pos, e);
-        for offset in &mut self.live.csr_offsets[src.index() + 1..] {
-            *offset += 1;
-        }
+        // The new edge has the maximal id, so it lands at the end of its
+        // source's out-list — the same edge-id order the batch CSR
+        // produces. Only the chunk holding that one node's list is
+        // unshared if snapshots currently share it.
+        self.live.adjacency.get_mut(src.index()).push(e);
         Ok(e)
     }
 
@@ -469,10 +528,31 @@ impl<T: Time> TvgStream<T> {
                 }
             }
         }
+        self.seal_events();
         Ok(IngestReport {
             applied,
             earliest_change: self.unreported_change.take(),
         })
+    }
+
+    /// Seals the finalized prefix of the event timeline into immutable
+    /// shared chunks.
+    ///
+    /// Why everything strictly before the watermark is final: new
+    /// events must carry instants `>= watermark` (enforced by
+    /// `check_time`), so fresh timeline entries always sort at or after
+    /// the first event at the watermark; the retractions (`Up` merging
+    /// into the previous close, a zero-length `Up`/`Down` pair) target
+    /// events *at* the watermark exactly; and provisional closes live
+    /// at `horizon + 1 > watermark`. No mutation can ever land strictly
+    /// below the watermark, so that prefix is safe to freeze — which is
+    /// what keeps the mutable tail (and hence the per-snapshot copy)
+    /// small regardless of how much history has accumulated.
+    fn seal_events(&mut self) {
+        if let Some(w) = &self.watermark {
+            let upto = self.live.events.partition_point(|ev| ev.time < *w);
+            self.live.events.seal(upto);
+        }
     }
 
     /// Applies one event; returns the instant at which presence changed
@@ -531,7 +611,10 @@ impl<T: Time> TvgStream<T> {
         // Reopening exactly at the previous close merges spans (the
         // normalized form has no adjacent spans), which also retracts
         // the close event the earlier `Down` recorded.
-        let merges = self.live.presence[e.index()]
+        let merges = self
+            .live
+            .presence
+            .get(e.index())
             .last_span()
             .is_some_and(|(_, end)| *end == *at);
         if merges {
@@ -553,7 +636,10 @@ impl<T: Time> TvgStream<T> {
             edge: e,
             kind: EdgeEventKind::Disappear,
         });
-        self.live.presence[e.index()].append_span(at.clone(), provisional_end);
+        self.live
+            .presence
+            .get_mut(e.index())
+            .append_span(at.clone(), provisional_end);
         self.open_since[e.index()] = Some(at.clone());
         self.watermark = Some(at.clone());
         Ok(at.clone())
@@ -573,12 +659,15 @@ impl<T: Time> TvgStream<T> {
             edge: e,
             kind: EdgeEventKind::Disappear,
         });
-        let span_start = self.live.presence[e.index()]
+        let span_start = &self
+            .live
+            .presence
+            .get(e.index())
             .last_span()
             .expect("an open edge has a span")
-            .0
-            .clone();
-        if span_start == *at {
+            .0;
+        let zero_length = *span_start == *at;
+        if zero_length {
             // Zero-length up/down pair: the span never existed.
             self.live.remove_event(&EdgeEvent {
                 time: at.clone(),
@@ -592,7 +681,7 @@ impl<T: Time> TvgStream<T> {
                 kind: EdgeEventKind::Disappear,
             });
         }
-        self.live.presence[e.index()].truncate_last_span(at);
+        self.live.presence.get_mut(e.index()).truncate_last_span(at);
         self.open_since[e.index()] = None;
         self.watermark = Some(at.clone());
         Ok(at.clone())
@@ -621,11 +710,11 @@ impl<T: Time> TvgStream<T> {
         for (i, since) in self.open_since.iter().enumerate() {
             if since.is_some() {
                 any_open = true;
-                self.live.presence[i].extend_last_span(&new_end);
+                self.live.presence.get_mut(i).extend_last_span(&new_end);
             }
         }
         let tail = self.live.events.partition_point(|ev| ev.time < old_end);
-        for ev in &mut self.live.events[tail..] {
+        for ev in self.live.events.tail_from_mut(tail) {
             debug_assert_eq!(ev.time, old_end);
             ev.time = new_end.clone();
         }
@@ -652,7 +741,7 @@ impl<T: Time> TvgStream<T> {
         }
         for e in self.live.g.edges() {
             let edge = self.live.g.edge(e);
-            let presence = spans_to_presence(self.live.presence[e.index()].spans());
+            let presence = spans_to_presence(self.live.presence.get(e.index()).spans());
             b.edge(
                 edge.src(),
                 edge.dst(),
@@ -773,7 +862,8 @@ mod tests {
                 "{n} adjacency"
             );
         }
-        assert_eq!(s.index().edge_events(), compiled.edge_events(), "timeline");
+        let live_events: Vec<EdgeEvent<u64>> = s.index().edge_events().cloned().collect();
+        assert_eq!(live_events, compiled.edge_events(), "timeline");
     }
 
     #[test]
@@ -963,7 +1053,8 @@ mod tests {
                 "{e}"
             );
         }
-        assert_eq!(s.index().edge_events(), compiled.edge_events());
+        let live_events: Vec<EdgeEvent<u64>> = s.index().edge_events().cloned().collect();
+        assert_eq!(live_events, compiled.edge_events());
         assert_eq!(s.index().num_edge_events(), compiled.num_edge_events());
         assert_matches_recompile(&s);
     }

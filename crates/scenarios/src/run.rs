@@ -420,10 +420,32 @@ fn run_serve(
     // full replay, so the compiled index gives the same event count.
     let edge_events = TvgIndex::compile(g, limits.horizon).num_edge_events();
     let clamp = |micros: u128| u64::try_from(micros).unwrap_or(u64::MAX);
+    // Publication metrics ride the non-canonical channel with the
+    // latency percentiles, but the three per-epoch counter arrays are
+    // deterministic (single writer, reader-count invariant) — the
+    // serve_props suite pins them against an offline replay; only the
+    // rates genuinely vary run to run.
+    let per_epoch = |f: fn(&tvg_serve::PublishStats) -> u64| {
+        Json::Arr(
+            outcome
+                .publications
+                .iter()
+                .map(|p| Json::Int(f(p)))
+                .collect(),
+        )
+    };
     let timing = obj([
+        ("chunks_copied", per_epoch(|p| p.chunks_copied)),
+        ("chunks_frozen", per_epoch(|p| p.chunks_frozen)),
+        ("epochs_per_sec", Json::Num(outcome.timing.epochs_per_sec)),
+        ("events_per_epoch", per_epoch(|p| p.events)),
         ("max_micros", Json::Int(clamp(outcome.timing.max_micros))),
         ("p50_micros", Json::Int(clamp(outcome.timing.p50_micros))),
         ("p95_micros", Json::Int(clamp(outcome.timing.p95_micros))),
+        (
+            "publish_micros",
+            Json::Int(clamp(outcome.timing.publish_micros)),
+        ),
         ("throughput_rps", Json::Num(outcome.timing.throughput_rps)),
         ("wall_micros", Json::Int(clamp(outcome.timing.wall_micros))),
     ]);

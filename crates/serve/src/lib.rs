@@ -37,6 +37,7 @@ pub mod snapshot;
 
 pub use load::{generate_load, LoadSpec, Request, TimedRequest};
 pub use runner::{
-    availability, epoch_of, serve, Answer, ServeConfig, ServeOutcome, ServeTiming, ServedRequest,
+    availability, epoch_of, serve, Answer, PublishStats, ServeConfig, ServeOutcome, ServeTiming,
+    ServedRequest,
 };
 pub use snapshot::{EpochRing, ServeSnapshot};

@@ -91,6 +91,33 @@ pub struct ServeTiming {
     pub max_micros: u128,
     /// Requests answered per wall-clock second.
     pub throughput_rps: f64,
+    /// Writer wall time spent taking and publishing snapshots, summed
+    /// over every epoch, in microseconds.
+    pub publish_micros: u128,
+    /// Epochs published per second of publication time (the headline
+    /// rate the persistent index keeps flat as the schedule grows).
+    pub epochs_per_sec: f64,
+}
+
+/// What publishing one epoch shared and copied. Unlike [`ServeTiming`],
+/// these are *logical* counters — a pure function of the stream and the
+/// tick schedule (single writer, and readers only clone the snapshot
+/// `Arc`, never its chunks), so they are deterministic at any reader
+/// count and safe to pin in tests and goldens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishStats {
+    /// The epoch this publication produced.
+    pub epoch: u64,
+    /// Events in the tick ingested just before this publish (0 for the
+    /// initial epoch and for stale error-path publications).
+    pub events: u64,
+    /// Frozen chunks (plus the shared graph) the snapshot shares with
+    /// the live index instead of copying.
+    pub chunks_frozen: u64,
+    /// Shared chunks the stream had to copy-on-write during the tick —
+    /// the true cost snapshot isolation imposed on this tick's
+    /// mutations.
+    pub chunks_copied: u64,
 }
 
 /// The complete outcome of one serve run.
@@ -106,6 +133,9 @@ pub struct ServeOutcome {
     /// Summed engine work counters (order-independent, so identical at
     /// every reader count).
     pub stats: EngineStats,
+    /// Per-epoch publication counters, in publication order
+    /// (deterministic; see [`PublishStats`]).
+    pub publications: Vec<PublishStats>,
     /// Wall-clock metrics (non-canonical; see [`ServeTiming`]).
     pub timing: ServeTiming,
 }
@@ -211,6 +241,8 @@ pub fn serve(
     let readers = config.readers.max(1);
 
     let mut ingest_result: Result<(), StreamError<u64>> = Ok(());
+    let mut publications: Vec<PublishStats> = Vec::new();
+    let mut publish_micros: u128 = 0;
     let mut group_results: Vec<Option<GroupResult>> = Vec::with_capacity(groups.len());
     group_results.resize_with(groups.len(), || None);
     let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
@@ -219,20 +251,21 @@ pub fn serve(
         let ring = &ring;
         let writer = scope.spawn(move || {
             let mut stream = stream;
-            ring.publish(ServeSnapshot::new(0, stream.snapshot()));
+            let mut log = PublishLog::new(&stream, ticks.len() + 1);
+            log.publish(ring, &stream, 0, 0);
             for (i, tick) in ticks.iter().enumerate() {
                 if let Err(e) = stream.ingest(tick) {
                     // Publish the remaining epochs as stale copies so
                     // readers pinned past the failure never spin
                     // forever; the error itself is the writer's result.
                     for j in i..ticks.len() {
-                        ring.publish(ServeSnapshot::new(j as u64 + 1, stream.snapshot()));
+                        log.publish(ring, &stream, j as u64 + 1, 0);
                     }
-                    return Err(e);
+                    return (Err(e), log);
                 }
-                ring.publish(ServeSnapshot::new(i as u64 + 1, stream.snapshot()));
+                log.publish(ring, &stream, i as u64 + 1, tick.len() as u64);
             }
-            Ok(())
+            (Ok(()), log)
         });
 
         let reader_handles: Vec<_> = (0..readers)
@@ -278,7 +311,11 @@ pub fn serve(
             }
         }
         match writer.join() {
-            Ok(result) => ingest_result = result,
+            Ok((result, log)) => {
+                ingest_result = result;
+                publications = log.publications;
+                publish_micros = log.micros;
+            }
             Err(payload) => {
                 panic_payload.get_or_insert(payload);
             }
@@ -327,19 +364,60 @@ pub fn serve(
     } else {
         requests.len() as f64 / (wall_micros as f64 / 1_000_000.0)
     };
+    #[allow(clippy::cast_precision_loss)]
+    let epochs_per_sec = if publish_micros == 0 {
+        0.0
+    } else {
+        epochs as f64 / (publish_micros as f64 / 1_000_000.0)
+    };
     Ok(ServeOutcome {
         served,
         epochs_published: epochs as u64,
         grouped_runs,
         stats,
+        publications,
         timing: ServeTiming {
             wall_micros,
             p50_micros: percentile(50),
             p95_micros: percentile(95),
             max_micros: latencies.last().copied().unwrap_or(0),
             throughput_rps,
+            publish_micros,
+            epochs_per_sec,
         },
     })
+}
+
+/// Writer-side bookkeeping around each snapshot publication: wall time
+/// of the publish itself plus the deterministic sharing counters.
+struct PublishLog {
+    publications: Vec<PublishStats>,
+    micros: u128,
+    last_copied: u64,
+}
+
+impl PublishLog {
+    fn new(stream: &TvgStream<u64>, epochs: usize) -> Self {
+        PublishLog {
+            publications: Vec::with_capacity(epochs),
+            micros: 0,
+            last_copied: stream.index().chunks_copied(),
+        }
+    }
+
+    fn publish(&mut self, ring: &EpochRing<u64>, stream: &TvgStream<u64>, epoch: u64, events: u64) {
+        let t0 = Instant::now();
+        ring.publish(ServeSnapshot::new(epoch, stream.snapshot()));
+        self.micros += t0.elapsed().as_micros();
+        let copied = stream.index().chunks_copied();
+        self.publications.push(PublishStats {
+            epoch,
+            events,
+            chunks_frozen: stream.index().chunks_frozen(),
+            chunks_copied: copied - self.last_copied,
+        });
+        self.last_copied = copied;
+    }
 }
 
 /// Answers one group with a single engine pass over its pinned
@@ -437,7 +515,17 @@ mod tests {
             assert_eq!(outcome.served.len(), requests.len());
             assert!(outcome.epochs_published >= 2, "needs mid-run epochs");
             assert!(outcome.grouped_runs <= requests.len() as u64);
-            outcomes.push((outcome.served, outcome.grouped_runs, outcome.stats));
+            assert_eq!(
+                outcome.publications.len() as u64,
+                outcome.epochs_published,
+                "one counter record per published epoch"
+            );
+            outcomes.push((
+                outcome.served,
+                outcome.grouped_runs,
+                outcome.stats,
+                outcome.publications,
+            ));
         }
         assert_eq!(outcomes[0], outcomes[1]);
         assert_eq!(outcomes[0], outcomes[2]);

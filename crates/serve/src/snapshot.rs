@@ -2,8 +2,12 @@
 //!
 //! The serve runtime's single writer turns a [`tvg_model::TvgStream`]
 //! into a sequence of [`ServeSnapshot`]s — one per ingest tick, each an
-//! owned, immutable copy of the live index tagged with its epoch — and
-//! publishes them through an [`EpochRing`]. Publication is RCU-style:
+//! immutable structure-sharing view of the live index tagged with its
+//! epoch — and publishes them through an [`EpochRing`]. The live
+//! index's persistent chunked columns (`tvg_model::pcol`) make each
+//! publication O(changes in the tick): the snapshot shares every frozen
+//! chunk with the live index, and the stream copies-on-write only the
+//! chunks the next tick's mutations land in. Publication is RCU-style:
 //! readers never take a lock, never block the writer, and a reader
 //! holding an `Arc<ServeSnapshot>` keeps answering from that epoch no
 //! matter how far the writer has advanced.
@@ -24,9 +28,12 @@ use tvg_model::{EdgeId, IntervalSet, NodeId, TemporalIndex, Time, Tvg};
 /// One immutable view of the schedule as of a publication epoch.
 ///
 /// Epoch 0 is the state before any ingest tick; epoch `i + 1` is the
-/// state after tick `i`. The wrapped [`LiveIndex`] is an owned clone,
-/// so the snapshot answers queries forever unchanged — the pinning
-/// property the `servecheck` oracle pins byte-for-byte.
+/// state after tick `i`. The wrapped [`LiveIndex`] is a persistent
+/// snapshot: it *shares* every frozen chunk with the stream's live
+/// index (copy-on-write keeps later mutations away from it), so the
+/// snapshot answers queries forever unchanged — the pinning property
+/// the `servecheck` oracle pins byte-for-byte — while costing
+/// O(changes), not O(index), to take.
 #[derive(Debug, Clone)]
 pub struct ServeSnapshot<T> {
     epoch: u64,
@@ -34,7 +41,7 @@ pub struct ServeSnapshot<T> {
 }
 
 impl<T: Time> ServeSnapshot<T> {
-    /// Wraps an owned index copy as the view of `epoch`.
+    /// Wraps an index snapshot as the view of `epoch`.
     #[must_use]
     pub fn new(epoch: u64, index: LiveIndex<T>) -> Self {
         ServeSnapshot { epoch, index }

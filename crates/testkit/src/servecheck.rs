@@ -14,17 +14,24 @@
 //!    exactly that prefix of ingest ticks into a fresh stream and run a
 //!    fresh engine pass ([`assert_serve_matches_offline`]);
 //! 3. **Reader-count invariance** — the logical outcome (answers,
-//!    epochs, grouping, work counters) is identical at every reader
-//!    count ([`assert_serve_is_reader_count_invariant`]), which is the
-//!    property that lets serve reports be golden-gated in CI.
+//!    epochs, grouping, work counters, publication counters) is
+//!    identical at every reader count
+//!    ([`assert_serve_is_reader_count_invariant`]), which is the
+//!    property that lets serve reports be golden-gated in CI;
+//! 4. **O(changes) publication is observable and deterministic** — the
+//!    per-epoch sharing/copying counters of a concurrent run equal a
+//!    single-threaded offline replay ([`assert_publication_counters`]),
+//!    and every structure-sharing snapshot is byte-identical to a
+//!    from-scratch rebuild of its epoch's tick prefix
+//!    ([`assert_snapshots_match_rebuild`]).
 
 use std::sync::Arc;
 use tvg_journeys::{foremost_tree_multi, SearchLimits, WaitingPolicy};
-use tvg_model::stream::{StreamEvent, TvgStream};
+use tvg_model::stream::{LiveIndex, StreamEvent, TvgStream};
 use tvg_model::{NodeId, TemporalIndex, Tvg};
 use tvg_serve::{
-    availability, epoch_of, serve, Answer, EpochRing, Request, ServeConfig, ServeSnapshot,
-    TimedRequest,
+    availability, epoch_of, serve, Answer, EpochRing, PublishStats, Request, ServeConfig,
+    ServeSnapshot, TimedRequest,
 };
 
 /// Replays `g` into a fresh stream and chops the feed into ingest ticks
@@ -240,6 +247,10 @@ pub fn assert_serve_is_reader_count_invariant(
             outcome.epochs_published,
             outcome.grouped_runs,
             outcome.stats,
+            // Publication counters are part of the logical outcome too:
+            // readers only clone the outer snapshot `Arc`, never inner
+            // chunk handles, so sharing/copying is writer-determined.
+            outcome.publications,
         );
         match &reference {
             None => reference = Some((readers[0], logical)),
@@ -248,5 +259,157 @@ pub fn assert_serve_is_reader_count_invariant(
                 "{label}: logical outcome at {count} readers diverges from {first} readers"
             ),
         }
+    }
+}
+
+/// Replays the serve writer's publication schedule offline — same
+/// ticks, same *retained* snapshots (retention is what forces the
+/// copy-on-write the counters measure) — and returns the
+/// [`PublishStats`] sequence the writer must produce.
+///
+/// # Panics
+///
+/// Panics if the replay feed is invalid (it never is for a
+/// [`replay_ticks`] feed).
+#[must_use]
+pub fn offline_publications(g: &Tvg<u64>, horizon: u64, chunk: usize) -> Vec<PublishStats> {
+    let (mut stream, ticks) = replay_ticks(g, horizon, chunk);
+    let mut retained: Vec<LiveIndex<u64>> = Vec::with_capacity(ticks.len() + 1);
+    let mut stats = Vec::with_capacity(ticks.len() + 1);
+    let mut last_copied = 0u64;
+    let mut publish = |stream: &TvgStream<u64>,
+                       retained: &mut Vec<LiveIndex<u64>>,
+                       last_copied: &mut u64,
+                       epoch: u64,
+                       events: u64| {
+        retained.push(stream.snapshot());
+        let copied = stream.index().chunks_copied();
+        stats.push(PublishStats {
+            epoch,
+            events,
+            chunks_frozen: stream.index().chunks_frozen(),
+            chunks_copied: copied - *last_copied,
+        });
+        *last_copied = copied;
+    };
+    publish(&stream, &mut retained, &mut last_copied, 0, 0);
+    for (i, tick) in ticks.iter().enumerate() {
+        stream.ingest(tick).expect("replay feeds are valid");
+        publish(
+            &stream,
+            &mut retained,
+            &mut last_copied,
+            i as u64 + 1,
+            tick.len() as u64,
+        );
+    }
+    stats
+}
+
+/// Asserts that a concurrent [`serve`] run's publication counters equal
+/// the single-threaded offline replay of the same ticks: per-epoch event
+/// counts, shared-chunk counts, and copy-on-write counts all pinned.
+/// This is the determinism claim behind exposing the counters in the
+/// scenario timing channel.
+///
+/// # Panics
+///
+/// Panics (with `label` in the message) if the counters diverge.
+pub fn assert_publication_counters(
+    g: &Tvg<u64>,
+    horizon: u64,
+    chunk: usize,
+    requests: &[TimedRequest],
+    config: &ServeConfig,
+    label: &str,
+) {
+    let (stream, ticks) = replay_ticks(g, horizon, chunk);
+    let outcome = serve(stream, &ticks, requests, config).expect("replay feeds are valid");
+    let expected = offline_publications(g, horizon, chunk);
+    assert_eq!(
+        outcome.publications, expected,
+        "{label}: publication counters diverge from the offline replay"
+    );
+    for (stats, tick) in outcome.publications.iter().skip(1).zip(&ticks) {
+        assert_eq!(
+            stats.events,
+            tick.len() as u64,
+            "{label}: epoch {} event count is not its tick size",
+            stats.epoch
+        );
+    }
+}
+
+/// Asserts that two live indexes are structurally identical: horizon,
+/// node/edge counts, per-edge presence spans and monotonicity, per-node
+/// adjacency, edge destinations, and the global event timeline.
+///
+/// # Panics
+///
+/// Panics (with `label` in the message) on the first divergence.
+pub fn assert_index_structure_eq(a: &LiveIndex<u64>, b: &LiveIndex<u64>, label: &str) {
+    assert_eq!(a.horizon(), b.horizon(), "{label}: horizon diverges");
+    assert_eq!(
+        a.tvg().num_nodes(),
+        b.tvg().num_nodes(),
+        "{label}: node count diverges"
+    );
+    assert_eq!(
+        a.tvg().num_edges(),
+        b.tvg().num_edges(),
+        "{label}: edge count diverges"
+    );
+    for e in b.tvg().edges() {
+        assert_eq!(
+            a.presence(e).spans(),
+            b.presence(e).spans(),
+            "{label}: presence spans of {e} diverge"
+        );
+        assert_eq!(
+            a.arrival_is_monotone(e),
+            b.arrival_is_monotone(e),
+            "{label}: monotonicity cache of {e} diverges"
+        );
+        assert_eq!(a.dst(e), b.dst(e), "{label}: destination of {e} diverges");
+    }
+    for n in b.tvg().nodes() {
+        assert_eq!(
+            a.out_edges(n),
+            b.out_edges(n),
+            "{label}: adjacency of {n} diverges"
+        );
+    }
+    let a_events: Vec<_> = a.edge_events().cloned().collect();
+    let b_events: Vec<_> = b.edge_events().cloned().collect();
+    assert_eq!(a_events, b_events, "{label}: edge-event timeline diverges");
+}
+
+/// Asserts that structure-sharing snapshots are byte-identical to
+/// from-scratch rebuilds: retain the snapshot of every epoch while the
+/// stream keeps mutating underneath (the chunk-sharing worst case),
+/// then compare each one structurally against a fresh stream that
+/// ingested exactly that epoch's tick prefix and shares nothing.
+///
+/// # Panics
+///
+/// Panics (with `label` in the message) on the first epoch whose
+/// retained snapshot diverges from its rebuild.
+pub fn assert_snapshots_match_rebuild(g: &Tvg<u64>, horizon: u64, chunk: usize, label: &str) {
+    let (mut stream, ticks) = replay_ticks(g, horizon, chunk);
+    let mut snapshots = vec![stream.snapshot()];
+    for tick in &ticks {
+        stream.ingest(tick).expect("replay feeds are valid");
+        snapshots.push(stream.snapshot());
+    }
+    for (epoch, snapshot) in snapshots.iter().enumerate() {
+        let (mut fresh, _) = replay_ticks(g, horizon, chunk);
+        for tick in &ticks[..epoch] {
+            fresh.ingest(tick).expect("replay feeds are valid");
+        }
+        assert_index_structure_eq(
+            snapshot,
+            fresh.index(),
+            &format!("{label}: epoch {epoch} snapshot vs rebuild"),
+        );
     }
 }

@@ -64,8 +64,9 @@ pub fn assert_live_matches_recompile<T: Time>(stream: &TvgStream<T>, label: &str
             "{label}: adjacency of {n} diverges"
         );
     }
+    let live_events: Vec<_> = live.edge_events().cloned().collect();
     assert_eq!(
-        live.edge_events(),
+        live_events.as_slice(),
         compiled.edge_events(),
         "{label}: edge-event timeline diverges"
     );

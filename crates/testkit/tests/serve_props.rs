@@ -8,7 +8,13 @@
 //!   on a fresh stream that ingested exactly the request's pinned tick
 //!   prefix (the serve-vs-offline differential);
 //! * the logical outcome is identical at reader counts 1, 2, and 4 —
-//!   the invariance the CI golden gate relies on.
+//!   the invariance the CI golden gate relies on;
+//! * the per-epoch publication counters (events, chunks shared, chunks
+//!   copied-on-write) of a concurrent run equal a single-threaded
+//!   offline replay of the same ticks;
+//! * every structure-sharing snapshot is byte-identical to a
+//!   from-scratch rebuild of its epoch's tick prefix, even while the
+//!   stream keeps mutating the shared chunks underneath.
 
 use rand::Rng;
 use tvg_journeys::{SearchLimits, WaitingPolicy};
@@ -125,6 +131,50 @@ fn serve_outcome_is_reader_count_invariant() {
                 &config,
                 &[1, 2, 4],
                 &format!("serve::readers case {case} under {policy}"),
+            );
+        },
+    );
+}
+
+#[test]
+fn publication_counters_match_offline_replay() {
+    tvg_testkit::check_with(
+        Config::named_with_cases("serve::publications", 10),
+        |rng, case| {
+            let (g, horizon, chunk) = workload(rng);
+            let requests = generate_load(&LoadSpec {
+                requests: rng.gen_range(6..16),
+                mean_gap: rng.gen_range(1..4),
+                mix: (2, 1, 1),
+                nodes: g.num_nodes(),
+                seed_instant: 0,
+                seed: rng.gen::<u64>(),
+            });
+            let policy = policies()[case % 3];
+            let config = config_for(&g, horizon, policy, rng.gen_range(1..5));
+            servecheck::assert_publication_counters(
+                &g,
+                horizon,
+                chunk,
+                &requests,
+                &config,
+                &format!("serve::publications case {case} under {policy}"),
+            );
+        },
+    );
+}
+
+#[test]
+fn shared_snapshots_are_structurally_identical_to_rebuilds() {
+    tvg_testkit::check_with(
+        Config::named_with_cases("serve::structure", 10),
+        |rng, case| {
+            let (g, horizon, chunk) = workload(rng);
+            servecheck::assert_snapshots_match_rebuild(
+                &g,
+                horizon,
+                chunk,
+                &format!("serve::structure case {case}"),
             );
         },
     );

@@ -10,8 +10,12 @@
 //!   index for the first time).
 //!
 //! Plus targeted coverage the generator cannot guarantee to hit:
-//! `Nat`-domain streaming of the Figure-1 schedule, and the
-//! append-at-boundary edge cases of the stream layer.
+//! `Nat`-domain streaming of the Figure-1 schedule, the
+//! append-at-boundary edge cases of the stream layer, and a
+//! chunk-boundary torture test that lands mutations exactly on the
+//! persistent columns' chunk edges (`COL_CHUNK`/`LOG_CHUNK`) with
+//! reopen-at-close retractions and a horizon extension, while retained
+//! snapshots pin every intermediate epoch against a rebuild.
 
 use tvg_bigint::Nat;
 use tvg_journeys::{IncrementalForemost, SearchLimits, WaitingPolicy};
@@ -113,6 +117,134 @@ fn figure1_nat_schedule_streams_identically() {
                 "{e} at {t}"
             );
         }
+    }
+}
+
+#[test]
+fn chunk_boundary_torture_survives_sharing_and_retraction() {
+    use tvg_journeys::foremost_tree_multi;
+    use tvg_model::pcol::{COL_CHUNK, LOG_CHUNK};
+    use tvg_model::stream::StreamEvent;
+    use tvg_model::{Latency, TvgIndex};
+    use tvg_testkit::servecheck;
+
+    // A hub with COL_CHUNK + 1 spokes: every per-edge column (presence,
+    // monotonicity, destinations, latencies) and the per-node adjacency
+    // column get exactly one full frozen chunk plus a one-element tail,
+    // so the boundary indices COL_CHUNK - 1 and COL_CHUNK straddle the
+    // frozen/tail divide.
+    let build = || {
+        let mut stream = TvgStream::<u64>::new(40).expect("representable horizon");
+        let hub = stream.add_node("hub");
+        let edges: Vec<_> = (0..=COL_CHUNK)
+            .map(|i| {
+                let v = stream.add_node(&format!("s{i}"));
+                stream
+                    .add_edge(hub, v, 'a', Latency::unit())
+                    .expect("valid edge")
+            })
+            .collect();
+        (stream, edges)
+    };
+    let (mut stream, edges) = build();
+    let boundary = [edges[COL_CHUNK - 1], edges[COL_CHUNK]];
+
+    // Nine up/down rounds over all edges push the global timeline past
+    // LOG_CHUNK events. Rounds 3 and 6 reopen the boundary edges at
+    // exactly their previous close — the merge retraction that rewrites
+    // already-recorded events at the watermark. The last round leaves
+    // the hub's first edge and both boundary edges open so the final
+    // horizon extension moves their provisional closes.
+    let mut batches: Vec<Vec<StreamEvent<u64>>> = Vec::new();
+    for r in 0..9u64 {
+        let reopen = r == 3 || r == 6;
+        let last = r == 8;
+        let mut batch = Vec::new();
+        if reopen {
+            for &e in &boundary {
+                batch.push(StreamEvent::Up {
+                    edge: e,
+                    at: 4 * (r - 1) + 2,
+                });
+            }
+        }
+        for (i, &e) in edges.iter().enumerate() {
+            if reopen && (i == COL_CHUNK - 1 || i == COL_CHUNK) {
+                continue;
+            }
+            batch.push(StreamEvent::Up { edge: e, at: 4 * r });
+        }
+        for (i, &e) in edges.iter().enumerate() {
+            if last && (i == 0 || i == COL_CHUNK - 1 || i == COL_CHUNK) {
+                continue;
+            }
+            batch.push(StreamEvent::Down {
+                edge: e,
+                at: 4 * r + 2,
+            });
+        }
+        batches.push(batch);
+    }
+    batches.push(vec![StreamEvent::ExtendHorizon { to: 60 }]);
+
+    let mut snapshots = vec![stream.snapshot()];
+    for (i, batch) in batches.iter().enumerate() {
+        stream.ingest(batch).expect("torture feed is valid");
+        streamcheck::assert_live_matches_recompile(&stream, &format!("torture batch {i}"));
+        snapshots.push(stream.snapshot());
+    }
+
+    // The workload really crossed the chunk boundaries it targets.
+    assert!(edges.len() > COL_CHUNK, "per-edge columns span two chunks");
+    let events = stream.index().num_edge_events();
+    assert!(
+        events > LOG_CHUNK,
+        "timeline must cross the log-chunk boundary, got {events}"
+    );
+    let frozen = stream.index().chunks_frozen();
+    assert!(frozen > 1, "columns froze chunks, got {frozen}");
+    let copied = stream.index().chunks_copied();
+    assert!(
+        copied > 0,
+        "retained snapshots forced copy-on-write, got {copied}"
+    );
+
+    // Every retained snapshot — all sharing chunks with the stream that
+    // kept mutating — is structurally identical to a fresh stream that
+    // replayed exactly its batch prefix and shares nothing.
+    for (epoch, snapshot) in snapshots.iter().enumerate() {
+        let (mut fresh, _) = build();
+        for batch in &batches[..epoch] {
+            fresh.ingest(batch).expect("torture feed is valid");
+        }
+        servecheck::assert_index_structure_eq(
+            snapshot,
+            fresh.index(),
+            &format!("torture epoch {epoch} snapshot vs rebuild"),
+        );
+    }
+
+    // And the final index answers bit-identically to a batch compile:
+    // arrivals and engine work counters under all three policies.
+    let g = stream.to_tvg();
+    let compiled = TvgIndex::compile(&g, *stream.index().horizon());
+    let limits = SearchLimits::new(60, 12);
+    let seeds = vec![(NodeId::from_index(0), 0u64)];
+    for policy in policies() {
+        let live = foremost_tree_multi(stream.index(), &seeds, &policy, &limits);
+        let fresh = foremost_tree_multi(&compiled, &seeds, &policy, &limits);
+        for n in g.nodes() {
+            assert_eq!(
+                live.arrival(n),
+                fresh.arrival(n),
+                "torture: arrival at {n} diverges under {policy}"
+            );
+        }
+        assert_eq!(
+            live.stats(),
+            fresh.stats(),
+            "torture: engine stats diverge under {policy}"
+        );
     }
 }
 
