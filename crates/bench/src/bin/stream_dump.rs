@@ -5,8 +5,9 @@
 //! (discovered through the same `tvg_cli::spec_files` walk the golden
 //! gates use, so a newly added streaming spec joins this gate
 //! automatically; batch-side plans are covered by `matrix_dump`): each
-//! scenario's generator and batch size define the feed, which is then
-//! replayed through the streaming path — batched ingest ticks,
+//! scenario's generator and batch size define the feed (a schedule
+//! replay, or the churn family's native join/leave feed), which is then
+//! driven through the streaming path — batched ingest ticks,
 //! incremental foremost repair per tick, and a batched all-sources query
 //! against the live snapshot — across all three waiting policies, every
 //! answer printed in a fixed textual format. The batch thread count
@@ -19,7 +20,6 @@
 
 use tvg_bench::fmt_arrival;
 use tvg_journeys::{Batch, BatchRunner, IncrementalForemost, WaitingPolicy};
-use tvg_model::stream::TvgStream;
 use tvg_model::{NodeId, TemporalIndex};
 use tvg_scenarios::{Plan, Scenario};
 
@@ -31,7 +31,8 @@ fn policies() -> [WaitingPolicy<u64>; 3] {
     ]
 }
 
-/// Replays the scenario's schedule in its spec-declared batch size;
+/// Ingests the scenario's stream feed (schedule replay, or the churn
+/// family's native join/leave feed) in its spec-declared batch size;
 /// after each tick, dumps the repaired incremental tree per policy, then
 /// one batched all-sources query against the final live snapshot.
 fn dump_streamed(s: &Scenario) {
@@ -43,15 +44,14 @@ fn dump_streamed(s: &Scenario) {
     };
     let g = s.build_graph();
     let limits = s.limits();
-    let (mut stream, events) =
-        TvgStream::replay_of(&g, &limits.horizon).expect("dump horizons are small");
+    let (mut stream, events) = s.stream_feed(&g, limits.horizon);
     let source = NodeId::from_index(*src);
     let mut incs: Vec<IncrementalForemost<u64>> = policies()
         .into_iter()
         .map(|p| IncrementalForemost::new(stream.index(), &[(source, *start)], p, limits.clone()))
         .collect();
     for (tick, chunk) in events.chunks(*batch).enumerate() {
-        let report = stream.ingest(chunk).expect("replay is a valid feed");
+        let report = stream.ingest(chunk).expect("scenario feeds are valid");
         for inc in &mut incs {
             inc.refresh(stream.index(), &report);
             let arrivals: Vec<String> = stream

@@ -52,6 +52,11 @@ pub enum CliError {
         /// Every spec whose report diverged, paired with the first line
         /// at which report and golden differ (1-based).
         mismatches: Vec<(PathBuf, usize)>,
+        /// Golden files with no matching `*.tvgs` spec — stale leftovers
+        /// from a renamed or deleted spec. They are drift too: a gate
+        /// that silently carries dead goldens can green-light a rename
+        /// that quietly dropped coverage.
+        orphans: Vec<PathBuf>,
     },
     /// `verify` found no spec files at all (an empty gate must fail
     /// loudly, not pass vacuously).
@@ -67,13 +72,19 @@ impl std::fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
             CliError::Io { path, error } => write!(f, "{}: {error}", path.display()),
             CliError::BadSpec { path, error } => write!(f, "{}: {error}", path.display()),
-            CliError::GoldenMismatch { mismatches } => {
+            CliError::GoldenMismatch {
+                mismatches,
+                orphans,
+            } => {
                 for (path, line) in mismatches {
                     writeln!(
                         f,
                         "{}: report differs from golden at line {line}",
                         path.display()
                     )?;
+                }
+                for path in orphans {
+                    writeln!(f, "{}: orphaned golden (no matching spec)", path.display())?;
                 }
                 write!(f, "run `tvg-cli bless` to accept intended drift")
             }
@@ -202,10 +213,14 @@ pub fn run_command(args: &[String]) -> Result<Output, CliError> {
                 }
                 writeln!(out.stdout, "verified {}", spec_path.display()).expect("string write");
             }
-            if mismatches.is_empty() {
+            let orphans = orphaned_goldens(&dir)?;
+            if mismatches.is_empty() && orphans.is_empty() {
                 Ok(out)
             } else {
-                Err(CliError::GoldenMismatch { mismatches })
+                Err(CliError::GoldenMismatch {
+                    mismatches,
+                    orphans,
+                })
             }
         }
         "bless" => {
@@ -224,6 +239,15 @@ pub fn run_command(args: &[String]) -> Result<Output, CliError> {
                 })?;
                 writeln!(out.stdout, "blessed {}", golden_path.display()).expect("string write");
             }
+            // Blessing accepts *all* intended drift, including goldens
+            // whose spec was renamed or deleted since the last bless.
+            for orphan in orphaned_goldens(&dir)? {
+                std::fs::remove_file(&orphan).map_err(|e| CliError::Io {
+                    path: orphan.clone(),
+                    error: e.to_string(),
+                })?;
+                writeln!(out.stdout, "removed {}", orphan.display()).expect("string write");
+            }
             Ok(out)
         }
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -233,7 +257,7 @@ pub fn run_command(args: &[String]) -> Result<Output, CliError> {
 /// Runs one scenario and renders its engine throughput as a single JSON
 /// line: the run/settle/expansion counters from the report's
 /// [`tvg_journeys::EngineStats`], the wall time, and the derived rates
-/// the profiling workflow watches (queries/sec, settles/sec, µs/query).
+/// the profiling workflow watches (queries/sec, settles/sec, ns/query).
 /// A serve scenario additionally reports its publication metrics —
 /// epoch count, mean events per epoch, frozen chunks shared with the
 /// final snapshot, chunk copies forced by snapshot isolation, and the
@@ -252,20 +276,28 @@ pub fn profile_line(scenario: &Scenario) -> String {
     let mut line = format!(
         "{{\"scenario\": \"{}\", \"runs\": {}, \"settled\": {}, \"expanded\": {}, \
          \"wall_us\": {wall_us}, \"queries_per_sec\": {}, \"settles_per_sec\": {}, \
-         \"us_per_query\": {}",
+         \"ns_per_query\": {}",
         scenario.name(),
         stats.runs,
         stats.settled,
         stats.expanded,
         per_sec(stats.runs),
         per_sec(stats.settled),
-        wall_us / u128::from(stats.runs.max(1)),
+        ns_per_query(wall_us, stats.runs),
     );
     if let Some(publication) = publication_profile(report.timing()) {
         line.push_str(&publication);
     }
     line.push('}');
     line
+}
+
+/// Wall time per engine run at nanosecond resolution. Batch specs
+/// routinely answer a query in well under a microsecond, so a µs-domain
+/// division truncates them all to an impossibly fast `0`; scaling to
+/// nanoseconds first keeps the quotient meaningful.
+fn ns_per_query(wall_us: u128, runs: u64) -> u128 {
+    wall_us.saturating_mul(1_000) / u128::from(runs.max(1))
 }
 
 /// The serve plan's publication metrics as extra profile-line fields
@@ -301,6 +333,35 @@ fn publication_profile(timing: &tvg_scenarios::Json) -> Option<String> {
         frozen.last().copied().unwrap_or(0),
         copied.iter().sum::<u64>(),
     ))
+}
+
+/// The `*.json` files under `<dir>/golden/` that no `<dir>/*.tvgs` spec
+/// would produce, sorted by name. A missing golden directory is simply
+/// empty (nothing was ever blessed).
+fn orphaned_goldens(dir: &Path) -> Result<Vec<PathBuf>, CliError> {
+    let expected: std::collections::BTreeSet<PathBuf> = spec_files(dir)?
+        .into_iter()
+        .map(|(_, golden)| golden)
+        .collect();
+    let golden_dir = dir.join("golden");
+    let entries = match std::fs::read_dir(&golden_dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(CliError::Io {
+                path: golden_dir,
+                error: e.to_string(),
+            })
+        }
+    };
+    let mut orphans: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .filter(|p| !expected.contains(p))
+        .collect();
+    orphans.sort();
+    Ok(orphans)
 }
 
 fn single_dir(rest: &[String], command: &str) -> Result<PathBuf, CliError> {
@@ -371,4 +432,23 @@ pub fn spec_files(dir: &Path) -> Result<Vec<(PathBuf, PathBuf)>, CliError> {
             (spec, golden)
         })
         .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ns_per_query;
+
+    /// The bug this replaced: `wall_us / runs` truncated every
+    /// sub-microsecond query to 0 — a 1 µs wall over 8 runs profiled as
+    /// infinitely fast. The ns-domain quotient stays meaningful.
+    #[test]
+    fn sub_microsecond_queries_profile_as_nonzero() {
+        assert_eq!(ns_per_query(1, 8), 125);
+        assert_eq!(ns_per_query(1000, 3), 333_333);
+        assert_eq!(ns_per_query(5, 1), 5_000);
+        // Zero runs must not divide by zero.
+        assert_eq!(ns_per_query(7, 0), 7_000);
+        // And the µs→ns scaling saturates rather than overflowing.
+        assert_eq!(ns_per_query(u128::MAX, 1), u128::MAX);
+    }
 }

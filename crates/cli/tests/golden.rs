@@ -13,7 +13,7 @@ use tvg_scenarios::Threads;
 fn bundled_specs_reproduce_their_goldens() {
     let dir = scenarios_dir();
     let pairs = spec_files(&dir).expect("bundled specs exist");
-    assert_eq!(pairs.len(), 10, "ten bundled scenarios ship in-tree");
+    assert_eq!(pairs.len(), 12, "twelve bundled spec files ship in-tree");
     for (spec, golden) in pairs {
         let report = render_reports(&spec).expect("spec runs");
         let golden_text = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
@@ -54,16 +54,17 @@ fn verify_command_passes_on_the_bundled_tree() {
     let dir = scenarios_dir();
     let out = run_command(&["verify".to_string(), dir.display().to_string()])
         .expect("bundled goldens verify");
-    assert_eq!(out.stdout.lines().count(), 10);
+    assert_eq!(out.stdout.lines().count(), 12);
     assert!(out.stdout.lines().all(|l| l.starts_with("verified ")));
 }
 
 #[test]
 fn verify_detects_a_single_byte_of_drift() {
-    // Copy the tree into a temp dir, flip one byte of one golden and
-    // delete another entirely: the gate must fail with one error that
-    // names BOTH failing specs (verify checks everything before
-    // failing, and a missing golden counts as drift).
+    // Copy the tree into a temp dir, flip one byte of one golden,
+    // delete another entirely, and plant a golden with no spec: the
+    // gate must fail with one error that names ALL THREE (verify checks
+    // everything before failing; a missing golden counts as drift, and
+    // so does an orphaned one).
     let dir = scenarios_dir();
     let tmp = std::env::temp_dir().join(format!("tvg-cli-golden-drift-{}", std::process::id()));
     let golden_tmp = tmp.join("golden");
@@ -81,10 +82,14 @@ fn verify_detects_a_single_byte_of_drift() {
     text = text.replace("\"ratio\":0.5", "\"ratio\":0.75");
     std::fs::write(&victim, text).expect("write tampered golden");
     std::fs::remove_file(golden_tmp.join("star-ferry-single.json")).expect("remove golden");
+    std::fs::write(golden_tmp.join("ghost-spec.json"), "{}\n").expect("plant orphaned golden");
     let err = run_command(&["verify".to_string(), tmp.display().to_string()])
         .expect_err("tampered golden must fail");
     match err {
-        CliError::GoldenMismatch { mismatches } => {
+        CliError::GoldenMismatch {
+            mismatches,
+            orphans,
+        } => {
             let names: Vec<_> = mismatches
                 .iter()
                 .map(|(p, _)| p.file_name().expect("spec file").to_string_lossy())
@@ -94,9 +99,47 @@ fn verify_detects_a_single_byte_of_drift() {
                 ["ring-matrix.tvgs", "star-ferry-single.tvgs"],
                 "both failing specs reported in one pass"
             );
+            let stray: Vec<_> = orphans
+                .iter()
+                .map(|p| p.file_name().expect("golden file").to_string_lossy())
+                .collect();
+            assert_eq!(stray, ["ghost-spec.json"], "the orphan is drift too");
         }
         other => panic!("expected GoldenMismatch, got {other:?}"),
     }
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn bless_removes_orphaned_goldens() {
+    // `bless` accepts all intended drift, including goldens left behind
+    // by a renamed or deleted spec — after a bless, verify must pass.
+    let dir = scenarios_dir();
+    let tmp = std::env::temp_dir().join(format!("tvg-cli-golden-orphan-{}", std::process::id()));
+    let golden_tmp = tmp.join("golden");
+    std::fs::create_dir_all(&golden_tmp).expect("temp dir");
+    std::fs::copy(dir.join("ring-matrix.tvgs"), tmp.join("ring-matrix.tvgs")).expect("copy spec");
+    std::fs::copy(
+        dir.join("golden/ring-matrix.json"),
+        golden_tmp.join("ring-matrix.json"),
+    )
+    .expect("copy golden");
+    std::fs::write(golden_tmp.join("renamed-away.json"), "{}\n").expect("plant orphaned golden");
+    let tmp_arg = tmp.display().to_string();
+    let err = run_command(&["verify".to_string(), tmp_arg.clone()])
+        .expect_err("orphan alone must fail verify");
+    assert!(
+        matches!(&err, CliError::GoldenMismatch { mismatches, orphans }
+            if mismatches.is_empty() && orphans.len() == 1),
+        "expected a pure-orphan mismatch, got {err:?}"
+    );
+    let blessed = run_command(&["bless".to_string(), tmp_arg.clone()]).expect("bless succeeds");
+    assert!(
+        blessed.stdout.contains("removed ") && blessed.stdout.contains("renamed-away.json"),
+        "bless reports the removal: {}",
+        blessed.stdout
+    );
+    run_command(&["verify".to_string(), tmp_arg]).expect("verify passes after bless");
     std::fs::remove_dir_all(&tmp).ok();
 }
 
@@ -153,7 +196,7 @@ fn profile_command_reports_throughput_per_scenario() {
         "\"wall_us\": ",
         "\"queries_per_sec\": ",
         "\"settles_per_sec\": ",
-        "\"us_per_query\": ",
+        "\"ns_per_query\": ",
     ] {
         assert!(line.contains(field), "missing {field} in {line}");
     }

@@ -76,6 +76,12 @@ use tvg_model::{NodeId, TemporalIndex, Time};
 #[derive(Debug, Clone)]
 pub struct IncrementalForemost<T> {
     seeds: Vec<(NodeId, T)>,
+    /// Node-count high-water mark at the last seeding pass. Seeds
+    /// naming a node beyond it are *deferred*: under churn (node join
+    /// and leave events in the feed) a source may not have joined the
+    /// stream yet when the tree is created, and it enters the
+    /// exploration on the first refresh that sees it exist.
+    known_nodes: usize,
     policy: WaitingPolicy<T>,
     limits: SearchLimits<T>,
     state: State<T>,
@@ -90,7 +96,10 @@ enum State<T> {
 
 impl<T: Time> IncrementalForemost<T> {
     /// Runs the initial full exploration from `seeds` and keeps the
-    /// explorer state for later repairs.
+    /// explorer state for later repairs. Seeds naming a node the index
+    /// does not hold yet (a source that joins the stream later) are
+    /// deferred, not rejected: they enter the exploration on the first
+    /// [`IncrementalForemost::refresh`] after their node exists.
     #[must_use]
     pub fn new<I: TemporalIndex<T>>(
         index: &I,
@@ -103,22 +112,24 @@ impl<T: Time> IncrementalForemost<T> {
             runs: 1,
             ..EngineStats::default()
         };
+        let live = seeds.iter().filter(|(s, _)| s.index() < n);
         let state = match &policy {
             WaitingPolicy::Unbounded => {
                 let mut core = ParetoCore::new(n);
-                core.seed(seeds);
+                core.seed(live);
                 core.drain(index, &limits, None, &mut stats);
                 State::Pareto(core)
             }
             _ => {
                 let mut core = ExactCore::new(n);
-                core.seed(seeds);
+                core.seed(live);
                 core.drain(index, &policy, &limits, None, &mut stats);
                 State::Exact(core)
             }
         };
         IncrementalForemost {
             seeds: seeds.to_vec(),
+            known_nodes: n,
             policy,
             limits,
             state,
@@ -132,7 +143,32 @@ impl<T: Time> IncrementalForemost<T> {
     pub fn refresh<I: TemporalIndex<T>>(&mut self, index: &I, report: &IngestReport<T>) {
         match &report.earliest_change {
             Some(t0) => self.refresh_since(index, t0),
-            None => self.resize(index),
+            None => {
+                self.resize(index);
+                // A pure topology batch can still make a deferred seed's
+                // node exist (`NewNode`); explore from it now so its own
+                // arrival is settled before any presence arrives.
+                let n = index.tvg().num_nodes();
+                let prev = std::mem::replace(&mut self.known_nodes, n);
+                let late: Vec<&(NodeId, T)> = self
+                    .seeds
+                    .iter()
+                    .filter(|(s, _)| (prev..n).contains(&s.index()))
+                    .collect();
+                if !late.is_empty() {
+                    self.stats.runs += 1;
+                    match &mut self.state {
+                        State::Exact(core) => {
+                            core.seed(late);
+                            core.drain(index, &self.policy, &self.limits, None, &mut self.stats);
+                        }
+                        State::Pareto(core) => {
+                            core.seed(late);
+                            core.drain(index, &self.limits, None, &mut self.stats);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -144,18 +180,26 @@ impl<T: Time> IncrementalForemost<T> {
     pub fn refresh_since<I: TemporalIndex<T>>(&mut self, index: &I, since: &T) {
         self.resize(index);
         self.stats.runs += 1;
+        let n = index.tvg().num_nodes();
+        let prev = std::mem::replace(&mut self.known_nodes, n);
         let seeds = &self.seeds;
+        // Re-seed what the prune discarded (`t >= since`), plus any
+        // deferred seed whose node joined since the last pass — its
+        // settled state never existed, whatever its seed time.
+        let to_seed = move |seed: &&(NodeId, T)| {
+            seed.0.index() < n && (&seed.1 >= since || seed.0.index() >= prev)
+        };
         match &mut self.state {
             State::Exact(core) => {
                 core.prune(since);
                 core.replay(index, &self.policy, &self.limits, &mut self.stats);
-                core.seed(seeds.iter().filter(|(_, t)| t >= since));
+                core.seed(seeds.iter().filter(to_seed));
                 core.drain(index, &self.policy, &self.limits, None, &mut self.stats);
             }
             State::Pareto(core) => {
                 core.prune(since);
                 core.replay(index, &self.limits, &mut self.stats);
-                core.seed(seeds.iter().filter(|(_, t)| t >= since));
+                core.seed(seeds.iter().filter(to_seed));
                 core.drain(index, &self.limits, None, &mut self.stats);
             }
         }
@@ -427,6 +471,47 @@ mod tests {
             inc.refresh(s.index(), &report);
             assert_matches_fresh(&s, &inc, "late edge");
             assert!(inc.arrival(fresh_node).is_some(), "{}", inc.policy());
+        }
+    }
+
+    #[test]
+    fn a_source_that_joins_later_is_deferred_not_panicked() {
+        // Churn feeds start from an EMPTY stream — the source named in
+        // the seed list joins via `NewNode` events later. Until then the
+        // tree answers "nothing reached"; once the node exists it must
+        // enter the exploration on the next refresh, whichever refresh
+        // path (pure topology or presence repair) sees it first.
+        for policy in policies() {
+            let mut s = TvgStream::<u64>::new(30).expect("30 + 1 is representable");
+            let limits = SearchLimits::new(30, 10);
+            let mut inc = IncrementalForemost::new(s.index(), &[(n(0), 2)], policy, limits);
+            assert_eq!(inc.num_reached(), 0, "{}", inc.policy());
+            // Pure-topology batch: the seed's node joins, nothing else.
+            let report = s
+                .ingest(&[StreamEvent::NewNode { name: "a".into() }])
+                .expect("ok");
+            assert_eq!(report.earliest_change, None);
+            inc.refresh(s.index(), &report);
+            assert_eq!(inc.arrival(n(0)), Some(&2), "{}", inc.policy());
+            // Presence batch: a second node and a live edge follow.
+            let report = s
+                .ingest(&[
+                    StreamEvent::NewNode { name: "b".into() },
+                    StreamEvent::NewEdge {
+                        src: n(0),
+                        dst: n(1),
+                        label: 'x',
+                        latency: Latency::unit(),
+                    },
+                    StreamEvent::Up {
+                        edge: tvg_model::EdgeId::from_index(0),
+                        at: 2,
+                    },
+                ])
+                .expect("ok");
+            inc.refresh(s.index(), &report);
+            assert_matches_fresh(&s, &inc, "late source");
+            assert!(inc.arrival(n(1)).is_some(), "{}", inc.policy());
         }
     }
 

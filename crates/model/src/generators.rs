@@ -485,6 +485,202 @@ pub fn commuter_fleet(
     b.build().expect("at least one node")
 }
 
+/// A peer-lifecycle churn *feed*: the event list (for an empty
+/// [`crate::stream::TvgStream`] at horizon `horizon`) of `n` peers
+/// walking the Unknown → Identified → Pending → Connected state machine,
+/// with dynamic peer swapping. Unlike every other generator here, the
+/// node set itself churns — this is a stream workload first, and a batch
+/// graph only via `TvgStream::to_tvg`.
+///
+/// Per instant, in feed order:
+///
+/// * contacts whose window expires close (`Down` on both orientations);
+/// * at each of the `swaps` evenly spaced swap instants, the
+///   longest-connected live peer is swapped out (`NodeLeave` — its open
+///   contacts close implicitly) and a fresh peer joins (`NewNode`),
+///   entering the state machine at Unknown;
+/// * peers advance states (discover 0.6, invite 0.5, accept 0.5 per
+///   instant); a newly Connected peer opens contacts (both edge
+///   orientations, label `'p'`, unit latency) to up to two other
+///   connected peers for a 2–8 instant window, and a connected peer
+///   drops back to Identified with probability 0.12, closing its open
+///   contacts.
+///
+/// Node ids are never reused: the feed contains exactly `n + swaps`
+/// `NewNode`s (ids `0..n + swaps` in join order, names `p0, p1, …`) and
+/// exactly `swaps` `NodeLeave`s. Fully determined by its parameters and
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `horizon == 0`.
+pub fn peer_lifecycle_churn(
+    n: usize,
+    swaps: usize,
+    horizon: u64,
+    seed: u64,
+) -> Vec<crate::stream::StreamEvent<u64>> {
+    use crate::stream::StreamEvent;
+    use crate::{EdgeId, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    assert!(n >= 2, "need at least two peers");
+    assert!(horizon > 0, "churn needs a nonempty time window");
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum PeerState {
+        Unknown,
+        Identified,
+        Pending,
+        Connected,
+    }
+    struct Peer {
+        state: PeerState,
+        departed: bool,
+        connected_since: Option<u64>,
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events: Vec<StreamEvent<u64>> = Vec::new();
+    let mut peers: Vec<Peer> = Vec::new();
+    let join = |events: &mut Vec<StreamEvent<u64>>, peers: &mut Vec<Peer>| {
+        events.push(StreamEvent::NewNode {
+            name: format!("p{}", peers.len()),
+        });
+        peers.push(Peer {
+            state: PeerState::Unknown,
+            departed: false,
+            connected_since: None,
+        });
+    };
+    for _ in 0..n {
+        join(&mut events, &mut peers);
+    }
+    // Swap instants, evenly spaced in [1, horizon] (integer division can
+    // collapse several onto one instant at tiny horizons; each still
+    // swaps one peer).
+    let swap_times: Vec<u64> = (0..swaps)
+        .map(|i| ((i as u64 + 1) * horizon / (swaps as u64 + 1)).max(1))
+        .collect();
+    // Pair-normalized contact bookkeeping: edge ids mirror the stream's
+    // assignment order (NewEdge emission order from an empty stream).
+    let mut created: BTreeMap<(usize, usize), (EdgeId, EdgeId)> = BTreeMap::new();
+    let mut open: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    let mut next_edge = 0usize;
+
+    for t in 0..=horizon {
+        // 1. Contacts whose window expires close.
+        let expiring: Vec<(usize, usize)> = open
+            .iter()
+            .filter(|(_, &close)| close == t)
+            .map(|(&pair, _)| pair)
+            .collect();
+        for pair in expiring {
+            let (fwd, rev) = created[&pair];
+            events.push(StreamEvent::Down { edge: fwd, at: t });
+            events.push(StreamEvent::Down { edge: rev, at: t });
+            open.remove(&pair);
+        }
+        // 2. Peer swaps: the longest-connected live peer leaves (its
+        // open contacts close with it), a fresh peer joins.
+        for _ in swap_times.iter().filter(|&&s| s == t) {
+            let victim = peers
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !p.departed)
+                .min_by_key(|(i, p)| (p.connected_since.is_none(), p.connected_since, *i))
+                .map(|(i, _)| i)
+                .expect("swaps keep the live set at n >= 2");
+            events.push(StreamEvent::NodeLeave {
+                node: NodeId::from_index(victim),
+                at: t,
+            });
+            peers[victim].departed = true;
+            open.retain(|&(a, b), _| a != victim && b != victim);
+            join(&mut events, &mut peers);
+        }
+        // 3. State transitions, in peer-id order.
+        for u in 0..peers.len() {
+            if peers[u].departed {
+                continue;
+            }
+            match peers[u].state {
+                PeerState::Unknown => {
+                    if rng.gen_bool(0.6) {
+                        peers[u].state = PeerState::Identified;
+                    }
+                }
+                PeerState::Identified => {
+                    if rng.gen_bool(0.5) {
+                        peers[u].state = PeerState::Pending;
+                    }
+                }
+                PeerState::Pending => {
+                    if rng.gen_bool(0.5) {
+                        peers[u].state = PeerState::Connected;
+                        peers[u].connected_since = Some(t);
+                        // Open contacts to up to two other connected
+                        // live peers.
+                        let mut cands: Vec<usize> = (0..peers.len())
+                            .filter(|&v| {
+                                v != u
+                                    && !peers[v].departed
+                                    && peers[v].state == PeerState::Connected
+                            })
+                            .collect();
+                        for _ in 0..cands.len().min(2) {
+                            let v = cands.swap_remove(rng.gen_range(0..cands.len()));
+                            let pair = (u.min(v), u.max(v));
+                            if open.contains_key(&pair) {
+                                continue;
+                            }
+                            let (fwd, rev) = *created.entry(pair).or_insert_with(|| {
+                                for (src, dst) in [(u, v), (v, u)] {
+                                    events.push(StreamEvent::NewEdge {
+                                        src: NodeId::from_index(src),
+                                        dst: NodeId::from_index(dst),
+                                        label: 'p',
+                                        latency: Latency::unit(),
+                                    });
+                                }
+                                next_edge += 2;
+                                (
+                                    EdgeId::from_index(next_edge - 2),
+                                    EdgeId::from_index(next_edge - 1),
+                                )
+                            });
+                            events.push(StreamEvent::Up { edge: fwd, at: t });
+                            events.push(StreamEvent::Up { edge: rev, at: t });
+                            open.insert(pair, t + rng.gen_range(2..9));
+                        }
+                    }
+                }
+                PeerState::Connected => {
+                    if rng.gen_bool(0.12) {
+                        // Drop back to Identified; open contacts close.
+                        let closing: Vec<(usize, usize)> = open
+                            .keys()
+                            .filter(|&&(a, b)| a == u || b == u)
+                            .copied()
+                            .collect();
+                        for pair in closing {
+                            let (fwd, rev) = created[&pair];
+                            events.push(StreamEvent::Down { edge: fwd, at: t });
+                            events.push(StreamEvent::Down { edge: rev, at: t });
+                            open.remove(&pair);
+                        }
+                        peers[u].state = PeerState::Identified;
+                        peers[u].connected_since = None;
+                    }
+                }
+            }
+        }
+    }
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -767,5 +963,34 @@ mod tests {
         assert_eq!(line.num_edges(), 4); // ring of horizontals only
         let column = grid_two_phase_tvg(3, 1, 'g');
         assert_eq!(column.num_edges(), 3); // ring of verticals only
+    }
+
+    #[test]
+    fn peer_lifecycle_churn_is_a_valid_deterministic_feed() {
+        use crate::stream::{StreamEvent, TvgStream};
+        use crate::TemporalIndex;
+        let feed = peer_lifecycle_churn(8, 3, 40, 11);
+        let again = peer_lifecycle_churn(8, 3, 40, 11);
+        assert_eq!(format!("{feed:?}"), format!("{again:?}"), "same seed");
+        let other = peer_lifecycle_churn(8, 3, 40, 12);
+        assert_ne!(format!("{feed:?}"), format!("{other:?}"), "seed matters");
+        // Exactly n + swaps joins and swaps leaves, in a feed the
+        // stream accepts end to end.
+        let joins = feed
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::NewNode { .. }))
+            .count();
+        let leaves = feed
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::NodeLeave { .. }))
+            .count();
+        assert_eq!(joins, 8 + 3);
+        assert_eq!(leaves, 3);
+        let mut s = TvgStream::<u64>::new(40).expect("representable");
+        s.ingest(&feed).expect("churn feed is a valid stream");
+        assert_eq!(s.index().tvg().num_nodes(), 11);
+        assert_eq!(s.num_departed(), 3);
+        assert!(s.index().tvg().num_edges() > 0, "peers made contact");
+        assert!(s.index().num_edge_events() > 0);
     }
 }

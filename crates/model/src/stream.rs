@@ -6,7 +6,9 @@
 //! full recompile. Real deployments of the paper's model — DTN traces,
 //! contact loggers, link-state feeds — observe their schedule as a
 //! stream of *edge events*: a link comes up at `t`, goes down at `t'`, a
-//! previously unseen link appears, the observation window extends. This
+//! previously unseen link appears, the observation window extends — and
+//! under node churn, peers join (`NewNode`) and leave (`NodeLeave`,
+//! closing every incident open contact at the departure instant). This
 //! module is that regime:
 //!
 //! * [`TvgStream`] is the ingestion layer. It validates appended
@@ -83,6 +85,26 @@ pub enum StreamEvent<T> {
         /// The new inclusive horizon (must not regress).
         to: T,
     },
+    /// A previously unseen node joins the graph. Topology growth carries
+    /// no timestamp: the node participates only through subsequent
+    /// `NewEdge`/`Up` events.
+    NewNode {
+        /// Display name of the joining node.
+        name: String,
+    },
+    /// Node `node` leaves the network at instant `at`: every incident
+    /// edge that is currently up goes down at `at` (in one step), and
+    /// from then on any event referencing the departed node — `Up`,
+    /// `Down`, `NewEdge`, or a second leave — is rejected with
+    /// [`StreamError::NodeDeparted`]. Node ids are never reused; a peer
+    /// that rejoins does so as a fresh `NewNode`.
+    NodeLeave {
+        /// The departing node.
+        node: NodeId,
+        /// The instant it departs (exclusive span end for its open
+        /// contacts: they were last present at `at - 1`).
+        at: T,
+    },
 }
 
 /// Typed rejection of an invalid [`StreamEvent`]. The stream never
@@ -145,6 +167,15 @@ pub enum StreamError<T> {
         /// The requested horizon.
         to: T,
     },
+    /// The event references a node that already left the network: a
+    /// departed node's contacts are closed forever, so an `Up`, `Down`,
+    /// `NewEdge`, or second `NodeLeave` touching it is a data error.
+    NodeDeparted {
+        /// The departed node.
+        node: NodeId,
+        /// When it left.
+        at: T,
+    },
 }
 
 impl<T: fmt::Display> fmt::Display for StreamError<T> {
@@ -173,6 +204,9 @@ impl<T: fmt::Display> fmt::Display for StreamError<T> {
             }
             StreamError::HorizonUnrepresentable { to } => {
                 write!(f, "horizon {to} has no representable successor")
+            }
+            StreamError::NodeDeparted { node, at } => {
+                write!(f, "event references node {node} departed at {at}")
             }
         }
     }
@@ -387,6 +421,13 @@ pub struct TvgStream<T> {
     watermark: Option<T>,
     /// Per edge: the start instant of its currently open span's `Up`.
     open_since: Vec<Option<T>>,
+    /// Per node: the instant it left the network, if it did. Ids are
+    /// never reused, so departure is final.
+    departed: Vec<Option<T>>,
+    /// Per node: every edge incident to it, either direction — the set
+    /// a `NodeLeave` must close. Ingestion state, not index structure
+    /// (the `LiveIndex` keeps only out-edge adjacency, like the CSR).
+    incident: Vec<Vec<EdgeId>>,
     /// Earliest presence change not yet handed out in a successful
     /// [`IngestReport`] — the applied prefix of a failed batch parks
     /// its changes here for the next report.
@@ -409,6 +450,8 @@ impl<T: Time> TvgStream<T> {
             live,
             watermark: None,
             open_since: Vec::new(),
+            departed: Vec::new(),
+            incident: Vec::new(),
             unreported_change: None,
         })
     }
@@ -450,10 +493,24 @@ impl<T: Time> TvgStream<T> {
         self.open_since.get(e.index()).and_then(Option::as_ref)
     }
 
+    /// When `n` left the network, if it did.
+    #[must_use]
+    pub fn departed_at(&self, n: NodeId) -> Option<&T> {
+        self.departed.get(n.index()).and_then(Option::as_ref)
+    }
+
+    /// How many nodes have left the network.
+    #[must_use]
+    pub fn num_departed(&self) -> usize {
+        self.departed.iter().filter(|d| d.is_some()).count()
+    }
+
     /// Adds a node, returning its id. Topology growth carries no
     /// timestamp and never affects existing presence.
     pub fn add_node(&mut self, name: &str) -> NodeId {
         self.live.adjacency.push(Vec::new());
+        self.departed.push(None);
+        self.incident.push(Vec::new());
         self.live.g_mut().push_node(name)
     }
 
@@ -462,7 +519,8 @@ impl<T: Time> TvgStream<T> {
     /// # Errors
     ///
     /// [`StreamError::UnknownNode`] / [`StreamError::BadLabel`] on
-    /// invalid endpoints or label.
+    /// invalid endpoints or label, [`StreamError::NodeDeparted`] if an
+    /// endpoint already left the network.
     pub fn add_edge(
         &mut self,
         src: NodeId,
@@ -473,6 +531,12 @@ impl<T: Time> TvgStream<T> {
         for n in [src, dst] {
             if n.index() >= self.live.g.num_nodes() {
                 return Err(StreamError::UnknownNode(n));
+            }
+            if let Some(at) = &self.departed[n.index()] {
+                return Err(StreamError::NodeDeparted {
+                    node: n,
+                    at: at.clone(),
+                });
             }
         }
         let letter = Letter::new(label).map_err(|_| StreamError::BadLabel(label))?;
@@ -490,6 +554,10 @@ impl<T: Time> TvgStream<T> {
         self.live.presence.push(IntervalSet::empty());
         self.live.dsts.push(dst);
         self.open_since.push(None);
+        self.incident[src.index()].push(e);
+        if dst != src {
+            self.incident[dst.index()].push(e);
+        }
         // The new edge has the maximal id, so it lands at the end of its
         // source's out-list — the same edge-id order the batch CSR
         // produces. Only the chunk holding that one node's list is
@@ -571,6 +639,11 @@ impl<T: Time> TvgStream<T> {
                 Ok(None)
             }
             StreamEvent::ExtendHorizon { to } => self.apply_extend(to),
+            StreamEvent::NewNode { name } => {
+                self.add_node(name);
+                Ok(None)
+            }
+            StreamEvent::NodeLeave { node, at } => self.apply_leave(*node, at),
         }
     }
 
@@ -595,6 +668,17 @@ impl<T: Time> TvgStream<T> {
     fn check_edge(&self, e: EdgeId) -> Result<(), StreamError<T>> {
         if e.index() >= self.live.g.num_edges() {
             return Err(StreamError::UnknownEdge(e));
+        }
+        // A departed endpoint makes the whole edge dead: its spans were
+        // closed by the leave, and nothing may reopen (or re-close) them.
+        let edge = self.live.g.edge(e);
+        for n in [edge.src(), edge.dst()] {
+            if let Some(at) = &self.departed[n.index()] {
+                return Err(StreamError::NodeDeparted {
+                    node: n,
+                    at: at.clone(),
+                });
+            }
         }
         Ok(())
     }
@@ -654,6 +738,17 @@ impl<T: Time> TvgStream<T> {
                 at: at.clone(),
             });
         }
+        self.close_open_span(e, at);
+        self.watermark = Some(at.clone());
+        Ok(at.clone())
+    }
+
+    /// Closes `e`'s open span at `at`: retracts the provisional close,
+    /// records the real one (or erases a zero-length span entirely), and
+    /// truncates the presence interval. Shared by `Down` and the
+    /// batched closes a `NodeLeave` performs. The caller validates and
+    /// advances the watermark.
+    fn close_open_span(&mut self, e: EdgeId, at: &T) {
         self.live.remove_event(&EdgeEvent {
             time: self.live.end.clone(),
             edge: e,
@@ -683,8 +778,35 @@ impl<T: Time> TvgStream<T> {
         }
         self.live.presence.get_mut(e.index()).truncate_last_span(at);
         self.open_since[e.index()] = None;
+    }
+
+    fn apply_leave(&mut self, node: NodeId, at: &T) -> Result<Option<T>, StreamError<T>> {
+        if node.index() >= self.live.g.num_nodes() {
+            return Err(StreamError::UnknownNode(node));
+        }
+        if let Some(when) = &self.departed[node.index()] {
+            return Err(StreamError::NodeDeparted {
+                node,
+                at: when.clone(),
+            });
+        }
+        self.check_time(at)?;
+        // Close every incident open span at the departure instant. Each
+        // close is exactly a `Down` at `at`, so the live index stays
+        // structurally identical to a recompile of the truncated
+        // schedule — the churn case of the streamcheck contract.
+        let open: Vec<EdgeId> = self.incident[node.index()]
+            .iter()
+            .copied()
+            .filter(|e| self.open_since[e.index()].is_some())
+            .collect();
+        let any_closed = !open.is_empty();
+        for e in open {
+            self.close_open_span(e, at);
+        }
+        self.departed[node.index()] = Some(at.clone());
         self.watermark = Some(at.clone());
-        Ok(at.clone())
+        Ok(any_closed.then(|| at.clone()))
     }
 
     fn apply_extend(&mut self, to: &T) -> Result<Option<T>, StreamError<T>> {
@@ -1103,5 +1225,155 @@ mod tests {
         // One below the ceiling still constructs: only the true
         // boundary is rejected.
         assert!(TvgStream::<u64>::new(u64::MAX - 1).is_ok());
+    }
+
+    #[test]
+    fn node_leave_closes_all_incident_open_spans() {
+        let mut s = TvgStream::<u64>::new(20).expect("representable");
+        let a = s.add_node("a");
+        let b = s.add_node("b");
+        let c = s.add_node("c");
+        let ab = s.add_edge(a, b, 'x', Latency::unit()).expect("valid");
+        let cb = s.add_edge(c, b, 'y', Latency::unit()).expect("valid");
+        let ca = s.add_edge(c, a, 'z', Latency::unit()).expect("valid");
+        s.ingest(&[
+            StreamEvent::Up { edge: ab, at: 2 },
+            StreamEvent::Up { edge: cb, at: 3 },
+            StreamEvent::Up { edge: ca, at: 4 },
+        ])
+        .expect("valid feed");
+        let report = s
+            .ingest(&[StreamEvent::NodeLeave { node: b, at: 7 }])
+            .expect("leave is valid");
+        // Both edges touching b close at 7; c→a is untouched.
+        assert_eq!(report.earliest_change, Some(7));
+        assert_eq!(s.index().presence(ab).spans(), &[(2, 7)]);
+        assert_eq!(s.index().presence(cb).spans(), &[(3, 7)]);
+        assert_eq!(s.index().presence(ca).spans(), &[(4, 21)]);
+        assert_eq!(s.open_since(ab), None);
+        assert_eq!(s.open_since(cb), None);
+        assert_eq!(s.open_since(ca), Some(&4));
+        assert_eq!(s.departed_at(b), Some(&7));
+        assert_eq!(s.num_departed(), 1);
+        assert_eq!(s.watermark(), Some(&7));
+        assert_matches_recompile(&s);
+    }
+
+    #[test]
+    fn events_on_departed_nodes_are_rejected() {
+        let mut s = TvgStream::<u64>::new(20).expect("representable");
+        let a = s.add_node("a");
+        let b = s.add_node("b");
+        let ab = s.add_edge(a, b, 'x', Latency::unit()).expect("valid");
+        s.ingest(&[
+            StreamEvent::Up { edge: ab, at: 2 },
+            StreamEvent::NodeLeave { node: b, at: 5 },
+        ])
+        .expect("valid feed");
+        let gone = StreamError::NodeDeparted { node: b, at: 5 };
+        assert_eq!(
+            s.ingest(&[StreamEvent::Up { edge: ab, at: 6 }]),
+            Err(gone.clone())
+        );
+        assert_eq!(
+            s.ingest(&[StreamEvent::Down { edge: ab, at: 6 }]),
+            Err(gone.clone())
+        );
+        assert_eq!(
+            s.ingest(&[StreamEvent::NewEdge {
+                src: a,
+                dst: b,
+                label: 'y',
+                latency: Latency::unit(),
+            }]),
+            Err(gone.clone())
+        );
+        assert_eq!(
+            s.ingest(&[StreamEvent::NodeLeave { node: b, at: 8 }]),
+            Err(gone.clone())
+        );
+        assert!(gone.to_string().contains("departed at 5"));
+        // A leave on an unknown node is the usual UnknownNode.
+        let ghost = NodeId::from_index(9);
+        assert_eq!(
+            s.ingest(&[StreamEvent::NodeLeave { node: ghost, at: 9 }]),
+            Err(StreamError::UnknownNode(ghost))
+        );
+        // The surviving endpoint can still grow new contacts.
+        let c = s.add_node("c");
+        let ac = s.add_edge(a, c, 'z', Latency::unit()).expect("valid");
+        s.ingest(&[StreamEvent::Up { edge: ac, at: 9 }])
+            .expect("valid feed");
+        assert_matches_recompile(&s);
+    }
+
+    #[test]
+    fn churn_rejoin_is_a_fresh_node() {
+        let mut s = TvgStream::<u64>::new(30).expect("representable");
+        let a = s.add_node("a");
+        let b = s.add_node("b");
+        let ab = s.add_edge(a, b, 'x', Latency::unit()).expect("valid");
+        s.ingest(&[
+            StreamEvent::Up { edge: ab, at: 2 },
+            StreamEvent::NodeLeave { node: b, at: 6 },
+            StreamEvent::NewNode {
+                name: "b".to_string(),
+            },
+        ])
+        .expect("valid feed");
+        // The rejoined peer has a fresh id; the old id stays departed.
+        let b2 = NodeId::from_index(2);
+        assert_eq!(s.index().tvg().num_nodes(), 3);
+        assert_eq!(s.departed_at(b2), None);
+        assert_eq!(s.departed_at(b), Some(&6));
+        let ab2 = s.add_edge(a, b2, 'x', Latency::unit()).expect("valid");
+        let report = s
+            .ingest(&[StreamEvent::Up { edge: ab2, at: 8 }])
+            .expect("valid feed");
+        assert_eq!(report.earliest_change, Some(8));
+        assert_eq!(s.index().presence(ab).spans(), &[(2, 6)]);
+        assert_eq!(s.index().presence(ab2).spans(), &[(8, 31)]);
+        assert_matches_recompile(&s);
+    }
+
+    #[test]
+    fn leave_with_zero_length_span_erases_it() {
+        // A contact that comes up at the very instant its endpoint
+        // departs never existed — the same zero-length rule as an
+        // up/down pair at one instant.
+        let mut s = TvgStream::<u64>::new(20).expect("representable");
+        let a = s.add_node("a");
+        let b = s.add_node("b");
+        let ab = s.add_edge(a, b, 'x', Latency::unit()).expect("valid");
+        s.ingest(&[
+            StreamEvent::Up { edge: ab, at: 4 },
+            StreamEvent::NodeLeave { node: b, at: 4 },
+        ])
+        .expect("valid feed");
+        assert!(s.index().presence(ab).is_empty());
+        assert_eq!(s.index().num_edge_events(), 0);
+        assert_matches_recompile(&s);
+    }
+
+    #[test]
+    fn leave_with_no_open_contacts_reports_no_change() {
+        let mut s = TvgStream::<u64>::new(20).expect("representable");
+        let a = s.add_node("a");
+        let b = s.add_node("b");
+        let ab = s.add_edge(a, b, 'x', Latency::unit()).expect("valid");
+        s.ingest(&[
+            StreamEvent::Up { edge: ab, at: 2 },
+            StreamEvent::Down { edge: ab, at: 5 },
+        ])
+        .expect("valid feed");
+        let report = s
+            .ingest(&[StreamEvent::NodeLeave { node: b, at: 9 }])
+            .expect("valid feed");
+        // Presence is untouched (the contact already closed at 5), so
+        // there is nothing for an incremental consumer to repair.
+        assert_eq!(report.earliest_change, None);
+        assert_eq!(s.index().presence(ab).spans(), &[(2, 5)]);
+        assert_eq!(s.watermark(), Some(&9));
+        assert_matches_recompile(&s);
     }
 }

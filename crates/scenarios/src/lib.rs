@@ -231,6 +231,114 @@ plan streaming src=1 horizon=16 batch=32
     }
 
     #[test]
+    fn peer_lifecycle_streams_its_churn_feed() {
+        let text = "\
+scenario churn
+generator peer_lifecycle n=6 swaps=2 horizon=24 seed=3
+policy wait[2]
+plan streaming src=0 horizon=24 batch=16
+";
+        let s = one(text);
+        // Canonical text reparses to the same scenario.
+        let back = parse_specs(&s.to_string()).expect("canonical text is valid");
+        assert_eq!(&back[0], &s);
+        // The materialized graph carries every peer that ever joined.
+        assert_eq!(s.build_graph().num_nodes(), 8);
+        let report = s.run();
+        let json = report.canonical_json();
+        tvg_dynnet::json::parse(&json).expect("canonical json parses");
+        assert!(json.contains("\"departed\":2"), "{json}");
+        assert_eq!(json, s.run().canonical_json(), "repeats byte for byte");
+    }
+
+    #[test]
+    fn streaming_horizon_must_cover_the_churn_feed() {
+        // A streaming plan that stops before the churn feed's last
+        // event could not ingest it; spec validation rejects the combo.
+        let err = parse_specs(
+            "scenario churn\ngenerator peer_lifecycle n=6 swaps=2 horizon=24 seed=3\npolicy wait\nplan streaming src=0 horizon=20 batch=16\n",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, SpecError::BadParamValue { .. })
+                && err.to_string().contains("must cover the churn feed"),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_directives_expand_the_cross_product() {
+        let text = "\
+scenario ring-sweep
+generator ring_bus n=8 period=8
+policy wait[3]
+sweep n 6 10
+sweep policy nowait wait[3]
+plan matrix horizon=32
+";
+        let scenarios = parse_specs(text).expect("valid sweep spec");
+        let names: Vec<&str> = scenarios.iter().map(Scenario::name).collect();
+        assert_eq!(
+            names,
+            [
+                "ring-sweep-6-nowait",
+                "ring-sweep-6-wait3",
+                "ring-sweep-10-nowait",
+                "ring-sweep-10-wait3"
+            ],
+            "first sweep varies slowest, names sanitized"
+        );
+        for s in &scenarios {
+            // Each expanded row is an ordinary scenario: canonical text
+            // round-trips and the swept parameters really took effect.
+            let back = parse_specs(&s.to_string()).expect("canonical text is valid");
+            assert_eq!(&back[0], s, "{}", s.name());
+            let n = if s.name().contains("-6-") { 6 } else { 10 };
+            assert_eq!(s.build_graph().num_nodes(), n, "{}", s.name());
+            let wait = s.name().ends_with("wait3");
+            assert_eq!(
+                s.policy() == &WaitingPolicy::Bounded(3),
+                wait,
+                "{}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_errors_are_typed() {
+        // The same parameter swept twice in one block.
+        assert_eq!(
+            parse_specs(
+                "scenario s\ngenerator ring_bus n=4 period=4\npolicy wait\nsweep n 4 6\nsweep n 8\nplan matrix horizon=8\n"
+            )
+            .unwrap_err(),
+            SpecError::DuplicateParam {
+                scenario: "s".into(),
+                param: "n".into()
+            }
+        );
+        // A sweep directive needs a parameter and at least one value.
+        assert!(matches!(
+            parse_specs(
+                "scenario s\ngenerator ring_bus n=4 period=4\npolicy wait\nsweep n\nplan matrix horizon=8\n"
+            )
+            .unwrap_err(),
+            SpecError::MissingArgument { .. }
+        ));
+        // Two sweep values that sanitize to the same row name collide.
+        assert_eq!(
+            parse_specs(
+                "scenario s\ngenerator ring_bus n=4 period=4\npolicy wait\nsweep policy wait[3] wait3\nplan matrix horizon=8\n"
+            )
+            .unwrap_err(),
+            SpecError::DuplicateScenario {
+                name: "s-wait3".into()
+            }
+        );
+    }
+
+    #[test]
     fn serve_plan_roundtrips_and_runs_with_mid_run_epochs() {
         let text = "\
 scenario sv

@@ -9,6 +9,7 @@ use std::fmt;
 use tvg_dynnet::json::Json;
 use tvg_langs::Alphabet;
 use tvg_model::generators;
+use tvg_model::stream::{StreamEvent, TvgStream};
 use tvg_model::Tvg;
 
 /// A resolved generator invocation: which family, at which parameters.
@@ -82,6 +83,21 @@ pub enum GeneratorSpec {
         /// Grid columns.
         cols: usize,
         /// Simulation length.
+        horizon: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `peer_lifecycle n= swaps= horizon= seed=` — churning peer set:
+    /// Unknown → Identified → Pending → Connected state machines with
+    /// dynamic peer swapping (node joins and leaves). The only family
+    /// whose native form is a *stream feed*; its batch graph is the
+    /// stream's materialization over `n + swaps` node ids.
+    PeerLifecycle {
+        /// Live peers at any instant.
+        n: usize,
+        /// Number of peer swaps (each a `NodeLeave` plus a `NewNode`).
+        swaps: usize,
+        /// Simulation length (also the feed's stream horizon).
         horizon: u64,
         /// RNG seed.
         seed: u64,
@@ -200,6 +216,25 @@ impl GeneratorSpec {
                     seed,
                 }
             }
+            "peer_lifecycle" => {
+                let n = p.usize("n")?;
+                let swaps = p.usize("swaps")?;
+                let horizon = p.u64("horizon")?;
+                let seed = p.u64("seed")?;
+                p.guard("n", n >= 2, "need at least two peers")?;
+                p.guard("horizon", horizon > 0, "need a nonempty time window")?;
+                p.guard(
+                    "horizon",
+                    horizon < u64::MAX,
+                    "stream horizon needs a representable successor",
+                )?;
+                GeneratorSpec::PeerLifecycle {
+                    n,
+                    swaps,
+                    horizon,
+                    seed,
+                }
+            }
             "commuter_fleet" => {
                 let lines = p.usize("lines")?;
                 let stops = p.usize("stops")?;
@@ -240,6 +275,7 @@ impl GeneratorSpec {
             GeneratorSpec::ScaleFree { .. } => "scale_free",
             GeneratorSpec::EdgeMarkovian { .. } => "edge_markovian",
             GeneratorSpec::WaypointGrid { .. } => "waypoint_grid",
+            GeneratorSpec::PeerLifecycle { .. } => "peer_lifecycle",
             GeneratorSpec::CommuterFleet { .. } => "commuter_fleet",
         }
     }
@@ -256,6 +292,10 @@ impl GeneratorSpec {
             GeneratorSpec::GridTwoPhase { rows, cols } => rows * cols,
             GeneratorSpec::RandomPeriodic { nodes, .. } => *nodes,
             GeneratorSpec::WaypointGrid { walkers, .. } => *walkers,
+            // Ids are never reused: every peer that ever joins is a
+            // node, so the universe is the initial set plus one
+            // replacement per swap.
+            GeneratorSpec::PeerLifecycle { n, swaps, .. } => n + swaps,
             GeneratorSpec::CommuterFleet { lines, stops, .. } => 1 + lines * stops,
         }
     }
@@ -302,6 +342,14 @@ impl GeneratorSpec {
                 horizon,
                 seed,
             } => generators::waypoint_grid_contacts(*walkers, *rows, *cols, *horizon, *seed),
+            GeneratorSpec::PeerLifecycle { .. } => {
+                let (horizon, feed) = self
+                    .churn_feed()
+                    .expect("peer_lifecycle is the churn family");
+                let mut s = TvgStream::new(horizon).expect("resolve guards the horizon");
+                s.ingest(&feed).expect("churn feeds are valid");
+                s.to_tvg()
+            }
             GeneratorSpec::CommuterFleet {
                 lines,
                 stops,
@@ -309,6 +357,27 @@ impl GeneratorSpec {
                 shift,
                 runs,
             } => generators::commuter_fleet(*lines, *stops, *headway, *shift, *runs),
+        }
+    }
+
+    /// For the churn family, whose schedule is natively a *stream*: the
+    /// event feed (node joins/leaves included) and the generator's own
+    /// horizon it is valid against. Batch families return `None` — their
+    /// stream form is a replay of the compiled schedule
+    /// ([`TvgStream::replay_of`]), which carries no churn.
+    #[must_use]
+    pub fn churn_feed(&self) -> Option<(u64, Vec<StreamEvent<u64>>)> {
+        match self {
+            GeneratorSpec::PeerLifecycle {
+                n,
+                swaps,
+                horizon,
+                seed,
+            } => Some((
+                *horizon,
+                generators::peer_lifecycle_churn(*n, *swaps, *horizon, *seed),
+            )),
+            _ => None,
         }
     }
 
@@ -366,6 +435,17 @@ impl GeneratorSpec {
                 ("walkers", us(*walkers)),
                 ("rows", us(*rows)),
                 ("cols", us(*cols)),
+                ("horizon", int(*horizon)),
+                ("seed", int(*seed)),
+            ],
+            GeneratorSpec::PeerLifecycle {
+                n,
+                swaps,
+                horizon,
+                seed,
+            } => vec![
+                ("n", us(*n)),
+                ("swaps", us(*swaps)),
                 ("horizon", int(*horizon)),
                 ("seed", int(*seed)),
             ],
@@ -433,6 +513,15 @@ impl fmt::Display for GeneratorSpec {
             } => write!(
                 f,
                 "waypoint_grid walkers={walkers} rows={rows} cols={cols} horizon={horizon} seed={seed}"
+            ),
+            GeneratorSpec::PeerLifecycle {
+                n,
+                swaps,
+                horizon,
+                seed,
+            } => write!(
+                f,
+                "peer_lifecycle n={n} swaps={swaps} horizon={horizon} seed={seed}"
             ),
             GeneratorSpec::CommuterFleet {
                 lines,

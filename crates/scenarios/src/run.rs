@@ -43,6 +43,29 @@ impl Scenario {
         SearchLimits::new(self.plan().horizon(), self.plan().max_hops())
     }
 
+    /// The event feed a streaming-shaped plan ingests, paired with the
+    /// stream to ingest it into. Churn-family generators hand over
+    /// their native feed (node joins and leaves included) against an
+    /// empty stream; every other family replays the materialized
+    /// graph's schedule. Spec validation guarantees the plan horizon
+    /// covers a churn feed, so both paths ingest cleanly.
+    #[must_use]
+    pub fn stream_feed(
+        &self,
+        g: &Tvg<u64>,
+        horizon: u64,
+    ) -> (TvgStream<u64>, Vec<StreamEvent<u64>>) {
+        match self.generator().churn_feed() {
+            Some((_, events)) => (
+                TvgStream::new(horizon)
+                    .expect("spec validation rejects horizons whose successor overflows"),
+                events,
+            ),
+            None => TvgStream::replay_of(g, &horizon)
+                .expect("spec validation rejects horizons whose successor overflows"),
+        }
+    }
+
     /// Runs the scenario end to end and returns its report.
     #[must_use]
     pub fn run(&self) -> Report {
@@ -272,12 +295,13 @@ fn run_broadcast_plan<T: Time + Send + Sync>(
     (results, stats)
 }
 
-/// The streaming plan: replay the generated schedule through a
-/// [`TvgStream`] in `batch_size`-event ingest ticks, repairing one
-/// incremental foremost tree per tick, then run one batched all-sources
-/// query against the final live snapshot. Returns the plan outcome plus
-/// the final live index's edge-event count (the graph summary of what
-/// was actually ingested).
+/// The streaming plan: drive the scenario's feed (a replay of the
+/// generated schedule, or the churn family's native join/leave feed)
+/// through a [`TvgStream`] in `batch_size`-event ingest ticks,
+/// repairing one incremental foremost tree per tick, then run one
+/// batched all-sources query against the final live snapshot. Returns
+/// the plan outcome plus the final live index's edge-event count (the
+/// graph summary of what was actually ingested).
 #[allow(clippy::too_many_arguments)]
 fn run_streaming(
     g: &Tvg<u64>,
@@ -288,8 +312,7 @@ fn run_streaming(
     start: u64,
     batch_size: usize,
 ) -> ((Json, EngineStats), usize) {
-    let (mut stream, events) = TvgStream::replay_of(g, &limits.horizon)
-        .expect("spec validation rejects horizons whose successor overflows");
+    let (mut stream, events) = scenario.stream_feed(g, limits.horizon);
     let source = NodeId::from_index(src);
     let mut inc = IncrementalForemost::new(
         stream.index(),
@@ -299,7 +322,9 @@ fn run_streaming(
     );
     let mut per_tick_reached: Vec<Json> = Vec::new();
     for chunk in events.chunks(batch_size) {
-        let report = stream.ingest(chunk).expect("replay is a valid feed");
+        let report = stream
+            .ingest(chunk)
+            .expect("scenario feeds are valid by construction");
         inc.refresh(stream.index(), &report);
         per_tick_reached.push(Json::Int(inc.num_reached() as u64));
     }
@@ -315,6 +340,7 @@ fn run_streaming(
     );
     let ticks = per_tick_reached.len() as u64;
     let results = obj([
+        ("departed", Json::Int(stream.num_departed() as u64)),
         (
             "final_histogram",
             histogram(nodes.iter().map(|&n| inc.arrival(n))),

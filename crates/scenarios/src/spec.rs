@@ -17,6 +17,24 @@
 //! `seed <n>` is shorthand for the generator's `seed=` parameter. A file
 //! may hold several blocks; duplicate scenario names are rejected.
 //!
+//! A block may also hold `sweep` directives, each naming a generator
+//! parameter (or `policy`) and the values to sweep it over:
+//!
+//! ```text
+//! scenario ring-sweep
+//! generator ring_bus n=8 period=8
+//! sweep n 6 10
+//! sweep policy nowait wait
+//! plan matrix horizon=64
+//! ```
+//!
+//! Sweeps expand at parse time into the cross product of their values —
+//! one concrete scenario per combination, named `<base>-<value>…` (values
+//! sanitized to `[a-z0-9]`, e.g. `wait[2]` → `wait2`) — so a sweep spec
+//! is exactly a multi-block spec: every row validates, runs, reports,
+//! and goldens like a hand-written scenario. `sweep policy` makes the
+//! `policy` directive optional (and overrides it if present).
+//!
 //! Parsing is *total validation*: every generator and plan name, every
 //! parameter name, every value type, and every cross-field constraint
 //! (e.g. a plan source within the generated node range) is checked at
@@ -697,6 +715,7 @@ impl Params {
 /// format). Every scenario is fully validated; the first problem is
 /// returned as a typed [`SpecError`].
 pub fn parse_specs(text: &str) -> Result<Vec<Scenario>, SpecError> {
+    #[derive(Clone)]
     struct Block {
         name: String,
         generator: Option<Vec<String>>,
@@ -704,6 +723,8 @@ pub fn parse_specs(text: &str) -> Result<Vec<Scenario>, SpecError> {
         plan: Option<Vec<String>>,
         threads: Option<String>,
         seed: Option<String>,
+        /// `sweep <param> <value>…` directives, in appearance order.
+        sweeps: Vec<(String, Vec<String>)>,
     }
 
     let mut blocks: Vec<Block> = Vec::new();
@@ -744,6 +765,7 @@ pub fn parse_specs(text: &str) -> Result<Vec<Scenario>, SpecError> {
                 plan: None,
                 threads: None,
                 seed: None,
+                sweeps: Vec::new(),
             });
             continue;
         }
@@ -805,6 +827,29 @@ pub fn parse_specs(text: &str) -> Result<Vec<Scenario>, SpecError> {
                     return Err(dup("seed"));
                 }
             }
+            "sweep" => {
+                // `sweep <param> <value>…`: a parameter plus at least
+                // one value to expand over.
+                let [param, values @ ..] = rest.as_slice() else {
+                    return Err(SpecError::MissingArgument {
+                        line,
+                        directive: directive.to_string(),
+                    });
+                };
+                if values.is_empty() {
+                    return Err(SpecError::MissingArgument {
+                        line,
+                        directive: directive.to_string(),
+                    });
+                }
+                if block.sweeps.iter().any(|(p, _)| p == param) {
+                    return Err(SpecError::DuplicateParam {
+                        scenario: block.name.clone(),
+                        param: param.clone(),
+                    });
+                }
+                block.sweeps.push((param.clone(), values.to_vec()));
+            }
             other => {
                 return Err(SpecError::UnknownDirective {
                     line,
@@ -818,7 +863,72 @@ pub fn parse_specs(text: &str) -> Result<Vec<Scenario>, SpecError> {
         return Err(SpecError::Empty);
     }
 
-    blocks
+    /// A sweep value's contribution to the derived row name: lowercase
+    /// alphanumerics only (`wait[2]` → `wait2`, `0.3` → `03`), so every
+    /// derived name stays within the scenario-name charset.
+    fn sanitize(value: &str) -> String {
+        value
+            .chars()
+            .filter(char::is_ascii_alphanumeric)
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    }
+
+    /// Expands a block's sweeps into the cross product of their values:
+    /// one concrete block per combination, first sweep varying slowest.
+    /// `policy` sweeps set the block's policy text; any other parameter
+    /// lands in the generator words (replacing an existing `key=value`
+    /// token or appending one).
+    fn expand_sweeps(mut block: Block) -> Result<Vec<Block>, SpecError> {
+        let sweeps = std::mem::take(&mut block.sweeps);
+        let mut rows = vec![block];
+        for (param, values) in &sweeps {
+            let mut next = Vec::with_capacity(rows.len() * values.len());
+            for row in &rows {
+                for value in values {
+                    let mut r = row.clone();
+                    let suffix = sanitize(value);
+                    r.name = format!("{}-{suffix}", r.name);
+                    if suffix.is_empty() {
+                        return Err(SpecError::BadScenarioName { name: r.name });
+                    }
+                    if param == "policy" {
+                        r.policy = Some(value.clone());
+                    } else {
+                        let words = r.generator.as_mut().ok_or(SpecError::MissingDirective {
+                            scenario: r.name.clone(),
+                            directive: "generator",
+                        })?;
+                        let prefix = format!("{param}=");
+                        let token = format!("{param}={value}");
+                        match words[1..].iter_mut().find(|w| w.starts_with(&prefix)) {
+                            Some(w) => *w = token,
+                            None => words.push(token),
+                        }
+                    }
+                    next.push(r);
+                }
+            }
+            rows = next;
+        }
+        Ok(rows)
+    }
+
+    let mut expanded: Vec<Block> = Vec::new();
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for block in blocks {
+        for row in expand_sweeps(block)? {
+            // Derived names can collide (across sweeps, or with a plain
+            // block): the same total-validation stance as duplicate
+            // `scenario` lines.
+            if !seen.insert(row.name.clone()) {
+                return Err(SpecError::DuplicateScenario { name: row.name });
+            }
+            expanded.push(row);
+        }
+    }
+
+    expanded
         .into_iter()
         .map(|block| {
             let name = block.name;
@@ -876,6 +986,29 @@ pub fn parse_specs(text: &str) -> Result<Vec<Scenario>, SpecError> {
                         scenario: name,
                         src,
                         nodes,
+                    });
+                }
+            }
+
+            // A streaming plan over the churn family replays the
+            // generator's own event feed (joins/leaves included), so the
+            // stream's window must cover every feed instant.
+            if let (
+                GeneratorSpec::PeerLifecycle {
+                    horizon: feed_horizon,
+                    ..
+                },
+                Plan::Streaming { horizon, .. },
+            ) = (&generator, &plan)
+            {
+                if horizon < feed_horizon {
+                    return Err(SpecError::BadParamValue {
+                        scenario: name,
+                        param: "horizon".to_string(),
+                        reason: format!(
+                            "streaming horizon {horizon} must cover the churn feed's \
+                             horizon {feed_horizon}"
+                        ),
                     });
                 }
             }

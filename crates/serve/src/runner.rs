@@ -153,9 +153,11 @@ pub fn availability(ticks: &[Vec<StreamEvent<u64>>]) -> Vec<u64> {
     for tick in ticks {
         for event in tick {
             let instant = match event {
-                StreamEvent::Up { at, .. } | StreamEvent::Down { at, .. } => *at,
+                StreamEvent::Up { at, .. }
+                | StreamEvent::Down { at, .. }
+                | StreamEvent::NodeLeave { at, .. } => *at,
                 StreamEvent::ExtendHorizon { to } => *to,
-                StreamEvent::NewEdge { .. } => 0,
+                StreamEvent::NewEdge { .. } | StreamEvent::NewNode { .. } => 0,
             };
             running = running.max(instant);
         }
@@ -170,7 +172,9 @@ pub fn availability(ticks: &[Vec<StreamEvent<u64>>]) -> Vec<u64> {
 /// content is from `<= t`).
 #[must_use]
 pub fn epoch_of(avail: &[u64], t: u64) -> u64 {
-    avail.iter().filter(|&&a| a <= t).count() as u64
+    // `avail` is a running maximum, so the eligible prefix is
+    // contiguous: one binary search instead of a scan per request.
+    avail.partition_point(|&a| a <= t) as u64
 }
 
 /// Which engine pass a request group shares: plain single-seed trees
@@ -503,6 +507,29 @@ mod tests {
         assert_eq!(epoch_of(&avail, 30), 2);
         assert_eq!(epoch_of(&avail, 40), 3);
         assert_eq!(epoch_of(&avail, u64::MAX), 3);
+    }
+
+    #[test]
+    fn epoch_of_matches_linear_scan_on_a_long_feed() {
+        // Regression for the per-request linear scan: the binary search
+        // must agree with the counting definition at every probe of a
+        // long tick feed, including plateaus (ticks with no timed
+        // events) and both edges of every availability step.
+        let ticks: Vec<Vec<StreamEvent<u64>>> = (0..10_000u64)
+            .map(|i| {
+                if i % 7 == 0 {
+                    vec![] // plateau: inherits the previous availability
+                } else {
+                    vec![StreamEvent::ExtendHorizon { to: i * 3 }]
+                }
+            })
+            .collect();
+        let avail = availability(&ticks);
+        assert_eq!(avail.len(), 10_000);
+        for probe in (0..30_000u64).step_by(997).chain([0, 1, 29_997, u64::MAX]) {
+            let linear = avail.iter().filter(|&&a| a <= probe).count() as u64;
+            assert_eq!(epoch_of(&avail, probe), linear, "probe {probe}");
+        }
     }
 
     #[test]

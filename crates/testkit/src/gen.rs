@@ -296,6 +296,146 @@ pub fn event_stream<R: Rng + ?Sized>(rng: &mut R) -> EventScript {
     }
 }
 
+/// A random *churn* script: a feed that shrinks the node set mid-stream
+/// (and usually grows it back). Two families:
+///
+/// * `peer_lifecycle` — the model generator's native join/leave feed,
+///   valid by construction, ingested into an initially **empty** stream
+///   (every node arrives as a `NewNode` event);
+/// * `commuter_churn` / `scale_free_churn` — a standard fixture's
+///   replay with 1–2 node departures injected. Incident events strictly
+///   after a departure are dropped (the leave itself closes any open
+///   incident span); incident events *at* the departure instant are
+///   kept, so leaves land on just-opened (zero-length) and just-closed
+///   spans too. About half the victims rejoin later under a fresh id
+///   with a live edge of their own.
+pub fn churn_script<R: Rng + ?Sized>(rng: &mut R) -> EventScript {
+    let chop = |rng: &mut R, feed: Vec<StreamEvent<u64>>| -> Vec<Vec<StreamEvent<u64>>> {
+        let mut batches = Vec::new();
+        let mut batch = Vec::new();
+        for ev in feed {
+            batch.push(ev);
+            if rng.gen_bool(0.25) {
+                batches.push(std::mem::take(&mut batch));
+            }
+        }
+        if !batch.is_empty() {
+            batches.push(batch);
+        }
+        batches
+    };
+    if rng.gen_bool(0.4) {
+        let n = rng.gen_range(4..9usize);
+        let swaps = rng.gen_range(1..4usize);
+        let horizon = rng.gen_range(16..40u64);
+        let feed = tvg_model::generators::peer_lifecycle_churn(n, swaps, horizon, rng.gen::<u64>());
+        let stream = TvgStream::new(horizon).expect("generated horizons are small");
+        let batches = chop(rng, feed);
+        return EventScript {
+            label: "peer_lifecycle",
+            stream,
+            batches,
+            final_horizon: horizon,
+        };
+    }
+    let (label, base, horizon): (&'static str, Tvg<u64>, u64) = if rng.gen_bool(0.5) {
+        ("commuter_churn", crate::fixtures::commuter_line(), 24)
+    } else {
+        let n = rng.gen_range(6..10);
+        let h = rng.gen_range(16..28);
+        let g = scale_free_temporal(n, h, rng.gen::<u64>());
+        ("scale_free_churn", g, h)
+    };
+    let (stream, base_events) =
+        TvgStream::replay_of(&base, &horizon).expect("generated horizons are small");
+    // Victims: distinct nodes, each with a leave instant. Keep at least
+    // two nodes alive so rejoin edges always have a safe endpoint.
+    let mut victims: Vec<(NodeId, u64)> = Vec::new();
+    for _ in 0..rng.gen_range(1..3u32) {
+        let v = NodeId::from_index(rng.gen_range(0..base.num_nodes()));
+        if victims.iter().all(|(w, _)| *w != v) {
+            victims.push((v, rng.gen_range(1..horizon)));
+        }
+    }
+    let survivors: Vec<NodeId> = (0..base.num_nodes())
+        .map(NodeId::from_index)
+        .filter(|n| victims.iter().all(|(v, _)| v != n))
+        .collect();
+    // Keyed merge (time, seq): base events keep feed order; a leave
+    // sorts after every base event at its own instant.
+    let mut keyed: Vec<(u64, usize, StreamEvent<u64>)> = Vec::new();
+    for ev in base_events {
+        let at = match &ev {
+            StreamEvent::Up { at, .. } | StreamEvent::Down { at, .. } => *at,
+            _ => unreachable!("replay emits only up/down"),
+        };
+        // Drop events strictly after any incident victim's departure.
+        let dropped = victims.iter().any(|(v, leave)| {
+            let (edge, at) = match &ev {
+                StreamEvent::Up { edge, at } | StreamEvent::Down { edge, at } => (*edge, *at),
+                _ => unreachable!("replay emits only up/down"),
+            };
+            let e = base.edge(edge);
+            (e.src() == *v || e.dst() == *v) && at > *leave
+        });
+        if !dropped {
+            keyed.push((at, keyed.len(), ev));
+        }
+    }
+    let base_seq = keyed.len() + base.num_edges();
+    for (i, (v, leave)) in victims.iter().enumerate() {
+        keyed.push((
+            *leave,
+            base_seq + i,
+            StreamEvent::NodeLeave {
+                node: *v,
+                at: *leave,
+            },
+        ));
+    }
+    // Rejoins: fresh id, one live edge to a survivor. Ids continue
+    // after the base graph's in ingestion (time) order.
+    let mut rejoins: Vec<(u64, NodeId)> = Vec::new();
+    for (_, leave) in &victims {
+        if rng.gen_bool(0.5) && leave + 1 < horizon {
+            let at = rng.gen_range(leave + 1..horizon);
+            rejoins.push((at, survivors[rng.gen_range(0..survivors.len())]));
+        }
+    }
+    rejoins.sort_unstable();
+    for (i, (at, peer)) in rejoins.into_iter().enumerate() {
+        let node = NodeId::from_index(base.num_nodes() + i);
+        let edge = tvg_model::EdgeId::from_index(base.num_edges() + i);
+        let seq = base_seq + victims.len() + 3 * i;
+        keyed.push((
+            at,
+            seq,
+            StreamEvent::NewNode {
+                name: format!("rejoin{i}"),
+            },
+        ));
+        keyed.push((
+            at,
+            seq + 1,
+            StreamEvent::NewEdge {
+                src: node,
+                dst: peer,
+                label: 'r',
+                latency: Latency::unit(),
+            },
+        ));
+        keyed.push((at, seq + 2, StreamEvent::Up { edge, at }));
+    }
+    keyed.sort_by_key(|entry| (entry.0, entry.1));
+    let batches = chop(rng, keyed.into_iter().map(|(_, _, ev)| ev).collect());
+    EventScript {
+        label,
+        stream,
+        batches,
+        final_horizon: horizon,
+    }
+}
+
 /// Random edge-Markovian trace parameters (small, fast regime).
 pub fn markovian_params<R: Rng + ?Sized>(rng: &mut R) -> EdgeMarkovianParams {
     EdgeMarkovianParams {
