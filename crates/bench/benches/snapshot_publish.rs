@@ -23,7 +23,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Instant;
 use tvg_model::generators::scale_free_temporal;
 use tvg_model::stream::{LiveIndex, StreamEvent, TvgStream};
-use tvg_model::{EdgeEvent, EdgeId, IntervalSet, NodeId, TemporalIndex, Tvg};
+use tvg_model::{EdgeEvent, EdgeId, IntervalSet, NodeId, Tvg};
 
 const HORIZON: u64 = 48;
 const BATCH: usize = 512;

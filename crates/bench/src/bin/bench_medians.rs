@@ -1,7 +1,7 @@
 //! The bench-regression gate: median wall times of the E7 (compiled
-//! index), E9 (streaming ingest), and E13 (snapshot publication) hot
-//! paths, emitted as machine-readable JSON and compared against
-//! checked-in baselines.
+//! index), E9 (streaming ingest), E13 (snapshot publication), and E14
+//! (on-disk `.tvgi` index) hot paths, emitted as machine-readable JSON
+//! and compared against checked-in baselines.
 //!
 //! Unlike the criterion benches (scaling shapes, human-read), this
 //! binary exists to *fail CI* when a hot path rots by an order of
@@ -18,17 +18,17 @@
 //!
 //! Usage:
 //! * `bench_medians emit [dir]` — write `BENCH_E7.json`,
-//!   `BENCH_E9.json`, and `BENCH_E13.json` under `dir` (default `.`),
-//!   print them to stdout.
+//!   `BENCH_E9.json`, `BENCH_E13.json`, and `BENCH_E14.json` under
+//!   `dir` (default `.`), print them to stdout.
 //! * `bench_medians check <baseline-dir> [--tolerance X]` — re-measure
 //!   and fail (exit 1) if any metric exceeds `X ×` its baseline in
 //!   `<baseline-dir>/BENCH_E7.json` / `BENCH_E9.json` /
-//!   `BENCH_E13.json`.
+//!   `BENCH_E13.json` / `BENCH_E14.json`.
 //!
 //! The workloads deliberately mirror `benches/temporal_index.rs` (E7),
-//! `benches/stream_ingest.rs` (E9), and `benches/snapshot_publish.rs`
-//! (E13) at CI-friendly sizes; the reference numbers live in
-//! `EXPERIMENTS.md`.
+//! `benches/stream_ingest.rs` (E9), `benches/snapshot_publish.rs`
+//! (E13), and `benches/mmap_query.rs` (E14) at CI-friendly sizes; the
+//! reference numbers live in `EXPERIMENTS.md`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,7 +40,8 @@ use tvg_journeys::engine::{foremost_to, foremost_tree};
 use tvg_journeys::{IncrementalForemost, SearchLimits, WaitingPolicy};
 use tvg_model::generators::{random_periodic_tvg, scale_free_temporal, RandomPeriodicParams};
 use tvg_model::stream::{StreamEvent, TvgStream};
-use tvg_model::{narrow_tvg, NodeId, TemporalIndex, Tvg, TvgIndex};
+use tvg_model::tvgi::{write_tvgi, ShardedIndex};
+use tvg_model::{narrow_tvg, NodeId, Tvg, TvgIndex};
 
 /// Metrics are compared against at least this many microseconds of
 /// baseline: sub-millisecond medians (the 30 µs pair queries) are
@@ -212,6 +213,66 @@ fn e13_metrics() -> BTreeMap<String, u64> {
     m
 }
 
+/// The E14 workload: the n=20k scale-free graph of
+/// `benches/mmap_query.rs`, compiled once, serialized to a scratch
+/// `.tvgi` at 4 shards, and queried from both index forms. The gate
+/// watches the whole compile-once lifecycle — compile, serialize,
+/// reopen — plus the query medians whose ratio E14 reports: a
+/// file-backed query must stay in the same order of magnitude as the
+/// in-memory one, or the compile-once workflow has silently stopped
+/// paying for itself.
+fn e14_metrics() -> BTreeMap<String, u64> {
+    const HORIZON: u64 = 64;
+    let g = scale_free_temporal(20_000, HORIZON, 29);
+    let path = std::env::temp_dir().join(format!("tvg-bench-e14-{}.tvgi", std::process::id()));
+    let mut m = BTreeMap::new();
+    m.insert(
+        "compile_us".to_string(),
+        median_us(3, || TvgIndex::compile(&g, HORIZON).num_edge_events()),
+    );
+    let index = TvgIndex::compile(&g, HORIZON);
+    m.insert(
+        "write_us".to_string(),
+        median_us(3, || {
+            write_tvgi(&index, 4, None, &path)
+                .expect("scratch .tvgi writes")
+                .bytes
+        }),
+    );
+    m.insert(
+        "open_us".to_string(),
+        median_us(3, || {
+            ShardedIndex::<u64>::open(&path)
+                .expect("just-written file opens")
+                .num_edge_events()
+        }),
+    );
+    let mapped = ShardedIndex::<u64>::open(&path).expect("just-written file opens");
+    let limits = SearchLimits::new(HORIZON, 32);
+    let src = NodeId::from_index(0);
+    let policy = WaitingPolicy::Bounded(3);
+    // Racing two indexes is only meaningful if they agree.
+    assert_eq!(
+        foremost_tree(&index, src, &0u64, &policy, &limits).num_reached(),
+        foremost_tree(&mapped, src, &0u64, &policy, &limits).num_reached(),
+        "in-memory and file-backed indexes disagree"
+    );
+    m.insert(
+        "query_compiled_us".to_string(),
+        median_us(5, || {
+            foremost_tree(&index, src, &0u64, &policy, &limits).num_reached()
+        }),
+    );
+    m.insert(
+        "query_mapped_us".to_string(),
+        median_us(5, || {
+            foremost_tree(&mapped, src, &0u64, &policy, &limits).num_reached()
+        }),
+    );
+    let _ = std::fs::remove_file(&path);
+    m
+}
+
 fn to_json(metrics: &BTreeMap<String, u64>) -> String {
     let obj: BTreeMap<String, Json> = metrics
         .iter()
@@ -241,6 +302,7 @@ fn measure_all() -> Vec<(&'static str, BTreeMap<String, u64>)> {
         ("BENCH_E7.json", e7_metrics()),
         ("BENCH_E9.json", e9_metrics()),
         ("BENCH_E13.json", e13_metrics()),
+        ("BENCH_E14.json", e14_metrics()),
     ]
 }
 

@@ -104,8 +104,9 @@ fn main() {
                 }
                 // Streaming plans dump through `stream_dump`; serve
                 // plans are gated by their own soak step (the report's
-                // canonical section diffed across reader counts).
-                Plan::Streaming { .. } | Plan::Serve { .. } => {}
+                // canonical section diffed across reader counts), and
+                // matrix samples by the `.tvgi` round-trip oracle.
+                Plan::MatrixSample { .. } | Plan::Streaming { .. } | Plan::Serve { .. } => {}
             }
         }
     }

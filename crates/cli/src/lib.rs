@@ -4,10 +4,16 @@
 //!
 //! Commands (see [`run_command`]):
 //!
-//! * `run <spec>...` — execute every scenario in the files, print one
-//!   canonical JSON report per line to stdout (wall times go to stderr:
-//!   they are real but not canonical).
+//! * `run <spec>... [--index <file.tvgi>]` — execute every scenario in
+//!   the files, print one canonical JSON report per line to stdout
+//!   (wall times go to stderr: they are real but not canonical). With
+//!   `--index`, batch plans are answered from a compiled `.tvgi` index
+//!   file (see `compile`) instead of regenerating and recompiling —
+//!   same canonical bytes, no compile cost.
 //! * `check <spec>...` — parse and fully validate, run nothing.
+//! * `compile <spec> -o <file.tvgi> [--shards <k>] [--scenario <name>]`
+//!   — compile one scenario's index and serialize it as a sharded
+//!   on-disk `.tvgi` file for `run --index`.
 //! * `profile <spec>...` — run every scenario and print one JSON line of
 //!   engine throughput each (queries/sec, settles/sec, time/query) —
 //!   the profiling-first gate's human- and CI-artifact-facing face.
@@ -32,6 +38,21 @@ use tvg_scenarios::{parse_specs, Scenario};
 pub enum CliError {
     /// No command or an unknown command was given.
     Usage(String),
+    /// A spec argument that is a directory, not a spec file (`run`,
+    /// `check`, `profile`, and `compile` take files; `verify` and
+    /// `bless` are the directory-shaped commands).
+    IsDirectory {
+        /// The directory that was passed where a file was needed.
+        path: PathBuf,
+    },
+    /// A `.tvgi` index file could not be compiled, opened, or run
+    /// (format corruption, workload mismatch, unsupported plan).
+    Index {
+        /// The index file involved.
+        path: PathBuf,
+        /// The typed index error, stringified for display.
+        error: String,
+    },
     /// A file could not be read or written.
     Io {
         /// The path involved.
@@ -70,6 +91,13 @@ impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::IsDirectory { path } => write!(
+                f,
+                "{}: is a directory, not a spec file (pass a *.tvgs file; \
+                 `verify` and `bless` take directories)",
+                path.display()
+            ),
+            CliError::Index { path, error } => write!(f, "{}: {error}", path.display()),
             CliError::Io { path, error } => write!(f, "{}: {error}", path.display()),
             CliError::BadSpec { path, error } => write!(f, "{}: {error}", path.display()),
             CliError::GoldenMismatch {
@@ -99,8 +127,14 @@ impl std::error::Error for CliError {}
 
 /// The usage string printed on argument errors.
 pub const USAGE: &str = "usage: tvg-cli <command> [args]
-  run <spec>...     run scenarios, print canonical JSON reports to stdout
+  run <spec>... [--index <file.tvgi>]
+                    run scenarios, print canonical JSON reports to stdout;
+                    with --index, answer batch plans from a compiled
+                    index file instead of regenerating and recompiling
   check <spec>...   parse and validate specs without running them
+  compile <spec> -o <file.tvgi> [--shards <k>] [--scenario <name>]
+                    compile a scenario's index once and serialize it as
+                    a sharded on-disk .tvgi index file
   profile <spec>... run scenarios and print engine throughput (queries/sec,
                     settles/sec, time/query) as one JSON line per scenario
   verify <dir>      run every <dir>/*.tvgs and diff against <dir>/golden/
@@ -127,14 +161,22 @@ pub fn run_command(args: &[String]) -> Result<Output, CliError> {
         .ok_or_else(|| CliError::Usage("missing command".to_string()))?;
     match command.as_str() {
         "run" => {
-            if rest.is_empty() {
+            let (index, specs) = take_index_flag(rest)?;
+            if specs.is_empty() {
                 return Err(CliError::Usage("run: need at least one spec file".into()));
             }
             let mut out = Output::default();
-            for path in rest.iter().map(Path::new) {
+            for path in specs.iter().map(|s| Path::new(s.as_str())) {
                 let scenarios = load_specs(path)?;
                 for scenario in &scenarios {
-                    let report = scenario.run();
+                    let report = match &index {
+                        Some(index_path) => tvg_scenarios::run_with_index(scenario, index_path)
+                            .map_err(|e| CliError::Index {
+                                path: index_path.clone(),
+                                error: e.to_string(),
+                            })?,
+                        None => scenario.run(),
+                    };
                     writeln!(out.stdout, "{}", report.canonical_json()).expect("string write");
                     writeln!(
                         out.stderr,
@@ -169,6 +211,95 @@ pub fn run_command(args: &[String]) -> Result<Output, CliError> {
                 )
                 .expect("string write");
             }
+            Ok(out)
+        }
+        "compile" => {
+            let mut spec_path: Option<PathBuf> = None;
+            let mut out_path: Option<PathBuf> = None;
+            let mut shards: u32 = 1;
+            let mut pick: Option<String> = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "-o" | "--out" => {
+                        out_path = Some(PathBuf::from(it.next().ok_or_else(|| {
+                            CliError::Usage("compile: -o needs an output path".into())
+                        })?));
+                    }
+                    "--shards" => {
+                        shards = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&k| k > 0)
+                            .ok_or_else(|| {
+                                CliError::Usage("compile: --shards needs a positive integer".into())
+                            })?;
+                    }
+                    "--scenario" => {
+                        pick = Some(
+                            it.next()
+                                .ok_or_else(|| {
+                                    CliError::Usage("compile: --scenario needs a name".into())
+                                })?
+                                .clone(),
+                        );
+                    }
+                    other if spec_path.is_none() && !other.starts_with('-') => {
+                        spec_path = Some(PathBuf::from(other));
+                    }
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "compile: unexpected argument {other:?}"
+                        )))
+                    }
+                }
+            }
+            let spec_path =
+                spec_path.ok_or_else(|| CliError::Usage("compile: need a spec file".into()))?;
+            let out_path =
+                out_path.ok_or_else(|| CliError::Usage("compile: need -o <file.tvgi>".into()))?;
+            let scenarios = load_specs(&spec_path)?;
+            let scenario = match &pick {
+                Some(name) => scenarios.iter().find(|s| s.name() == name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "compile: no scenario named {name:?} in {}",
+                        spec_path.display()
+                    ))
+                })?,
+                None => match scenarios.as_slice() {
+                    [one] => one,
+                    many => {
+                        return Err(CliError::Usage(format!(
+                            "compile: {} holds {} scenarios; pick one with --scenario <name>",
+                            spec_path.display(),
+                            many.len()
+                        )))
+                    }
+                },
+            };
+            let summary =
+                tvg_scenarios::compile_index(scenario, shards, &out_path).map_err(|e| {
+                    CliError::Index {
+                        path: out_path.clone(),
+                        error: e.to_string(),
+                    }
+                })?;
+            let mut out = Output::default();
+            writeln!(
+                out.stdout,
+                "compiled {} -> {} ({} bytes, {} shards, width {}, {} nodes, {} edges, \
+                 {} spans, {} events)",
+                scenario.name(),
+                out_path.display(),
+                summary.bytes,
+                summary.shards,
+                summary.width,
+                summary.num_nodes,
+                summary.num_edges,
+                summary.num_spans,
+                summary.num_events,
+            )
+            .expect("string write");
             Ok(out)
         }
         "profile" => {
@@ -381,8 +512,33 @@ pub fn bundled_scenarios_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
 }
 
-/// Loads and fully validates a spec file.
+/// Splits `rest` into an optional `--index <path>` flag and the
+/// remaining (spec-file) arguments, in order.
+fn take_index_flag(rest: &[String]) -> Result<(Option<PathBuf>, Vec<String>), CliError> {
+    let mut index = None;
+    let mut specs = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--index" {
+            index = Some(PathBuf::from(it.next().ok_or_else(|| {
+                CliError::Usage("run: --index needs a .tvgi path".into())
+            })?));
+        } else {
+            specs.push(arg.clone());
+        }
+    }
+    Ok((index, specs))
+}
+
+/// Loads and fully validates a spec file. A directory is a typed
+/// [`CliError::IsDirectory`] up front — `read_to_string` on a
+/// directory would otherwise surface as an opaque I/O error.
 pub fn load_specs(path: &Path) -> Result<Vec<Scenario>, CliError> {
+    if path.is_dir() {
+        return Err(CliError::IsDirectory {
+            path: path.to_path_buf(),
+        });
+    }
     let text = std::fs::read_to_string(path).map_err(|e| CliError::Io {
         path: path.to_path_buf(),
         error: e.to_string(),

@@ -1,0 +1,130 @@
+//! CLI-level gates for the `.tvgi` compile-once workflow and the
+//! directory-argument usability fix.
+
+use std::path::PathBuf;
+use tvg_cli::{bundled_scenarios_dir, run_command, CliError};
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| (*s).to_string()).collect()
+}
+
+/// A scratch path unique to this test process and `label`.
+fn scratch(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tvg-cli-{}-{label}", std::process::id()))
+}
+
+#[test]
+fn a_directory_where_a_spec_file_belongs_is_a_typed_error() {
+    let dir = bundled_scenarios_dir().display().to_string();
+    for command in ["run", "check", "profile"] {
+        let err = run_command(&args(&[command, &dir])).expect_err("directories are not specs");
+        assert!(
+            matches!(err, CliError::IsDirectory { .. }),
+            "{command}: expected IsDirectory, got {err:?}"
+        );
+        // The message tells the user where directories DO go.
+        assert!(err.to_string().contains("is a directory"));
+        assert!(err.to_string().contains("verify"));
+    }
+    let out = scratch("dir.tvgi").display().to_string();
+    let err = run_command(&args(&["compile", &dir, "-o", &out]))
+        .expect_err("compile rejects directories too");
+    assert!(matches!(err, CliError::IsDirectory { .. }));
+}
+
+#[test]
+fn compile_then_run_from_index_reproduces_the_direct_report() {
+    let spec = bundled_scenarios_dir().join("ring-matrix.tvgs");
+    let spec = spec.display().to_string();
+    let index = scratch("ring.tvgi").display().to_string();
+
+    let compiled = run_command(&args(&["compile", &spec, "-o", &index, "--shards", "2"]))
+        .expect("bundled spec compiles");
+    assert!(
+        compiled.stdout.starts_with("compiled ring-matrix -> "),
+        "unexpected compile output: {}",
+        compiled.stdout
+    );
+
+    let direct = run_command(&args(&["run", &spec])).expect("direct run");
+    let mapped = run_command(&args(&["run", &spec, "--index", &index])).expect("indexed run");
+    assert_eq!(
+        mapped.stdout, direct.stdout,
+        "run --index must reproduce the canonical bytes of a direct run"
+    );
+    let _ = std::fs::remove_file(&index);
+}
+
+#[test]
+fn an_index_compiled_for_another_workload_is_a_typed_error() {
+    let ring = bundled_scenarios_dir().join("ring-matrix.tvgs");
+    let grid = bundled_scenarios_dir().join("grid-nowait-matrix.tvgs");
+    let index = scratch("grid.tvgi").display().to_string();
+    run_command(&args(&[
+        "compile",
+        &grid.display().to_string(),
+        "-o",
+        &index,
+    ]))
+    .expect("grid spec compiles");
+    let err = run_command(&args(&[
+        "run",
+        &ring.display().to_string(),
+        "--index",
+        &index,
+    ]))
+    .expect_err("workload mismatch must fail");
+    assert!(
+        matches!(err, CliError::Index { .. }),
+        "expected Index error, got {err:?}"
+    );
+    assert!(err.to_string().contains("different workload"));
+    let _ = std::fs::remove_file(&index);
+}
+
+#[test]
+fn compile_on_a_multi_scenario_spec_needs_a_pick() {
+    let sweep = bundled_scenarios_dir().join("ring-bus-sweep.tvgs");
+    let sweep = sweep.display().to_string();
+    let index = scratch("sweep.tvgi").display().to_string();
+    let err = run_command(&args(&["compile", &sweep, "-o", &index]))
+        .expect_err("ambiguous spec must fail");
+    assert!(
+        matches!(err, CliError::Usage(_)),
+        "expected Usage, got {err:?}"
+    );
+    assert!(err.to_string().contains("--scenario"));
+
+    let err = run_command(&args(&[
+        "compile",
+        &sweep,
+        "-o",
+        &index,
+        "--scenario",
+        "no-such-scenario",
+    ]))
+    .expect_err("unknown scenario name must fail");
+    assert!(matches!(err, CliError::Usage(_)));
+}
+
+#[test]
+fn compile_validates_its_flags() {
+    let spec = bundled_scenarios_dir().join("ring-matrix.tvgs");
+    let spec = spec.display().to_string();
+    assert!(matches!(
+        run_command(&args(&["compile", &spec])),
+        Err(CliError::Usage(_))
+    ));
+    assert!(matches!(
+        run_command(&args(&["compile", &spec, "-o"])),
+        Err(CliError::Usage(_))
+    ));
+    assert!(matches!(
+        run_command(&args(&["compile", &spec, "-o", "x.tvgi", "--shards", "0"])),
+        Err(CliError::Usage(_))
+    ));
+    assert!(matches!(
+        run_command(&args(&["run", "--index"])),
+        Err(CliError::Usage(_))
+    ));
+}

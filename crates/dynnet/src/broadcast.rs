@@ -173,7 +173,7 @@ pub fn broadcast_plan<T: Time + Send + Sync, I: TemporalIndex<T> + Sync>(
     limits: &SearchLimits<T>,
     batch: Batch,
 ) -> (Vec<BroadcastOutcome>, EngineStats) {
-    let n = index.tvg().num_nodes();
+    let n = index.num_nodes();
     // A beaconing source re-emits at every step: seed one configuration
     // per instant. Under unbounded waiting a single seed already departs
     // whenever it likes (the source always beacons under SCF).

@@ -5,7 +5,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use tvg_model::stream::{StreamEvent, TvgStream};
-use tvg_model::{EdgeId, Latency, Presence, TemporalIndex, Tvg, TvgBuilder};
+use tvg_model::{EdgeId, Latency, Presence, Tvg, TvgBuilder};
 
 /// An undirected contact trace: for each discrete step, the set of node
 /// pairs in contact.

@@ -369,7 +369,7 @@ pub(crate) fn run<T: Time, I: TemporalIndex<T>>(
     match policy {
         WaitingPolicy::Unbounded => {
             let mut stats = EngineStats::one_run();
-            let mut core = ParetoCore::new(index.tvg().num_nodes());
+            let mut core = ParetoCore::new(index.num_nodes());
             core.seed(seeds);
             core.drain(index, limits, target, &mut stats);
             ForemostTree {
@@ -383,7 +383,7 @@ pub(crate) fn run<T: Time, I: TemporalIndex<T>>(
         }
         _ => {
             let mut stats = EngineStats::one_run();
-            let mut core = ExactCore::new(index.tvg().num_nodes());
+            let mut core = ExactCore::new(index.num_nodes());
             core.seed(seeds);
             core.drain(index, policy, limits, target, &mut stats);
             ForemostTree {
@@ -555,7 +555,7 @@ impl<T: Time> ExactCore<T> {
             );
         }
         survivors.sort();
-        let mut cursor = vec![0usize; index.tvg().num_edges()];
+        let mut cursor = vec![0usize; index.num_edges()];
         for (time, node, hops) in survivors {
             if hops == cap {
                 continue;
@@ -623,7 +623,7 @@ impl<T: Time> ExactCore<T> {
         stats: &mut EngineStats,
     ) {
         let cap = hops_cap(limits);
-        let mut cursor = vec![0usize; index.tvg().num_edges()];
+        let mut cursor = vec![0usize; index.num_edges()];
         while let Some(Reverse((time, node, hops, id))) = self.queue.pop() {
             let ni = node.index();
             // The witness label of this configuration: its
@@ -706,18 +706,19 @@ impl<T: Time> ExactCore<T> {
             return;
         };
         let until = latest.min(limits.horizon.clone());
-        for &e in index.out_edges(node) {
-            let spans = index.presence(e).spans();
+        let edges = index.out_edges(node);
+        for e in edges.iter() {
+            let spans = index.presence(e);
             // Expansion times only grow, so spans ending at or before
             // `time` can never serve a later call either: skip them for
             // good by advancing the edge's cursor.
             let mut i = cursor[e.index()];
-            while i < spans.len() && spans[i].1 <= *time {
+            while i < spans.len() && *spans.end(i) <= *time {
                 i += 1;
             }
             cursor[e.index()] = i;
-            while i < spans.len() && spans[i].0 <= until {
-                let (start, end) = &spans[i];
+            while i < spans.len() && *spans.start(i) <= until {
+                let (start, end) = (spans.start(i), spans.end(i));
                 let mut dep = if *start > *time {
                     start.clone()
                 } else {
@@ -907,7 +908,8 @@ impl<T: Time> ParetoCore<T> {
         id: u32,
         stats: &mut EngineStats,
     ) {
-        for &e in index.out_edges(node) {
+        let edges = index.out_edges(node);
+        for e in edges.iter() {
             let succ = index.dst(e);
             // All crossings of `e` from this label cost the same hops, so
             // only the minimal-arrival departure can survive dominance —

@@ -107,7 +107,7 @@ impl<T: Time> IncrementalForemost<T> {
         policy: WaitingPolicy<T>,
         limits: SearchLimits<T>,
     ) -> Self {
-        let n = index.tvg().num_nodes();
+        let n = index.num_nodes();
         let mut stats = EngineStats {
             runs: 1,
             ..EngineStats::default()
@@ -148,7 +148,7 @@ impl<T: Time> IncrementalForemost<T> {
                 // A pure topology batch can still make a deferred seed's
                 // node exist (`NewNode`); explore from it now so its own
                 // arrival is settled before any presence arrives.
-                let n = index.tvg().num_nodes();
+                let n = index.num_nodes();
                 let prev = std::mem::replace(&mut self.known_nodes, n);
                 let late: Vec<&(NodeId, T)> = self
                     .seeds
@@ -180,7 +180,7 @@ impl<T: Time> IncrementalForemost<T> {
     pub fn refresh_since<I: TemporalIndex<T>>(&mut self, index: &I, since: &T) {
         self.resize(index);
         self.stats.runs += 1;
-        let n = index.tvg().num_nodes();
+        let n = index.num_nodes();
         let prev = std::mem::replace(&mut self.known_nodes, n);
         let seeds = &self.seeds;
         // Re-seed what the prune discarded (`t >= since`), plus any
@@ -206,7 +206,7 @@ impl<T: Time> IncrementalForemost<T> {
     }
 
     fn resize<I: TemporalIndex<T>>(&mut self, index: &I) {
-        let n = index.tvg().num_nodes();
+        let n = index.num_nodes();
         match &mut self.state {
             State::Exact(core) => core.resize(n),
             State::Pareto(core) => core.resize(n),

@@ -7,7 +7,7 @@
 use crate::batch::{Batch, BatchRunner};
 use crate::engine::EngineStats;
 use crate::{SearchLimits, WaitingPolicy};
-use tvg_model::{NodeId, Time, Tvg, TvgIndex};
+use tvg_model::{NodeId, TemporalIndex, Time, Tvg, TvgIndex};
 
 /// Foremost arrival times between all node pairs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,16 +53,18 @@ impl<T: Time + Send + Sync> ReachabilityMatrix<T> {
 
     /// [`ReachabilityMatrix::compute_with`] on an already-compiled
     /// index, for callers (like the scenario runtime) that hold one —
-    /// avoids paying index compilation a second time.
-    pub fn compute_on(
-        index: &TvgIndex<'_, T>,
+    /// avoids paying index compilation a second time. Generic over
+    /// [`TemporalIndex`], so a mapped [`tvg_model::tvgi::ShardedIndex`]
+    /// serves a matrix just like a freshly compiled [`TvgIndex`].
+    pub fn compute_on<I: TemporalIndex<T> + Sync>(
+        index: &I,
         start: &T,
         policy: &WaitingPolicy<T>,
         limits: &SearchLimits<T>,
         batch: Batch,
     ) -> Self {
-        let g = index.tvg();
-        let sources: Vec<NodeId> = g.nodes().collect();
+        let n = index.num_nodes();
+        let sources: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
         // Worker-side reduction: each tree collapses to its matrix row
         // before the next query runs, so peak memory is O(workers)
         // trees, not n.
@@ -72,7 +74,8 @@ impl<T: Time + Send + Sync> ReachabilityMatrix<T> {
             policy,
             limits,
             |src, tree| {
-                g.nodes()
+                (0..n)
+                    .map(NodeId::from_index)
                     .map(|dst| {
                         if dst == src {
                             Some(start.clone())

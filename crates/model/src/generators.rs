@@ -968,7 +968,6 @@ mod tests {
     #[test]
     fn peer_lifecycle_churn_is_a_valid_deterministic_feed() {
         use crate::stream::{StreamEvent, TvgStream};
-        use crate::TemporalIndex;
         let feed = peer_lifecycle_churn(8, 3, 40, 11);
         let again = peer_lifecycle_churn(8, 3, 40, 11);
         assert_eq!(format!("{feed:?}"), format!("{again:?}"), "same seed");

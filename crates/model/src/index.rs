@@ -20,8 +20,70 @@
 //! astronomically distant times of the theorem constructions (those keep
 //! using the closure path).
 
-use crate::interval::{Instants, IntervalSet};
+use crate::interval::{Instants, IntervalSet, SpanView};
 use crate::{EdgeId, Latency, NodeId, Time, Tvg};
+
+/// A borrowed, copyable view of one node's out-edge list — the common
+/// denominator between in-memory adjacency (native [`EdgeId`] slices)
+/// and the on-disk `.tvgi` CSR arenas (raw little-endian `u32` words
+/// mapped straight out of the file). [`EdgeId`] is a newtype without a
+/// guaranteed layout, so the raw arena cannot be reinterpreted as an id
+/// slice without `unsafe` (which the workspace forbids); this two-variant
+/// view gives both layouts one iteration surface instead.
+#[derive(Debug, Clone, Copy)]
+pub enum EdgeRefs<'a> {
+    /// Borrowed edge ids (the in-memory indexes).
+    Ids(&'a [EdgeId]),
+    /// Raw edge-id words from a file arena.
+    Raw(&'a [u32]),
+}
+
+impl EdgeRefs<'_> {
+    /// Number of out-edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            EdgeRefs::Ids(s) => s.len(),
+            EdgeRefs::Raw(r) => r.len(),
+        }
+    }
+
+    /// `true` iff the node has no out-edges.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th out-edge (builder order).
+    #[must_use]
+    pub fn get(&self, i: usize) -> EdgeId {
+        match self {
+            EdgeRefs::Ids(s) => s[i],
+            EdgeRefs::Raw(r) => EdgeId::from_index(r[i] as usize),
+        }
+    }
+
+    /// Iterates the out-edges in builder order.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// The list materialized as owned ids (allocates; for oracles and
+    /// tests, not query paths).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<EdgeId> {
+        self.iter().collect()
+    }
+}
+
+/// Logical equality regardless of layout.
+impl PartialEq for EdgeRefs<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && (0..self.len()).all(|i| self.get(i) == other.get(i))
+    }
+}
+
+impl Eq for EdgeRefs<'_> {}
 
 /// Compile-time contract: a compiled index (and the graph it borrows) is
 /// shareable across threads whenever its time domain is. `&TvgIndex` is
@@ -39,43 +101,52 @@ fn assert_index_is_shareable<T: Time + Send + Sync + 'static>() {
 
 /// The query interface shared by every compiled temporal index.
 ///
-/// Two implementations exist: the batch-compiled [`TvgIndex`] (one
-/// [`TvgIndex::compile`] against a fixed schedule) and the streaming
+/// Three implementations exist: the batch-compiled [`TvgIndex`] (one
+/// [`TvgIndex::compile`] against a fixed schedule), the streaming
 /// [`crate::stream::LiveIndex`] (maintained event by event as a schedule
-/// *arrives*). The single-source journey engine, the batch-query
-/// runtime, and the protocol simulators are all generic over this trait,
-/// so a workload can move from offline recompute to live ingestion
-/// without touching a consumer.
+/// *arrives*), and the on-disk [`crate::tvgi::ShardedIndex`] (a `.tvgi`
+/// file opened read-only, answering from flat per-shard arenas). The
+/// single-source journey engine, the batch-query runtime, and the
+/// protocol simulators are all generic over this trait, so a workload
+/// can move between offline recompute, live ingestion, and
+/// compile-once-serve-many without touching a consumer.
 ///
-/// Only five primitives are required; every derived query (presence
-/// tests, next-departure search, window enumeration, crossings) is
-/// provided on top of them and behaves identically for every
-/// implementation.
+/// The accessors hand out *views* ([`SpanView`], [`EdgeRefs`]) rather
+/// than concrete containers, so an implementation backed by raw file
+/// arenas is as first-class as one holding native structures. Every
+/// derived query (presence tests, next-departure search, window
+/// enumeration, crossings) is provided on top of the required
+/// primitives and behaves identically for every implementation.
 pub trait TemporalIndex<T: Time> {
-    /// The graph this index answers for.
-    fn tvg(&self) -> &Tvg<T>;
+    /// Number of nodes the index answers for.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of edges the index answers for.
+    fn num_edges(&self) -> usize;
 
     /// The inclusive departure horizon the index covers.
     fn horizon(&self) -> &T;
 
-    /// The compiled presence intervals of `e`.
-    fn presence(&self, e: EdgeId) -> &IntervalSet<T>;
+    /// The compiled presence spans of `e`.
+    fn presence(&self, e: EdgeId) -> SpanView<'_, T>;
 
     /// Whether `e`'s arrival is known to be non-decreasing in its
     /// departure (cached [`crate::Latency::arrival_is_monotone`]).
     fn arrival_is_monotone(&self, e: EdgeId) -> bool;
 
-    /// Outgoing edges of `n` as one contiguous slice (builder order).
-    fn out_edges(&self, n: NodeId) -> &[EdgeId];
+    /// Outgoing edges of `n` in builder order.
+    fn out_edges(&self, n: NodeId) -> EdgeRefs<'_>;
 
     /// Destination node of `e`. Semantically just
     /// [`crate::tvg::Edge::dst`], but on the engine's hottest path —
-    /// implementations override this with a flat `Vec<NodeId>` so each
+    /// implementations back this with a flat destination array so each
     /// expanded crossing reads 4 dense bytes instead of chasing into
     /// the full AST-carrying edge record.
-    fn dst(&self, e: EdgeId) -> NodeId {
-        self.tvg().edge(e).dst()
-    }
+    fn dst(&self, e: EdgeId) -> NodeId;
+
+    /// Arrival of a crossing of `e` known to depart at a present instant
+    /// `t` (skips the presence test; `None` only on latency overflow).
+    fn arrival(&self, e: EdgeId, t: &T) -> Option<T>;
 
     /// The earliest departure of `e` at or after `from` (within the
     /// horizon), by binary search.
@@ -98,18 +169,12 @@ pub trait TemporalIndex<T: Time> {
     }
 
     /// Attempts to traverse `e` departing at `t` (presence by binary
-    /// search, latency through the schedule).
+    /// search, latency through [`TemporalIndex::arrival`]).
     fn traverse(&self, e: EdgeId, t: &T) -> Option<T> {
         if !self.is_present(e, t) {
             return None;
         }
-        self.tvg().edge(e).latency().arrival(t)
-    }
-
-    /// Arrival of a crossing of `e` known to depart at a present instant
-    /// `t` (skips the presence test; `None` only on latency overflow).
-    fn arrival(&self, e: EdgeId, t: &T) -> Option<T> {
-        self.tvg().edge(e).latency().arrival(t)
+        self.arrival(e, t)
     }
 
     /// Every admissible crossing from `node` departing within the
@@ -126,7 +191,9 @@ pub trait TemporalIndex<T: Time> {
         Self: Sized,
         T: 'a,
     {
-        self.out_edges(node).iter().flat_map(move |&e| {
+        let edges = self.out_edges(node);
+        (0..edges.len()).flat_map(move |i| {
+            let e = edges.get(i);
             self.departures_within(e, from, until)
                 .filter_map(move |dep| {
                     let arr = self.arrival(e, &dep)?;
@@ -141,15 +208,19 @@ pub trait TemporalIndex<T: Time> {
 /// implementation) and hand clones to reader threads, and every
 /// consumer generic over [`TemporalIndex`] accepts the `Arc` directly.
 impl<T: Time, I: TemporalIndex<T>> TemporalIndex<T> for std::sync::Arc<I> {
-    fn tvg(&self) -> &Tvg<T> {
-        (**self).tvg()
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
     }
 
     fn horizon(&self) -> &T {
         (**self).horizon()
     }
 
-    fn presence(&self, e: EdgeId) -> &IntervalSet<T> {
+    fn presence(&self, e: EdgeId) -> SpanView<'_, T> {
         (**self).presence(e)
     }
 
@@ -157,7 +228,7 @@ impl<T: Time, I: TemporalIndex<T>> TemporalIndex<T> for std::sync::Arc<I> {
         (**self).arrival_is_monotone(e)
     }
 
-    fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+    fn out_edges(&self, n: NodeId) -> EdgeRefs<'_> {
         (**self).out_edges(n)
     }
 
@@ -410,24 +481,28 @@ impl<'g, T: Time> TvgIndex<'g, T> {
 }
 
 impl<T: Time> TemporalIndex<T> for TvgIndex<'_, T> {
-    fn tvg(&self) -> &Tvg<T> {
-        self.g
+    fn num_nodes(&self) -> usize {
+        self.csr_offsets.len() - 1
+    }
+
+    fn num_edges(&self) -> usize {
+        self.dsts.len()
     }
 
     fn horizon(&self) -> &T {
         &self.horizon
     }
 
-    fn presence(&self, e: EdgeId) -> &IntervalSet<T> {
-        &self.presence[e.index()]
+    fn presence(&self, e: EdgeId) -> SpanView<'_, T> {
+        self.presence[e.index()].view()
     }
 
     fn arrival_is_monotone(&self, e: EdgeId) -> bool {
         self.arrival_monotone[e.index()]
     }
 
-    fn out_edges(&self, n: NodeId) -> &[EdgeId] {
-        &self.csr_edges[self.csr_offsets[n.index()]..self.csr_offsets[n.index() + 1]]
+    fn out_edges(&self, n: NodeId) -> EdgeRefs<'_> {
+        EdgeRefs::Ids(&self.csr_edges[self.csr_offsets[n.index()]..self.csr_offsets[n.index() + 1]])
     }
 
     fn dst(&self, e: EdgeId) -> NodeId {

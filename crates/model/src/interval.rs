@@ -74,6 +74,14 @@ impl<T: Time> IntervalSet<T> {
         &self.spans
     }
 
+    /// A borrowed [`SpanView`] over the spans — the representation the
+    /// [`crate::TemporalIndex`] trait hands to the query engine, shared
+    /// with the flat on-disk arenas of `crate::tvgi`.
+    #[must_use]
+    pub fn view(&self) -> SpanView<'_, T> {
+        SpanView::Pairs(&self.spans)
+    }
+
     /// Number of maximal spans (the set's *event count* is twice this).
     #[must_use]
     pub fn num_spans(&self) -> usize {
@@ -89,24 +97,21 @@ impl<T: Time> IntervalSet<T> {
     /// Membership test by binary search.
     #[must_use]
     pub fn contains(&self, t: &T) -> bool {
-        let i = self.spans.partition_point(|(s, _)| s <= t);
-        i > 0 && self.spans[i - 1].1 > *t
+        self.view().contains(t)
     }
 
     /// The earliest member `>= t`, by binary search. `None` if the set
     /// has no member at or after `t`.
     #[must_use]
     pub fn next_at_or_after(&self, t: &T) -> Option<T> {
-        let i = self.spans.partition_point(|(_, e)| e <= t);
-        let (start, _) = self.spans.get(i)?;
-        Some(if start > t { start.clone() } else { t.clone() })
+        self.view().next_at_or_after(t)
     }
 
     /// The earliest member of the inclusive window `[from, until]` —
     /// the compiled counterpart of `Presence::next_present_within`.
     #[must_use]
     pub fn next_within(&self, from: &T, until: &T) -> Option<T> {
-        self.next_at_or_after(from).filter(|t| t <= until)
+        self.view().next_within(from, until)
     }
 
     /// Iterates the members of the inclusive window `[from, until]` in
@@ -117,14 +122,7 @@ impl<T: Time> IntervalSet<T> {
     /// fast path decays to) constructing the iterator allocates nothing.
     #[must_use]
     pub fn instants_within<'a>(&'a self, from: &'a T, until: &'a T) -> Instants<'a, T> {
-        let idx = self.spans.partition_point(|(_, e)| e <= from);
-        Instants {
-            spans: &self.spans,
-            idx,
-            cur: None,
-            from,
-            until,
-        }
+        self.view().instants_within(from, until)
     }
 
     /// Set union.
@@ -259,6 +257,134 @@ impl<T: Time> IntervalSet<T> {
     }
 }
 
+/// A borrowed, copyable view of a normalized span list — the common
+/// denominator between the in-memory [`IntervalSet`] (native `(T, T)`
+/// pairs) and the on-disk `.tvgi` arenas (flat interleaved
+/// `[s₀, e₀, s₁, e₁, …]` words mapped straight out of the file). Every
+/// search primitive the journey engine needs lives here once, so the two
+/// representations can never drift apart.
+///
+/// The invariants of [`IntervalSet`] are assumed: spans sorted by start,
+/// disjoint, non-empty, non-adjacent. The `Flat` variant additionally
+/// requires even length (validated when a `.tvgi` file is opened, not
+/// per query).
+#[derive(Debug, Clone, Copy)]
+pub enum SpanView<'a, T> {
+    /// Borrowed normalized pairs.
+    Pairs(&'a [(T, T)]),
+    /// Flat interleaved start/end words from a file arena.
+    Flat(&'a [T]),
+}
+
+impl<'a, T: Time> SpanView<'a, T> {
+    /// Number of maximal spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            SpanView::Pairs(s) => s.len(),
+            SpanView::Flat(f) => f.len() / 2,
+        }
+    }
+
+    /// `true` iff no instant is in the set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Start of span `i` (inclusive).
+    #[must_use]
+    pub fn start(&self, i: usize) -> &'a T {
+        match self {
+            SpanView::Pairs(s) => &s[i].0,
+            SpanView::Flat(f) => &f[2 * i],
+        }
+    }
+
+    /// End of span `i` (exclusive).
+    #[must_use]
+    pub fn end(&self, i: usize) -> &'a T {
+        match self {
+            SpanView::Pairs(s) => &s[i].1,
+            SpanView::Flat(f) => &f[2 * i + 1],
+        }
+    }
+
+    /// The spans materialized as owned pairs (allocates; for oracles and
+    /// tests, not query paths).
+    #[must_use]
+    pub fn spans(&self) -> Vec<(T, T)> {
+        (0..self.len())
+            .map(|i| (self.start(i).clone(), self.end(i).clone()))
+            .collect()
+    }
+
+    /// First span index for which `pred` is false — the span-list
+    /// counterpart of `slice::partition_point`, shared by both layouts.
+    fn partition_point(&self, pred: impl Fn(usize) -> bool) -> usize {
+        let (mut lo, mut hi) = (0, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(mid) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Membership test by binary search.
+    #[must_use]
+    pub fn contains(&self, t: &T) -> bool {
+        let i = self.partition_point(|i| self.start(i) <= t);
+        i > 0 && self.end(i - 1) > t
+    }
+
+    /// The earliest member `>= t`, by binary search.
+    #[must_use]
+    pub fn next_at_or_after(&self, t: &T) -> Option<T> {
+        let i = self.partition_point(|i| self.end(i) <= t);
+        if i >= self.len() {
+            return None;
+        }
+        let start = self.start(i);
+        Some(if start > t { start.clone() } else { t.clone() })
+    }
+
+    /// The earliest member of the inclusive window `[from, until]`.
+    #[must_use]
+    pub fn next_within(&self, from: &T, until: &T) -> Option<T> {
+        self.next_at_or_after(from).filter(|t| t <= until)
+    }
+
+    /// Iterates the members of the inclusive window `[from, until]` in
+    /// increasing order (see [`IntervalSet::instants_within`]).
+    #[must_use]
+    pub fn instants_within(self, from: &'a T, until: &'a T) -> Instants<'a, T> {
+        let idx = self.partition_point(|i| self.end(i) <= from);
+        Instants {
+            view: self,
+            idx,
+            cur: None,
+            from,
+            until,
+        }
+    }
+}
+
+/// Logical equality: two views are equal when they describe the same
+/// span list, regardless of layout.
+impl<T: Time> PartialEq for SpanView<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && (0..self.len())
+                .all(|i| self.start(i) == other.start(i) && self.end(i) == other.end(i))
+    }
+}
+
+impl<T: Time> Eq for SpanView<'_, T> {}
+
 /// Iterator over the instants of an [`IntervalSet`] within a window.
 ///
 /// Yields each present instant once, in increasing order; consecutive
@@ -266,7 +392,7 @@ impl<T: Time> IntervalSet<T> {
 /// in O(1).
 #[derive(Debug)]
 pub struct Instants<'a, T> {
-    spans: &'a [(T, T)],
+    view: SpanView<'a, T>,
     idx: usize,
     /// The cursor once stepping has begun; before the first yield the
     /// borrowed `from` endpoint serves as the cursor, so an iterator
@@ -280,7 +406,8 @@ impl<T: Time> Iterator for Instants<'_, T> {
     type Item = T;
 
     fn next(&mut self) -> Option<T> {
-        while let Some((start, end)) = self.spans.get(self.idx) {
+        while self.idx < self.view.len() {
+            let (start, end) = (self.view.start(self.idx), self.view.end(self.idx));
             let cursor = self.cur.as_ref().unwrap_or(self.from);
             let candidate = if cursor >= start {
                 cursor.clone()

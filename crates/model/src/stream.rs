@@ -37,11 +37,11 @@
 //! `tvg_journeys::incremental` relies on to re-relax only the labels it
 //! must.
 
-use crate::interval::IntervalSet;
+use crate::interval::{IntervalSet, SpanView};
 use crate::pcol::{PCol, PLog, COL_CHUNK, LOG_CHUNK};
 use crate::{
-    EdgeEvent, EdgeEventKind, EdgeId, Latency, NodeId, Presence, TemporalIndex, Time, Tvg,
-    TvgBuilder, TvgIndex,
+    EdgeEvent, EdgeEventKind, EdgeId, EdgeRefs, Latency, NodeId, Presence, TemporalIndex, Time,
+    Tvg, TvgBuilder, TvgIndex,
 };
 use std::error::Error;
 use std::fmt;
@@ -358,36 +358,89 @@ impl<T: Time> LiveIndex<T> {
     }
 }
 
-impl<T: Time> TemporalIndex<T> for LiveIndex<T> {
-    fn tvg(&self) -> &Tvg<T> {
+/// The live index's native accessors. These carry the concrete types
+/// (interval sets, id slices, the graph itself) that the maintenance
+/// code and the oracles inspect; the [`TemporalIndex`] impl below wraps
+/// them in the trait's layout-agnostic views for the query engine.
+impl<T: Time> LiveIndex<T> {
+    /// The graph this index answers for.
+    #[must_use]
+    pub fn tvg(&self) -> &Tvg<T> {
         &self.g
+    }
+
+    /// The inclusive departure horizon the index covers.
+    #[must_use]
+    pub fn horizon(&self) -> &T {
+        &self.horizon
+    }
+
+    /// The maintained presence intervals of `e`.
+    #[must_use]
+    pub fn presence(&self, e: EdgeId) -> &IntervalSet<T> {
+        self.presence.get(e.index())
+    }
+
+    /// Whether `e`'s arrival is known to be non-decreasing in its
+    /// departure.
+    #[must_use]
+    pub fn arrival_is_monotone(&self, e: EdgeId) -> bool {
+        *self.arrival_monotone.get(e.index())
+    }
+
+    /// Outgoing edges of `n` as one contiguous slice (edge-id order).
+    #[must_use]
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        self.adjacency.get(n.index())
+    }
+
+    /// Destination node of `e`.
+    #[must_use]
+    pub fn dst(&self, e: EdgeId) -> NodeId {
+        *self.dsts.get(e.index())
+    }
+
+    /// Arrival of a crossing of `e` departing at `t`.
+    #[must_use]
+    pub fn arrival(&self, e: EdgeId, t: &T) -> Option<T> {
+        match self.const_lat.get(e.index()) {
+            Some(c) => t.checked_add(c),
+            None => self.g.edge(e).latency().arrival(t),
+        }
+    }
+}
+
+impl<T: Time> TemporalIndex<T> for LiveIndex<T> {
+    fn num_nodes(&self) -> usize {
+        self.g.num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.dsts.len()
     }
 
     fn horizon(&self) -> &T {
         &self.horizon
     }
 
-    fn presence(&self, e: EdgeId) -> &IntervalSet<T> {
-        self.presence.get(e.index())
+    fn presence(&self, e: EdgeId) -> SpanView<'_, T> {
+        LiveIndex::presence(self, e).view()
     }
 
     fn arrival_is_monotone(&self, e: EdgeId) -> bool {
-        *self.arrival_monotone.get(e.index())
+        LiveIndex::arrival_is_monotone(self, e)
     }
 
-    fn out_edges(&self, n: NodeId) -> &[EdgeId] {
-        self.adjacency.get(n.index())
+    fn out_edges(&self, n: NodeId) -> EdgeRefs<'_> {
+        EdgeRefs::Ids(LiveIndex::out_edges(self, n))
     }
 
     fn dst(&self, e: EdgeId) -> NodeId {
-        *self.dsts.get(e.index())
+        LiveIndex::dst(self, e)
     }
 
     fn arrival(&self, e: EdgeId, t: &T) -> Option<T> {
-        match self.const_lat.get(e.index()) {
-            Some(c) => t.checked_add(c),
-            None => self.g.edge(e).latency().arrival(t),
-        }
+        LiveIndex::arrival(self, e, t)
     }
 }
 
@@ -1150,7 +1203,7 @@ mod tests {
             .expect("valid");
         assert_eq!(report.earliest_change, None);
         let e1 = EdgeId::from_index(1);
-        assert_eq!(TemporalIndex::out_edges(s.index(), a), &[e0, e1]);
+        assert_eq!(TemporalIndex::out_edges(s.index(), a).to_vec(), [e0, e1]);
         s.ingest(&[
             StreamEvent::Up { edge: e1, at: 4 },
             StreamEvent::Down { edge: e1, at: 6 },

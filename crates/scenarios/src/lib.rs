@@ -41,11 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod indexfile;
 mod registry;
 mod report;
 mod run;
 mod spec;
 
+pub use indexfile::{compile_index, run_with_index, IndexFileError};
 pub use registry::GeneratorSpec;
 pub use report::{first_divergent_line, Report};
 pub use spec::{parse_specs, Plan, Scenario, SpecError, Threads};
@@ -53,6 +55,10 @@ pub use spec::{parse_specs, Plan, Scenario, SpecError, Threads};
 /// [`Report::results`] / [`Report::timing`] without a direct
 /// `tvg-dynnet` dependency.
 pub use tvg_dynnet::json::Json;
+/// Re-exported so `.tvgi` consumers (the CLI above all) can name the
+/// writer's summary and the format's typed failure without a direct
+/// `tvg-model` dependency.
+pub use tvg_model::tvgi::{TvgiError, TvgiSummary};
 
 #[cfg(test)]
 mod tests {

@@ -105,7 +105,9 @@ impl Scenario {
                 // (`NarrowError`, an unprovable bound) falls back to the
                 // exact `u64` path transparently.
                 let start = match plan {
-                    Plan::SingleSource { start, .. } | Plan::Matrix { start, .. } => *start,
+                    Plan::SingleSource { start, .. }
+                    | Plan::Matrix { start, .. }
+                    | Plan::MatrixSample { start, .. } => *start,
                     _ => 0,
                 };
                 let outcome = match (
@@ -146,7 +148,10 @@ impl Scenario {
 /// arithmetic provably cannot diverge there: `wait[d]` computes
 /// `ready + d` before clamping, so every admissible `ready <= horizon`
 /// must keep that sum in range. `None` keeps the `u64` path.
-fn narrow_policy(policy: &WaitingPolicy<u64>, horizon: u64) -> Option<WaitingPolicy<u32>> {
+pub(crate) fn narrow_policy(
+    policy: &WaitingPolicy<u64>,
+    horizon: u64,
+) -> Option<WaitingPolicy<u32>> {
     match policy {
         WaitingPolicy::NoWait => Some(WaitingPolicy::NoWait),
         WaitingPolicy::Unbounded => Some(WaitingPolicy::Unbounded),
@@ -176,6 +181,20 @@ fn run_batch_plan<T: Time + Send + Sync>(
         Plan::Matrix { start, .. } => {
             run_matrix(&index, batch, &T::from_u64(*start), policy, limits)
         }
+        Plan::MatrixSample {
+            sources,
+            seed,
+            start,
+            ..
+        } => run_matrix_sample(
+            &index,
+            batch,
+            *sources,
+            *seed,
+            &T::from_u64(*start),
+            policy,
+            limits,
+        ),
         Plan::Broadcast {
             source, beacons, ..
         } => run_broadcast_plan(&index, batch, *source, *beacons, policy, limits),
@@ -184,15 +203,15 @@ fn run_batch_plan<T: Time + Send + Sync>(
     (outcome, events)
 }
 
-fn run_single_source<T: Time + Send + Sync>(
-    index: &TvgIndex<'_, T>,
+pub(crate) fn run_single_source<T: Time + Send + Sync, I: TemporalIndex<T> + Sync>(
+    index: &I,
     batch: Batch,
     src: usize,
     start: &T,
     policy: &WaitingPolicy<T>,
     limits: &SearchLimits<T>,
 ) -> (Json, EngineStats) {
-    let g = index.tvg();
+    let nodes = index.num_nodes();
     let out = BatchRunner::new(index, batch).run_sources(
         &[NodeId::from_index(src)],
         start,
@@ -201,24 +220,27 @@ fn run_single_source<T: Time + Send + Sync>(
     );
     let tree = &out.trees()[0];
     let results = obj([
-        ("histogram", histogram(g.nodes().map(|n| tree.arrival(n)))),
+        (
+            "histogram",
+            histogram((0..nodes).map(|n| tree.arrival(NodeId::from_index(n)))),
+        ),
         ("reached", Json::Int(tree.num_reached() as u64)),
     ]);
     (results, out.stats())
 }
 
-fn run_matrix<T: Time + Send + Sync>(
-    index: &TvgIndex<'_, T>,
+pub(crate) fn run_matrix<T: Time + Send + Sync, I: TemporalIndex<T> + Sync>(
+    index: &I,
     batch: Batch,
     start: &T,
     policy: &WaitingPolicy<T>,
     limits: &SearchLimits<T>,
 ) -> (Json, EngineStats) {
-    let g = index.tvg();
+    let nodes = index.num_nodes();
     let m = ReachabilityMatrix::compute_on(index, start, policy, limits, batch);
     let mut off_diagonal = Vec::new();
-    for src in g.nodes() {
-        for dst in g.nodes() {
+    for src in (0..nodes).map(NodeId::from_index) {
+        for dst in (0..nodes).map(NodeId::from_index) {
             if dst != src {
                 off_diagonal.push(m.arrival(src, dst));
             }
@@ -242,15 +264,76 @@ fn run_matrix<T: Time + Send + Sync>(
     (results, m.stats())
 }
 
-fn run_broadcast_plan<T: Time + Send + Sync>(
-    index: &TvgIndex<'_, T>,
+/// Draws `k` distinct sources from `0..n`, deterministically from
+/// `seed`: a splitmix64-driven partial Fisher–Yates shuffle, sorted
+/// ascending so the report does not depend on draw order. `k >= n`
+/// simply selects every node (the sample degenerates to the full
+/// matrix's source set).
+pub(crate) fn sample_sources(n: usize, k: usize, seed: u64) -> Vec<NodeId> {
+    if k >= n {
+        return (0..n).map(NodeId::from_index).collect();
+    }
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let span = (n - i) as u64;
+        let j = i + usize::try_from(next() % span).expect("residue below n fits usize");
+        pool.swap(i, j);
+    }
+    let mut picked: Vec<usize> = pool[..k].to_vec();
+    picked.sort_unstable();
+    picked.into_iter().map(NodeId::from_index).collect()
+}
+
+/// The sampled matrix plan: one all-destinations foremost run per
+/// sampled source, collapsed to a per-source `[histogram, reached]`
+/// row inside the batch workers — the full-tree arrays never
+/// accumulate, which is what keeps the million-node scale job's
+/// resident set bounded by the index, not by `sources × n` trees.
+pub(crate) fn run_matrix_sample<T: Time + Send + Sync, I: TemporalIndex<T> + Sync>(
+    index: &I,
+    batch: Batch,
+    sources: usize,
+    seed: u64,
+    start: &T,
+    policy: &WaitingPolicy<T>,
+    limits: &SearchLimits<T>,
+) -> (Json, EngineStats) {
+    let nodes = index.num_nodes();
+    let srcs = sample_sources(nodes, sources, seed);
+    let (rows, stats) =
+        BatchRunner::new(index, batch).map_sources(&srcs, start, policy, limits, |_, tree| {
+            Json::Arr(vec![
+                histogram((0..nodes).map(|d| tree.arrival(NodeId::from_index(d)))),
+                Json::Int(tree.num_reached() as u64),
+            ])
+        });
+    let results = obj([
+        ("per_source", Json::Arr(rows)),
+        (
+            "sources",
+            Json::Arr(srcs.iter().map(|s| Json::Int(s.index() as u64)).collect()),
+        ),
+    ]);
+    (results, stats)
+}
+
+pub(crate) fn run_broadcast_plan<T: Time + Send + Sync, I: TemporalIndex<T> + Sync>(
+    index: &I,
     batch: Batch,
     source: Option<usize>,
     beacons: bool,
     policy: &WaitingPolicy<T>,
     limits: &SearchLimits<T>,
 ) -> (Json, EngineStats) {
-    let n = index.tvg().num_nodes();
+    let n = index.num_nodes();
     let sources: Vec<usize> = match source {
         Some(s) => vec![s],
         None => (0..n).collect(),

@@ -343,6 +343,23 @@ pub enum Plan {
         /// Hop bound.
         max_hops: usize,
     },
+    /// A seeded sample of the reachability matrix: `sources` distinct
+    /// source nodes drawn deterministically from the node range, one
+    /// all-destinations foremost run each. The scale tier's plan —
+    /// matrix-shaped answers at a cost independent of `n²`.
+    MatrixSample {
+        /// How many distinct sources to sample (clamped to the node
+        /// count at run time).
+        sources: usize,
+        /// Sampling seed.
+        seed: u64,
+        /// Journey start instant.
+        start: u64,
+        /// Latest admissible departure.
+        horizon: u64,
+        /// Hop bound.
+        max_hops: usize,
+    },
     /// Broadcast under the scenario policy as the relay discipline
     /// (`source: None` sweeps every node as a source).
     Broadcast {
@@ -405,6 +422,7 @@ impl Plan {
         match self {
             Plan::SingleSource { .. } => "single_source",
             Plan::Matrix { .. } => "matrix",
+            Plan::MatrixSample { .. } => "matrix_sample",
             Plan::Broadcast { .. } => "broadcast",
             Plan::Streaming { .. } => "streaming",
             Plan::Serve { .. } => "serve",
@@ -417,6 +435,7 @@ impl Plan {
         match self {
             Plan::SingleSource { horizon, .. }
             | Plan::Matrix { horizon, .. }
+            | Plan::MatrixSample { horizon, .. }
             | Plan::Broadcast { horizon, .. }
             | Plan::Streaming { horizon, .. }
             | Plan::Serve { horizon, .. } => *horizon,
@@ -429,6 +448,7 @@ impl Plan {
         match self {
             Plan::SingleSource { max_hops, .. }
             | Plan::Matrix { max_hops, .. }
+            | Plan::MatrixSample { max_hops, .. }
             | Plan::Broadcast { max_hops, .. }
             | Plan::Streaming { max_hops, .. }
             | Plan::Serve { max_hops, .. } => *max_hops,
@@ -453,6 +473,17 @@ impl fmt::Display for Plan {
                 horizon,
                 max_hops,
             } => write!(f, "matrix start={start} horizon={horizon} max_hops={max_hops}"),
+            Plan::MatrixSample {
+                sources,
+                seed,
+                start,
+                horizon,
+                max_hops,
+            } => write!(
+                f,
+                "matrix_sample sources={sources} seed={seed} start={start} \
+                 horizon={horizon} max_hops={max_hops}"
+            ),
             Plan::Broadcast {
                 source,
                 beacons,
@@ -976,9 +1007,9 @@ pub fn parse_specs(text: &str) -> Result<Vec<Scenario>, SpecError> {
             let source = match &plan {
                 Plan::SingleSource { src, .. } | Plan::Streaming { src, .. } => Some(*src),
                 Plan::Broadcast { source, .. } => *source,
-                // Serve requests draw sources uniformly from the node
-                // range, so they are in range by construction.
-                Plan::Matrix { .. } | Plan::Serve { .. } => None,
+                // Serve requests and matrix samples draw sources from
+                // the node range, so they are in range by construction.
+                Plan::Matrix { .. } | Plan::MatrixSample { .. } | Plan::Serve { .. } => None,
             };
             if let Some(src) = source {
                 if src >= nodes {
@@ -1084,6 +1115,22 @@ fn resolve_plan(scenario: &str, plan_name: &str, mut p: Params) -> Result<Plan, 
             start_in_horizon(&p, start, horizon)?;
             let max_hops = default_hops(&mut p, horizon)?;
             Plan::Matrix {
+                start,
+                horizon,
+                max_hops,
+            }
+        }
+        "matrix_sample" => {
+            let sources = p.usize("sources")?;
+            p.guard("sources", sources > 0, "a sample needs at least one source")?;
+            let seed = p.u64_or("seed", 0)?;
+            let start = p.u64_or("start", 0)?;
+            let horizon = p.u64("horizon")?;
+            start_in_horizon(&p, start, horizon)?;
+            let max_hops = default_hops(&mut p, horizon)?;
+            Plan::MatrixSample {
+                sources,
+                seed,
                 start,
                 horizon,
                 max_hops,

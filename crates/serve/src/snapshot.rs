@@ -23,7 +23,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use tvg_model::stream::LiveIndex;
-use tvg_model::{EdgeId, IntervalSet, NodeId, TemporalIndex, Time, Tvg};
+use tvg_model::{EdgeId, EdgeRefs, IntervalSet, NodeId, SpanView, TemporalIndex, Time, Tvg};
 
 /// One immutable view of the schedule as of a publication epoch.
 ///
@@ -58,6 +58,48 @@ impl<T: Time> ServeSnapshot<T> {
     pub fn index(&self) -> &LiveIndex<T> {
         &self.index
     }
+
+    /// The underlying TVG this snapshot froze.
+    #[must_use]
+    pub fn tvg(&self) -> &Tvg<T> {
+        self.index.tvg()
+    }
+
+    /// The horizon the snapshot answers under.
+    #[must_use]
+    pub fn horizon(&self) -> &T {
+        self.index.horizon()
+    }
+
+    /// The frozen presence intervals of `e` in native form.
+    #[must_use]
+    pub fn presence(&self, e: EdgeId) -> &IntervalSet<T> {
+        self.index.presence(e)
+    }
+
+    /// Whether arrival is monotone over departures for `e`.
+    #[must_use]
+    pub fn arrival_is_monotone(&self, e: EdgeId) -> bool {
+        self.index.arrival_is_monotone(e)
+    }
+
+    /// The out-edges of `n` as a native slice.
+    #[must_use]
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        self.index.out_edges(n)
+    }
+
+    /// The destination of `e`.
+    #[must_use]
+    pub fn dst(&self, e: EdgeId) -> NodeId {
+        self.index.dst(e)
+    }
+
+    /// Arrival of a crossing of `e` departing at `t`, if present.
+    #[must_use]
+    pub fn arrival(&self, e: EdgeId, t: &T) -> Option<T> {
+        self.index.arrival(e, t)
+    }
 }
 
 /// A snapshot answers exactly like the live index it froze: every
@@ -65,24 +107,28 @@ impl<T: Time> ServeSnapshot<T> {
 /// runtime, the simulators) accepts it — and, via the model crate's
 /// blanket impl, an `Arc<ServeSnapshot>` too.
 impl<T: Time> TemporalIndex<T> for ServeSnapshot<T> {
-    fn tvg(&self) -> &Tvg<T> {
-        self.index.tvg()
+    fn num_nodes(&self) -> usize {
+        self.index.tvg().num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.index.tvg().num_edges()
     }
 
     fn horizon(&self) -> &T {
         self.index.horizon()
     }
 
-    fn presence(&self, e: EdgeId) -> &IntervalSet<T> {
-        self.index.presence(e)
+    fn presence(&self, e: EdgeId) -> SpanView<'_, T> {
+        ServeSnapshot::presence(self, e).view()
     }
 
     fn arrival_is_monotone(&self, e: EdgeId) -> bool {
         self.index.arrival_is_monotone(e)
     }
 
-    fn out_edges(&self, n: NodeId) -> &[EdgeId] {
-        self.index.out_edges(n)
+    fn out_edges(&self, n: NodeId) -> EdgeRefs<'_> {
+        EdgeRefs::Ids(ServeSnapshot::out_edges(self, n))
     }
 
     fn dst(&self, e: EdgeId) -> NodeId {
@@ -249,7 +295,7 @@ mod tests {
         // The Arc'd snapshot is a TemporalIndex in its own right.
         assert!(snap.is_present(e, &4));
         assert_eq!(snap.presence(e).spans(), s.index().presence(e).spans());
-        assert_eq!(snap.out_edges(u), s.index().out_edges(u));
+        assert_eq!(snap.out_edges(u).to_vec(), s.index().out_edges(u));
         // ...and stays frozen while the stream moves on.
         s.ingest(&[tvg_model::stream::StreamEvent::Down { edge: e, at: 5 }])
             .expect("valid feed");

@@ -51,7 +51,7 @@ pub fn assert_batch_matches_serial<T: Time + Send + Sync, I: TemporalIndex<T> + 
             "{label}: stats diverge at {threads} threads under {policy}"
         );
         for (i, (s, p)) in serial.trees().iter().zip(parallel.trees()).enumerate() {
-            for dst in index.tvg().nodes() {
+            for dst in (0..index.num_nodes()).map(NodeId::from_index) {
                 assert_eq!(
                     s.arrival(dst),
                     p.arrival(dst),
@@ -82,10 +82,8 @@ pub fn assert_all_sources_batch_matches_serial<
     limits: &SearchLimits<T>,
     label: &str,
 ) {
-    let seed_sets: Vec<Vec<(NodeId, T)>> = index
-        .tvg()
-        .nodes()
-        .map(|src| vec![(src, start.clone())])
+    let seed_sets: Vec<Vec<(NodeId, T)>> = (0..index.num_nodes())
+        .map(|src| vec![(NodeId::from_index(src), start.clone())])
         .collect();
     assert_batch_matches_serial(index, &seed_sets, policy, limits, label);
 }

@@ -41,6 +41,10 @@
 //!   round-trips through `tvg_scenarios::parse_specs`, reports are
 //!   thread-count invariant, and bundled specs reproduce their
 //!   checked-in goldens byte for byte.
+//! * [`tvgicheck`] — the `.tvgi` round-trip oracle: an index opened
+//!   from an on-disk file must answer bit-identically (arrivals,
+//!   witnesses, engine counters) to the in-memory compile it
+//!   serialized, at every shard count.
 //! * [`servecheck`] — the serve-runtime oracles: a pinned
 //!   `Arc<ServeSnapshot>` answers byte-identically while the writer
 //!   publishes newer epochs, served answers equal from-scratch
@@ -61,6 +65,7 @@ pub mod servecheck;
 pub mod speccheck;
 pub mod streamcheck;
 pub mod tickscan;
+pub mod tvgicheck;
 
 pub use prop::{check, check_with, Config};
 pub use rng::{case_rng, rng_for, seed_for};

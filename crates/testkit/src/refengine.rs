@@ -133,7 +133,7 @@ fn exact_explore<T: Time, I: TemporalIndex<T>>(
     limits: &SearchLimits<T>,
     target: Option<NodeId>,
 ) -> RefTree<T> {
-    let num_nodes = index.tvg().num_nodes();
+    let num_nodes = index.num_nodes();
     let mut stats = one_run();
     let mut arrival: Vec<Option<T>> = vec![None; num_nodes];
     let mut settled: Vec<BTreeMap<T, usize>> = vec![BTreeMap::new(); num_nodes];
@@ -162,7 +162,7 @@ fn exact_explore<T: Time, I: TemporalIndex<T>>(
         };
         for (e, dep, arr) in index.crossings(node, &time, &latest) {
             stats.expanded += 1;
-            let succ = index.tvg().edge(e).dst();
+            let succ = index.dst(e);
             if !settled[succ.index()].contains_key(&arr) {
                 parents.per_node[succ.index()]
                     .entry(arr.clone())
@@ -196,7 +196,7 @@ fn pareto_explore<T: Time, I: TemporalIndex<T>>(
     limits: &SearchLimits<T>,
     target: Option<NodeId>,
 ) -> RefTree<T> {
-    let num_nodes = index.tvg().num_nodes();
+    let num_nodes = index.num_nodes();
     let mut stats = one_run();
     let mut arrival: Vec<Option<T>> = vec![None; num_nodes];
     let mut best: Vec<Option<usize>> = vec![None; num_nodes];
@@ -226,8 +226,8 @@ fn pareto_explore<T: Time, I: TemporalIndex<T>>(
         if hops == limits.max_hops || time > limits.horizon {
             continue;
         }
-        for &e in index.out_edges(node) {
-            let succ = index.tvg().edge(e).dst();
+        for e in index.out_edges(node).iter() {
+            let succ = index.dst(e);
             let best_crossing: Option<(T, T)> = if index.arrival_is_monotone(e) {
                 index
                     .departures_within(e, &time, &limits.horizon)

@@ -60,7 +60,7 @@ pub fn assert_live_matches_recompile<T: Time>(stream: &TvgStream<T>, label: &str
     for n in g.nodes() {
         assert_eq!(
             live.out_edges(n),
-            TemporalIndex::out_edges(&compiled, n),
+            TemporalIndex::out_edges(&compiled, n).to_vec(),
             "{label}: adjacency of {n} diverges"
         );
     }

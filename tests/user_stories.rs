@@ -78,7 +78,7 @@ fn live_commuter_feed_story() {
     // an incrementally repaired foremost tree.
     use tvg_suite::journeys::{foremost_tree, IncrementalForemost};
     use tvg_suite::model::stream::{StreamEvent, TvgStream};
-    use tvg_suite::model::{Latency, TemporalIndex, TvgIndex};
+    use tvg_suite::model::{Latency, TvgIndex};
 
     // The commuter_line() timetable, one departure set per hop.
     let timetable: [&[u64]; 3] = [&[2, 10, 18], &[5, 13, 21], &[6, 14, 22]];
